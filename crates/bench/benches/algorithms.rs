@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks of FastT's core algorithms: the quantities
+//! behind the paper's Table 4 (strategy-computation time) and the claim that
+//! FastT's "time complexity is linear with the number of operations and
+//! devices" (Sec. 6.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastt::{dpos, os_dpos, schedule_for_placement, upward_ranks, OsDposOptions};
+use fastt_cluster::{DeviceId, Topology};
+use fastt_cost::CostModels;
+use fastt_graph::{replicate, Graph};
+use fastt_models::Model;
+use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, SimConfig};
+
+/// Cost models bootstrapped the way a session would: one profile run per GPU
+/// plus a round-robin run for communication.
+fn bootstrapped(graph: &Graph, topo: &Topology) -> CostModels {
+    let hw = HardwarePerf::new();
+    let mut cost = CostModels::new();
+    for d in topo.gpu_ids() {
+        let p = Placement::uniform(graph.op_count(), d);
+        if let Ok(tr) = simulate(
+            graph,
+            topo,
+            &p,
+            &hw,
+            ExecPolicy::Fifo,
+            &SimConfig::default(),
+        ) {
+            cost.update_from_trace(graph, &tr);
+        }
+    }
+    let mut p = Placement::uniform(graph.op_count(), DeviceId(0));
+    for (i, op) in graph.op_ids().enumerate() {
+        p.set(op, DeviceId((i % topo.gpu_count()) as u16));
+    }
+    if let Ok(tr) = simulate(
+        graph,
+        topo,
+        &p,
+        &hw,
+        ExecPolicy::Fifo,
+        &SimConfig::default(),
+    ) {
+        cost.update_from_trace(graph, &tr);
+    }
+    cost
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("upward_ranks");
+    for model in [Model::Vgg19, Model::InceptionV3, Model::ResNet200] {
+        let graph = model.training_graph(8);
+        let topo = Topology::single_server(4);
+        let cost = bootstrapped(&graph, &topo);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model}/{} ops", graph.op_count())),
+            &graph,
+            |b, graph| b.iter(|| upward_ranks(graph, &cost)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_dpos(c: &mut Criterion) {
+    // DPOS runtime vs device count: the linear-complexity claim.
+    let mut g = c.benchmark_group("dpos");
+    let graph = Model::Vgg19.training_graph(8);
+    for gpus in [2u16, 4, 8] {
+        let topo = Topology::single_server(gpus);
+        let rep = replicate(&graph, gpus as u32).unwrap();
+        let cost = bootstrapped(&rep.graph, &topo);
+        let hw = HardwarePerf::new();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("vgg19-dp/{gpus}gpus")),
+            &topo,
+            |b, topo| b.iter(|| dpos(&rep.graph, topo, &cost, &hw)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_os_dpos(c: &mut Criterion) {
+    // Full Alg. 2 — the per-invocation cost inside Table 4.
+    let mut g = c.benchmark_group("os_dpos");
+    g.sample_size(10);
+    for model in [Model::LeNet, Model::AlexNet, Model::Vgg19] {
+        let graph = model.training_graph(8);
+        let topo = Topology::single_server(4);
+        let rep = replicate(&graph, 4).unwrap();
+        let cost = bootstrapped(&rep.graph, &topo);
+        let hw = HardwarePerf::new();
+        let opts = OsDposOptions::for_topology(&topo);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &rep.graph,
+            |b, graph| {
+                b.iter(|| {
+                    let mut c = cost.clone();
+                    os_dpos(graph, &topo, &mut c, &hw, &opts)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_order_for_placement(c: &mut Criterion) {
+    // Ordering an existing placement (the Fig. 2 lever) is even cheaper.
+    let graph = Model::ResNet200.training_graph(8);
+    let topo = Topology::single_server(2);
+    let rep = replicate(&graph, 2).unwrap();
+    let cost = bootstrapped(&rep.graph, &topo);
+    let hw = HardwarePerf::new();
+    let plan = fastt::data_parallel_plan(&rep, &topo);
+    c.bench_function("schedule_for_placement/resnet200-dp2", |b| {
+        b.iter(|| schedule_for_placement(&rep.graph, &topo, &cost, &hw, &plan.placement))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rank,
+    bench_dpos,
+    bench_os_dpos,
+    bench_order_for_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! `cargo bench --bench paper` regenerates **every table and figure** of the
+//! paper's evaluation (Sec. 6) and prints them to stdout.
+//!
+//! Scope control via the environment:
+//! * `FASTT_MODELS="vgg,lenet"` restricts the scaling tables to a subset;
+//! * `FASTT_SKIP_FIG3=1` skips the (slow) black-box search comparison.
+
+use fastt_bench::experiments;
+use fastt_models::Model;
+
+fn selected_models() -> Vec<Model> {
+    match std::env::var("FASTT_MODELS") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|a| {
+                let needle = a.trim().to_lowercase();
+                Model::all()
+                    .into_iter()
+                    .find(|m| m.name().to_lowercase().contains(&needle))
+                    .unwrap_or_else(|| panic!("unknown model `{a}`"))
+            })
+            .collect(),
+        _ => Model::all().to_vec(),
+    }
+}
+
+fn main() {
+    // Criterion-style filtering is not useful here: this target is a
+    // deterministic experiment harness, not a statistical benchmark — the
+    // numbers it prints *are* the deliverable (recorded in EXPERIMENTS.md).
+    let models = selected_models();
+
+    experiments::table1::table1(&models);
+    experiments::table2::table2(&models);
+    experiments::table3::table3();
+    experiments::table4::table4(&models);
+    experiments::table5::table5();
+    experiments::table6::table6(&models);
+    experiments::fig2::fig2();
+    if std::env::var("FASTT_SKIP_FIG3").is_err() {
+        experiments::fig3::fig3();
+    } else {
+        println!("\n## Fig. 3 skipped (FASTT_SKIP_FIG3 set)");
+    }
+    experiments::fig4::fig4();
+    experiments::fig5::fig5();
+}

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the discrete-event simulator — the
+//! substrate every profiling iteration and black-box evaluation runs on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastt::data_parallel_plan;
+use fastt_cluster::Topology;
+use fastt_graph::replicate;
+use fastt_models::Model;
+use fastt_sim::{HardwarePerf, SimConfig};
+
+fn bench_simulate_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate-dp4");
+    g.sample_size(20);
+    for model in [
+        Model::LeNet,
+        Model::Vgg19,
+        Model::InceptionV3,
+        Model::ResNet200,
+    ] {
+        let graph = model.training_graph(8);
+        let topo = Topology::single_server(4);
+        let rep = replicate(&graph, 4).unwrap();
+        let plan = data_parallel_plan(&rep, &topo);
+        let hw = HardwarePerf::new();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{model}/{} ops", rep.graph.op_count())),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    plan.simulate(&topo, &hw, &SimConfig::default())
+                        .expect("fits")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_policy_overhead(c: &mut Criterion) {
+    // Priority queues vs FIFO: the executor-side cost of order enforcement.
+    let graph = Model::InceptionV3.training_graph(8);
+    let topo = Topology::single_server(2);
+    let rep = replicate(&graph, 2).unwrap();
+    let mut plan = data_parallel_plan(&rep, &topo);
+    let hw = HardwarePerf::new();
+    let mut g = c.benchmark_group("executor-policy");
+    g.bench_function("fifo", |b| {
+        b.iter(|| {
+            plan.simulate(&topo, &hw, &SimConfig::default())
+                .expect("fits")
+        })
+    });
+    plan.order = Some(rep.graph.topo_order().unwrap());
+    g.bench_function("priority", |b| {
+        b.iter(|| {
+            plan.simulate(&topo, &hw, &SimConfig::default())
+                .expect("fits")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate_models, bench_policy_overhead);
+criterion_main!(benches);

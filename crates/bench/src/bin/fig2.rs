@@ -1,0 +1,8 @@
+//! Fig. 2: performance gain of order enforcement. Each model runs on 2 GPUs
+//! under the default data-parallel placement; we compare TensorFlow's
+//! default FIFO execution order against FastT's enforced order computed for
+//! the *same* placement (isolating the ordering effect, as the paper does).
+
+fn main() {
+    fastt_bench::experiments::fig2::fig2();
+}

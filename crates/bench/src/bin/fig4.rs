@@ -1,0 +1,8 @@
+//! Fig. 4: number of operations placed on each GPU by FastT, for AlexNet,
+//! VGG-19 and LeNet on 2 and 4 GPUs. The paper's observation: FastT does not
+//! allocate operations evenly — replicas of large-parameter ops concentrate
+//! on one GPU to avoid gradient aggregation, while compute-heavy ops spread.
+
+fn main() {
+    fastt_bench::experiments::fig4::fig4();
+}

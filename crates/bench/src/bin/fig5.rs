@@ -1,0 +1,8 @@
+//! Fig. 5: average computation time, memcpy (tensor transfer) time, and
+//! per-iteration time for data parallelism vs FastT on 2 GPUs. The paper's
+//! observation: FastT may *increase* computation time (more ops packed on
+//! fewer devices) while reducing memcpy time and the per-iteration time.
+
+fn main() {
+    fastt_bench::experiments::fig5::fig5();
+}

@@ -1,0 +1,10 @@
+//! Table 1: training speed (samples/s) under **strong scaling** — the global
+//! batch stays fixed while GPUs are added. Columns: 1 GPU, then DP vs FastT
+//! for 2/4/8 GPUs and 8 GPUs over two servers; final column is the speedup
+//! of the best FastT entry over the best DP entry (how the paper computes
+//! its bold speedup column).
+
+fn main() {
+    let models = fastt_bench::cli_models();
+    fastt_bench::experiments::table1::table1(&models);
+}

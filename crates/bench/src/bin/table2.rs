@@ -1,0 +1,7 @@
+//! Table 2: training speed (samples/s) under **weak scaling** — the per-GPU
+//! batch stays fixed, so the global batch grows with the GPU count.
+
+fn main() {
+    let models = fastt_bench::cli_models();
+    fastt_bench::experiments::table2::table2(&models);
+}

@@ -1,0 +1,8 @@
+//! Table 3: per-iteration training time (seconds) for BERT-large at growing
+//! global batch sizes — single GPU, 2-GPU DP, and 2-GPU FastT. Data
+//! parallelism runs out of memory beyond batch 32; FastT keeps training at
+//! 40 and 48 by deploying the model across both GPUs.
+
+fn main() {
+    fastt_bench::experiments::table3::table3();
+}

@@ -1,0 +1,11 @@
+//! Table 5: split decisions for representative operations in VGG-19
+//! (4 GPUs, the paper's best-speedup setting): per-op execution time,
+//! weight size, and whether FastT decided to split it.
+//!
+//! The paper's qualitative finding: ops that get split have long execution
+//! time and small weights; large-weight ops (fc6) are not split to avoid
+//! broadcasting parameters.
+
+fn main() {
+    fastt_bench::experiments::table5::table5();
+}

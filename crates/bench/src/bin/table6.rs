@@ -1,0 +1,9 @@
+//! Table 6: per-iteration training time with and without operation
+//! splitting, plus the key split op kinds (the paper's ablation of Alg. 2:
+//! conv-heavy CNNs benefit from Conv2D/Conv2DBackprop splits, attention
+//! models from MatMul splits, LeNet/AlexNet/LSTMs not at all).
+
+fn main() {
+    let models = fastt_bench::cli_models();
+    fastt_bench::experiments::table6::table6(&models);
+}

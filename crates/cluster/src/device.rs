@@ -1,0 +1,109 @@
+//! GPU devices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a device within one [`Topology`](crate::Topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u16);
+
+impl DeviceId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu:{}", self.0)
+    }
+}
+
+/// A compute device (GPU) with its capacity parameters.
+///
+/// The fields feed two consumers: `mem_bytes` is the placement constraint
+/// FastT checks (Alg. 1 line 13), while `peak_flops`/`mem_bandwidth` drive
+/// the simulator's hidden hardware ground-truth model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Human-readable name, e.g. `"srv0/gpu2"`.
+    pub name: String,
+    /// Usable device memory in bytes.
+    pub mem_bytes: u64,
+    /// Peak single-precision throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Device memory bandwidth in bytes/s (bounds memory-bound ops).
+    pub mem_bandwidth: f64,
+    /// Whether this is a CPU host rather than an accelerator. Hosts store
+    /// parameter-server state (TF-slim's default `variables_device` is
+    /// `/device:CPU:0`) but are not placement targets for FastT, whose
+    /// device set is "the set of devices (GPUs)" (Sec. 3).
+    pub is_host: bool,
+}
+
+impl Device {
+    /// An NVIDIA Tesla V100-SXM2-16GB, the paper's testbed GPU:
+    /// 15.7 TFLOP/s fp32, 900 GB/s HBM2, 16 GB (we reserve 1 GB for the
+    /// framework, matching the usable capacity real TensorFlow reports).
+    pub fn v100(name: impl Into<String>) -> Self {
+        Device {
+            name: name.into(),
+            mem_bytes: 15 * (1 << 30),
+            peak_flops: 15.7e12,
+            mem_bandwidth: 900.0e9,
+            is_host: false,
+        }
+    }
+
+    /// The paper's host CPUs: 2× Xeon Platinum 8163 with large DRAM.
+    /// Used as the parameter-server device by the TF-slim DP baseline.
+    pub fn host(name: impl Into<String>) -> Self {
+        Device {
+            name: name.into(),
+            mem_bytes: 256 * (1 << 30),
+            peak_flops: 2.0e12,
+            mem_bandwidth: 100.0e9,
+            is_host: true,
+        }
+    }
+
+    /// Builder-style: overrides the memory capacity (used by tests and the
+    /// large-model experiments that need tight memory).
+    pub fn with_mem_bytes(mut self, bytes: u64) -> Self {
+        self.mem_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: overrides the peak throughput.
+    pub fn with_peak_flops(mut self, flops: f64) -> Self {
+        self.peak_flops = flops;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_parameters() {
+        let d = Device::v100("gpu0");
+        assert_eq!(d.name, "gpu0");
+        assert_eq!(d.mem_bytes, 15 * (1 << 30));
+        assert!(d.peak_flops > 1e13);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let d = Device::v100("g").with_mem_bytes(1024).with_peak_flops(1.0);
+        assert_eq!(d.mem_bytes, 1024);
+        assert_eq!(d.peak_flops, 1.0);
+    }
+
+    #[test]
+    fn device_id_display() {
+        assert_eq!(DeviceId(3).to_string(), "gpu:3");
+        assert_eq!(DeviceId(3).index(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fastt-cluster
+//!
+//! Device and interconnect topology substrate for the FastT reproduction.
+//!
+//! The paper's testbed is "physical machines, each equipped with 8 NVIDIA
+//! Tesla V100 GPUs with NVLinks, where each GPU has 16GB memory" (Sec. 6.2),
+//! with some experiments spanning two servers. This crate models exactly the
+//! inputs FastT's problem definition requires: "the set of devices (GPUs) and
+//! memory limitation of each device" (Sec. 3, input (b)) plus the physical
+//! interconnect characteristics the simulator needs to synthesize transfer
+//! times.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastt_cluster::Topology;
+//!
+//! let single = Topology::single_server(4);
+//! assert_eq!(single.gpu_count(), 4);
+//! assert!(single.host_of(0).is_some()); // one CPU host per server
+//!
+//! let multi = Topology::multi_server(2, 4);
+//! assert_eq!(multi.gpu_count(), 8);
+//! // cross-server links are slower than NVLink
+//! use fastt_cluster::DeviceId;
+//! let intra = multi.link(DeviceId(0), DeviceId(1)).unwrap();
+//! let inter = multi.link(DeviceId(0), DeviceId(4)).unwrap();
+//! assert!(inter.bandwidth < intra.bandwidth);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod topology;
+
+pub use device::{Device, DeviceId};
+pub use topology::{Link, Topology, TopologyBuilder};

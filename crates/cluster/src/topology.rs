@@ -1,0 +1,444 @@
+//! Cluster topologies: devices plus the interconnects between them.
+
+use crate::device::{Device, DeviceId};
+use serde::{Deserialize, Serialize};
+
+/// A directed interconnect between two devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One-way latency in seconds.
+    pub latency: f64,
+    /// Sustained bandwidth in bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Link {
+    /// NVLink 2.0 peer-to-peer (V100 generation): ~48 GB/s effective, ~5 µs
+    /// launch-to-first-byte latency.
+    pub fn nvlink() -> Self {
+        Link {
+            latency: 5e-6,
+            bandwidth: 48.0e9,
+        }
+    }
+
+    /// PCIe 3.0 x16: ~12 GB/s effective.
+    pub fn pcie() -> Self {
+        Link {
+            latency: 10e-6,
+            bandwidth: 12.0e9,
+        }
+    }
+
+    /// 25 Gb/s datacenter Ethernet/RDMA between servers: ~3 GB/s effective,
+    /// ~30 µs latency.
+    pub fn ethernet_25g() -> Self {
+        Link {
+            latency: 30e-6,
+            bandwidth: 3.0e9,
+        }
+    }
+
+    /// 100 Gb/s RDMA between servers (the class of fabric in the paper's
+    /// production cluster): ~11 GB/s effective, ~10 µs latency.
+    pub fn rdma_100g() -> Self {
+        Link {
+            latency: 10e-6,
+            bandwidth: 11.0e9,
+        }
+    }
+
+    /// Time in seconds to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// A set of devices and the links between every ordered pair.
+///
+/// `link(a, b)` is `None` when `a == b` — intra-device "transfers" are free.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    devices: Vec<Device>,
+    /// `links[src][dst]`; `None` on the diagonal.
+    links: Vec<Vec<Option<Link>>>,
+    /// `server_of[d]`: which physical server hosts device `d`.
+    server_of: Vec<u16>,
+}
+
+impl Topology {
+    /// One server with `n` V100 GPUs, fully connected by NVLink
+    /// (the paper's 1/2/4/8-GPU single-server settings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn single_server(n: u16) -> Self {
+        Self::multi_server(1, n)
+    }
+
+    /// `servers` machines with `gpus_per_server` V100s each plus one CPU
+    /// host per server: NVLink between GPUs within a server, PCIe between a
+    /// host and its GPUs, 25 GbE between servers (the paper's "8 GPUs
+    /// (2 servers)" and "16 GPUs (2 servers)" settings).
+    ///
+    /// GPU device ids come first (`0..servers*gpus_per_server`), hosts
+    /// after them — so GPU ids are stable regardless of host presence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is 0.
+    pub fn multi_server(servers: u16, gpus_per_server: u16) -> Self {
+        assert!(servers > 0 && gpus_per_server > 0, "empty topology");
+        let mut b = TopologyBuilder::new();
+        for s in 0..servers {
+            for g in 0..gpus_per_server {
+                b.add_device(Device::v100(format!("srv{s}/gpu{g}")), s);
+            }
+        }
+        for s in 0..servers {
+            b.add_device(Device::host(format!("srv{s}/cpu")), s);
+        }
+        b.connect_intra_server(Link::nvlink());
+        b.connect_inter_server(Link::rdma_100g());
+        b.connect_host_pcie(Link::pcie());
+        b.build()
+    }
+
+    /// Number of devices (GPUs and hosts).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of GPU devices.
+    pub fn gpu_count(&self) -> usize {
+        self.devices.iter().filter(|d| !d.is_host).count()
+    }
+
+    /// All device ids (GPUs and hosts).
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len() as u16).map(DeviceId)
+    }
+
+    /// GPU device ids only — the placement targets FastT considers
+    /// (Sec. 3: the input device set is "the set of devices (GPUs)").
+    pub fn gpu_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.device_ids()
+            .filter(|d| !self.devices[d.index()].is_host)
+    }
+
+    /// Whether `d` is a CPU host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn is_host(&self, d: DeviceId) -> bool {
+        self.devices[d.index()].is_host
+    }
+
+    /// The host device of `server`, if the topology has one.
+    pub fn host_of(&self, server: u16) -> Option<DeviceId> {
+        self.device_ids()
+            .find(|&d| self.devices[d.index()].is_host && self.server_of[d.index()] == server)
+    }
+
+    /// The device with id `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn device(&self, d: DeviceId) -> &Device {
+        &self.devices[d.index()]
+    }
+
+    /// All devices in id order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The link from `src` to `dst`, or `None` when `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn link(&self, src: DeviceId, dst: DeviceId) -> Option<&Link> {
+        self.links[src.index()][dst.index()].as_ref()
+    }
+
+    /// Transfer time for `bytes` from `src` to `dst` under the physical
+    /// link model (0 when colocated).
+    pub fn transfer_time(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
+        match self.link(src, dst) {
+            Some(l) => l.transfer_time(bytes),
+            None => 0.0,
+        }
+    }
+
+    /// Which server hosts device `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn server_of(&self, d: DeviceId) -> u16 {
+        self.server_of[d.index()]
+    }
+
+    /// Stable identifier of the physical channel a `src → dst` transfer
+    /// occupies. GPU pairs within a server have dedicated NVLinks (per-pair
+    /// channels); all traffic leaving or entering a host shares that host's
+    /// PCIe root complex; all traffic between two servers shares the NIC
+    /// pair. Transfers with the same key serialize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn channel_key(&self, src: DeviceId, dst: DeviceId) -> (u32, u32) {
+        if self.server_of(src) != self.server_of(dst) {
+            (
+                0x1_0000 + self.server_of(src) as u32,
+                0x1_0000 + self.server_of(dst) as u32,
+            )
+        } else if self.is_host(src) {
+            (0x2_0000 + src.0 as u32, 0)
+        } else if self.is_host(dst) {
+            (0x3_0000 + dst.0 as u32, 0)
+        } else {
+            (src.0 as u32, dst.0 as u32)
+        }
+    }
+
+    /// The slowest (maximum-time) link for a given byte count — used for the
+    /// pessimistic `c̄_{i,j}` in the rank computation (Sec. 5.1).
+    pub fn max_transfer_time(&self, bytes: u64) -> f64 {
+        let mut worst: f64 = 0.0;
+        for s in self.device_ids() {
+            for d in self.device_ids() {
+                if let Some(l) = self.link(s, d) {
+                    worst = worst.max(l.transfer_time(bytes));
+                }
+            }
+        }
+        worst
+    }
+
+    /// A sub-topology restricted to the first `n` devices (keeps links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > self.device_count()`.
+    pub fn prefix(&self, n: usize) -> Topology {
+        assert!(n > 0 && n <= self.device_count());
+        Topology {
+            devices: self.devices[..n].to_vec(),
+            links: self.links[..n]
+                .iter()
+                .map(|row| row[..n].to_vec())
+                .collect(),
+            server_of: self.server_of[..n].to_vec(),
+        }
+    }
+}
+
+/// Incremental constructor for heterogeneous [`Topology`]s.
+///
+/// # Examples
+///
+/// ```
+/// use fastt_cluster::{Device, Link, TopologyBuilder};
+///
+/// let mut b = TopologyBuilder::new();
+/// b.add_device(Device::v100("a"), 0);
+/// b.add_device(Device::v100("b"), 0);
+/// b.connect_intra_server(Link::pcie());
+/// let topo = b.build();
+/// assert_eq!(topo.device_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    devices: Vec<Device>,
+    servers: Vec<u16>,
+    links: Vec<(DeviceId, DeviceId, Link)>,
+    intra: Option<Link>,
+    inter: Option<Link>,
+    host_pcie: Option<Link>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a device hosted on `server`, returning its id.
+    pub fn add_device(&mut self, device: Device, server: u16) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u16);
+        self.devices.push(device);
+        self.servers.push(server);
+        id
+    }
+
+    /// Uses `link` between every pair of devices on the same server.
+    pub fn connect_intra_server(&mut self, link: Link) -> &mut Self {
+        self.intra = Some(link);
+        self
+    }
+
+    /// Uses `link` between every pair of devices on different servers.
+    pub fn connect_inter_server(&mut self, link: Link) -> &mut Self {
+        self.inter = Some(link);
+        self
+    }
+
+    /// Uses `link` between a host and the GPUs on its server (overrides the
+    /// intra-server link for host pairs).
+    pub fn connect_host_pcie(&mut self, link: Link) -> &mut Self {
+        self.host_pcie = Some(link);
+        self
+    }
+
+    /// Overrides the link for one specific ordered pair.
+    pub fn connect(&mut self, src: DeviceId, dst: DeviceId, link: Link) -> &mut Self {
+        self.links.push((src, dst, link));
+        self
+    }
+
+    /// Finalizes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no devices were added.
+    pub fn build(&self) -> Topology {
+        assert!(
+            !self.devices.is_empty(),
+            "topology needs at least one device"
+        );
+        let n = self.devices.len();
+        let mut links = vec![vec![None; n]; n];
+        for (s, row) in links.iter_mut().enumerate() {
+            for (d, slot) in row.iter_mut().enumerate() {
+                if s == d {
+                    continue;
+                }
+                let same = self.servers[s] == self.servers[d];
+                let host_pair = self.devices[s].is_host || self.devices[d].is_host;
+                *slot = if !same {
+                    self.inter
+                } else if host_pair {
+                    self.host_pcie.or(self.intra)
+                } else {
+                    self.intra
+                };
+            }
+        }
+        for &(s, d, l) in &self.links {
+            links[s.index()][d.index()] = Some(l);
+        }
+        Topology {
+            devices: self.devices.clone(),
+            links,
+            server_of: self.servers.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_gpus_fully_connected_by_nvlink() {
+        let t = Topology::single_server(4);
+        assert_eq!(t.gpu_count(), 4);
+        assert_eq!(t.device_count(), 5); // + 1 host
+        for a in t.gpu_ids() {
+            for b in t.gpu_ids() {
+                if a == b {
+                    assert!(t.link(a, b).is_none());
+                } else {
+                    let l = t.link(a, b).expect("link");
+                    assert_eq!(l.bandwidth, Link::nvlink().bandwidth);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_connected_by_pcie() {
+        let t = Topology::single_server(2);
+        let host = t.host_of(0).expect("host");
+        assert!(t.is_host(host));
+        for g in t.gpu_ids() {
+            assert_eq!(t.link(host, g).unwrap().bandwidth, Link::pcie().bandwidth);
+            assert_eq!(t.link(g, host).unwrap().bandwidth, Link::pcie().bandwidth);
+        }
+    }
+
+    #[test]
+    fn multi_server_uses_slow_links_across() {
+        let t = Topology::multi_server(2, 4);
+        assert_eq!(t.gpu_count(), 8);
+        assert_eq!(t.device_count(), 10); // + 2 hosts
+        assert_eq!(t.server_of(DeviceId(0)), 0);
+        assert_eq!(t.server_of(DeviceId(4)), 1);
+        assert_eq!(t.host_of(1), Some(DeviceId(9)));
+        let intra = t.link(DeviceId(0), DeviceId(3)).unwrap();
+        let inter = t.link(DeviceId(3), DeviceId(4)).unwrap();
+        assert!(inter.bandwidth < intra.bandwidth);
+        assert!(inter.latency > intra.latency);
+    }
+
+    #[test]
+    fn transfer_time_linear_in_bytes() {
+        let l = Link::nvlink();
+        let t1 = l.transfer_time(1_000_000);
+        let t2 = l.transfer_time(2_000_000);
+        assert!((t2 - t1 - 1_000_000.0 / l.bandwidth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colocated_transfer_is_free() {
+        let t = Topology::single_server(2);
+        assert_eq!(t.transfer_time(DeviceId(0), DeviceId(0), 1 << 30), 0.0);
+        assert!(t.transfer_time(DeviceId(0), DeviceId(1), 1 << 30) > 0.0);
+    }
+
+    #[test]
+    fn max_transfer_time_picks_worst_link() {
+        // with two servers the slowest path for a big tensor is the NIC
+        let t = Topology::multi_server(2, 2);
+        let bytes = 100 << 20;
+        let worst = t.max_transfer_time(bytes);
+        assert!((worst - Link::rdma_100g().transfer_time(bytes)).abs() < 1e-12);
+        // on one server it is the host PCIe link
+        let s = Topology::single_server(2);
+        let worst1 = s.max_transfer_time(bytes);
+        assert!((worst1 - Link::pcie().transfer_time(bytes)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_restricts_devices() {
+        let t = Topology::single_server(8);
+        let p = t.prefix(3);
+        assert_eq!(p.device_count(), 3);
+        assert!(p.link(DeviceId(0), DeviceId(2)).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_topology_panics() {
+        TopologyBuilder::new().build();
+    }
+
+    #[test]
+    fn builder_specific_link_override() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_device(Device::v100("a"), 0);
+        let c = b.add_device(Device::v100("b"), 0);
+        b.connect_intra_server(Link::nvlink());
+        b.connect(a, c, Link::pcie());
+        let t = b.build();
+        assert_eq!(t.link(a, c).unwrap().bandwidth, Link::pcie().bandwidth);
+        // reverse direction keeps the default
+        assert_eq!(t.link(c, a).unwrap().bandwidth, Link::nvlink().bandwidth);
+    }
+}

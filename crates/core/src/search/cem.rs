@@ -1,0 +1,113 @@
+//! Cross-entropy method over placements — the essence of Post (Gao et al.
+//! \[18\], "device placement with cross-entropy minimization and proximal
+//! policy optimization"): keep a per-unit categorical distribution, sample a
+//! population, refit the distribution to the elite fraction.
+
+use super::{Evaluator, SearchResult, Units};
+use fastt_cluster::Topology;
+use fastt_graph::Graph;
+use fastt_sim::HardwarePerf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs `rounds` CEM rounds with `pop` samples per round, refitting to the
+/// best `elite_frac` of each population.
+pub fn cem_search(
+    graph: &Graph,
+    topo: &Topology,
+    hw: &HardwarePerf,
+    rounds: u32,
+    pop: u32,
+    elite_frac: f64,
+    seed: u64,
+) -> SearchResult {
+    assert!((0.0..=1.0).contains(&elite_frac), "elite_frac in [0,1]");
+    let units = Units::of(graph);
+    let n_dev = topo.gpu_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ev = Evaluator::new(graph, topo, hw);
+    let smoothing = 0.1;
+
+    let mut probs = vec![vec![1.0 / n_dev as f64; n_dev]; units.len()];
+    let mut best_time = f64::INFINITY;
+    let mut best_genome: Vec<u16> = vec![0; units.len()];
+
+    for _ in 0..rounds {
+        let mut scored: Vec<(Vec<u16>, f64)> = Vec::with_capacity(pop as usize);
+        for _ in 0..pop {
+            let genome: Vec<u16> = probs
+                .iter()
+                .map(|p| {
+                    let x: f64 = rng.gen();
+                    let mut acc = 0.0;
+                    for (i, &q) in p.iter().enumerate() {
+                        acc += q;
+                        if x <= acc {
+                            return i as u16;
+                        }
+                    }
+                    (p.len() - 1) as u16
+                })
+                .collect();
+            let t = ev.eval(&units.decode(&genome, graph.op_count()));
+            if t < best_time {
+                best_time = t;
+                best_genome = genome.clone();
+            }
+            scored.push((genome, t));
+        }
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let k = ((pop as f64 * elite_frac).ceil() as usize).max(1);
+        let elite = &scored[..k.min(scored.len())];
+        for (u, item) in probs.iter_mut().enumerate() {
+            let mut counts = vec![0usize; n_dev];
+            for (genome, _) in elite {
+                counts[genome[u] as usize] += 1;
+            }
+            for (d, c) in counts.iter().enumerate() {
+                let freq = *c as f64 / elite.len() as f64;
+                item[d] = (1.0 - smoothing) * freq + smoothing * item[d];
+            }
+            // renormalize against drift
+            let z: f64 = item.iter().sum();
+            for q in item.iter_mut() {
+                *q /= z;
+            }
+        }
+    }
+
+    SearchResult {
+        placement: units.decode(&best_genome, graph.op_count()),
+        best_time,
+        evals_used: ev.evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::{OpKind, Operation};
+
+    #[test]
+    fn converges_on_parallel_split() {
+        let mut g = Graph::new();
+        for c in 0..2 {
+            g.add_op(Operation::new(format!("m{c}"), OpKind::MatMul, [64]).with_flops(1 << 33))
+                .unwrap();
+        }
+        let topo = Topology::single_server(2);
+        let r = cem_search(&g, &topo, &HardwarePerf::new(), 6, 10, 0.3, 11);
+        assert!(r.best_time.is_finite());
+        let d0 = r.placement.device_of(fastt_graph::OpId(0));
+        let d1 = r.placement.device_of(fastt_graph::OpId(1));
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    #[should_panic(expected = "elite_frac")]
+    fn rejects_bad_elite_fraction() {
+        let g = Graph::new();
+        let topo = Topology::single_server(1);
+        cem_search(&g, &topo, &HardwarePerf::new(), 1, 1, 2.0, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! White-box re-implementations of the *essence* of the approaches FastT is
+//! compared against in the paper's Fig. 3 — all driven by the same simulated
+//! cluster, which makes the comparison honest (the paper itself compares
+//! against numbers copied from the other systems' papers):
+//!
+//! * [`reinforce_search`] — REINFORCE \[32\]: a softmax placement policy
+//!   updated by policy gradients over measured runtimes;
+//! * [`cem_search`] — Post \[18\]: cross-entropy minimization over placement
+//!   distributions;
+//! * [`mcmc_search`] — FlexFlow \[27\]: Metropolis–Hastings search over
+//!   placements (run it on the replicated graph to give it FlexFlow's larger
+//!   solution space);
+//! * [`gdp_place`] — GDP \[48\]: a one-shot rank-ordered min-EFT placement
+//!   without operation splitting or order enforcement;
+//! * [`random_search`] — the sanity-check baseline.
+//!
+//! The black-box methods *execute* candidate placements to obtain rewards
+//! (here: one simulated iteration per candidate), which is exactly why they
+//! need orders of magnitude more compute than FastT's white-box heuristics —
+//! the paper's core argument. [`SearchResult::evals_used`] exposes that cost.
+
+mod cem;
+mod gdp;
+mod mcmc;
+mod random;
+mod reinforce;
+
+pub use cem::cem_search;
+pub use gdp::gdp_place;
+pub use mcmc::mcmc_search;
+pub use random::random_search;
+pub use reinforce::reinforce_search;
+
+use fastt_cluster::{DeviceId, Topology};
+use fastt_graph::{Graph, OpId};
+use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, SimConfig};
+
+/// Outcome of a placement search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best placement found.
+    pub placement: Placement,
+    /// Its simulated per-iteration time.
+    pub best_time: f64,
+    /// Number of full (simulated) training iterations the search consumed —
+    /// the resource cost the paper contrasts with FastT's minutes.
+    pub evals_used: u32,
+}
+
+/// Movable placement units: colocation groups move as one, everything else
+/// individually. All searchers operate on unit genomes so they can never
+/// produce an invalid placement.
+pub(crate) struct Units {
+    /// Each unit's member ops.
+    pub members: Vec<Vec<OpId>>,
+}
+
+impl Units {
+    pub(crate) fn of(graph: &Graph) -> Units {
+        let mut members: Vec<Vec<OpId>> = Vec::new();
+        let mut seen = vec![false; graph.op_count()];
+        for op in graph.op_ids() {
+            if seen[op.index()] {
+                continue;
+            }
+            match graph.colocation_group(op) {
+                Some(grp) => {
+                    for &m in grp {
+                        seen[m.index()] = true;
+                    }
+                    members.push(grp.to_vec());
+                }
+                None => {
+                    seen[op.index()] = true;
+                    members.push(vec![op]);
+                }
+            }
+        }
+        Units { members }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Expands a unit genome into a per-op placement.
+    pub(crate) fn decode(&self, genome: &[u16], n_ops: usize) -> Placement {
+        let mut p = Placement::uniform(n_ops, DeviceId(0));
+        for (u, ops) in self.members.iter().enumerate() {
+            for &o in ops {
+                p.set(o, DeviceId(genome[u]));
+            }
+        }
+        p
+    }
+
+    /// Compresses a placement into a unit genome (first member wins).
+    pub(crate) fn encode(&self, p: &Placement) -> Vec<u16> {
+        self.members
+            .iter()
+            .map(|ops| p.device_of(ops[0]).0)
+            .collect()
+    }
+}
+
+/// Shared evaluation harness: one simulated FIFO iteration per candidate.
+pub(crate) struct Evaluator<'a> {
+    pub graph: &'a Graph,
+    pub topo: &'a Topology,
+    pub hw: &'a HardwarePerf,
+    pub evals: u32,
+}
+
+impl<'a> Evaluator<'a> {
+    pub(crate) fn new(graph: &'a Graph, topo: &'a Topology, hw: &'a HardwarePerf) -> Self {
+        Evaluator {
+            graph,
+            topo,
+            hw,
+            evals: 0,
+        }
+    }
+
+    /// Simulated iteration time of a placement (`f64::INFINITY` on OOM or
+    /// other failures, so searchers steer away from infeasible points).
+    pub(crate) fn eval(&mut self, p: &Placement) -> f64 {
+        self.evals += 1;
+        match simulate(
+            self.graph,
+            self.topo,
+            p,
+            self.hw,
+            ExecPolicy::Fifo,
+            &SimConfig::default(),
+        ) {
+            Ok(t) => t.makespan,
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::{OpKind, Operation};
+
+    #[test]
+    fn units_group_colocated_ops() {
+        let mut g = Graph::new();
+        let a = g
+            .add_op(Operation::new("a", OpKind::Variable, [1]))
+            .unwrap();
+        let b = g
+            .add_op(Operation::new("b", OpKind::ApplyGradient, [1]))
+            .unwrap();
+        let c = g.add_op(Operation::new("c", OpKind::Relu, [1])).unwrap();
+        g.connect(a, b).unwrap();
+        g.connect(a, c).unwrap();
+        g.colocate(&[a, b]);
+        let u = Units::of(&g);
+        assert_eq!(u.len(), 2);
+        let p = u.decode(&[1, 0], 3);
+        assert_eq!(p.device_of(a), p.device_of(b));
+        assert_eq!(p.device_of(c), DeviceId(0));
+        assert_eq!(u.encode(&p), vec![1, 0]);
+    }
+
+    #[test]
+    fn evaluator_counts_and_handles_failures() {
+        let mut g = Graph::new();
+        g.add_op(Operation::new("w", OpKind::Variable, [1]).with_param_bytes(1 << 62))
+            .unwrap();
+        let topo = Topology::single_server(1);
+        let hw = HardwarePerf::new();
+        let mut ev = Evaluator::new(&g, &topo, &hw);
+        let t = ev.eval(&Placement::uniform(1, DeviceId(0)));
+        assert!(t.is_infinite());
+        assert_eq!(ev.evals, 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Uniform random placement search — the sanity-check baseline every
+//! learned method must beat.
+
+use super::{Evaluator, SearchResult, Units};
+use fastt_cluster::Topology;
+use fastt_graph::Graph;
+use fastt_sim::HardwarePerf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `evals` uniform placements and keeps the best.
+pub fn random_search(
+    graph: &Graph,
+    topo: &Topology,
+    hw: &HardwarePerf,
+    evals: u32,
+    seed: u64,
+) -> SearchResult {
+    let units = Units::of(graph);
+    let n_dev = topo.gpu_count() as u16;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ev = Evaluator::new(graph, topo, hw);
+
+    let mut best_genome: Vec<u16> = (0..units.len()).map(|_| rng.gen_range(0..n_dev)).collect();
+    let mut best_time = ev.eval(&units.decode(&best_genome, graph.op_count()));
+    for _ in 1..evals {
+        let genome: Vec<u16> = (0..units.len()).map(|_| rng.gen_range(0..n_dev)).collect();
+        let t = ev.eval(&units.decode(&genome, graph.op_count()));
+        if t < best_time {
+            best_time = t;
+            best_genome = genome;
+        }
+    }
+    SearchResult {
+        placement: units.decode(&best_genome, graph.op_count()),
+        best_time,
+        evals_used: ev.evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::{OpKind, Operation};
+
+    #[test]
+    fn finds_a_finite_placement() {
+        let mut g = Graph::new();
+        let a = g.add_op(Operation::new("a", OpKind::Relu, [64])).unwrap();
+        let b = g.add_op(Operation::new("b", OpKind::Relu, [64])).unwrap();
+        g.connect(a, b).unwrap();
+        let topo = Topology::single_server(2);
+        let r = random_search(&g, &topo, &HardwarePerf::new(), 8, 42);
+        assert!(r.best_time.is_finite());
+        assert_eq!(r.evals_used, 8);
+        r.placement.validate(&g, &topo).unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut g = Graph::new();
+        for i in 0..6 {
+            g.add_op(Operation::new(format!("o{i}"), OpKind::Relu, [64]))
+                .unwrap();
+        }
+        let topo = Topology::single_server(4);
+        let hw = HardwarePerf::new();
+        let a = random_search(&g, &topo, &hw, 5, 1);
+        let b = random_search(&g, &topo, &hw, 5, 1);
+        assert_eq!(a.placement, b.placement);
+    }
+}

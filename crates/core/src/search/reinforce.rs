@@ -1,0 +1,136 @@
+//! REINFORCE-style placement policy (Mirhoseini et al. \[32\]): a per-unit
+//! softmax distribution over devices, updated by policy gradients with a
+//! moving-average baseline. Each sampled placement costs one full (simulated)
+//! training iteration — the expensive black-box loop the paper contrasts
+//! FastT's white-box heuristics against.
+
+use super::{Evaluator, SearchResult, Units};
+use fastt_cluster::Topology;
+use fastt_graph::Graph;
+use fastt_sim::HardwarePerf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn softmax(logits: &[f64]) -> Vec<f64> {
+    let m = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / z).collect()
+}
+
+fn sample(probs: &[f64], rng: &mut StdRng) -> usize {
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if x <= acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Runs `rounds` policy-gradient rounds with `batch` sampled placements per
+/// round (total budget ≈ `rounds · batch` simulated iterations).
+pub fn reinforce_search(
+    graph: &Graph,
+    topo: &Topology,
+    hw: &HardwarePerf,
+    rounds: u32,
+    batch: u32,
+    seed: u64,
+) -> SearchResult {
+    let units = Units::of(graph);
+    let n_dev = topo.gpu_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ev = Evaluator::new(graph, topo, hw);
+    let lr = 0.5;
+
+    let mut logits = vec![vec![0.0f64; n_dev]; units.len()];
+    let mut best_time = f64::INFINITY;
+    let mut best_genome: Vec<u16> = vec![0; units.len()];
+
+    for _ in 0..rounds {
+        let mut samples: Vec<(Vec<u16>, f64)> = Vec::with_capacity(batch as usize);
+        for _ in 0..batch {
+            let genome: Vec<u16> = logits
+                .iter()
+                .map(|l| sample(&softmax(l), &mut rng) as u16)
+                .collect();
+            let t = ev.eval(&units.decode(&genome, graph.op_count()));
+            if t < best_time {
+                best_time = t;
+                best_genome = genome.clone();
+            }
+            samples.push((genome, t));
+        }
+        // baseline: mean finite runtime (infeasible samples get a fixed
+        // large penalty so their gradient pushes probability away)
+        let finite: Vec<f64> = samples
+            .iter()
+            .map(|s| s.1)
+            .filter(|t| t.is_finite())
+            .collect();
+        let baseline = if finite.is_empty() {
+            1.0
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        };
+        let penalty = baseline * 4.0;
+        for (genome, t) in &samples {
+            let r = if t.is_finite() { *t } else { penalty };
+            // advantage of low runtime is positive
+            let adv = (baseline - r) / baseline.max(1e-12);
+            for (u, &d) in genome.iter().enumerate() {
+                let probs = softmax(&logits[u]);
+                for (k, item) in logits[u].iter_mut().enumerate() {
+                    let indicator = if k == d as usize { 1.0 } else { 0.0 };
+                    *item += lr * adv * (indicator - probs[k]) / batch as f64;
+                }
+            }
+        }
+    }
+
+    SearchResult {
+        placement: units.decode(&best_genome, graph.op_count()),
+        best_time,
+        evals_used: ev.evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::{OpKind, Operation};
+
+    #[test]
+    fn softmax_normalizes() {
+        let p = softmax(&[0.0, 0.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let q = softmax(&[100.0, 0.0]);
+        assert!(q[0] > 0.99);
+    }
+
+    #[test]
+    fn improves_over_first_guess_on_parallel_work() {
+        // two heavy independent chains: any single-device placement is 2x
+        // slower than the split one, so the policy should find a split
+        let mut g = Graph::new();
+        for c in 0..2 {
+            let a = g
+                .add_op(Operation::new(format!("a{c}"), OpKind::MatMul, [64]).with_flops(1 << 33))
+                .unwrap();
+            let b = g
+                .add_op(Operation::new(format!("b{c}"), OpKind::MatMul, [64]).with_flops(1 << 33))
+                .unwrap();
+            g.connect(a, b).unwrap();
+        }
+        let topo = Topology::single_server(2);
+        let r = reinforce_search(&g, &topo, &HardwarePerf::new(), 8, 8, 3);
+        assert!(r.best_time.is_finite());
+        // the two chains should end up on different devices
+        let d0 = r.placement.device_of(fastt_graph::OpId(0));
+        let d2 = r.placement.device_of(fastt_graph::OpId(2));
+        assert_ne!(d0, d2, "chains should be parallelized");
+    }
+}

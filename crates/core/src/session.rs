@@ -1,0 +1,507 @@
+//! The training-session workflow (Sec. 4 of the paper).
+//!
+//! FastT bootstraps by running the model under a start strategy (data
+//! parallelism when the model fits on one GPU, model parallelism otherwise),
+//! profiling each iteration to update the cost models, recomputing
+//! strategies with DPOS / OS-DPOS, activating a new strategy when its
+//! estimate beats the current measured time, and **rolling back** when the
+//! measured per-iteration time under the new strategy is worse than before.
+//! Pre-training ends when the cost models stabilize.
+
+use crate::error::FastTError;
+use crate::os_dpos::{dpos_plan, os_dpos, OsDposOptions};
+use crate::strategy::{data_parallel_plan, data_parallel_plan_on, model_parallel_plan, Plan};
+use fastt_cluster::{DeviceId, Topology};
+use fastt_cost::CostModels;
+use fastt_graph::{replicate_grouped, Graph, ReplicationMode};
+use fastt_sim::{HardwarePerf, SimConfig, SimError};
+use std::time::Instant;
+
+/// Session tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Profiled iterations per bootstrap round.
+    pub profile_iters: u32,
+    /// Maximum bootstrap rounds before pre-training is forced to end.
+    pub max_rounds: u32,
+    /// Relative cost-model drift below which the models count as stable.
+    pub stability_eps: f64,
+    /// Simulated execution-time noise (matches real profiling variance).
+    pub jitter_pct: f64,
+    /// Seed for the deterministic noise stream.
+    pub seed: u64,
+    /// Enable OS-DPOS operation splitting (disable for the paper's
+    /// "No split" ablation, Table 6).
+    pub enable_split: bool,
+    /// Enable order enforcement (disable for the paper's Fig. 2 baseline).
+    pub enable_order: bool,
+    /// Where the data-parallel start strategy keeps shared variables:
+    /// `None` follows TF-slim (the CPU host when the topology has one);
+    /// `Some(d)` pins the parameter server to device `d` (the convention
+    /// for the non-slim NMT baselines is GPU 0).
+    pub dp_ps: Option<DeviceId>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            profile_iters: 3,
+            max_rounds: 6,
+            stability_eps: 0.05,
+            jitter_pct: 0.02,
+            seed: 7,
+            enable_split: true,
+            enable_order: true,
+            dp_ps: None,
+        }
+    }
+}
+
+/// What happened during pre-training (feeds the paper's Table 4 timing and
+/// the speed numbers of Tables 1–2).
+#[derive(Debug, Clone)]
+pub struct PreTrainReport {
+    /// Bootstrap rounds executed.
+    pub rounds: u32,
+    /// Wall-clock seconds spent inside DPOS / OS-DPOS (strategy
+    /// calculation only, excluding profiling).
+    pub strategy_calc_secs: f64,
+    /// Strategy switches that survived measurement.
+    pub activations: u32,
+    /// Strategy switches that were rolled back.
+    pub rollbacks: u32,
+    /// Measured per-iteration time after pre-training.
+    pub final_iter_time: f64,
+    /// Measured per-iteration time after each round.
+    pub history: Vec<f64>,
+}
+
+/// A FastT-managed training session over the simulated cluster.
+#[derive(Debug)]
+pub struct TrainingSession {
+    /// The base graph strategies are computed from: the data-parallel
+    /// replica graph when DP fits, otherwise the raw training graph
+    /// (Sec. 5.2's input-graph rule).
+    base_graph: Graph,
+    /// Whether the start strategy was data parallelism.
+    started_dp: bool,
+    topo: Topology,
+    hw: HardwarePerf,
+    config: SessionConfig,
+    /// The adaptive cost models, learned from profiled iterations.
+    pub cost: CostModels,
+    current: Plan,
+    measured: f64,
+    iteration: u64,
+}
+
+impl TrainingSession {
+    /// Creates a session for a (unreplicated) training graph.
+    ///
+    /// Chooses the start strategy exactly as the paper does: replicate the
+    /// model over all devices and start data-parallel if that fits in
+    /// memory; otherwise fall back to greedy model parallelism on the raw
+    /// graph (Sec. 4 / Sec. 5.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FastTError::NoFeasibleStart`] when neither start strategy
+    /// fits in device memory.
+    pub fn new(
+        training_graph: &Graph,
+        topo: Topology,
+        hw: HardwarePerf,
+        config: SessionConfig,
+    ) -> Result<Self, FastTError> {
+        let groups: Vec<u16> = topo.gpu_ids().map(|d| topo.server_of(d)).collect();
+        let rep = replicate_grouped(training_graph, &groups, ReplicationMode::ParameterServer)?;
+        let dp = match config.dp_ps {
+            Some(d) => data_parallel_plan_on(&rep, &topo, d),
+            None => data_parallel_plan(&rep, &topo),
+        };
+        let probe = SimConfig::default();
+        let (base_graph, start, started_dp) = match dp.simulate(&topo, &hw, &probe) {
+            Ok(_) => (rep.graph.clone(), dp, true),
+            Err(dp_err @ SimError::Oom { .. }) => {
+                let mp = model_parallel_plan(training_graph, &topo, &hw);
+                match mp.simulate(&topo, &hw, &probe) {
+                    Ok(_) => (training_graph.clone(), mp, false),
+                    Err(mp_err) => {
+                        return Err(FastTError::NoFeasibleStart {
+                            dp: dp_err,
+                            mp: mp_err,
+                        })
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Ok(TrainingSession {
+            base_graph,
+            started_dp,
+            topo,
+            hw,
+            config,
+            cost: CostModels::new(),
+            current: start,
+            measured: f64::INFINITY,
+            iteration: 0,
+        })
+    }
+
+    /// The currently active plan.
+    pub fn current_plan(&self) -> &Plan {
+        &self.current
+    }
+
+    /// Whether the session's start strategy was data parallelism (false =
+    /// the model was too large and model parallelism was used, Sec. 4).
+    pub fn started_data_parallel(&self) -> bool {
+        self.started_dp
+    }
+
+    /// Last measured average per-iteration time.
+    pub fn measured_iter_time(&self) -> f64 {
+        self.measured
+    }
+
+    /// Runs `iters` simulated training iterations of the current plan,
+    /// feeding every trace into the cost models, and returns the average
+    /// iteration time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures (the current plan was validated when
+    /// activated, so this only fails if memory behaviour changed).
+    pub fn profile(&mut self, iters: u32) -> Result<f64, FastTError> {
+        let mut total = 0.0;
+        for _ in 0..iters {
+            let cfg = SimConfig {
+                jitter_pct: self.config.jitter_pct,
+                seed: self.config.seed,
+                iteration: self.iteration,
+                ..SimConfig::default()
+            };
+            let trace = self.current.simulate(&self.topo, &self.hw, &cfg)?;
+            self.cost.update_from_trace(&self.current.graph, &trace);
+            total += trace.makespan;
+            self.iteration += 1;
+        }
+        Ok(total / iters as f64)
+    }
+
+    /// Computes a fresh candidate plan from the base graph with the current
+    /// cost models (OS-DPOS when splitting is enabled, DPOS otherwise).
+    pub fn compute_candidate(&mut self) -> Plan {
+        let mut plan = if self.config.enable_split {
+            let opts = OsDposOptions::for_topology(&self.topo);
+            os_dpos(
+                &self.base_graph,
+                &self.topo,
+                &mut self.cost,
+                &self.hw,
+                &opts,
+            )
+        } else {
+            dpos_plan(&self.base_graph, &self.topo, &self.cost, &self.hw)
+        };
+        if !self.config.enable_order {
+            plan.order = None;
+        }
+        plan
+    }
+
+    /// Computes a plain-DPOS candidate (no operation splitting) from the
+    /// base graph with the current cost models — the "No split" arm of the
+    /// paper's Table 6 ablation.
+    pub fn compute_candidate_no_split(&self) -> Plan {
+        let mut plan = dpos_plan(&self.base_graph, &self.topo, &self.cost, &self.hw);
+        if !self.config.enable_order {
+            plan.order = None;
+        }
+        plan
+    }
+
+    /// Computes the low-risk candidate: keep the current plan's graph and
+    /// placement, only enforce the execution order the strategy calculator
+    /// derives for it (the ordering-only lever of the paper's Fig. 2).
+    /// Returns `None` when order enforcement is disabled.
+    pub fn compute_order_candidate(&self) -> Option<Plan> {
+        if !self.config.enable_order {
+            return None;
+        }
+        let s = crate::dpos::schedule_for_placement(
+            &self.current.graph,
+            &self.topo,
+            &self.cost,
+            &self.hw,
+            &self.current.placement,
+        );
+        Some(Plan {
+            graph: self.current.graph.clone(),
+            splits: self.current.splits.clone(),
+            placement: self.current.placement.clone(),
+            order: Some(s.order),
+            est_finish: s.est_finish,
+        })
+    }
+
+    /// Replaces the hardware model mid-session (used by tests and the drift
+    /// experiments: real clusters change behaviour — thermal throttling,
+    /// congestion — and the paper's periodic re-profiling exists to absorb
+    /// exactly that).
+    pub fn set_hardware(&mut self, hw: HardwarePerf) {
+        self.hw = hw;
+    }
+
+    /// The paper's **normal training stage** (Sec. 4): trains for `iters`
+    /// iterations, profiling every `reprofile_every`-th iteration; when the
+    /// profiled execution times have drifted beyond the stability threshold,
+    /// the cost models are refreshed and new strategies are recalculated and
+    /// activated (with the same rollback protection as pre-training).
+    ///
+    /// Returns the average per-iteration time over the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures of the active plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iters == 0` or `reprofile_every == 0`.
+    pub fn train_normal(&mut self, iters: u32, reprofile_every: u32) -> Result<f64, FastTError> {
+        assert!(iters > 0 && reprofile_every > 0);
+        let mut total = 0.0;
+        let mut since_profile = 0u32;
+        let mut done = 0u32;
+        while done < iters {
+            let chunk = reprofile_every.min(iters - done);
+            // non-profiled iterations: run without feeding the cost models
+            for _ in 0..chunk {
+                let cfg = SimConfig {
+                    jitter_pct: self.config.jitter_pct,
+                    seed: self.config.seed,
+                    iteration: self.iteration,
+                    ..SimConfig::default()
+                };
+                let trace = self.current.simulate(&self.topo, &self.hw, &cfg)?;
+                total += trace.makespan;
+                self.iteration += 1;
+            }
+            done += chunk;
+            since_profile += chunk;
+            if since_profile >= reprofile_every && done < iters {
+                since_profile = 0;
+                // periodic profiling: one profiled iteration; if times
+                // drifted, refresh the models and reconsider the strategy
+                self.cost.snapshot();
+                let measured = self.profile(1)?;
+                total += measured;
+                done += 1;
+                if !self.cost.is_stable(self.config.stability_eps) {
+                    self.measured = self.profile(self.config.profile_iters)?;
+                    let candidate = self.compute_candidate();
+                    if candidate.est_finish < self.measured {
+                        let previous = std::mem::replace(&mut self.current, candidate);
+                        let prev_measured = self.measured;
+                        match self.profile(self.config.profile_iters) {
+                            Ok(m) if m <= prev_measured => self.measured = m,
+                            Ok(_) | Err(_) => self.current = previous,
+                        }
+                    }
+                }
+            }
+        }
+        Ok(total / done.max(1) as f64)
+    }
+
+    /// Runs the full pre-training workflow: profile → update cost models →
+    /// recompute strategy → activate/rollback → repeat until the cost models
+    /// stabilize or `max_rounds` is hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures of the active plan.
+    pub fn pre_train(&mut self) -> Result<PreTrainReport, FastTError> {
+        let mut report = PreTrainReport {
+            rounds: 0,
+            strategy_calc_secs: 0.0,
+            activations: 0,
+            rollbacks: 0,
+            final_iter_time: f64::NAN,
+            history: Vec::new(),
+        };
+
+        self.measured = self.profile(self.config.profile_iters)?;
+        report.history.push(self.measured);
+
+        for _ in 0..self.config.max_rounds {
+            report.rounds += 1;
+            self.cost.snapshot();
+
+            // Two candidates per round: the full DPOS/OS-DPOS redeployment
+            // and the low-risk "enforce an order on the current placement"
+            // (the paper's ordering lever, Fig. 2); tried best-estimate
+            // first.
+            let t0 = Instant::now();
+            let mut candidates: Vec<Plan> = vec![self.compute_candidate()];
+            if let Some(oc) = self.compute_order_candidate() {
+                candidates.push(oc);
+            }
+            candidates.sort_by(|a, b| a.est_finish.total_cmp(&b.est_finish));
+            report.strategy_calc_secs += t0.elapsed().as_secs_f64();
+
+            // Activate only when the estimate beats the measured time of the
+            // current strategy (Sec. 4, "Strategy Calculator"); roll back
+            // when the measured time regresses.
+            let mut activated = false;
+            for candidate in candidates {
+                if candidate.est_finish >= self.measured {
+                    continue;
+                }
+                let previous = std::mem::replace(&mut self.current, candidate);
+                let prev_measured = self.measured;
+                match self.profile(self.config.profile_iters) {
+                    Ok(new_measured) if new_measured <= prev_measured => {
+                        self.measured = new_measured;
+                        report.activations += 1;
+                        activated = true;
+                        break;
+                    }
+                    Ok(_) | Err(_) => {
+                        // measured regression (or OOM under the new plan):
+                        // roll back to the previous strategy
+                        self.current = previous;
+                        report.rollbacks += 1;
+                    }
+                }
+            }
+            if !activated {
+                // keep profiling the current plan so the models keep filling
+                self.measured = self.profile(self.config.profile_iters)?;
+            }
+            report.history.push(self.measured);
+
+            if self.cost.is_stable(self.config.stability_eps) && report.rounds >= 2 {
+                break;
+            }
+        }
+
+        report.final_iter_time = self.measured;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_models::Model;
+
+    fn quick_config() -> SessionConfig {
+        SessionConfig {
+            profile_iters: 2,
+            max_rounds: 3,
+            ..SessionConfig::default()
+        }
+    }
+
+    #[test]
+    fn starts_data_parallel_when_model_fits() {
+        let g = Model::LeNet.training_graph(32);
+        let topo = Topology::single_server(2);
+        let s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        // DP base graph has two replicas of every op
+        assert!(s.base_graph.op_count() > 2 * g.op_count() - 10);
+        assert!(s.base_graph.by_name("rep1/conv1").is_some());
+    }
+
+    #[test]
+    fn falls_back_to_model_parallel_for_huge_models() {
+        // A batch-32 BERT-large replica does not fit on one V100 (Table 3's
+        // single-GPU OOM), so DP must be rejected and model parallelism
+        // chosen. (NMT baselines keep variables on GPU 0.)
+        let g = Model::BertLarge.training_graph(32);
+        let topo = Topology::single_server(2);
+        let cfg = SessionConfig {
+            dp_ps: Some(DeviceId(0)),
+            ..quick_config()
+        };
+        let s = TrainingSession::new(&g, topo, HardwarePerf::new(), cfg).unwrap();
+        assert!(s.base_graph.by_name("rep0/layer0/attn/q").is_none());
+        assert!(s.base_graph.by_name("layer0/attn/q").is_some());
+        assert!(s.current_plan().placement.devices_used().len() >= 2);
+    }
+
+    #[test]
+    fn pre_train_improves_or_matches_start() {
+        let g = Model::LeNet.training_graph(64);
+        let topo = Topology::single_server(2);
+        let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        let first = s.profile(2).unwrap();
+        let report = s.pre_train().unwrap();
+        assert!(report.rounds >= 1);
+        // rollback protection: the final measured time never ends up
+        // materially worse than the data-parallel start
+        assert!(
+            report.final_iter_time <= first * 1.10,
+            "final {} vs start {first}",
+            report.final_iter_time
+        );
+    }
+
+    #[test]
+    fn profiling_fills_cost_models() {
+        let g = Model::LeNet.training_graph(32);
+        let topo = Topology::single_server(2);
+        let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        assert!(!s.cost.covers(&s.current.graph.clone()));
+        s.profile(1).unwrap();
+        let g_now = s.current.graph.clone();
+        assert!(s.cost.covers(&g_now));
+    }
+
+    #[test]
+    fn normal_training_runs_requested_iterations() {
+        let g = Model::LeNet.training_graph(32);
+        let topo = Topology::single_server(2);
+        let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        s.pre_train().unwrap();
+        let avg = s.train_normal(20, 5).unwrap();
+        assert!(avg.is_finite() && avg > 0.0);
+    }
+
+    #[test]
+    fn normal_training_adapts_to_hardware_drift() {
+        // Slow the "hardware" down mid-training: the periodic profiler must
+        // notice the drift and the session must keep producing valid plans
+        // at the new speed (times roughly scale with the slowdown).
+        let g = Model::AlexNet.training_graph(16);
+        let topo = Topology::single_server(2);
+        let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        s.pre_train().unwrap();
+        let fast = s.train_normal(10, 3).unwrap();
+
+        let mut slow_hw = HardwarePerf::new();
+        slow_hw.launch_overhead *= 50.0; // dispatch got much slower
+        s.set_hardware(slow_hw);
+        let slow = s.train_normal(10, 3).unwrap();
+        assert!(
+            slow > fast,
+            "slower hardware must yield slower iterations ({slow} vs {fast})"
+        );
+        // the session's plan is still valid and executable after adaptation
+        let plan = s.current_plan();
+        let topo = Topology::single_server(2);
+        plan.placement.validate(&plan.graph, &topo).unwrap();
+    }
+
+    #[test]
+    fn strategy_calc_time_is_recorded() {
+        let g = Model::LeNet.training_graph(32);
+        let topo = Topology::single_server(2);
+        let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        let report = s.pre_train().unwrap();
+        assert!(report.strategy_calc_secs > 0.0);
+        assert_eq!(report.history.len() as u32, report.rounds + 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of DPOS and OS-DPOS on random DAGs with random
+//! profiled costs.
+
+use fastt::{dpos, os_dpos, schedule_for_placement, OsDposOptions};
+use fastt_cluster::{DeviceId, Topology};
+use fastt_cost::CostModels;
+use fastt_graph::{Graph, OpId, OpKind, Operation};
+use fastt_sim::{HardwarePerf, Placement};
+use proptest::prelude::*;
+
+/// A random DAG plus cost models covering every (op, GPU) pair.
+fn arb_instance() -> impl Strategy<Value = (Graph, CostModels, u16)> {
+    (3usize..30, any::<u64>(), 1u16..5).prop_map(|(n, seed, gpus)| {
+        let topo = Topology::single_server(gpus);
+        let mut g = Graph::new();
+        let mut cost = CostModels::new();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            let kind = if next() % 3 == 0 {
+                OpKind::MatMul
+            } else {
+                OpKind::Relu
+            };
+            let id = g
+                .add_op(Operation::new(format!("o{i}"), kind, [64u64, 64]).with_flops(1 << 20))
+                .unwrap();
+            for d in topo.gpu_ids() {
+                // per-device times differ (heterogeneous-looking costs)
+                let t = 0.001 + (next() % 100) as f64 / 10_000.0;
+                cost.comp.observe(&format!("o{i}"), d, t);
+            }
+            if i > 0 {
+                for _ in 0..(next() % 3) {
+                    let p = OpId((next() % i as u64) as u32);
+                    let _ = g.connect(p, id);
+                }
+            }
+        }
+        for s in topo.gpu_ids() {
+            for d in topo.gpu_ids() {
+                if s != d {
+                    cost.comm.observe(s, d, 16384, 0.0005);
+                }
+            }
+        }
+        cost.comm.refit();
+        (g, cost, gpus)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DPOS always yields a valid GPU-only placement, a permutation order,
+    /// and monotone start times along the order.
+    #[test]
+    fn dpos_output_is_well_formed((g, cost, gpus) in arb_instance()) {
+        let topo = Topology::single_server(gpus);
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        s.placement.validate(&g, &topo).unwrap();
+        for (op, d) in s.placement.iter() {
+            prop_assert!(!topo.is_host(d), "{op} on host");
+        }
+        // order is a permutation of all ops
+        let mut seen = vec![false; g.op_count()];
+        for &o in &s.order {
+            prop_assert!(!seen[o.index()], "duplicate {o} in order");
+            seen[o.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+        // start times ascend along the order
+        for w in s.order.windows(2) {
+            prop_assert!(
+                s.start_times[w[0].index()] <= s.start_times[w[1].index()] + 1e-12
+            );
+        }
+        // finish covers every op's schedule
+        for o in g.op_ids() {
+            prop_assert!(s.finish_times[o.index()] <= s.est_finish + 1e-12);
+        }
+    }
+
+    /// The estimated schedule respects precedence: a consumer never starts
+    /// before its producer finishes.
+    #[test]
+    fn dpos_schedule_respects_precedence((g, cost, gpus) in arb_instance()) {
+        let topo = Topology::single_server(gpus);
+        let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
+        for e in g.iter_edges() {
+            prop_assert!(
+                s.start_times[e.dst.index()] >= s.finish_times[e.src.index()] - 1e-12,
+                "{} starts before {} ends",
+                e.dst,
+                e.src
+            );
+        }
+    }
+
+    /// Pinning the DPOS placement reproduces the same device assignment.
+    #[test]
+    fn schedule_for_placement_respects_the_pin((g, cost, gpus) in arb_instance()) {
+        let topo = Topology::single_server(gpus);
+        let hw = HardwarePerf::new();
+        let free = dpos(&g, &topo, &cost, &hw);
+        let pinned = schedule_for_placement(&g, &topo, &cost, &hw, &free.placement);
+        for o in g.op_ids() {
+            prop_assert_eq!(pinned.placement.device_of(o), free.placement.device_of(o));
+        }
+    }
+
+    /// OS-DPOS never returns a worse estimate than plain DPOS (it only
+    /// accepts improving splits) and its plan stays valid.
+    #[test]
+    fn os_dpos_never_regresses_the_estimate((g, mut cost, gpus) in arb_instance()) {
+        let topo = Topology::single_server(gpus);
+        let hw = HardwarePerf::new();
+        let base = dpos(&g, &topo, &cost, &hw);
+        let plan = os_dpos(&g, &topo, &mut cost, &hw, &OsDposOptions::for_topology(&topo));
+        prop_assert!(plan.est_finish <= base.est_finish + 1e-9);
+        plan.placement.validate(&plan.graph, &topo).unwrap();
+    }
+
+    /// More devices never hurt the DPOS estimate (the scheduler may simply
+    /// ignore extra GPUs, and FastT "can choose a subset").
+    #[test]
+    fn more_devices_never_hurt((g, cost, _) in arb_instance()) {
+        let hw = HardwarePerf::new();
+        let t2 = Topology::single_server(2);
+        let t4 = Topology::single_server(4);
+        // reuse the same cost models; unprofiled extra devices count as 0
+        // (exploration) which can only lower the estimate
+        let e2 = dpos(&g, &t2, &cost, &hw).est_finish;
+        let e4 = dpos(&g, &t4, &cost, &hw).est_finish;
+        prop_assert!(e4 <= e2 + 1e-9, "4 GPUs ({e4}) worse than 2 ({e2})");
+    }
+}
+
+#[test]
+fn plan_roundtrips_through_serde() {
+    let mut g = Graph::new();
+    let a = g.add_op(Operation::new("a", OpKind::Relu, [8])).unwrap();
+    let b = g.add_op(Operation::new("b", OpKind::Relu, [8])).unwrap();
+    g.connect(a, b).unwrap();
+    let topo = Topology::single_server(2);
+    let cost = CostModels::new();
+    let plan = fastt::dpos_plan(&g, &topo, &cost, &HardwarePerf::new());
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: fastt::Plan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.placement, plan.placement);
+    assert_eq!(back.order, plan.order);
+    assert_eq!(back.graph.op_count(), plan.graph.op_count());
+    // the deserialized plan still validates and simulates
+    back.placement.validate(&back.graph, &topo).unwrap();
+    let _ = Placement::uniform(1, DeviceId(0));
+}

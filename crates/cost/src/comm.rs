@@ -1,0 +1,149 @@
+//! The communication cost model: tensor transfer time between device pairs,
+//! fitted by per-pair linear regression over profiled transfers (Sec. 4:
+//! "we gather tensors across the same source-destination device pairs into
+//! one group. For each group, we use linear regression to obtain a linear
+//! model: tensor size vs. transfer time").
+
+use crate::linreg::LinReg;
+use fastt_cluster::DeviceId;
+use fastt_sim::RunTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Maximum retained samples per device pair (new data replaces the oldest,
+/// so the model adapts to changing congestion).
+const MAX_SAMPLES_PER_PAIR: usize = 512;
+
+/// Per-device-pair transfer-time model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CommCostModel {
+    samples: HashMap<(DeviceId, DeviceId), Vec<(f64, f64)>>,
+    fits: HashMap<(DeviceId, DeviceId), LinReg>,
+}
+
+impl CommCostModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed transfer of `bytes` from `src` to `dst` taking
+    /// `secs`.
+    pub fn observe(&mut self, src: DeviceId, dst: DeviceId, bytes: u64, secs: f64) {
+        let v = self.samples.entry((src, dst)).or_default();
+        if v.len() >= MAX_SAMPLES_PER_PAIR {
+            v.remove(0);
+        }
+        v.push((bytes as f64, secs));
+    }
+
+    /// Ingests every transfer record of a profiled iteration and refits
+    /// all per-pair models ("in each update of the cost model, newly
+    /// collected data are fed and parameters of the linear model are
+    /// re-computed").
+    pub fn update_from_trace(&mut self, trace: &RunTrace) {
+        for t in &trace.transfers {
+            self.observe(t.src_dev, t.dst_dev, t.bytes, t.duration());
+        }
+        self.refit();
+    }
+
+    /// Recomputes every pair's regression from its current samples.
+    pub fn refit(&mut self) {
+        self.fits = self
+            .samples
+            .iter()
+            .filter_map(|(k, pts)| LinReg::fit(pts).map(|f| (*k, f)))
+            .collect();
+    }
+
+    /// Predicted transfer time for `bytes` from `src` to `dst`.
+    ///
+    /// Returns 0 for intra-device "transfers" and `None` for pairs never
+    /// profiled (the algorithms treat missing costs as 0 to encourage
+    /// exploration, Sec. 4).
+    pub fn predict(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> Option<f64> {
+        if src == dst {
+            return Some(0.0);
+        }
+        self.fits.get(&(src, dst)).map(|f| f.predict(bytes as f64))
+    }
+
+    /// The pessimistic `c̄` used by the rank computation: the maximal
+    /// predicted transfer time of `bytes` over all profiled device pairs.
+    pub fn max_comm(&self, bytes: u64) -> f64 {
+        self.fits
+            .values()
+            .map(|f| f.predict(bytes as f64))
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of profiled device pairs.
+    pub fn pair_count(&self) -> usize {
+        self.fits.len()
+    }
+
+    /// The fitted line for a pair, if profiled.
+    pub fn fit_for(&self, src: DeviceId, dst: DeviceId) -> Option<&LinReg> {
+        self.fits.get(&(src, dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D0: DeviceId = DeviceId(0);
+    const D1: DeviceId = DeviceId(1);
+
+    #[test]
+    fn learns_linear_link_model() {
+        let mut m = CommCostModel::new();
+        // latency 1ms, 1 GB/s
+        for mb in [1u64, 4, 16, 64] {
+            let bytes = mb << 20;
+            m.observe(D0, D1, bytes, 1e-3 + bytes as f64 / 1e9);
+        }
+        m.refit();
+        let f = m.fit_for(D0, D1).unwrap();
+        assert!(
+            (f.intercept - 1e-3).abs() < 1e-5,
+            "intercept {}",
+            f.intercept
+        );
+        assert!((f.slope - 1e-9).abs() < 1e-12, "slope {}", f.slope);
+        let p = m.predict(D0, D1, 32 << 20).unwrap();
+        assert!((p - (1e-3 + (32 << 20) as f64 / 1e9)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn intra_device_is_free() {
+        let m = CommCostModel::new();
+        assert_eq!(m.predict(D0, D0, 1 << 30), Some(0.0));
+    }
+
+    #[test]
+    fn unseen_pair_is_none() {
+        let m = CommCostModel::new();
+        assert_eq!(m.predict(D0, D1, 1024), None);
+    }
+
+    #[test]
+    fn max_comm_over_pairs() {
+        let mut m = CommCostModel::new();
+        m.observe(D0, D1, 1 << 20, 0.001);
+        m.observe(D1, D0, 1 << 20, 0.010); // slower reverse path
+        m.refit();
+        let worst = m.max_comm(1 << 20);
+        assert!((worst - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_window_bounded() {
+        let mut m = CommCostModel::new();
+        for i in 0..(MAX_SAMPLES_PER_PAIR + 100) {
+            m.observe(D0, D1, i as u64, 1.0);
+        }
+        assert_eq!(m.samples[&(D0, D1)].len(), MAX_SAMPLES_PER_PAIR);
+    }
+}

@@ -1,0 +1,268 @@
+//! The computation cost model: execution time of a (sub-)operation on a
+//! device, keyed by op name + device (Sec. 4 "The computation cost model
+//! provides the execution time of a (sub-)operation on a device, using the
+//! operation's name and device as the key").
+
+use fastt_cluster::DeviceId;
+use fastt_graph::Graph;
+use fastt_sim::RunTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Canonicalizes an op name for cost-model keying: data-parallel replicas
+/// (`rep3/conv1_1` → `conv1_1`) and split parts (`conv.part2` → `conv.part#`)
+/// perform identical work, so their measurements share one key. This is what
+/// makes the paper's bootstrap fast: "we use data parallelism as the starting
+/// strategy … by which each operation is replicated to different GPUs and
+/// their execution time on different devices is learned" (Sec. 4).
+pub fn canonical_name(name: &str) -> String {
+    let mut s = name;
+    // strip a leading replica prefix
+    if let Some(rest) = s.strip_prefix("rep") {
+        if let Some(slash) = rest.find('/') {
+            if rest[..slash].chars().all(|c| c.is_ascii_digit()) && slash > 0 {
+                s = &rest[slash + 1..];
+            }
+        }
+    }
+    // merge part indices
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find(".part") {
+        out.push_str(&rest[..pos + 5]);
+        rest = &rest[pos + 5..];
+        let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 {
+            out.push('#');
+            rest = &rest[digits..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Running mean of observed execution times for one (op, device) key.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Stat {
+    sum: f64,
+    count: u64,
+    /// True when the value is an analytic seed rather than a measurement;
+    /// seeds may be replaced by later seeds, measurements may not.
+    seeded: bool,
+}
+
+impl Stat {
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Profiled per-(op, device) execution times with running averages.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompCostModel {
+    stats: HashMap<(String, DeviceId), Stat>,
+    /// Means at the last [`CompCostModel::snapshot`], for stability checks.
+    snapshot: HashMap<(String, DeviceId), f64>,
+}
+
+impl CompCostModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed execution of `name` on `device`. The first real
+    /// measurement discards any analytic seed for the key. Names are
+    /// canonicalized (see [`canonical_name`]).
+    pub fn observe(&mut self, name: &str, device: DeviceId, secs: f64) {
+        let s = self
+            .stats
+            .entry((canonical_name(name), device))
+            .or_default();
+        if s.seeded {
+            *s = Stat::default();
+        }
+        s.sum += secs;
+        s.count += 1;
+    }
+
+    /// Ingests every op record of a profiled iteration
+    /// (the paper's `RunMetadata` consumption).
+    pub fn update_from_trace(&mut self, graph: &Graph, trace: &RunTrace) {
+        for r in &trace.op_records {
+            let name = &graph.op_ref(r.op).name;
+            self.observe(name, r.device, r.duration());
+        }
+    }
+
+    /// Mean observed execution time of `name` on `device`, if any.
+    pub fn get(&self, name: &str, device: DeviceId) -> Option<f64> {
+        self.stats
+            .get(&(canonical_name(name), device))
+            .filter(|s| s.count > 0)
+            .map(|s| s.mean())
+    }
+
+    /// Maximal mean execution time of `name` over all profiled devices —
+    /// the `w_i` of the rank computation (Sec. 5.1).
+    pub fn max_time(&self, name: &str) -> Option<f64> {
+        let key = canonical_name(name);
+        let mut best: Option<f64> = None;
+        for ((n, _), s) in &self.stats {
+            if *n == key && s.count > 0 {
+                let m = s.mean();
+                best = Some(best.map_or(m, |b: f64| b.max(m)));
+            }
+        }
+        best
+    }
+
+    /// Number of distinct (op, device) keys profiled.
+    pub fn key_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether every op of `graph` has at least one profiled device.
+    pub fn covers(&self, graph: &Graph) -> bool {
+        graph
+            .iter_ops()
+            .all(|(_, o)| self.max_time(&o.name).is_some())
+    }
+
+    /// Seeds an estimate for `name` on every device in `devices` (used to
+    /// give freshly created sub-operations an analytic prior of
+    /// `parent_time / n` before they have ever run; refined by profiling).
+    ///
+    /// A seed never overwrites real measurements, but a newer seed replaces
+    /// an older one (split candidates with different part counts reuse
+    /// sub-op names).
+    pub fn seed(&mut self, name: &str, devices: &[DeviceId], secs: f64) {
+        for &d in devices {
+            let s = self.stats.entry((canonical_name(name), d)).or_default();
+            if s.count == 0 || s.seeded {
+                *s = Stat {
+                    sum: secs,
+                    count: 1,
+                    seeded: true,
+                };
+            }
+        }
+    }
+
+    /// Remembers the current means; [`CompCostModel::max_drift`] compares
+    /// against them.
+    pub fn snapshot(&mut self) {
+        self.snapshot = self
+            .stats
+            .iter()
+            .map(|(k, s)| (k.clone(), s.mean()))
+            .collect();
+    }
+
+    /// Largest relative change of any key's mean since the last snapshot
+    /// (keys unseen at snapshot time count as fully drifted). The paper
+    /// finishes pre-training "when the average time of the same
+    /// (sub-)operation(s) on the same device(s) does not vary much".
+    pub fn max_drift(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (k, s) in &self.stats {
+            let now = s.mean();
+            match self.snapshot.get(k) {
+                Some(&then) if then > 0.0 => {
+                    worst = worst.max((now - then).abs() / then);
+                }
+                _ => worst = worst.max(1.0),
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D0: DeviceId = DeviceId(0);
+    const D1: DeviceId = DeviceId(1);
+
+    #[test]
+    fn observe_and_average() {
+        let mut m = CompCostModel::new();
+        m.observe("conv", D0, 1.0);
+        m.observe("conv", D0, 3.0);
+        assert_eq!(m.get("conv", D0), Some(2.0));
+        assert_eq!(m.get("conv", D1), None);
+    }
+
+    #[test]
+    fn max_time_over_devices() {
+        let mut m = CompCostModel::new();
+        m.observe("conv", D0, 1.0);
+        m.observe("conv", D1, 5.0);
+        assert_eq!(m.max_time("conv"), Some(5.0));
+        assert_eq!(m.max_time("missing"), None);
+    }
+
+    #[test]
+    fn seed_does_not_overwrite_observations() {
+        let mut m = CompCostModel::new();
+        m.observe("x", D0, 2.0);
+        m.seed("x", &[D0, D1], 9.0);
+        assert_eq!(m.get("x", D0), Some(2.0));
+        assert_eq!(m.get("x", D1), Some(9.0));
+    }
+
+    #[test]
+    fn drift_detection() {
+        let mut m = CompCostModel::new();
+        m.observe("a", D0, 1.0);
+        m.snapshot();
+        assert_eq!(m.max_drift(), 0.0);
+        m.observe("a", D0, 1.0); // mean unchanged
+        assert_eq!(m.max_drift(), 0.0);
+        m.observe("a", D0, 7.0); // mean 3.0 → drift 2.0
+        assert!(m.max_drift() > 1.9);
+        // a brand-new key counts as full drift
+        m.snapshot();
+        m.observe("b", D0, 1.0);
+        assert!(m.max_drift() >= 1.0);
+    }
+
+    #[test]
+    fn canonical_name_strips_replicas_and_part_indices() {
+        assert_eq!(canonical_name("rep3/conv1_1"), "conv1_1");
+        assert_eq!(canonical_name("rep12/grad/fc6"), "grad/fc6");
+        assert_eq!(canonical_name("conv.part2"), "conv.part#");
+        assert_eq!(canonical_name("rep0/conv.part7"), "conv.part#");
+        assert_eq!(canonical_name("conv.part0.part1"), "conv.part#.part#");
+        // names that merely resemble the patterns are left alone
+        assert_eq!(canonical_name("repository/x"), "repository/x");
+        assert_eq!(canonical_name("agg/apply/w"), "agg/apply/w");
+        assert_eq!(canonical_name("conv.partial"), "conv.partial");
+    }
+
+    #[test]
+    fn replicas_share_cost_entries() {
+        let mut m = CompCostModel::new();
+        m.observe("rep0/conv", D0, 2.0);
+        assert_eq!(m.get("rep1/conv", D0), Some(2.0));
+        assert_eq!(m.max_time("rep7/conv"), Some(2.0));
+    }
+
+    #[test]
+    fn coverage_check() {
+        use fastt_graph::{Graph, OpKind, Operation};
+        let mut g = Graph::new();
+        g.add_op(Operation::new("a", OpKind::Relu, [1])).unwrap();
+        g.add_op(Operation::new("b", OpKind::Relu, [1])).unwrap();
+        let mut m = CompCostModel::new();
+        m.observe("a", D0, 1.0);
+        assert!(!m.covers(&g));
+        m.observe("b", D1, 1.0);
+        assert!(m.covers(&g));
+    }
+}

@@ -1,0 +1,178 @@
+//! # fastt-cost
+//!
+//! Adaptive cost models for the FastT reproduction (Sec. 4 of the paper):
+//! the **computation** cost model (execution time of a (sub-)operation on a
+//! device, keyed by op name and device) and the **communication** cost model
+//! (per-device-pair linear regression of tensor size vs. transfer time).
+//!
+//! Both models are *learned from profiled traces* — the simulator's
+//! [`fastt_sim::RunTrace`] plays the role of TensorFlow's `RunMetadata` —
+//! never read directly from the hardware ground truth. Missing entries are
+//! deliberately treated as zero cost by the placement algorithms so they
+//! explore unprofiled placements (Sec. 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use fastt_cluster::{DeviceId, Topology};
+//! use fastt_cost::CostModels;
+//! use fastt_graph::{Graph, OpKind, Operation};
+//! use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, SimConfig};
+//!
+//! let mut g = Graph::new();
+//! let a = g.add_op(Operation::new("a", OpKind::Input, [1 << 20]))?;
+//! let b = g.add_op(Operation::new("b", OpKind::Relu, [1 << 20]))?;
+//! g.connect(a, b)?;
+//! let topo = Topology::single_server(2);
+//! let mut p = Placement::uniform(g.op_count(), DeviceId(0));
+//! p.set(b, DeviceId(1));
+//!
+//! let trace = simulate(&g, &topo, &p, &HardwarePerf::new(),
+//!                      ExecPolicy::Fifo, &SimConfig::default())?;
+//! let mut cost = CostModels::new();
+//! cost.update_from_trace(&g, &trace);
+//! assert!(cost.comp.get("a", DeviceId(0)).is_some());
+//! assert!(cost.comm.predict(DeviceId(0), DeviceId(1), 4 << 20).is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comm;
+mod comp;
+mod linreg;
+
+pub use comm::CommCostModel;
+pub use comp::{canonical_name, CompCostModel};
+pub use linreg::LinReg;
+
+use fastt_graph::Graph;
+use fastt_sim::RunTrace;
+use serde::{Deserialize, Serialize};
+
+/// The pair of adaptive cost models FastT maintains (Sec. 3, input (c)).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostModels {
+    /// Execution time of each (sub-)operation per device.
+    pub comp: CompCostModel,
+    /// Tensor transfer time per device pair.
+    pub comm: CommCostModel,
+}
+
+impl CostModels {
+    /// Creates empty cost models.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one profiled iteration: op records feed the computation
+    /// model, transfer records feed the communication model.
+    pub fn update_from_trace(&mut self, graph: &Graph, trace: &RunTrace) {
+        self.comp.update_from_trace(graph, trace);
+        self.comm.update_from_trace(trace);
+    }
+
+    /// Whether every op of `graph` has at least one profiled execution.
+    pub fn covers(&self, graph: &Graph) -> bool {
+        self.comp.covers(graph)
+    }
+
+    /// Whether computation times have drifted less than `eps` (relative)
+    /// since the last [`CostModels::snapshot`] — the paper's pre-training
+    /// termination condition.
+    pub fn is_stable(&self, eps: f64) -> bool {
+        self.comp.max_drift() <= eps
+    }
+
+    /// Remembers current means for the next stability check.
+    pub fn snapshot(&mut self) {
+        self.comp.snapshot();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_cluster::{DeviceId, Topology};
+    use fastt_graph::{OpKind, Operation};
+    use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, SimConfig};
+
+    fn tiny() -> (Graph, Topology, Placement) {
+        let mut g = Graph::new();
+        let a = g
+            .add_op(Operation::new("a", OpKind::Input, [1 << 20]))
+            .unwrap();
+        let b = g
+            .add_op(Operation::new("b", OpKind::MatMul, [1 << 18]).with_flops(1 << 30))
+            .unwrap();
+        g.connect(a, b).unwrap();
+        let topo = Topology::single_server(2);
+        let mut p = Placement::uniform(g.op_count(), DeviceId(0));
+        p.set(b, DeviceId(1));
+        (g, topo, p)
+    }
+
+    #[test]
+    fn bootstraps_from_trace() {
+        let (g, topo, p) = tiny();
+        let trace = simulate(
+            &g,
+            &topo,
+            &p,
+            &HardwarePerf::new(),
+            ExecPolicy::Fifo,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let mut cm = CostModels::new();
+        assert!(!cm.covers(&g));
+        cm.update_from_trace(&g, &trace);
+        assert!(cm.covers(&g));
+        assert_eq!(cm.comm.pair_count(), 1);
+    }
+
+    #[test]
+    fn learned_times_match_ground_truth() {
+        let (g, topo, p) = tiny();
+        let hw = HardwarePerf::new();
+        let trace = simulate(&g, &topo, &p, &hw, ExecPolicy::Fifo, &SimConfig::default()).unwrap();
+        let mut cm = CostModels::new();
+        cm.update_from_trace(&g, &trace);
+        let learned = cm.comp.get("b", DeviceId(1)).unwrap();
+        let truth = hw.exec_time(&g, g.by_name("b").unwrap(), topo.device(DeviceId(1)));
+        assert!((learned - truth).abs() / truth < 1e-9);
+    }
+
+    #[test]
+    fn stability_after_repeated_identical_runs() {
+        let (g, topo, p) = tiny();
+        let hw = HardwarePerf::new();
+        let mut cm = CostModels::new();
+        let trace = simulate(&g, &topo, &p, &hw, ExecPolicy::Fifo, &SimConfig::default()).unwrap();
+        cm.update_from_trace(&g, &trace);
+        cm.snapshot();
+        cm.update_from_trace(&g, &trace);
+        assert!(cm.is_stable(0.01));
+    }
+
+    #[test]
+    fn jittered_runs_converge_with_more_samples() {
+        let (g, topo, p) = tiny();
+        let hw = HardwarePerf::new();
+        let mut cm = CostModels::new();
+        for it in 0..30 {
+            let cfg = SimConfig {
+                jitter_pct: 0.05,
+                iteration: it,
+                ..SimConfig::default()
+            };
+            let trace = simulate(&g, &topo, &p, &hw, ExecPolicy::Fifo, &cfg).unwrap();
+            cm.update_from_trace(&g, &trace);
+        }
+        let learned = cm.comp.get("b", DeviceId(1)).unwrap();
+        let truth = hw.exec_time(&g, g.by_name("b").unwrap(), topo.device(DeviceId(1)));
+        // mean of ±5% jitter over 30 samples should be within ~3%
+        assert!((learned - truth).abs() / truth < 0.03);
+    }
+}

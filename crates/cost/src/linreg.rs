@@ -1,0 +1,107 @@
+//! Simple least-squares linear regression, used by the communication cost
+//! model ("for each group, we use linear regression to obtain a linear
+//! model: tensor size vs. transfer time", Sec. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted line `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinReg {
+    /// Seconds per byte.
+    pub slope: f64,
+    /// Fixed cost in seconds (captures link latency).
+    pub intercept: f64,
+    /// Number of samples the fit is based on.
+    pub n: usize,
+}
+
+impl LinReg {
+    /// Fits a line to `(x, y)` points by ordinary least squares.
+    ///
+    /// With one point (or zero x-variance) the fit degenerates to a
+    /// proportional model through that point (`slope = y/x`), which is the
+    /// right prior for transfer times.
+    ///
+    /// Returns `None` when `points` is empty.
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinReg> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+        if sxx <= f64::EPSILON * mean_x.abs().max(1.0) {
+            // all x equal: proportional model through the mean point
+            let slope = if mean_x.abs() > f64::EPSILON {
+                mean_y / mean_x
+            } else {
+                0.0
+            };
+            return Some(LinReg {
+                slope,
+                intercept: 0.0,
+                n: points.len(),
+            });
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        Some(LinReg {
+            slope,
+            intercept,
+            n: points.len(),
+        })
+    }
+
+    /// Predicted `y` at `x`, clamped to be non-negative.
+    pub fn predict(&self, x: f64) -> f64 {
+        (self.slope * x + self.intercept).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 2.0 * i as f64 + 5.0)).collect();
+        let f = LinReg::fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-9);
+        assert!((f.intercept - 5.0).abs() < 1e-9);
+        assert!((f.predict(20.0) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_proportional() {
+        let f = LinReg::fit(&[(4.0, 8.0)]).unwrap();
+        assert!((f.predict(2.0) - 4.0).abs() < 1e-9);
+        assert_eq!(f.n, 1);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(LinReg::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_close() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.1 } else { -0.1 };
+                (x, 3.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let f = LinReg::fit(&pts).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!((f.intercept - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn prediction_never_negative() {
+        let f = LinReg::fit(&[(1.0, 0.0), (2.0, 0.0)]).unwrap();
+        assert_eq!(f.predict(-100.0), 0.0);
+    }
+}

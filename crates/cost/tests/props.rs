@@ -1,0 +1,82 @@
+//! Property-based tests for the cost models.
+
+use fastt_cluster::DeviceId;
+use fastt_cost::{canonical_name, CommCostModel, CompCostModel, LinReg};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Least squares recovers any line exactly from noiseless points.
+    #[test]
+    fn linreg_recovers_lines(
+        slope in -1e3f64..1e3,
+        intercept in -1e3f64..1e3,
+        xs in proptest::collection::vec(0.0f64..1e6, 2..50),
+    ) {
+        // need at least two distinct x values for a well-posed fit
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, slope * x + intercept)).collect();
+        let f = LinReg::fit(&pts).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((f.intercept - intercept).abs() < 1.0);
+    }
+
+    /// The running mean equals the arithmetic mean of all observations.
+    #[test]
+    fn comp_mean_matches_observations(ts in proptest::collection::vec(1e-6f64..10.0, 1..64)) {
+        let mut m = CompCostModel::new();
+        for &t in &ts {
+            m.observe("op", DeviceId(0), t);
+        }
+        let mean = ts.iter().sum::<f64>() / ts.len() as f64;
+        let got = m.get("op", DeviceId(0)).unwrap();
+        prop_assert!((got - mean).abs() < 1e-9 * mean.max(1.0));
+    }
+
+    /// max_time is the max of per-device means.
+    #[test]
+    fn comp_max_over_devices(times in proptest::collection::vec(1e-6f64..1.0, 1..6)) {
+        let mut m = CompCostModel::new();
+        for (i, &t) in times.iter().enumerate() {
+            m.observe("op", DeviceId(i as u16), t);
+        }
+        let expected = times.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!((m.max_time("op").unwrap() - expected).abs() < 1e-12);
+    }
+
+    /// Canonicalization is idempotent and never panics on arbitrary names.
+    #[test]
+    fn canonical_name_idempotent(name in "[a-zA-Z0-9_/.#]{0,40}") {
+        let once = canonical_name(&name);
+        let twice = canonical_name(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Replica prefixes of any index canonicalize to the same key.
+    #[test]
+    fn replicas_share_keys(k in 0u32..1000, name in "[a-z][a-z0-9_/]{0,20}") {
+        prop_assert_eq!(
+            canonical_name(&format!("rep{k}/{name}")),
+            canonical_name(&name)
+        );
+    }
+
+    /// Comm predictions are monotone in bytes once fitted on an increasing
+    /// line (physical links: more bytes never arrive sooner).
+    #[test]
+    fn comm_monotone_in_bytes(bw in 1e8f64..1e11, lat in 0.0f64..1e-3) {
+        let mut m = CommCostModel::new();
+        for kb in [1u64, 8, 64, 512, 4096] {
+            let bytes = kb << 10;
+            m.observe(DeviceId(0), DeviceId(1), bytes, lat + bytes as f64 / bw);
+        }
+        m.refit();
+        let mut last = -1.0f64;
+        for kb in [2u64, 16, 128, 1024] {
+            let p = m.predict(DeviceId(0), DeviceId(1), kb << 10).unwrap();
+            prop_assert!(p >= last);
+            last = p;
+        }
+    }
+}

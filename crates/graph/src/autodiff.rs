@@ -1,0 +1,293 @@
+//! Backward-pass generation: turns a forward inference graph into a full
+//! training graph (forward + gradients + optimizer updates).
+//!
+//! FastT operates on the *training* DAG — the graph TensorFlow would execute
+//! per iteration, including gradient ops and weight updates. Model builders in
+//! `fastt-models` construct forward graphs; this module derives the rest.
+//!
+//! The generated structure follows the standard reverse-mode recipe:
+//!
+//! * every forward op `x` (except `Input`/`Variable`) gets a gradient op
+//!   `grad/x` with roughly twice the forward flops;
+//! * gradient ops are connected in reverse: for each forward edge `a → b`
+//!   there is an edge `grad/b → grad/a` carrying the same tensor size;
+//! * gradient ops also consume the forward activations they differentiate
+//!   (edge `a → grad/b`), which is what makes activation placement matter;
+//! * every `Variable` `v` gets an `apply/v` update op colocated with it,
+//!   fed by the gradient ops of `v`'s consumers.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::op::{OpId, OpKind, Operation};
+use crate::shape::{TensorShape, BYTES_PER_ELEM};
+
+/// Gradient-op kind for a forward-op kind.
+///
+/// Compute-heavy forward kinds keep a compute-heavy backward kind (so the
+/// simulator's hardware model treats them consistently); everything else
+/// becomes a generic memory-bound [`OpKind::EltwiseGrad`].
+pub fn grad_kind(fwd: OpKind) -> OpKind {
+    match fwd {
+        OpKind::Conv2D => OpKind::Conv2DBackprop,
+        OpKind::MatMul => OpKind::MatMul,
+        OpKind::LstmCell => OpKind::LstmCell,
+        OpKind::Attention => OpKind::Attention,
+        _ => OpKind::EltwiseGrad,
+    }
+}
+
+/// Ratio of backward to forward flops. The conventional estimate for DNN
+/// training is that the backward pass costs about twice the forward pass.
+pub const BACKWARD_FLOP_FACTOR: u64 = 2;
+
+/// Builds a training graph from a forward graph.
+///
+/// The result contains every forward op (same names and ids), one `grad/…` op
+/// per differentiable forward op, and one `apply/…` op per `Variable`,
+/// colocated with its variable (TensorFlow keeps the update kernel on the
+/// variable's device; FastT's device placer "checks the co-location
+/// constraints of operations", Sec. 6.1).
+///
+/// # Errors
+///
+/// Returns an error if `forward` is not a DAG.
+///
+/// # Examples
+///
+/// ```
+/// use fastt_graph::{Graph, OpKind, Operation, build_training_graph};
+///
+/// let mut g = Graph::new();
+/// let x = g.add_op(Operation::new("x", OpKind::Input, [8, 4]))?;
+/// let w = g.add_op(Operation::new("w", OpKind::Variable, [4, 2]).with_param_bytes(32))?;
+/// let mm = g.add_op(Operation::new("mm", OpKind::MatMul, [8, 2]).with_flops(128))?;
+/// let loss = g.add_op(Operation::new("loss", OpKind::Loss, []))?;
+/// g.connect(x, mm)?;
+/// g.connect(w, mm)?;
+/// g.connect(mm, loss)?;
+///
+/// let t = build_training_graph(&g)?;
+/// assert!(t.by_name("grad/mm").is_some());
+/// assert!(t.by_name("apply/w").is_some());
+/// # Ok::<(), fastt_graph::GraphError>(())
+/// ```
+pub fn build_training_graph(forward: &Graph) -> Result<Graph, GraphError> {
+    let topo = forward.topo_order()?;
+    let mut g = forward.clone();
+
+    // Create gradient ops in reverse topological order.
+    let mut grad_of: Vec<Option<OpId>> = vec![None; forward.op_count()];
+    for &fid in topo.iter().rev() {
+        let fop = forward.op_ref(fid);
+        if matches!(fop.kind, OpKind::Input | OpKind::Variable) {
+            continue;
+        }
+        let gop = Operation::new(
+            format!("grad/{}", fop.name),
+            grad_kind(fop.kind),
+            fop.out_shape.clone(),
+        )
+        .with_flops(fop.flops * BACKWARD_FLOP_FACTOR);
+        let gid = g.add_op(gop)?;
+        grad_of[fid.index()] = Some(gid);
+    }
+
+    // Wire gradients: reverse edges between grad ops, plus activation edges.
+    for e in forward.iter_edges() {
+        let (gsrc, gdst) = (grad_of[e.src.index()], grad_of[e.dst.index()]);
+        if let (Some(gs), Some(gd)) = (gsrc, gdst) {
+            // upstream gradient flows backward along the forward edge
+            g.connect_bytes(gd, gs, e.bytes)?;
+        }
+        if let Some(gd) = gdst {
+            // the gradient of `dst` re-reads the forward activation of `src`
+            // (skip Variables: their value is re-read by apply instead)
+            if !forward.op_ref(e.src).kind.is_variable() {
+                g.connect_bytes(e.src, gd, e.bytes)?;
+            }
+        }
+    }
+
+    // One optimizer update per variable, fed by the gradients of all its
+    // consumers, colocated with the variable. When the variable is shared by
+    // several consumers (weight sharing across time steps), the per-consumer
+    // gradients are summed locally first (TF's AddN) so only one
+    // parameter-sized gradient tensor travels to the update.
+    for (vid, vop) in forward.iter_ops() {
+        if !vop.kind.is_variable() {
+            continue;
+        }
+        let elems = vop.param_bytes / BYTES_PER_ELEM;
+        let grad_srcs: Vec<crate::op::OpId> = forward
+            .succs(vid)
+            .filter_map(|cons| grad_of[cons.index()])
+            .collect();
+        let apply = Operation::new(
+            format!("apply/{}", vop.name),
+            OpKind::ApplyGradient,
+            TensorShape::new([1]),
+        )
+        // Adam-style update touches each parameter a handful of times.
+        .with_flops(elems * 4);
+        let aid = g.add_op(apply)?;
+        g.connect_bytes(vid, aid, vop.param_bytes)?;
+        match grad_srcs.len() {
+            0 => {}
+            1 => {
+                g.connect_bytes(grad_srcs[0], aid, vop.param_bytes)?;
+            }
+            n => {
+                let sum = Operation::new(
+                    format!("grad_sum/{}", vop.name),
+                    OpKind::Add,
+                    TensorShape::new([elems.max(1)]),
+                )
+                .with_flops(elems * n as u64);
+                let sid = g.add_op(sum)?;
+                for gc in grad_srcs {
+                    g.connect_bytes(gc, sid, vop.param_bytes)?;
+                }
+                g.connect_bytes(sid, aid, vop.param_bytes)?;
+            }
+        }
+        g.colocate(&[vid, aid]);
+    }
+
+    g.validate()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_forward() -> Graph {
+        let mut g = Graph::new();
+        let x = g
+            .add_op(Operation::new("x", OpKind::Input, [8, 4]))
+            .unwrap();
+        let w = g
+            .add_op(Operation::new("w", OpKind::Variable, [4, 2]).with_param_bytes(32))
+            .unwrap();
+        let mm = g
+            .add_op(Operation::new("mm", OpKind::MatMul, [8, 2]).with_flops(128))
+            .unwrap();
+        let r = g
+            .add_op(Operation::new("r", OpKind::Relu, [8, 2]).with_flops(16))
+            .unwrap();
+        let loss = g.add_op(Operation::new("loss", OpKind::Loss, [])).unwrap();
+        g.connect(x, mm).unwrap();
+        g.connect(w, mm).unwrap();
+        g.connect(mm, r).unwrap();
+        g.connect(r, loss).unwrap();
+        g
+    }
+
+    #[test]
+    fn creates_grad_and_apply_ops() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        for name in ["grad/mm", "grad/r", "grad/loss", "apply/w"] {
+            assert!(t.by_name(name).is_some(), "missing {name}");
+        }
+        // Inputs and variables have no gradient ops of their own.
+        assert!(t.by_name("grad/x").is_none());
+        assert!(t.by_name("grad/w").is_none());
+    }
+
+    #[test]
+    fn result_is_a_dag() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn backward_flops_double_forward() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        let mm = t.op_ref(t.by_name("mm").unwrap());
+        let gmm = t.op_ref(t.by_name("grad/mm").unwrap());
+        assert_eq!(gmm.flops, mm.flops * BACKWARD_FLOP_FACTOR);
+        assert_eq!(gmm.kind, OpKind::MatMul);
+    }
+
+    #[test]
+    fn grad_edges_reverse_forward_edges() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        let g_r = t.by_name("grad/r").unwrap();
+        let g_mm = t.by_name("grad/mm").unwrap();
+        assert!(
+            t.succs(g_r).any(|s| s == g_mm),
+            "grad/r should feed grad/mm"
+        );
+    }
+
+    #[test]
+    fn activation_edges_present() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        let mm = t.by_name("mm").unwrap();
+        let g_r = t.by_name("grad/r").unwrap();
+        assert!(
+            t.succs(mm).any(|s| s == g_r),
+            "mm activation should feed grad/r"
+        );
+    }
+
+    #[test]
+    fn apply_colocated_with_variable() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        let w = t.by_name("w").unwrap();
+        let a = t.by_name("apply/w").unwrap();
+        let grp = t.colocation_group(w).expect("variable should be grouped");
+        assert!(grp.contains(&a));
+    }
+
+    #[test]
+    fn apply_receives_gradient_bytes() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        let a = t.by_name("apply/w").unwrap();
+        let g_mm = t.by_name("grad/mm").unwrap();
+        let e = t
+            .in_edges(a)
+            .find(|e| e.src == g_mm)
+            .expect("grad edge into apply");
+        assert_eq!(e.bytes, 32);
+    }
+
+    #[test]
+    fn exit_is_apply_ops() {
+        let t = build_training_graph(&tiny_forward()).unwrap();
+        let exits = t.exit_ops();
+        let a = t.by_name("apply/w").unwrap();
+        assert!(exits.contains(&a));
+    }
+
+    #[test]
+    fn shared_variable_multiple_consumers() {
+        let mut g = Graph::new();
+        let x = g
+            .add_op(Operation::new("x", OpKind::Input, [4, 4]))
+            .unwrap();
+        let w = g
+            .add_op(Operation::new("w", OpKind::Variable, [4, 4]).with_param_bytes(64))
+            .unwrap();
+        let m1 = g
+            .add_op(Operation::new("m1", OpKind::MatMul, [4, 4]).with_flops(64))
+            .unwrap();
+        let m2 = g
+            .add_op(Operation::new("m2", OpKind::MatMul, [4, 4]).with_flops(64))
+            .unwrap();
+        let l = g.add_op(Operation::new("l", OpKind::Loss, [])).unwrap();
+        g.connect(x, m1).unwrap();
+        g.connect(w, m1).unwrap();
+        g.connect(m1, m2).unwrap();
+        g.connect(w, m2).unwrap();
+        g.connect(m2, l).unwrap();
+        let t = build_training_graph(&g).unwrap();
+        let a = t.by_name("apply/w").unwrap();
+        // both consumers' grads are summed locally (TF AddN), so the apply
+        // op reads the variable plus exactly one summed gradient
+        assert_eq!(t.preds(a).count(), 2);
+        let s = t.by_name("grad_sum/w").expect("local gradient sum");
+        assert_eq!(t.preds(s).count(), 2);
+        assert!(t.succs(s).any(|x| x == a));
+    }
+}

@@ -1,0 +1,126 @@
+//! Graphviz DOT export, for visualizing computation graphs and placements.
+
+use crate::graph::Graph;
+use crate::op::OpKind;
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Node shapes encode op roles: variables are boxes, compute ops are
+/// ellipses, plumbing (split/concat/identity) is diamonds. Pass
+/// `device_of` to color nodes by device assignment (indexed by `OpId`;
+/// shorter slices leave the remaining nodes uncolored).
+///
+/// # Examples
+///
+/// ```
+/// use fastt_graph::{Graph, OpKind, Operation, to_dot};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_op(Operation::new("x", OpKind::Input, [4]))?;
+/// let b = g.add_op(Operation::new("r", OpKind::Relu, [4]))?;
+/// g.connect(a, b)?;
+/// let dot = to_dot(&g, &[]);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("\"x\" -> \"r\""));
+/// # Ok::<(), fastt_graph::GraphError>(())
+/// ```
+pub fn to_dot(graph: &Graph, device_of: &[u16]) -> String {
+    const PALETTE: [&str; 8] = [
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut out = String::from("digraph G {\n  rankdir=TB;\n  node [fontsize=9];\n");
+    for (oid, op) in graph.iter_ops() {
+        let shape = match op.kind {
+            OpKind::Variable => "box",
+            OpKind::Split | OpKind::Concat | OpKind::Identity => "diamond",
+            OpKind::Input | OpKind::Loss => "invhouse",
+            _ => "ellipse",
+        };
+        let mut attrs = format!("shape={shape}");
+        if let Some(&d) = device_of.get(oid.index()) {
+            let color = PALETTE[d as usize % PALETTE.len()];
+            attrs.push_str(&format!(", style=filled, fillcolor=\"{color}\""));
+            attrs.push_str(&format!(", xlabel=\"gpu{d}\""));
+        }
+        out.push_str(&format!("  \"{}\" [{attrs}];\n", op.name));
+    }
+    for e in graph.iter_edges() {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+            graph.op_ref(e.src).name,
+            graph.op_ref(e.dst).name,
+            human_bytes(e.bytes),
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1}G", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}M", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}K", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Operation;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let x = g
+            .add_op(Operation::new("x", OpKind::Input, [1 << 20]))
+            .unwrap();
+        let w = g
+            .add_op(Operation::new("w", OpKind::Variable, [256]).with_param_bytes(1024))
+            .unwrap();
+        let m = g.add_op(Operation::new("m", OpKind::MatMul, [64])).unwrap();
+        g.connect(x, m).unwrap();
+        g.connect(w, m).unwrap();
+        g
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = sample();
+        let dot = to_dot(&g, &[]);
+        for n in ["\"x\"", "\"w\"", "\"m\""] {
+            assert!(dot.contains(n), "missing node {n}");
+        }
+        assert!(dot.contains("\"x\" -> \"m\""));
+        assert!(dot.contains("\"w\" -> \"m\""));
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_shapes_by_kind() {
+        let g = sample();
+        let dot = to_dot(&g, &[]);
+        assert!(dot.contains("\"w\" [shape=box]"));
+        assert!(dot.contains("\"m\" [shape=ellipse]"));
+    }
+
+    #[test]
+    fn dot_colors_by_device() {
+        let g = sample();
+        let dot = to_dot(&g, &[0, 1, 1]);
+        assert!(dot.contains("fillcolor"));
+        assert!(dot.contains("xlabel=\"gpu1\""));
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(12), "12B");
+        assert_eq!(human_bytes(4096), "4.0K");
+        assert_eq!(human_bytes(5 << 20), "5.0M");
+        assert_eq!(human_bytes(3 << 30), "3.0G");
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for graph construction and validation.
+
+use crate::op::OpId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by graph construction, validation, or rewrites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An operation with the same name already exists.
+    DuplicateName(String),
+    /// An edge references an op id outside the graph.
+    InvalidOp(OpId),
+    /// An edge would connect an op to itself.
+    SelfEdge(OpId),
+    /// The graph contains a cycle (FastT optimizes DAGs only; Sec. 3).
+    Cycle,
+    /// A rewrite was asked to act on an op that does not support it.
+    NotSplittable {
+        /// Name of the offending op.
+        op: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A lookup by name failed.
+    UnknownName(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateName(n) => write!(f, "duplicate operation name `{n}`"),
+            GraphError::InvalidOp(id) => write!(f, "edge references unknown operation {id}"),
+            GraphError::SelfEdge(id) => write!(f, "edge connects {id} to itself"),
+            GraphError::Cycle => write!(f, "computation graph contains a cycle"),
+            GraphError::NotSplittable { op, reason } => {
+                write!(f, "operation `{op}` cannot be split: {reason}")
+            }
+            GraphError::UnknownName(n) => write!(f, "no operation named `{n}`"),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,19 @@
+//! Graph rewrites: semantics-preserving transformations of training graphs.
+//!
+//! Two rewrites matter to FastT:
+//!
+//! * [`replicate`] builds the in-graph data-parallel training graph (the
+//!   paper's start strategy when the model fits on one GPU, Sec. 5.2);
+//! * [`split_operation`] implements Alg. 2's `SplitOperation`: partitioning a
+//!   single operation into `n` sub-operations along a parallelizable
+//!   dimension, inserting `Split`/`Concat` plumbing nodes.
+
+mod replicate;
+mod split;
+mod unroll;
+
+pub use replicate::{
+    replicate, replicate_grouped, replicate_with, ReplicaRole, ReplicatedGraph, ReplicationMode,
+};
+pub use split::{split_operation, SplitDecision, SplitResult};
+pub use unroll::{break_cycles, strongly_connected_components, UnrolledGraph};

@@ -1,0 +1,344 @@
+//! `SplitOperation` (Alg. 2 of the paper): partition one operation into `n`
+//! sub-operations along a parallelizable dimension.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::op::{OpId, OpKind, Operation, SplitDim};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of [`split_operation`]: the rewritten graph plus id bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// The rewritten graph (the original op removed; sub-ops, `Split` and
+    /// `Concat` plumbing inserted).
+    pub graph: Graph,
+    /// The `n` sub-operations, in partition order.
+    pub parts: Vec<OpId>,
+    /// The concat node that reassembles the output.
+    pub concat: OpId,
+    /// Mapping from old op ids to new ids (`None` for the removed op).
+    pub id_map: Vec<Option<OpId>>,
+}
+
+/// A recorded split decision, as emitted in the paper's "operation split
+/// list" output (Sec. 3: name, partition dimension, number of partitions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitDecision {
+    /// Name of the split operation.
+    pub op_name: String,
+    /// Dimension it was split along.
+    pub dim: SplitDim,
+    /// Number of partitions.
+    pub parts: u32,
+}
+
+impl std::fmt::Display for SplitDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} / {} x{}", self.op_name, self.dim, self.parts)
+    }
+}
+
+/// Which shape axis a [`SplitDim`] refers to for an output shape of rank `r`.
+fn axis(dim: SplitDim, rank: usize) -> usize {
+    match dim {
+        SplitDim::Batch => 0,
+        SplitDim::Channel => rank.saturating_sub(1),
+    }
+}
+
+/// Splits `target` into `n` sub-operations along `dim`, following the
+/// paper's `SplitOperation` (Alg. 2, lines 16–30):
+///
+/// * `n` sub-ops `name.part{i}` are created, each with `1/n` of the flops;
+/// * for each predecessor edge that is *partitioned* under `dim`, a `Split`
+///   node is inserted and connected to the `n` partitions;
+/// * predecessor edges that are *not* partitioned (e.g. weights under a batch
+///   split) are broadcast: each sub-op receives the full tensor;
+/// * a `Concat` node reassembles the sub-outputs and feeds every successor;
+/// * the original op is removed.
+///
+/// Splitting along [`SplitDim::Batch`] is fine-grained data parallelism
+/// (data edges partitioned, weight edges broadcast); splitting along
+/// [`SplitDim::Channel`] is fine-grained model parallelism (weight edges
+/// partitioned, data edges broadcast). An edge counts as a *weight* edge when
+/// its producer is a [`OpKind::Variable`].
+///
+/// # Errors
+///
+/// * [`GraphError::NotSplittable`] if the op kind does not support `dim`,
+///   `n < 2`, or the output shape is not divisible `n` ways along `dim`.
+/// * [`GraphError::InvalidOp`] if `target` is not in the graph.
+pub fn split_operation(
+    g: &Graph,
+    target: OpId,
+    dim: SplitDim,
+    n: u32,
+) -> Result<SplitResult, GraphError> {
+    let op = g.op(target).ok_or(GraphError::InvalidOp(target))?.clone();
+    if !op.kind.split_dims().contains(&dim) {
+        return Err(GraphError::NotSplittable {
+            op: op.name.clone(),
+            reason: format!("kind {} has no {dim} dimension", op.kind),
+        });
+    }
+    if n < 2 {
+        return Err(GraphError::NotSplittable {
+            op: op.name.clone(),
+            reason: format!("split count {n} must be at least 2"),
+        });
+    }
+    let ax = axis(dim, op.out_shape.rank());
+    if !op.out_shape.divisible(ax, n as u64) {
+        return Err(GraphError::NotSplittable {
+            op: op.name.clone(),
+            reason: format!(
+                "output shape {} not divisible by {n} along {dim}",
+                op.out_shape
+            ),
+        });
+    }
+
+    // Copy every op except the target.
+    let mut out = Graph::new();
+    let mut id_map: Vec<Option<OpId>> = vec![None; g.op_count()];
+    for (oid, o) in g.iter_ops() {
+        if oid == target {
+            continue;
+        }
+        id_map[oid.index()] = Some(out.add_op(o.clone())?);
+    }
+
+    // Create the sub-operations.
+    let part_shape = op.out_shape.split_dim(ax, n as u64);
+    let mut parts = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let sub = Operation::new(format!("{}.part{i}", op.name), op.kind, part_shape.clone())
+            .with_flops(op.flops / n as u64);
+        parts.push(out.add_op(sub)?);
+    }
+
+    // Copy all edges not touching the target.
+    for e in g.iter_edges() {
+        if e.src == target || e.dst == target {
+            continue;
+        }
+        out.connect_bytes(
+            id_map[e.src.index()].expect("src survives"),
+            id_map[e.dst.index()].expect("dst survives"),
+            e.bytes,
+        )?;
+    }
+
+    // Rewire predecessors. Under a batch split, weight edges (from Variables)
+    // are broadcast; under a channel split, data edges are broadcast.
+    for (j, e) in g.in_edges(target).enumerate() {
+        let pred_new = id_map[e.src.index()].expect("pred survives");
+        let is_weight = g.op_ref(e.src).kind.is_variable();
+        let partitioned = match dim {
+            SplitDim::Batch => !is_weight,
+            SplitDim::Channel => is_weight,
+        };
+        if partitioned {
+            let split_node = Operation::new(
+                format!("{}.split{j}", op.name),
+                OpKind::Split,
+                // the split node momentarily holds the full tensor
+                crate::shape::TensorShape::new([e.bytes / crate::shape::BYTES_PER_ELEM]),
+            )
+            .with_flops(e.bytes / crate::shape::BYTES_PER_ELEM);
+            let sid = out.add_op(split_node)?;
+            out.connect_bytes(pred_new, sid, e.bytes)?;
+            let per_part = (e.bytes / n as u64).max(1);
+            for &p in &parts {
+                out.connect_bytes(sid, p, per_part)?;
+            }
+        } else {
+            for &p in &parts {
+                out.connect_bytes(pred_new, p, e.bytes)?;
+            }
+        }
+    }
+
+    // Rewire successors through a concat node.
+    let concat = {
+        let cop = Operation::new(
+            format!("{}.concat", op.name),
+            OpKind::Concat,
+            op.out_shape.clone(),
+        )
+        .with_flops(op.out_shape.elems());
+        out.add_op(cop)?
+    };
+    let per_part_out = (op.out_bytes() / n as u64).max(1);
+    for &p in &parts {
+        out.connect_bytes(p, concat, per_part_out)?;
+    }
+    for e in g.out_edges(target) {
+        let succ_new = id_map[e.dst.index()].expect("succ survives");
+        out.connect_bytes(concat, succ_new, e.bytes)?;
+    }
+
+    // Preserve colocation groups among surviving ops.
+    for grp in g.colocation_groups() {
+        let members: Vec<OpId> = grp.iter().filter_map(|o| id_map[o.index()]).collect();
+        if members.len() > 1 {
+            out.colocate(&members);
+        }
+    }
+
+    out.validate()?;
+    Ok(SplitResult {
+        graph: out,
+        parts,
+        concat,
+        id_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x(Input) + w(Variable) -> conv -> relu
+    fn conv_graph() -> (Graph, OpId) {
+        let mut g = Graph::new();
+        let x = g
+            .add_op(Operation::new("x", OpKind::Input, [32, 16, 16, 8]))
+            .unwrap();
+        let w = g
+            .add_op(
+                Operation::new("w", OpKind::Variable, [3, 3, 8, 8])
+                    .with_param_bytes(3 * 3 * 8 * 8 * 4),
+            )
+            .unwrap();
+        let c = g
+            .add_op(Operation::new("conv", OpKind::Conv2D, [32, 16, 16, 8]).with_flops(1_000_000))
+            .unwrap();
+        let r = g
+            .add_op(Operation::new("relu", OpKind::Relu, [32, 16, 16, 8]))
+            .unwrap();
+        g.connect(x, c).unwrap();
+        g.connect(w, c).unwrap();
+        g.connect(c, r).unwrap();
+        (g, c)
+    }
+
+    #[test]
+    fn batch_split_partitions_data_broadcasts_weights() {
+        let (g, c) = conv_graph();
+        let res = split_operation(&g, c, SplitDim::Batch, 4).unwrap();
+        let ng = &res.graph;
+        assert_eq!(res.parts.len(), 4);
+        // the data edge goes through a split node
+        let split0 = ng.by_name("conv.split0").expect("split node for data edge");
+        let x = ng.by_name("x").unwrap();
+        assert!(ng.succs(x).any(|s| s == split0));
+        // each part receives the full weight tensor directly (broadcast)
+        let w = ng.by_name("w").unwrap();
+        let w_out: Vec<_> = ng.out_edges(w).collect();
+        assert_eq!(w_out.len(), 4);
+        for e in &w_out {
+            assert_eq!(e.bytes, 3 * 3 * 8 * 8 * 4);
+        }
+        // per-part data edges are a quarter of the input
+        for e in ng.out_edges(split0) {
+            assert_eq!(e.bytes, (32u64 * 16 * 16 * 8 * 4) / 4);
+        }
+    }
+
+    #[test]
+    fn channel_split_partitions_weights_broadcasts_data() {
+        let (g, c) = conv_graph();
+        let res = split_operation(&g, c, SplitDim::Channel, 2).unwrap();
+        let ng = &res.graph;
+        // the weight edge goes through a split node (it is in-edge index 1)
+        let wsplit = ng
+            .by_name("conv.split1")
+            .expect("split node for weight edge");
+        let w = ng.by_name("w").unwrap();
+        assert!(ng.succs(w).any(|s| s == wsplit));
+        // data edges broadcast at full size
+        let x = ng.by_name("x").unwrap();
+        let x_out: Vec<_> = ng.out_edges(x).collect();
+        assert_eq!(x_out.len(), 2);
+        for e in &x_out {
+            assert_eq!(e.bytes, 32 * 16 * 16 * 8 * 4);
+        }
+    }
+
+    #[test]
+    fn concat_feeds_successors_with_original_bytes() {
+        let (g, c) = conv_graph();
+        let orig_out_bytes = g.op_ref(c).out_bytes();
+        let res = split_operation(&g, c, SplitDim::Batch, 2).unwrap();
+        let ng = &res.graph;
+        let relu = ng.by_name("relu").unwrap();
+        let e = ng.in_edges(relu).next().unwrap();
+        assert_eq!(e.src, res.concat);
+        assert_eq!(e.bytes, orig_out_bytes);
+    }
+
+    #[test]
+    fn flops_divided_across_parts() {
+        let (g, c) = conv_graph();
+        let res = split_operation(&g, c, SplitDim::Batch, 4).unwrap();
+        for &p in &res.parts {
+            assert_eq!(res.graph.op_ref(p).flops, 250_000);
+        }
+    }
+
+    #[test]
+    fn original_op_removed() {
+        let (g, c) = conv_graph();
+        let res = split_operation(&g, c, SplitDim::Batch, 2).unwrap();
+        assert!(res.graph.by_name("conv").is_none());
+        assert_eq!(res.id_map[c.index()], None);
+    }
+
+    #[test]
+    fn not_splittable_kinds_rejected() {
+        let mut g = Graph::new();
+        let a = g
+            .add_op(Operation::new("bn", OpKind::BatchNorm, [32, 8]))
+            .unwrap();
+        let err = split_operation(&g, a, SplitDim::Batch, 2).unwrap_err();
+        assert!(matches!(err, GraphError::NotSplittable { .. }));
+    }
+
+    #[test]
+    fn indivisible_shape_rejected() {
+        let mut g = Graph::new();
+        let c = g
+            .add_op(Operation::new("c", OpKind::Conv2D, [3, 8, 8, 4]).with_flops(100))
+            .unwrap();
+        let err = split_operation(&g, c, SplitDim::Batch, 2).unwrap_err();
+        assert!(matches!(err, GraphError::NotSplittable { .. }));
+    }
+
+    #[test]
+    fn split_count_must_be_at_least_two() {
+        let (g, c) = conv_graph();
+        assert!(split_operation(&g, c, SplitDim::Batch, 1).is_err());
+    }
+
+    #[test]
+    fn result_graph_is_valid() {
+        let (g, c) = conv_graph();
+        let res = split_operation(&g, c, SplitDim::Batch, 4).unwrap();
+        res.graph.validate().unwrap();
+        // op count: 3 survivors + 4 parts + 1 split + 1 concat
+        assert_eq!(res.graph.op_count(), 3 + 4 + 1 + 1);
+    }
+
+    #[test]
+    fn double_split_two_ops_composes() {
+        let (g, c) = conv_graph();
+        let res1 = split_operation(&g, c, SplitDim::Batch, 2).unwrap();
+        // split the relu's upstream concat? relu isn't splittable; split a part instead
+        let part0 = res1.parts[0];
+        let res2 = split_operation(&res1.graph, part0, SplitDim::Batch, 2).unwrap();
+        res2.graph.validate().unwrap();
+        assert!(res2.graph.by_name("conv.part0.part0").is_some());
+        assert!(res2.graph.by_name("conv.part0.part1").is_some());
+    }
+}

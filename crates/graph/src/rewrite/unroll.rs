@@ -1,0 +1,326 @@
+//! Cycle breaking by loop unrolling — the paper's stated future work
+//! (Sec. 8): "some new features … allow cycles in computation graphs, such
+//! as dynamic RNN layers. Currently, FastT does not handle graphs with
+//! cycles. A potential solution is to break the cycles and reorganize the
+//! graph to be a DAG."
+//!
+//! [`break_cycles`] implements that solution: the strongly connected
+//! components with cycles (the loop bodies) are replicated once per
+//! iteration, back edges are redirected from iteration `t` to `t+1`, and
+//! the result is a plain DAG every FastT algorithm already handles.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::op::OpId;
+
+/// Result of [`break_cycles`].
+#[derive(Debug, Clone)]
+pub struct UnrolledGraph {
+    /// The acyclic unrolled graph (loop-body ops named `iter{t}/…`).
+    pub graph: Graph,
+    /// How many iterations each loop body was unrolled.
+    pub iterations: u32,
+    /// Ops of the original graph that were part of a cycle.
+    pub loop_ops: Vec<OpId>,
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+/// Returns the SCC index of each node.
+pub fn strongly_connected_components(graph: &Graph) -> Vec<usize> {
+    let n = graph.op_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // explicit DFS stack of (node, child-iterator position)
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let succs: Vec<usize> = graph.succs(OpId(v as u32)).map(|s| s.index()).collect();
+            if *ci < succs.len() {
+                let w = succs[*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    // v roots an SCC
+                    loop {
+                        let w = stack.pop().expect("stack tracks scc membership");
+                        on_stack[w] = false;
+                        scc[w] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+                let done = v;
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[done]);
+                }
+            }
+        }
+    }
+    scc
+}
+
+/// Breaks every cycle in `graph` by unrolling its loop bodies `iterations`
+/// times, producing a DAG.
+///
+/// Rules:
+///
+/// * ops in a non-trivial SCC (or with a self-loop) are the *loop body*;
+///   they are copied per iteration as `iter{t}/name`;
+/// * acyclic ops are copied once, keeping their names;
+/// * forward edges inside the body are replicated per iteration;
+/// * back edges (edges inside the body that close a cycle) connect
+///   iteration `t` to iteration `t+1` and are dropped from the last
+///   iteration;
+/// * edges entering the body connect to **every** iteration when the source
+///   is a `Variable` (loop-invariant weights) and to iteration 0 otherwise
+///   (initial state);
+/// * edges leaving the body originate from the **last** iteration.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors (duplicate names can arise if the
+/// input already uses `iter{t}/` names).
+///
+/// # Panics
+///
+/// Panics if `iterations == 0`.
+pub fn break_cycles(graph: &Graph, iterations: u32) -> Result<UnrolledGraph, GraphError> {
+    assert!(iterations > 0, "need at least one iteration");
+    let scc = strongly_connected_components(graph);
+
+    // SCC sizes and self-loops decide loop membership.
+    let mut scc_size = std::collections::HashMap::new();
+    for &s in &scc {
+        *scc_size.entry(s).or_insert(0usize) += 1;
+    }
+    let mut in_loop = vec![false; graph.op_count()];
+    for (oid, _) in graph.iter_ops() {
+        let i = oid.index();
+        in_loop[i] = scc_size[&scc[i]] > 1
+            || graph.succs(oid).any(|s| s == oid)
+            || graph.out_edges(oid).any(|e| e.dst == oid);
+    }
+    let loop_ops: Vec<OpId> = graph.op_ids().filter(|o| in_loop[o.index()]).collect();
+
+    // A back edge stays inside one SCC and goes "backwards" in the order
+    // Tarjan assigned (smaller DFS index target) — for unrolling purposes,
+    // any intra-SCC edge whose removal set must break cycles. We classify
+    // via DFS indices: recompute a DFS preorder and call an intra-loop edge
+    // a back edge when dst's preorder ≤ src's preorder.
+    let mut pre = vec![usize::MAX; graph.op_count()];
+    let mut counter = 0usize;
+    for start in graph.op_ids() {
+        if pre[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            if pre[v.index()] != usize::MAX {
+                continue;
+            }
+            pre[v.index()] = counter;
+            counter += 1;
+            for s in graph.succs(v) {
+                if pre[s.index()] == usize::MAX {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    let is_back = |src: OpId, dst: OpId| -> bool {
+        in_loop[src.index()]
+            && in_loop[dst.index()]
+            && scc[src.index()] == scc[dst.index()]
+            && pre[dst.index()] <= pre[src.index()]
+    };
+
+    // Build the unrolled graph.
+    let mut g = Graph::new();
+    let mut once_id: Vec<Option<OpId>> = vec![None; graph.op_count()];
+    let mut iter_id: Vec<Vec<OpId>> = vec![Vec::new(); graph.op_count()];
+    for (oid, op) in graph.iter_ops() {
+        if in_loop[oid.index()] {
+            for t in 0..iterations {
+                let mut copy = op.clone();
+                copy.name = format!("iter{t}/{}", op.name);
+                iter_id[oid.index()].push(g.add_op(copy)?);
+            }
+        } else {
+            once_id[oid.index()] = Some(g.add_op(op.clone())?);
+        }
+    }
+
+    for e in graph.iter_edges() {
+        let (si, di) = (e.src.index(), e.dst.index());
+        match (in_loop[si], in_loop[di]) {
+            (false, false) => {
+                g.connect_bytes(once_id[si].unwrap(), once_id[di].unwrap(), e.bytes)?;
+            }
+            (false, true) => {
+                if graph.op_ref(e.src).kind.is_variable() {
+                    for t in 0..iterations as usize {
+                        g.connect_bytes(once_id[si].unwrap(), iter_id[di][t], e.bytes)?;
+                    }
+                } else {
+                    g.connect_bytes(once_id[si].unwrap(), iter_id[di][0], e.bytes)?;
+                }
+            }
+            (true, false) => {
+                g.connect_bytes(
+                    iter_id[si][iterations as usize - 1],
+                    once_id[di].unwrap(),
+                    e.bytes,
+                )?;
+            }
+            (true, true) => {
+                if is_back(e.src, e.dst) {
+                    for t in 0..iterations as usize - 1 {
+                        g.connect_bytes(iter_id[si][t], iter_id[di][t + 1], e.bytes)?;
+                    }
+                } else {
+                    for t in 0..iterations as usize {
+                        g.connect_bytes(iter_id[si][t], iter_id[di][t], e.bytes)?;
+                    }
+                }
+            }
+        }
+    }
+
+    g.validate()?;
+    Ok(UnrolledGraph {
+        graph: g,
+        iterations,
+        loop_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, Operation};
+
+    /// input -> cell <-> state (cycle), cell -> out; weights -> cell.
+    fn rnn_like() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_op(Operation::new("x", OpKind::Input, [8])).unwrap();
+        let w = g
+            .add_op(Operation::new("w", OpKind::Variable, [64]).with_param_bytes(256))
+            .unwrap();
+        let cell = g
+            .add_op(Operation::new("cell", OpKind::LstmCell, [8]).with_flops(1000))
+            .unwrap();
+        let state = g
+            .add_op(Operation::new("state", OpKind::Identity, [8]))
+            .unwrap();
+        let out = g.add_op(Operation::new("out", OpKind::Loss, [])).unwrap();
+        g.connect(x, cell).unwrap();
+        g.connect(w, cell).unwrap();
+        g.connect(cell, state).unwrap();
+        g.connect(state, cell).unwrap(); // back edge: the recurrence
+        g.connect(cell, out).unwrap();
+        g
+    }
+
+    #[test]
+    fn scc_identifies_the_cycle() {
+        let g = rnn_like();
+        let scc = strongly_connected_components(&g);
+        let cell = g.by_name("cell").unwrap().index();
+        let state = g.by_name("state").unwrap().index();
+        let x = g.by_name("x").unwrap().index();
+        assert_eq!(scc[cell], scc[state], "cycle members share an SCC");
+        assert_ne!(scc[x], scc[cell]);
+    }
+
+    #[test]
+    fn unrolling_produces_a_dag() {
+        let g = rnn_like();
+        assert!(g.validate().is_err(), "input really is cyclic");
+        let u = break_cycles(&g, 4).unwrap();
+        u.graph.validate().unwrap();
+        assert_eq!(u.iterations, 4);
+        assert_eq!(u.loop_ops.len(), 2); // cell + state
+    }
+
+    #[test]
+    fn recurrence_connects_consecutive_iterations() {
+        let g = rnn_like();
+        let u = break_cycles(&g, 3).unwrap();
+        let s0 = u.graph.by_name("iter0/state").unwrap();
+        let c1 = u.graph.by_name("iter1/cell").unwrap();
+        assert!(u.graph.succs(s0).any(|s| s == c1), "state_0 feeds cell_1");
+        // the last iteration has no outgoing recurrence
+        let s2 = u.graph.by_name("iter2/state").unwrap();
+        assert!(u.graph.succs(s2).next().is_none());
+    }
+
+    #[test]
+    fn weights_broadcast_to_every_iteration() {
+        let g = rnn_like();
+        let u = break_cycles(&g, 3).unwrap();
+        let w = u.graph.by_name("w").unwrap();
+        assert_eq!(u.graph.succs(w).count(), 3);
+        // the non-variable input only feeds iteration 0
+        let x = u.graph.by_name("x").unwrap();
+        assert_eq!(u.graph.succs(x).count(), 1);
+    }
+
+    #[test]
+    fn loop_exit_comes_from_the_last_iteration() {
+        let g = rnn_like();
+        let u = break_cycles(&g, 3).unwrap();
+        let out = u.graph.by_name("out").unwrap();
+        let preds: Vec<String> = u
+            .graph
+            .preds(out)
+            .map(|p| u.graph.op_ref(p).name.clone())
+            .collect();
+        assert_eq!(preds, vec!["iter2/cell".to_string()]);
+    }
+
+    #[test]
+    fn acyclic_graphs_pass_through_unchanged_in_shape() {
+        let mut g = Graph::new();
+        let a = g.add_op(Operation::new("a", OpKind::Input, [4])).unwrap();
+        let b = g.add_op(Operation::new("b", OpKind::Relu, [4])).unwrap();
+        g.connect(a, b).unwrap();
+        let u = break_cycles(&g, 5).unwrap();
+        assert_eq!(u.graph.op_count(), 2);
+        assert!(u.loop_ops.is_empty());
+        assert!(u.graph.by_name("a").is_some());
+    }
+
+    #[test]
+    fn unrolled_rnn_is_schedulable_end_to_end() {
+        // the unrolled DAG must flow through autodiff like any model graph
+        let g = rnn_like();
+        let u = break_cycles(&g, 4).unwrap();
+        let t = crate::autodiff::build_training_graph(&u.graph).unwrap();
+        t.validate().unwrap();
+        assert!(t.by_name("grad/iter0/cell").is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! Tensor shapes.
+//!
+//! A [`TensorShape`] is a list of non-negative dimension extents. FastT's
+//! algorithms never look at tensor *values*, only at shapes (to derive byte
+//! sizes and split factors), so the shape type is the whole tensor abstraction
+//! needed by this workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bytes per tensor element. All benchmark models train in `f32`.
+pub const BYTES_PER_ELEM: u64 = 4;
+
+/// The shape of a tensor: an ordered list of dimension extents.
+///
+/// # Examples
+///
+/// ```
+/// use fastt_graph::TensorShape;
+///
+/// let s = TensorShape::new([32, 224, 224, 3]);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.elems(), 32 * 224 * 224 * 3);
+/// assert_eq!(s.bytes(), s.elems() * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TensorShape(Vec<u64>);
+
+impl TensorShape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: impl IntoIterator<Item = u64>) -> Self {
+        TensorShape(dims.into_iter().collect())
+    }
+
+    /// The scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        TensorShape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents.
+    pub fn dims(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn elems(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// Total size in bytes assuming `f32` elements.
+    pub fn bytes(&self) -> u64 {
+        self.elems() * BYTES_PER_ELEM
+    }
+
+    /// Returns a copy with dimension `i` divided by `n` (at least 1).
+    ///
+    /// Used by the split rewrite: partitioning a tensor along one dimension
+    /// into `n` pieces shrinks that dimension by a factor of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()` or `n == 0`.
+    pub fn split_dim(&self, i: usize, n: u64) -> Self {
+        assert!(n > 0, "split factor must be positive");
+        let mut dims = self.0.clone();
+        dims[i] = (dims[i] / n).max(1);
+        TensorShape(dims)
+    }
+
+    /// Whether dimension `i` can be evenly partitioned `n` ways.
+    pub fn divisible(&self, i: usize, n: u64) -> bool {
+        n > 0 && i < self.rank() && self.0[i].is_multiple_of(n) && self.0[i] >= n
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<u64>> for TensorShape {
+    fn from(dims: Vec<u64>) -> Self {
+        TensorShape(dims)
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for TensorShape {
+    fn from(dims: [u64; N]) -> Self {
+        TensorShape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_elem() {
+        let s = TensorShape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.elems(), 1);
+        assert_eq!(s.bytes(), BYTES_PER_ELEM);
+    }
+
+    #[test]
+    fn elems_and_bytes() {
+        let s = TensorShape::new([2, 3, 4]);
+        assert_eq!(s.elems(), 24);
+        assert_eq!(s.bytes(), 96);
+    }
+
+    #[test]
+    fn split_dim_divides() {
+        let s = TensorShape::new([32, 128]);
+        let t = s.split_dim(0, 4);
+        assert_eq!(t.dims(), &[8, 128]);
+        // original untouched
+        assert_eq!(s.dims(), &[32, 128]);
+    }
+
+    #[test]
+    fn split_dim_clamps_to_one() {
+        let s = TensorShape::new([2, 8]);
+        let t = s.split_dim(0, 4);
+        assert_eq!(t.dims(), &[1, 8]);
+    }
+
+    #[test]
+    fn divisible_checks() {
+        let s = TensorShape::new([32, 7]);
+        assert!(s.divisible(0, 4));
+        assert!(!s.divisible(1, 4));
+        assert!(!s.divisible(0, 0));
+        assert!(!s.divisible(2, 2)); // out of range
+        assert!(!s.divisible(1, 14)); // n larger than extent
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TensorShape::new([4, 5]).to_string(), "[4x5]");
+        assert_eq!(TensorShape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn from_array_and_vec() {
+        let a: TensorShape = [1, 2].into();
+        let v: TensorShape = vec![1, 2].into();
+        assert_eq!(a, v);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the graph substrate.
+
+use fastt_graph::{
+    build_training_graph, replicate, split_operation, Graph, OpKind, Operation, SplitDim,
+};
+use proptest::prelude::*;
+
+/// Builds a random layered forward network: `layers` MatMul stages, each with
+/// its own variable, ending in a Loss. Batch and width are powers of two so
+/// splits always divide evenly.
+fn layered_forward(layers: usize, batch: u64, width: u64) -> Graph {
+    let mut g = Graph::new();
+    let x = g
+        .add_op(Operation::new("x", OpKind::Input, [batch, width]))
+        .unwrap();
+    let mut prev = x;
+    for i in 0..layers {
+        let w = g
+            .add_op(
+                Operation::new(format!("w{i}"), OpKind::Variable, [width, width])
+                    .with_param_bytes(width * width * 4),
+            )
+            .unwrap();
+        let mm = g
+            .add_op(
+                Operation::new(format!("mm{i}"), OpKind::MatMul, [batch, width])
+                    .with_flops(2 * batch * width * width),
+            )
+            .unwrap();
+        g.connect(prev, mm).unwrap();
+        g.connect(w, mm).unwrap();
+        let r = g
+            .add_op(Operation::new(
+                format!("relu{i}"),
+                OpKind::Relu,
+                [batch, width],
+            ))
+            .unwrap();
+        g.connect(mm, r).unwrap();
+        prev = r;
+    }
+    let loss = g.add_op(Operation::new("loss", OpKind::Loss, [])).unwrap();
+    g.connect(prev, loss).unwrap();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Autodiff always produces a valid DAG with exactly one grad op per
+    /// differentiable forward op and one apply op per variable.
+    #[test]
+    fn autodiff_structure(layers in 1usize..8, bp in 0u32..4, wp in 2u32..6) {
+        let batch = 1u64 << bp;
+        let width = 1u64 << wp;
+        let fwd = layered_forward(layers, batch, width);
+        let t = build_training_graph(&fwd).unwrap();
+        t.validate().unwrap();
+
+        let fwd_diff = fwd
+            .iter_ops()
+            .filter(|(_, o)| !matches!(o.kind, OpKind::Input | OpKind::Variable))
+            .count();
+        let n_grad = t
+            .iter_ops()
+            .filter(|(_, o)| o.name.starts_with("grad/"))
+            .count();
+        prop_assert_eq!(fwd_diff, n_grad);
+
+        let n_vars = fwd.iter_ops().filter(|(_, o)| o.kind.is_variable()).count();
+        let n_apply = t
+            .iter_ops()
+            .filter(|(_, o)| o.kind == OpKind::ApplyGradient)
+            .count();
+        prop_assert_eq!(n_vars, n_apply);
+    }
+
+    /// Parameter-server replication keeps variables and updates shared,
+    /// multiplies everything else, and adds one aggregation op per variable
+    /// (when n > 1).
+    #[test]
+    fn replicate_counts(layers in 1usize..5, n in 1u32..9) {
+        let fwd = layered_forward(layers, 8, 16);
+        let t = build_training_graph(&fwd).unwrap();
+        let r = replicate(&t, n).unwrap();
+        r.graph.validate().unwrap();
+        let n_vars = t.iter_ops().filter(|(_, o)| o.kind.is_variable()).count();
+        let shared = 2 * n_vars; // each variable + its update
+        let expected_agg = if n > 1 { n_vars } else { 0 };
+        prop_assert_eq!(
+            r.graph.op_count(),
+            (t.op_count() - shared) * n as usize + shared + expected_agg
+        );
+        // shared state is untagged; per-replica ops are tagged
+        for (oid, op) in r.graph.iter_ops() {
+            let tag = r.replica_of(oid);
+            let is_shared = matches!(
+                op.kind,
+                OpKind::AggregateGradients | OpKind::Variable | OpKind::ApplyGradient
+            );
+            if is_shared {
+                prop_assert_eq!(tag, None);
+            } else {
+                prop_assert!(tag.is_some());
+            }
+        }
+    }
+
+    /// Splitting preserves total flops of the split op (up to integer
+    /// division) and keeps the graph valid; total graph flops never grow by
+    /// more than the plumbing nodes' contribution.
+    #[test]
+    fn split_preserves_flops(np in 1u32..4) {
+        let n = 1u32 << np; // 2, 4, 8 — divides the batch of 64 evenly
+        let fwd = layered_forward(2, 64, 64);
+        let t = build_training_graph(&fwd).unwrap();
+        let target = t.by_name("mm0").unwrap();
+        let before = t.op_ref(target).flops;
+        let res = split_operation(&t, target, SplitDim::Batch, n).unwrap();
+        res.graph.validate().unwrap();
+        let part_total: u64 = res.parts.iter().map(|&p| res.graph.op_ref(p).flops).sum();
+        // integer division may lose at most n-1 flops
+        prop_assert!(before - part_total < n as u64);
+    }
+
+    /// id_map from a split covers every surviving op and the new graph can
+    /// still be topologically sorted.
+    #[test]
+    fn split_id_map_total(np in 1u32..3) {
+        let n = 1u32 << np; // 2 or 4 — divides the width of 32 evenly
+        let fwd = layered_forward(3, 32, 32);
+        let t = build_training_graph(&fwd).unwrap();
+        let target = t.by_name("mm1").unwrap();
+        let res = split_operation(&t, target, SplitDim::Channel, n).unwrap();
+        for (oid, _) in t.iter_ops() {
+            if oid == target {
+                prop_assert_eq!(res.id_map[oid.index()], None);
+            } else {
+                let nid = res.id_map[oid.index()].unwrap();
+                prop_assert_eq!(&res.graph.op_ref(nid).name, &t.op_ref(oid).name);
+            }
+        }
+        prop_assert!(res.graph.topo_order().is_ok());
+    }
+
+    /// Topological order returned by the graph is always a valid linear
+    /// extension: every edge goes forward.
+    #[test]
+    fn topo_is_linear_extension(layers in 1usize..10) {
+        let fwd = layered_forward(layers, 4, 8);
+        let t = build_training_graph(&fwd).unwrap();
+        let order = t.topo_order().unwrap();
+        let mut pos = vec![0usize; t.op_count()];
+        for (i, o) in order.iter().enumerate() {
+            pos[o.index()] = i;
+        }
+        for e in t.iter_edges() {
+            prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The five CNN benchmark models of the paper's evaluation (Sec. 6.2):
+//! LeNet, AlexNet, VGG-19, Inception-v3 and ResNet-200.
+//!
+//! Builders return *forward* graphs; callers derive training graphs with
+//! [`fastt_graph::build_training_graph`]. Layer dimensions follow the
+//! published architectures so parameter sizes and flop distributions match
+//! the originals (e.g. VGG-19's `fc6` holds a ~411 MB weight, the op the
+//! paper highlights as "not split, to avoid overhead of broadcasting
+//! parameters").
+
+use crate::stack::LayerStack;
+use fastt_graph::Graph;
+
+/// LeNet-5 on 28×28×1 MNIST images.
+pub fn lenet(batch: u64) -> Graph {
+    let mut s = LayerStack::new("images", [batch, 28, 28, 1]);
+    s.conv("conv1", 6, 5, 1)
+        .relu("relu1")
+        .pool("pool1", 2, 2)
+        .conv("conv2", 16, 5, 1)
+        .relu("relu2")
+        .pool("pool2", 2, 2);
+    s.flatten();
+    s.fc("fc1", 120).relu("relu3");
+    s.fc("fc2", 84).relu("relu4");
+    s.fc("fc3", 10).softmax("prob");
+    s.finish_with_loss("loss")
+}
+
+/// AlexNet on 224×224×3 ImageNet images.
+pub fn alexnet(batch: u64) -> Graph {
+    let mut s = LayerStack::new("images", [batch, 224, 224, 3]);
+    s.conv("conv1", 96, 11, 4)
+        .relu("relu1")
+        .pool("pool1", 3, 2)
+        .conv("conv2", 256, 5, 1)
+        .relu("relu2")
+        .pool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1)
+        .relu("relu3")
+        .conv("conv4", 384, 3, 1)
+        .relu("relu4")
+        .conv("conv5", 256, 3, 1)
+        .relu("relu5")
+        .pool("pool5", 3, 2);
+    s.flatten();
+    s.fc("fc6", 4096).relu("relu6");
+    s.fc("fc7", 4096).relu("relu7");
+    s.fc("fc8", 1000).softmax("prob");
+    s.finish_with_loss("loss")
+}
+
+/// VGG-19 (configuration E of Simonyan & Zisserman) on 224×224×3 images.
+///
+/// Layer names match the paper's Table 5 (`conv1_1`, `conv1_2`, …, `fc6`).
+pub fn vgg19(batch: u64) -> Graph {
+    let mut s = LayerStack::new("images", [batch, 224, 224, 3]);
+    let blocks: &[(u64, u64, &[&str])] = &[
+        (64, 2, &["conv1_1", "conv1_2"]),
+        (128, 2, &["conv2_1", "conv2_2"]),
+        (256, 4, &["conv3_1", "conv3_2", "conv3_3", "conv3_4"]),
+        (512, 4, &["conv4_1", "conv4_2", "conv4_3", "conv4_4"]),
+        (512, 4, &["conv5_1", "conv5_2", "conv5_3", "conv5_4"]),
+    ];
+    for (bi, (ch, _, names)) in blocks.iter().enumerate() {
+        for name in names.iter() {
+            s.conv(name, *ch, 3, 1)
+                .relu(&format!("relu{}", name.trim_start_matches("conv")));
+        }
+        s.pool(&format!("pool{}", bi + 1), 2, 2);
+    }
+    s.flatten();
+    s.fc("fc6", 4096).relu("relu6");
+    s.fc("fc7", 4096).relu("relu7");
+    s.fc("fc8", 1000).softmax("prob");
+    s.finish_with_loss("loss")
+}
+
+/// One Inception-v3 "A" style block: four parallel branches concatenated
+/// along the channel dimension.
+fn inception_a(s: &mut LayerStack, p: &str, pool_proj: u64) {
+    let root = s.mark();
+    s.conv(&format!("{p}/b1x1"), 64, 1, 1)
+        .relu(&format!("{p}/b1x1/relu"));
+    let b1 = s.mark();
+    s.goto(&root)
+        .conv(&format!("{p}/b5x5_reduce"), 48, 1, 1)
+        .conv(&format!("{p}/b5x5"), 64, 5, 1)
+        .relu(&format!("{p}/b5x5/relu"));
+    let b2 = s.mark();
+    s.goto(&root)
+        .conv(&format!("{p}/b3x3dbl_reduce"), 64, 1, 1)
+        .conv(&format!("{p}/b3x3dbl_1"), 96, 3, 1)
+        .conv(&format!("{p}/b3x3dbl_2"), 96, 3, 1)
+        .relu(&format!("{p}/b3x3dbl/relu"));
+    let b3 = s.mark();
+    s.goto(&root)
+        .pool(&format!("{p}/pool"), 3, 1)
+        .conv(&format!("{p}/pool_proj"), pool_proj, 1, 1);
+    s.concat(&format!("{p}/concat"), &[b1, b2, b3]);
+}
+
+/// One Inception-v3 "B" style block with factorized 7×7 convolutions.
+fn inception_b(s: &mut LayerStack, p: &str, mid: u64) {
+    let root = s.mark();
+    s.conv(&format!("{p}/b1x1"), 192, 1, 1)
+        .relu(&format!("{p}/b1x1/relu"));
+    let b1 = s.mark();
+    s.goto(&root)
+        .conv(&format!("{p}/b7x7_reduce"), mid, 1, 1)
+        .conv_rect(&format!("{p}/b1x7"), mid, 1, 7, 1)
+        .conv_rect(&format!("{p}/b7x1"), 192, 7, 1, 1);
+    let b2 = s.mark();
+    s.goto(&root)
+        .conv(&format!("{p}/b7x7dbl_reduce"), mid, 1, 1)
+        .conv_rect(&format!("{p}/b7x7dbl_1"), mid, 7, 1, 1)
+        .conv_rect(&format!("{p}/b7x7dbl_2"), mid, 1, 7, 1)
+        .conv_rect(&format!("{p}/b7x7dbl_3"), mid, 7, 1, 1)
+        .conv_rect(&format!("{p}/b7x7dbl_4"), 192, 1, 7, 1);
+    let b3 = s.mark();
+    s.goto(&root)
+        .pool(&format!("{p}/pool"), 3, 1)
+        .conv(&format!("{p}/pool_proj"), 192, 1, 1);
+    s.concat(&format!("{p}/concat"), &[b1, b2, b3]);
+}
+
+/// One Inception-v3 "C" style block (8×8 grid, wide branches).
+fn inception_c(s: &mut LayerStack, p: &str) {
+    let root = s.mark();
+    s.conv(&format!("{p}/b1x1"), 320, 1, 1)
+        .relu(&format!("{p}/b1x1/relu"));
+    let b1 = s.mark();
+    s.goto(&root).conv(&format!("{p}/b3x3_reduce"), 384, 1, 1);
+    let reduce = s.mark();
+    s.conv_rect(&format!("{p}/b1x3"), 384, 1, 3, 1);
+    let b2a = s.mark();
+    s.goto(&reduce)
+        .conv_rect(&format!("{p}/b3x1"), 384, 3, 1, 1);
+    let b2b = s.mark();
+    s.goto(&root)
+        .conv(&format!("{p}/b3x3dbl_reduce"), 448, 1, 1)
+        .conv(&format!("{p}/b3x3dbl_1"), 384, 3, 1);
+    let dbl = s.mark();
+    s.conv_rect(&format!("{p}/b3x3dbl_1x3"), 384, 1, 3, 1);
+    let b3a = s.mark();
+    s.goto(&dbl)
+        .conv_rect(&format!("{p}/b3x3dbl_3x1"), 384, 3, 1, 1);
+    let b3b = s.mark();
+    s.goto(&root)
+        .pool(&format!("{p}/pool"), 3, 1)
+        .conv(&format!("{p}/pool_proj"), 192, 1, 1);
+    s.concat(&format!("{p}/concat"), &[b1, b2a, b2b, b3a, b3b]);
+}
+
+/// Grid-size reduction block (stride-2 branches plus pooling).
+fn inception_reduce(s: &mut LayerStack, p: &str, ch_a: u64, ch_b: u64) {
+    let root = s.mark();
+    s.conv(&format!("{p}/b3x3"), ch_a, 3, 2);
+    let b1 = s.mark();
+    s.goto(&root)
+        .conv(&format!("{p}/b3x3dbl_reduce"), ch_b, 1, 1)
+        .conv(&format!("{p}/b3x3dbl_1"), ch_b, 3, 1)
+        .conv(&format!("{p}/b3x3dbl_2"), ch_b, 3, 2);
+    let b2 = s.mark();
+    s.goto(&root).pool(&format!("{p}/pool"), 3, 2);
+    s.concat(&format!("{p}/concat"), &[b1, b2]);
+}
+
+/// Inception-v3 on 299×299×3 images (stem + 3 A blocks + 4 B blocks +
+/// 2 C blocks with the two grid reductions, following Szegedy et al.).
+pub fn inception_v3(batch: u64) -> Graph {
+    let mut s = LayerStack::new("images", [batch, 299, 299, 3]);
+    s.conv("conv0", 32, 3, 2)
+        .conv("conv1", 32, 3, 1)
+        .conv("conv2", 64, 3, 1)
+        .pool("pool1", 3, 2)
+        .conv("conv3", 80, 1, 1)
+        .conv("conv4", 192, 3, 1)
+        .pool("pool2", 3, 2);
+    inception_a(&mut s, "mixed0", 32);
+    inception_a(&mut s, "mixed1", 64);
+    inception_a(&mut s, "mixed2", 64);
+    inception_reduce(&mut s, "mixed3", 384, 96);
+    inception_b(&mut s, "mixed4", 128);
+    inception_b(&mut s, "mixed5", 160);
+    inception_b(&mut s, "mixed6", 160);
+    inception_b(&mut s, "mixed7", 192);
+    inception_reduce(&mut s, "mixed8", 320, 192);
+    inception_c(&mut s, "mixed9");
+    inception_c(&mut s, "mixed10");
+    s.global_pool("avg_pool");
+    s.fc("logits", 1000).softmax("prob");
+    s.finish_with_loss("loss")
+}
+
+/// One pre-activation bottleneck residual block.
+fn bottleneck(s: &mut LayerStack, p: &str, mid: u64, out: u64, stride: u64) {
+    let input = s.mark();
+    let needs_proj = input.shape.dim(3) != out || stride != 1;
+    s.batch_norm(&format!("{p}/bn0"))
+        .relu(&format!("{p}/relu0"));
+    let preact = s.mark();
+    s.conv(&format!("{p}/conv1"), mid, 1, stride)
+        .batch_norm(&format!("{p}/bn1"))
+        .relu(&format!("{p}/relu1"))
+        .conv(&format!("{p}/conv2"), mid, 3, 1)
+        .batch_norm(&format!("{p}/bn2"))
+        .relu(&format!("{p}/relu2"))
+        .conv(&format!("{p}/conv3"), out, 1, 1);
+    let main = s.mark();
+    let shortcut = if needs_proj {
+        s.goto(&preact)
+            .conv(&format!("{p}/shortcut"), out, 1, stride);
+        s.mark()
+    } else {
+        input
+    };
+    s.goto(&main);
+    s.add_residual(&format!("{p}/add"), &shortcut);
+}
+
+/// ResNet-200 v2 (pre-activation, bottleneck depths `[3, 24, 36, 3]`)
+/// on 224×224×3 images.
+pub fn resnet200(batch: u64) -> Graph {
+    let mut s = LayerStack::new("images", [batch, 224, 224, 3]);
+    s.conv("conv1", 64, 7, 2).pool("pool1", 3, 2);
+    let stages: &[(u64, u64, u64, &str)] = &[
+        (64, 256, 3, "stage1"),
+        (128, 512, 24, "stage2"),
+        (256, 1024, 36, "stage3"),
+        (512, 2048, 3, "stage4"),
+    ];
+    for (si, (mid, out, blocks, name)) in stages.iter().enumerate() {
+        for b in 0..*blocks {
+            let stride = if b == 0 && si > 0 { 2 } else { 1 };
+            bottleneck(&mut s, &format!("{name}/block{b}"), *mid, *out, stride);
+        }
+    }
+    s.batch_norm("postnorm")
+        .relu("postrelu")
+        .global_pool("avg_pool");
+    s.fc("logits", 1000).softmax("prob");
+    s.finish_with_loss("loss")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::build_training_graph;
+
+    fn param_count(g: &Graph) -> u64 {
+        g.total_param_bytes() / 4
+    }
+
+    #[test]
+    fn lenet_is_small() {
+        let g = lenet(256);
+        g.validate().unwrap();
+        let p = param_count(&g);
+        // classic LeNet-5 has ~60k parameters; same-padding gives us a bit
+        // more in fc1 but the same order of magnitude
+        assert!(p > 30_000 && p < 300_000, "lenet params = {p}");
+    }
+
+    #[test]
+    fn alexnet_parameter_count() {
+        let g = alexnet(256);
+        g.validate().unwrap();
+        let p = param_count(&g);
+        // published AlexNet is ~61M; same-padding fc6 gives slightly more
+        assert!(p > 40_000_000 && p < 90_000_000, "alexnet params = {p}");
+    }
+
+    #[test]
+    fn vgg19_parameter_count() {
+        let g = vgg19(64);
+        g.validate().unwrap();
+        let p = param_count(&g);
+        // published VGG-19: 143.7M parameters
+        assert!(p > 130_000_000 && p < 160_000_000, "vgg19 params = {p}");
+    }
+
+    #[test]
+    fn vgg19_fc6_is_huge() {
+        let g = vgg19(64);
+        let w = g.op_ref(g.by_name("fc6/weights").unwrap());
+        // 25088 x 4096 = 102.8M parameters (the paper's Table 5 `Fc6` row)
+        assert_eq!(w.param_bytes / 4, 25088 * 4096);
+    }
+
+    #[test]
+    fn inception_parameter_count() {
+        let g = inception_v3(64);
+        g.validate().unwrap();
+        let p = param_count(&g);
+        // published Inception-v3: ~23.8M
+        assert!(p > 15_000_000 && p < 40_000_000, "inception params = {p}");
+    }
+
+    #[test]
+    fn resnet200_depth_and_params() {
+        let g = resnet200(32);
+        g.validate().unwrap();
+        let convs = g
+            .iter_ops()
+            .filter(|(_, o)| o.kind == fastt_graph::OpKind::Conv2D)
+            .count();
+        // 66 blocks x 3 convs + shortcuts + stem ≈ 200+
+        assert!(convs > 190, "resnet200 convs = {convs}");
+        let p = param_count(&g);
+        // published ResNet-200 v2: ~64.7M
+        assert!(p > 50_000_000 && p < 80_000_000, "resnet200 params = {p}");
+    }
+
+    #[test]
+    fn all_cnns_produce_training_graphs() {
+        for (name, g) in [
+            ("lenet", lenet(8)),
+            ("alexnet", alexnet(8)),
+            ("vgg19", vgg19(8)),
+            ("inception", inception_v3(8)),
+            ("resnet200", resnet200(8)),
+        ] {
+            let t = build_training_graph(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+            t.validate().unwrap();
+            assert!(
+                t.op_count() > g.op_count(),
+                "{name} training graph too small"
+            );
+        }
+    }
+
+    #[test]
+    fn vgg_conv_flops_dominated_by_early_layers() {
+        let g = vgg19(64);
+        let f = |n: &str| g.op_ref(g.by_name(n).unwrap()).flops;
+        // conv1_2 (64ch at 224x224) is one of the heaviest ops — the paper's
+        // Table 5 shows it as a split candidate with 11ms runtime
+        assert!(f("conv1_2") > f("conv1_1") * 10);
+        assert!(f("conv1_2") > f("fc8"));
+    }
+
+    #[test]
+    fn batch_scales_flops_not_params() {
+        let small = vgg19(8);
+        let large = vgg19(64);
+        assert_eq!(small.total_param_bytes(), large.total_param_bytes());
+        assert!(large.total_flops() > 7 * small.total_flops());
+    }
+}

@@ -1,0 +1,191 @@
+//! # fastt-models
+//!
+//! Benchmark model graph builders for the FastT reproduction: the five CNNs
+//! and four NMT/attention models of the paper's evaluation (Sec. 6.2), plus
+//! the [`LayerStack`] builder they are written with.
+//!
+//! All builders return *forward* graphs; pass them through
+//! [`fastt_graph::build_training_graph`] (or use [`Model::training_graph`])
+//! to obtain the per-iteration training DAG that FastT schedules.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastt_models::Model;
+//!
+//! let g = Model::Vgg19.training_graph(8);
+//! assert!(g.op_count() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnn;
+mod nlp;
+mod stack;
+
+pub use cnn::{alexnet, inception_v3, lenet, resnet200, vgg19};
+pub use nlp::{bert_large, gnmt4, rnnlm, transformer, ATTN_SEQ_LEN, SEQ_LEN};
+pub use stack::{Cursor, LayerStack};
+
+use fastt_graph::{build_training_graph, Graph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The nine benchmark models of the paper's evaluation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// Inception-v3 CNN.
+    InceptionV3,
+    /// VGG-19 CNN.
+    Vgg19,
+    /// ResNet-200 v2 CNN.
+    ResNet200,
+    /// LeNet-5 CNN.
+    LeNet,
+    /// AlexNet CNN.
+    AlexNet,
+    /// GNMT with 4 encoder/decoder layers.
+    Gnmt4,
+    /// 2-layer LSTM language model.
+    Rnnlm,
+    /// Transformer base.
+    Transformer,
+    /// BERT-large.
+    BertLarge,
+}
+
+impl Model {
+    /// All nine models, in the paper's Table 1 row order.
+    pub fn all() -> [Model; 9] {
+        [
+            Model::InceptionV3,
+            Model::Vgg19,
+            Model::ResNet200,
+            Model::LeNet,
+            Model::AlexNet,
+            Model::Gnmt4,
+            Model::Rnnlm,
+            Model::Transformer,
+            Model::BertLarge,
+        ]
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::InceptionV3 => "Inception_v3",
+            Model::Vgg19 => "VGG-19",
+            Model::ResNet200 => "ResNet200",
+            Model::LeNet => "LeNet",
+            Model::AlexNet => "AlexNet",
+            Model::Gnmt4 => "GNMT(4 layers)",
+            Model::Rnnlm => "RNNLM",
+            Model::Transformer => "Transformer",
+            Model::BertLarge => "Bert-large",
+        }
+    }
+
+    /// The batch size of the paper's Table 1 / Table 2 (global batch under
+    /// strong scaling, per-GPU batch under weak scaling).
+    pub fn paper_batch(self) -> u64 {
+        match self {
+            Model::InceptionV3 => 64,
+            Model::Vgg19 => 64,
+            Model::ResNet200 => 32,
+            Model::LeNet => 256,
+            Model::AlexNet => 256,
+            Model::Gnmt4 => 128,
+            Model::Rnnlm => 64,
+            Model::Transformer => 4096,
+            Model::BertLarge => 16,
+        }
+    }
+
+    /// The smallest batch this model can be built with (Transformer batches
+    /// count tokens and need at least one [`ATTN_SEQ_LEN`]-token sequence).
+    pub fn min_batch(self) -> u64 {
+        match self {
+            Model::Transformer => ATTN_SEQ_LEN,
+            _ => 1,
+        }
+    }
+
+    /// Builds the forward graph at the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch < self.min_batch()`.
+    pub fn forward_graph(self, batch: u64) -> Graph {
+        match self {
+            Model::InceptionV3 => inception_v3(batch),
+            Model::Vgg19 => vgg19(batch),
+            Model::ResNet200 => resnet200(batch),
+            Model::LeNet => lenet(batch),
+            Model::AlexNet => alexnet(batch),
+            Model::Gnmt4 => gnmt4(batch),
+            Model::Rnnlm => rnnlm(batch),
+            Model::Transformer => transformer(batch),
+            Model::BertLarge => bert_large(batch),
+        }
+    }
+
+    /// Builds the per-iteration training graph (forward + backward +
+    /// optimizer updates) at the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch < self.min_batch()`.
+    pub fn training_graph(self, batch: u64) -> Graph {
+        build_training_graph(&self.forward_graph(batch)).expect("model builders produce valid DAGs")
+    }
+
+    /// Whether this is one of the five CNN benchmarks.
+    pub fn is_cnn(self) -> bool {
+        matches!(
+            self,
+            Model::InceptionV3 | Model::Vgg19 | Model::ResNet200 | Model::LeNet | Model::AlexNet
+        )
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(Model::all().len(), 9);
+        for m in Model::all() {
+            assert!(!m.name().is_empty());
+            assert!(m.paper_batch() >= m.min_batch());
+        }
+    }
+
+    #[test]
+    fn every_model_builds_small() {
+        for m in Model::all() {
+            let batch = m.min_batch().max(4);
+            let g = m.forward_graph(batch);
+            g.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn cnn_classification() {
+        assert!(Model::Vgg19.is_cnn());
+        assert!(!Model::BertLarge.is_cnn());
+        assert_eq!(Model::all().iter().filter(|m| m.is_cnn()).count(), 5);
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(Model::Gnmt4.to_string(), "GNMT(4 layers)");
+    }
+}

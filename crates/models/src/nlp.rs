@@ -1,0 +1,429 @@
+//! The four NMT/language-model benchmarks of the paper's evaluation
+//! (Sec. 6.2): GNMT (4 layers), RNNLM, Transformer and BERT-large.
+//!
+//! Recurrent models are built as *unrolled* DAGs — the paper explicitly
+//! optimizes "the DAG within each of its loops" and leaves dynamic control
+//! flow as future work (Sec. 3, Sec. 8), so a fixed unroll length is the
+//! faithful representation.
+
+use crate::stack::{Cursor, LayerStack};
+use fastt_graph::{Graph, OpId, OpKind, Operation, TensorShape};
+
+/// Unroll length used for the recurrent benchmarks.
+pub const SEQ_LEN: u64 = 20;
+/// Sequence length for the attention benchmarks (the paper sets BERT's
+/// maximal sequence length to 64, Sec. 6.3).
+pub const ATTN_SEQ_LEN: u64 = 64;
+
+/// One unrolled LSTM step: consumes the current cursor (`[batch, in]`) and,
+/// optionally, the previous step's hidden state; shares weights across steps.
+fn lstm_step(
+    s: &mut LayerStack,
+    name: &str,
+    hidden: u64,
+    weights: Option<OpId>,
+    prev_state: Option<OpId>,
+) -> (OpId, OpId) {
+    let batch = s.shape().dim(0);
+    let (cell, w) = s.lstm_cell(name, hidden, weights);
+    if let Some(p) = prev_state {
+        s.link_bytes(p, cell, batch * hidden * 4);
+    }
+    (cell, w)
+}
+
+/// RNNLM (Zaremba et al. "large"): 2-layer LSTM, hidden 1500, vocab 10k,
+/// per-step softmax projection, unrolled [`SEQ_LEN`] steps.
+pub fn rnnlm(batch: u64) -> Graph {
+    const HIDDEN: u64 = 1500;
+    const VOCAB: u64 = 10_000;
+    let mut s = LayerStack::new("ids", [batch, SEQ_LEN]);
+    s.embedding("embedding", VOCAB, HIDDEN);
+    let emb = s.mark();
+
+    let mut weights: [Option<OpId>; 2] = [None, None];
+    let mut states: [Option<OpId>; 2] = [None, None];
+    let proj_w = s.variable("proj/weights", [HIDDEN, VOCAB]);
+    let mut last_losses: Vec<Cursor> = Vec::new();
+    for t in 0..SEQ_LEN {
+        s.goto(&emb);
+        s.slice(&format!("slice{t}"), [batch, HIDDEN]);
+        for (l, _) in (0..2).enumerate() {
+            let (cell, w) = lstm_step(&mut s, &format!("l{l}_t{t}"), HIDDEN, weights[l], states[l]);
+            weights[l] = Some(w);
+            states[l] = Some(cell);
+        }
+        // per-step vocabulary projection
+        let proj = s.add_with_inputs(
+            Operation::new(format!("proj_t{t}"), OpKind::MatMul, [batch, VOCAB])
+                .with_flops(2 * batch * HIDDEN * VOCAB),
+            &[states[1].unwrap(), proj_w],
+        );
+        s.set_cursor(proj, [batch, VOCAB]);
+        s.softmax(&format!("softmax_t{t}"));
+        last_losses.push(s.mark());
+    }
+    finish_joint_loss(s, &last_losses)
+}
+
+/// GNMT with 4 encoder and 4 decoder layers (first encoder layer
+/// bidirectional), hidden 1024, vocab 32k, per-step attention and
+/// vocabulary projection, unrolled [`SEQ_LEN`] steps.
+pub fn gnmt4(batch: u64) -> Graph {
+    const HIDDEN: u64 = 1024;
+    const VOCAB: u64 = 32_000;
+    let mut s = LayerStack::new("src_ids", [batch, SEQ_LEN]);
+    s.embedding("enc_embedding", VOCAB, HIDDEN);
+    let enc_emb = s.mark();
+
+    // Encoder: layer 0 is bidirectional (fwd + bwd cells), layers 1–3
+    // unidirectional. Weight shared across time per (layer, direction).
+    let mut enc_w: Vec<Option<OpId>> = vec![None; 5];
+    let mut enc_state: Vec<Option<OpId>> = vec![None; 5];
+    let mut enc_top: Vec<OpId> = Vec::new();
+    for t in 0..SEQ_LEN {
+        s.goto(&enc_emb);
+        s.slice(&format!("enc_slice{t}"), [batch, HIDDEN]);
+        let input = s.mark();
+        // bidirectional layer 0
+        let (fw, wf) = lstm_step(
+            &mut s,
+            &format!("enc_l0f_t{t}"),
+            HIDDEN,
+            enc_w[0],
+            enc_state[0],
+        );
+        enc_w[0] = Some(wf);
+        enc_state[0] = Some(fw);
+        s.goto(&input);
+        let (bw, wb) = lstm_step(
+            &mut s,
+            &format!("enc_l0b_t{t}"),
+            HIDDEN,
+            enc_w[1],
+            enc_state[1],
+        );
+        enc_w[1] = Some(wb);
+        enc_state[1] = Some(bw);
+        // combine directions
+        let comb = s.add_with_inputs(
+            Operation::new(format!("enc_comb_t{t}"), OpKind::Add, [batch, HIDDEN])
+                .with_flops(batch * HIDDEN),
+            &[fw, bw],
+        );
+        s.set_cursor(comb, [batch, HIDDEN]);
+        for l in 1..4usize {
+            let (cell, w) = lstm_step(
+                &mut s,
+                &format!("enc_l{l}_t{t}"),
+                HIDDEN,
+                enc_w[l + 1],
+                enc_state[l + 1],
+            );
+            enc_w[l + 1] = Some(w);
+            enc_state[l + 1] = Some(cell);
+        }
+        enc_top.push(enc_state[4].unwrap());
+    }
+
+    // Decoder with additive attention over the encoder outputs.
+    let mut t_in = {
+        let dec_ids = s.add_detached(Operation::new("tgt_ids", OpKind::Input, [batch, SEQ_LEN]));
+        let table = s.variable("dec_embedding/table", [VOCAB, HIDDEN]);
+        let emb = s.add_with_inputs(
+            Operation::new("dec_embedding", OpKind::Embedding, [batch, SEQ_LEN, HIDDEN])
+                .with_flops(batch * SEQ_LEN * HIDDEN),
+            &[dec_ids, table],
+        );
+        s.set_cursor(emb, [batch, SEQ_LEN, HIDDEN]);
+        s.mark()
+    };
+    let mut dec_w: Vec<Option<OpId>> = vec![None; 4];
+    let mut dec_state: Vec<Option<OpId>> = vec![None; 4];
+    let attn_w = s.variable("attention/weights", [2 * HIDDEN, HIDDEN]);
+    let proj_w = s.variable("proj/weights", [HIDDEN, VOCAB]);
+    let mut outputs: Vec<Cursor> = Vec::new();
+    for t in 0..SEQ_LEN {
+        s.goto(&t_in);
+        s.slice(&format!("dec_slice{t}"), [batch, HIDDEN]);
+        for l in 0..4usize {
+            let (cell, w) = lstm_step(
+                &mut s,
+                &format!("dec_l{l}_t{t}"),
+                HIDDEN,
+                dec_w[l],
+                dec_state[l],
+            );
+            dec_w[l] = Some(w);
+            dec_state[l] = Some(cell);
+        }
+        // attention: scores against all encoder outputs + context blend
+        let attn = s.add_detached(
+            Operation::new(format!("attn_t{t}"), OpKind::Attention, [batch, HIDDEN])
+                .with_flops(4 * batch * SEQ_LEN * HIDDEN),
+        );
+        s.link_bytes(dec_state[3].unwrap(), attn, batch * HIDDEN * 4);
+        for &e in &enc_top {
+            s.link_bytes(e, attn, batch * HIDDEN * 4);
+        }
+        s.link_bytes(attn_w, attn, 2 * HIDDEN * HIDDEN * 4);
+        let proj = s.add_with_inputs(
+            Operation::new(format!("proj_t{t}"), OpKind::MatMul, [batch, VOCAB])
+                .with_flops(2 * batch * HIDDEN * VOCAB),
+            &[attn, proj_w],
+        );
+        s.set_cursor(proj, [batch, VOCAB]);
+        s.softmax(&format!("softmax_t{t}"));
+        outputs.push(s.mark());
+    }
+    let _ = &mut t_in;
+    finish_joint_loss(s, &outputs)
+}
+
+/// Multi-head self/cross attention block with residual + layer norm.
+/// `source` provides keys and values (`None` = self-attention).
+fn mha_block(s: &mut LayerStack, p: &str, heads: u64, source: Option<&Cursor>) {
+    let input = s.mark();
+    let (n, seq, d) = (input.shape.dim(0), input.shape.dim(1), input.shape.dim(2));
+    let dh = d / heads;
+    s.fc(&format!("{p}/q"), d);
+    let q = s.mark();
+    let kv_src = source.unwrap_or(&input).clone();
+    s.goto(&kv_src).fc(&format!("{p}/k"), d);
+    let k = s.mark();
+    s.goto(&kv_src).fc(&format!("{p}/v"), d);
+    let v = s.mark();
+
+    let slice_bytes = n * seq * dh * 4;
+    let mut head_ops = Vec::with_capacity(heads as usize);
+    for h in 0..heads {
+        let at = s.add_detached(
+            Operation::new(format!("{p}/head{h}"), OpKind::Attention, [n, seq, dh])
+                .with_flops(4 * n * seq * seq * dh + 3 * n * seq * seq),
+        );
+        s.link_bytes(q.op, at, slice_bytes);
+        s.link_bytes(k.op, at, slice_bytes);
+        s.link_bytes(v.op, at, slice_bytes);
+        head_ops.push(at);
+    }
+    let cat = s.add_detached(
+        Operation::new(format!("{p}/heads_concat"), OpKind::Concat, [n, seq, d])
+            .with_flops(n * seq * d),
+    );
+    for &h in &head_ops {
+        s.link_bytes(h, cat, slice_bytes);
+    }
+    s.set_cursor(cat, [n, seq, d]);
+    s.fc(&format!("{p}/out"), d);
+    s.add_residual(&format!("{p}/res"), &input);
+    s.layer_norm(&format!("{p}/ln"));
+}
+
+/// Position-wise feed-forward block with residual + layer norm. The
+/// activation kind matters for memory: the original Transformer uses ReLU,
+/// BERT uses (TF-1.x-unfused) GeLU.
+fn ffn_block(s: &mut LayerStack, p: &str, d_ff: u64, act: OpKind) {
+    let input = s.mark();
+    let d = input.shape.dim(2);
+    s.fc(&format!("{p}/ff1"), d_ff)
+        .activation(&format!("{p}/ff_act"), act)
+        .fc(&format!("{p}/ff2"), d);
+    s.add_residual(&format!("{p}/res"), &input);
+    s.layer_norm(&format!("{p}/ln"));
+}
+
+/// Transformer base (Vaswani et al.): 6 encoder + 6 decoder layers,
+/// d_model 512, 8 heads, d_ff 2048, vocab 32k. `batch` counts *tokens*
+/// (the paper trains with a global batch of 4096); sequences have
+/// [`ATTN_SEQ_LEN`] tokens each.
+///
+/// # Panics
+///
+/// Panics if `batch < ATTN_SEQ_LEN` (need at least one sequence).
+pub fn transformer(batch: u64) -> Graph {
+    const D: u64 = 512;
+    const HEADS: u64 = 8;
+    const FF: u64 = 2048;
+    const VOCAB: u64 = 32_000;
+    let seqs = batch / ATTN_SEQ_LEN;
+    assert!(
+        seqs > 0,
+        "transformer batch must be at least {ATTN_SEQ_LEN} tokens"
+    );
+
+    let mut s = LayerStack::new("src_ids", [seqs, ATTN_SEQ_LEN]);
+    s.embedding("enc_embedding", VOCAB, D);
+    for l in 0..6 {
+        mha_block(&mut s, &format!("enc{l}/self"), HEADS, None);
+        ffn_block(&mut s, &format!("enc{l}"), FF, OpKind::Relu);
+    }
+    let memory = s.mark();
+
+    let dec_ids = s.add_detached(Operation::new(
+        "tgt_ids",
+        OpKind::Input,
+        [seqs, ATTN_SEQ_LEN],
+    ));
+    let table = s.variable("dec_embedding/table", [VOCAB, D]);
+    let emb = s.add_with_inputs(
+        Operation::new("dec_embedding", OpKind::Embedding, [seqs, ATTN_SEQ_LEN, D])
+            .with_flops(seqs * ATTN_SEQ_LEN * D),
+        &[dec_ids, table],
+    );
+    s.set_cursor(emb, [seqs, ATTN_SEQ_LEN, D]);
+    for l in 0..6 {
+        mha_block(&mut s, &format!("dec{l}/self"), HEADS, None);
+        mha_block(&mut s, &format!("dec{l}/cross"), HEADS, Some(&memory));
+        ffn_block(&mut s, &format!("dec{l}"), FF, OpKind::Relu);
+    }
+    s.fc("logits", VOCAB).softmax("prob");
+    s.finish_with_loss("loss")
+}
+
+/// BERT-large: 24 encoder layers, d_model 1024, 16 heads, d_ff 4096,
+/// vocab 30k, sequence length [`ATTN_SEQ_LEN`] (the paper's setting),
+/// with a masked-LM head. `batch` counts sequences (the paper's Table 1
+/// uses a global batch of 16).
+pub fn bert_large(batch: u64) -> Graph {
+    const D: u64 = 1024;
+    const HEADS: u64 = 16;
+    const FF: u64 = 4096;
+    const VOCAB: u64 = 30_000;
+    let mut s = LayerStack::new("ids", [batch, ATTN_SEQ_LEN]);
+    s.embedding("embedding", VOCAB, D);
+    s.layer_norm("embedding/ln");
+    for l in 0..24 {
+        mha_block(&mut s, &format!("layer{l}/attn"), HEADS, None);
+        ffn_block(&mut s, &format!("layer{l}"), FF, OpKind::Gelu);
+    }
+    s.fc("mlm/transform", D).layer_norm("mlm/ln");
+    s.fc("mlm/logits", VOCAB).softmax("mlm/prob");
+    s.finish_with_loss("loss")
+}
+
+/// Joins per-step outputs into a single loss sink.
+fn finish_joint_loss(mut s: LayerStack, outputs: &[Cursor]) -> Graph {
+    let loss = s.add_detached(Operation::new("loss", OpKind::Loss, TensorShape::scalar()));
+    let per_step = outputs
+        .first()
+        .map(|c| c.shape.dim(0) * 4) // one scalar per sample
+        .unwrap_or(4);
+    for o in outputs {
+        s.link_bytes(o.op, loss, per_step);
+    }
+    s.into_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::build_training_graph;
+
+    fn params(g: &Graph) -> u64 {
+        g.total_param_bytes() / 4
+    }
+
+    #[test]
+    fn rnnlm_parameter_count() {
+        let g = rnnlm(64);
+        g.validate().unwrap();
+        let p = params(&g);
+        // Zaremba-large: ~66M (embedding 15M + 2x LSTM 18M + proj 15M)
+        assert!(p > 50_000_000 && p < 80_000_000, "rnnlm params = {p}");
+    }
+
+    #[test]
+    fn rnnlm_has_recurrent_structure() {
+        let g = rnnlm(8);
+        // cell at t=1 must depend on cell at t=0
+        let c0 = g.by_name("l0_t0").unwrap();
+        let c1 = g.by_name("l0_t1").unwrap();
+        assert!(g.preds(c1).any(|p| p == c0));
+        // weights shared: exactly one variable per layer
+        let vars = g
+            .iter_ops()
+            .filter(|(_, o)| o.name.starts_with("l0_") && o.kind == OpKind::Variable)
+            .count();
+        assert_eq!(vars, 1, "layer-0 weights shared across all time steps");
+        assert!(g.by_name("l0_t0/weights").is_some());
+        assert!(g.by_name("l0_t1/weights").is_none());
+    }
+
+    #[test]
+    fn gnmt_parameter_count() {
+        let g = gnmt4(128);
+        g.validate().unwrap();
+        let p = params(&g);
+        // two 32k x 1024 embeddings + 9 LSTMs + attention + 1024x32k proj ≈ 170M
+        assert!(p > 120_000_000 && p < 220_000_000, "gnmt params = {p}");
+    }
+
+    #[test]
+    fn gnmt_attention_reads_all_encoder_steps() {
+        let g = gnmt4(8);
+        let attn = g.by_name("attn_t0").unwrap();
+        // preds: decoder state + SEQ_LEN encoder outputs + weights
+        assert_eq!(g.preds(attn).count() as u64, 1 + SEQ_LEN + 1);
+    }
+
+    #[test]
+    fn transformer_parameter_count() {
+        let g = transformer(4096);
+        g.validate().unwrap();
+        let p = params(&g);
+        // Transformer base ≈ 65M + our untied output projection (16M)
+        assert!(
+            p > 50_000_000 && p < 120_000_000,
+            "transformer params = {p}"
+        );
+    }
+
+    #[test]
+    fn transformer_head_count() {
+        let g = transformer(4096);
+        let heads = g
+            .iter_ops()
+            .filter(|(_, o)| o.kind == OpKind::Attention)
+            .count();
+        // 6 enc self + 6 dec self + 6 dec cross = 18 blocks x 8 heads
+        assert_eq!(heads, 18 * 8);
+    }
+
+    #[test]
+    fn bert_parameter_count() {
+        let g = bert_large(16);
+        g.validate().unwrap();
+        let p = params(&g);
+        // published BERT-large: ~340M
+        assert!(p > 280_000_000 && p < 420_000_000, "bert params = {p}");
+    }
+
+    #[test]
+    fn bert_layer_count() {
+        let g = bert_large(16);
+        let lns = g
+            .iter_ops()
+            .filter(|(_, o)| o.name.ends_with("/ln") && o.name.starts_with("layer"))
+            .count();
+        assert_eq!(lns, 48); // 2 per layer x 24 layers
+    }
+
+    #[test]
+    fn all_nlp_models_produce_training_graphs() {
+        for (name, g) in [
+            ("rnnlm", rnnlm(8)),
+            ("gnmt", gnmt4(8)),
+            ("transformer", transformer(128)),
+            ("bert", bert_large(2)),
+        ] {
+            let t = build_training_graph(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+            t.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn transformer_rejects_tiny_batches() {
+        transformer(8);
+    }
+}

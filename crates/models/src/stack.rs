@@ -1,0 +1,532 @@
+//! A convenience builder for constructing forward model graphs layer by
+//! layer, tracking the current tensor shape and wiring `Variable` ops
+//! automatically.
+
+use fastt_graph::{Graph, GraphError, OpId, OpKind, Operation, TensorShape};
+
+/// Incremental forward-graph builder.
+///
+/// Keeps a *cursor* (the op whose output the next layer consumes) plus its
+/// shape; branching topologies (Inception, ResNet) use [`LayerStack::mark`] /
+/// [`LayerStack::goto`] to save and restore the cursor.
+///
+/// # Examples
+///
+/// ```
+/// use fastt_models::LayerStack;
+///
+/// let mut s = LayerStack::new("input", [4, 32, 32, 3]);
+/// s.conv("conv1", 8, 3, 1).relu("relu1").pool("pool1", 2, 2);
+/// s.flatten();
+/// s.fc("fc", 10);
+/// let g = s.finish_with_loss("loss");
+/// assert!(g.by_name("conv1").is_some());
+/// ```
+#[derive(Debug)]
+pub struct LayerStack {
+    g: Graph,
+    cur: OpId,
+    shape: TensorShape,
+}
+
+/// A saved cursor position: op plus output shape.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    /// The op whose output the cursor points at.
+    pub op: OpId,
+    /// That op's output shape.
+    pub shape: TensorShape,
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+impl LayerStack {
+    /// Starts a new model with an `Input` op of the given shape
+    /// (NHWC for images, `[batch, features]` or `[batch, seq, features]`
+    /// for sequence models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if internal graph construction fails (only possible with
+    /// duplicate names, which `new` cannot produce).
+    pub fn new(input_name: &str, shape: impl Into<TensorShape>) -> Self {
+        let shape = shape.into();
+        let mut g = Graph::new();
+        let cur = g
+            .add_op(Operation::new(input_name, OpKind::Input, shape.clone()))
+            .expect("fresh graph");
+        LayerStack { g, cur, shape }
+    }
+
+    /// Current cursor.
+    pub fn mark(&self) -> Cursor {
+        Cursor {
+            op: self.cur,
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Moves the cursor to a saved position.
+    pub fn goto(&mut self, c: &Cursor) -> &mut Self {
+        self.cur = c.op;
+        self.shape = c.shape.clone();
+        self
+    }
+
+    /// Current output shape.
+    pub fn shape(&self) -> &TensorShape {
+        &self.shape
+    }
+
+    /// Direct access to the underlying graph (read-only).
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Direct mutable access to the underlying graph, for topologies the
+    /// high-level helpers cannot express (multi-head attention fan-out).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.g
+    }
+
+    /// Moves the cursor to an arbitrary op with an explicit shape.
+    pub fn set_cursor(&mut self, op: OpId, shape: impl Into<TensorShape>) -> &mut Self {
+        self.cur = op;
+        self.shape = shape.into();
+        self
+    }
+
+    /// Adds `op` consuming the outputs of `inputs`, moves the cursor to it.
+    pub fn add_with_inputs(&mut self, op: Operation, inputs: &[OpId]) -> OpId {
+        let shape = op.out_shape.clone();
+        let id = self.add(op);
+        for &i in inputs {
+            self.connect(i, id);
+        }
+        self.cur = id;
+        self.shape = shape;
+        id
+    }
+
+    /// Adds `op` with no connections and without moving the cursor.
+    pub fn add_detached(&mut self, op: Operation) -> OpId {
+        self.add(op)
+    }
+
+    /// Adds an edge `from → to` carrying exactly `bytes` (partial tensor
+    /// reads: sequence slices, per-head slices of a fused projection).
+    pub fn link_bytes(&mut self, from: OpId, to: OpId, bytes: u64) {
+        self.g.connect_bytes(from, to, bytes).expect("valid ids");
+    }
+
+    /// Takes a slice view of the cursor: an `Identity` op with the given
+    /// output shape whose input edge carries only the slice's bytes.
+    pub fn slice(&mut self, name: &str, shape: impl Into<TensorShape>) -> &mut Self {
+        let shape = shape.into();
+        let bytes = shape.bytes();
+        let op = self
+            .add(Operation::new(name, OpKind::Identity, shape.clone()).with_flops(shape.elems()));
+        let prev = self.cur;
+        self.link_bytes(prev, op, bytes);
+        self.cur = op;
+        self.shape = shape;
+        self
+    }
+
+    fn add(&mut self, op: Operation) -> OpId {
+        match self.g.add_op(op) {
+            Ok(id) => id,
+            Err(GraphError::DuplicateName(n)) => panic!("duplicate layer name `{n}`"),
+            Err(e) => panic!("graph construction failed: {e}"),
+        }
+    }
+
+    fn connect(&mut self, a: OpId, b: OpId) {
+        self.g.connect(a, b).expect("valid ids");
+    }
+
+    /// Adds a trainable variable of the given shape and returns its id.
+    pub fn variable(&mut self, name: &str, shape: impl Into<TensorShape>) -> OpId {
+        let shape = shape.into();
+        let bytes = shape.bytes();
+        self.add(Operation::new(name, OpKind::Variable, shape).with_param_bytes(bytes))
+    }
+
+    /// 2-D convolution with `out_ch` output channels, a `k`×`k` kernel and
+    /// stride `s` ("same" padding). Requires an NHWC cursor shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor shape is not rank 4.
+    pub fn conv(&mut self, name: &str, out_ch: u64, k: u64, s: u64) -> &mut Self {
+        self.conv_rect(name, out_ch, k, k, s)
+    }
+
+    /// 2-D convolution with a rectangular `kh`×`kw` kernel (Inception-v3's
+    /// factorized 1×7 / 7×1 convolutions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor shape is not rank 4.
+    pub fn conv_rect(&mut self, name: &str, out_ch: u64, kh: u64, kw: u64, s: u64) -> &mut Self {
+        assert_eq!(
+            self.shape.rank(),
+            4,
+            "conv needs NHWC input, got {}",
+            self.shape
+        );
+        let (n, h, w, c) = (
+            self.shape.dim(0),
+            self.shape.dim(1),
+            self.shape.dim(2),
+            self.shape.dim(3),
+        );
+        let (ho, wo) = (ceil_div(h, s), ceil_div(w, s));
+        let wvar = self.variable(&format!("{name}/weights"), [kh, kw, c, out_ch]);
+        let flops = 2 * n * ho * wo * kh * kw * c * out_ch;
+        let conv =
+            self.add(Operation::new(name, OpKind::Conv2D, [n, ho, wo, out_ch]).with_flops(flops));
+        let prev = self.cur;
+        self.connect(prev, conv);
+        self.connect(wvar, conv);
+        self.cur = conv;
+        self.shape = TensorShape::new([n, ho, wo, out_ch]);
+        self
+    }
+
+    /// Element-wise ReLU (memory-bound).
+    pub fn relu(&mut self, name: &str) -> &mut Self {
+        self.activation(name, OpKind::Relu)
+    }
+
+    /// Element-wise GeLU (memory-bound, materializes many intermediates in
+    /// TF 1.x).
+    pub fn gelu(&mut self, name: &str) -> &mut Self {
+        self.activation(name, OpKind::Gelu)
+    }
+
+    /// Element-wise activation of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not an element-wise activation.
+    pub fn activation(&mut self, name: &str, kind: OpKind) -> &mut Self {
+        assert!(
+            matches!(kind, OpKind::Relu | OpKind::Gelu),
+            "not an activation kind: {kind}"
+        );
+        let elems = self.shape.elems();
+        let op = self.add(Operation::new(name, kind, self.shape.clone()).with_flops(elems));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.cur = op;
+        self
+    }
+
+    /// Batch normalization (memory-bound, not splittable).
+    pub fn batch_norm(&mut self, name: &str) -> &mut Self {
+        let elems = self.shape.elems();
+        let op = self
+            .add(Operation::new(name, OpKind::BatchNorm, self.shape.clone()).with_flops(2 * elems));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.cur = op;
+        self
+    }
+
+    /// Layer normalization.
+    pub fn layer_norm(&mut self, name: &str) -> &mut Self {
+        let elems = self.shape.elems();
+        let op = self
+            .add(Operation::new(name, OpKind::LayerNorm, self.shape.clone()).with_flops(2 * elems));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.cur = op;
+        self
+    }
+
+    /// `k`×`k` pooling with stride `s` (NHWC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor shape is not rank 4.
+    pub fn pool(&mut self, name: &str, _k: u64, s: u64) -> &mut Self {
+        assert_eq!(self.shape.rank(), 4, "pool needs NHWC input");
+        let (n, h, w, c) = (
+            self.shape.dim(0),
+            self.shape.dim(1),
+            self.shape.dim(2),
+            self.shape.dim(3),
+        );
+        let (ho, wo) = (ceil_div(h, s), ceil_div(w, s));
+        let elems = self.shape.elems();
+        let op = self.add(Operation::new(name, OpKind::Pool, [n, ho, wo, c]).with_flops(elems));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.cur = op;
+        self.shape = TensorShape::new([n, ho, wo, c]);
+        self
+    }
+
+    /// Global average pooling: collapses H and W.
+    pub fn global_pool(&mut self, name: &str) -> &mut Self {
+        assert_eq!(self.shape.rank(), 4, "global_pool needs NHWC input");
+        let (n, c) = (self.shape.dim(0), self.shape.dim(3));
+        let elems = self.shape.elems();
+        let op = self.add(Operation::new(name, OpKind::Pool, [n, c]).with_flops(elems));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.cur = op;
+        self.shape = TensorShape::new([n, c]);
+        self
+    }
+
+    /// Reshapes the cursor to `[batch, features]` without adding an op
+    /// (shape bookkeeping only, like a free reshape).
+    pub fn flatten(&mut self) -> &mut Self {
+        let n = self.shape.dim(0);
+        let feat = self.shape.elems() / n;
+        self.shape = TensorShape::new([n, feat]);
+        self
+    }
+
+    /// Fully connected layer: `MatMul` against a fresh `[in, out]` variable.
+    /// Works on `[batch, in]` or `[batch, seq, in]` cursors (applied
+    /// position-wise for rank 3).
+    pub fn fc(&mut self, name: &str, out: u64) -> &mut Self {
+        let rank = self.shape.rank();
+        assert!(
+            rank == 2 || rank == 3,
+            "fc needs rank-2/3 input, got {}",
+            self.shape
+        );
+        let inner = self.shape.dim(rank - 1);
+        let rows: u64 = self.shape.dims()[..rank - 1].iter().product();
+        let wvar = self.variable(&format!("{name}/weights"), [inner, out]);
+        let mut dims: Vec<u64> = self.shape.dims().to_vec();
+        dims[rank - 1] = out;
+        let flops = 2 * rows * inner * out;
+        let op = self.add(Operation::new(name, OpKind::MatMul, dims.clone()).with_flops(flops));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.connect(wvar, op);
+        self.cur = op;
+        self.shape = TensorShape::new(dims);
+        self
+    }
+
+    /// Embedding lookup: `[batch, seq]` ids → `[batch, seq, dim]`, with a
+    /// `vocab`×`dim` parameter table.
+    pub fn embedding(&mut self, name: &str, vocab: u64, dim: u64) -> &mut Self {
+        assert_eq!(self.shape.rank(), 2, "embedding needs [batch, seq] input");
+        let (n, s) = (self.shape.dim(0), self.shape.dim(1));
+        let table = self.variable(&format!("{name}/table"), [vocab, dim]);
+        let op =
+            self.add(Operation::new(name, OpKind::Embedding, [n, s, dim]).with_flops(n * s * dim));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.connect(table, op);
+        self.cur = op;
+        self.shape = TensorShape::new([n, s, dim]);
+        self
+    }
+
+    /// One fused LSTM cell step over the whole batch: input `[batch, in]`,
+    /// state/output `[batch, hidden]`. Carries its own `[in+hidden, 4*hidden]`
+    /// weights unless `shared_weights` is given (weight sharing across time
+    /// steps, as real RNNs do).
+    pub fn lstm_cell(
+        &mut self,
+        name: &str,
+        hidden: u64,
+        shared_weights: Option<OpId>,
+    ) -> (OpId, OpId) {
+        assert_eq!(self.shape.rank(), 2, "lstm_cell needs [batch, in] input");
+        let (n, inner) = (self.shape.dim(0), self.shape.dim(1));
+        let w = shared_weights.unwrap_or_else(|| {
+            self.variable(&format!("{name}/weights"), [inner + hidden, 4 * hidden])
+        });
+        let flops = 2 * n * (inner + hidden) * 4 * hidden;
+        let op = self.add(Operation::new(name, OpKind::LstmCell, [n, hidden]).with_flops(flops));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.connect(w, op);
+        self.cur = op;
+        self.shape = TensorShape::new([n, hidden]);
+        (op, w)
+    }
+
+    /// One fused attention head: scores + softmax + weighted sum over a
+    /// `[batch, seq, d_head]` cursor. `flops ≈ 4·batch·seq²·d_head`.
+    pub fn attention_head(&mut self, name: &str) -> &mut Self {
+        assert_eq!(
+            self.shape.rank(),
+            3,
+            "attention needs [batch, seq, d] input"
+        );
+        let (n, s, d) = (self.shape.dim(0), self.shape.dim(1), self.shape.dim(2));
+        let flops = 4 * n * s * s * d + 3 * n * s * s;
+        let op =
+            self.add(Operation::new(name, OpKind::Attention, self.shape.clone()).with_flops(flops));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.cur = op;
+        let _ = d;
+        self
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, name: &str) -> &mut Self {
+        let elems = self.shape.elems();
+        let op = self
+            .add(Operation::new(name, OpKind::Softmax, self.shape.clone()).with_flops(3 * elems));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.cur = op;
+        self
+    }
+
+    /// Element-wise addition of the cursor and another saved position
+    /// (residual connections). Shapes must have equal element counts.
+    pub fn add_residual(&mut self, name: &str, other: &Cursor) -> &mut Self {
+        assert_eq!(
+            self.shape.elems(),
+            other.shape.elems(),
+            "residual shapes must match: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        let elems = self.shape.elems();
+        let op = self.add(Operation::new(name, OpKind::Add, self.shape.clone()).with_flops(elems));
+        let (prev, o) = (self.cur, other.op);
+        self.connect(prev, op);
+        self.connect(o, op);
+        self.cur = op;
+        self
+    }
+
+    /// Concatenates the cursor with other branches along the channel (last)
+    /// dimension.
+    pub fn concat(&mut self, name: &str, branches: &[Cursor]) -> &mut Self {
+        let rank = self.shape.rank();
+        let mut dims: Vec<u64> = self.shape.dims().to_vec();
+        for b in branches {
+            assert_eq!(b.shape.rank(), rank, "concat rank mismatch");
+            dims[rank - 1] += b.shape.dim(rank - 1);
+        }
+        let elems: u64 = dims.iter().product();
+        let op = self.add(Operation::new(name, OpKind::Concat, dims.clone()).with_flops(elems));
+        let prev = self.cur;
+        self.connect(prev, op);
+        for b in branches {
+            self.connect(b.op, op);
+        }
+        self.cur = op;
+        self.shape = TensorShape::new(dims);
+        self
+    }
+
+    /// Appends a `Loss` sink consuming the cursor and returns the finished
+    /// forward graph.
+    pub fn finish_with_loss(mut self, name: &str) -> Graph {
+        let op = self.add(Operation::new(name, OpKind::Loss, TensorShape::scalar()));
+        let prev = self.cur;
+        self.connect(prev, op);
+        self.g
+    }
+
+    /// Returns the graph without adding a loss (caller wires its own sink).
+    pub fn into_graph(self) -> Graph {
+        self.g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_tracks_shape_and_flops() {
+        let mut s = LayerStack::new("in", [8, 32, 32, 3]);
+        s.conv("c1", 16, 3, 2);
+        assert_eq!(s.shape().dims(), &[8, 16, 16, 16]);
+        let g = s.graph();
+        let c = g.op_ref(g.by_name("c1").unwrap());
+        assert_eq!(c.flops, 2 * 8 * 16 * 16 * 3 * 3 * 3 * 16);
+        // weight variable exists with the right parameter size
+        let w = g.op_ref(g.by_name("c1/weights").unwrap());
+        assert_eq!(w.param_bytes, 3 * 3 * 3 * 16 * 4);
+    }
+
+    #[test]
+    fn fc_after_flatten() {
+        let mut s = LayerStack::new("in", [4, 8, 8, 2]);
+        s.flatten();
+        assert_eq!(s.shape().dims(), &[4, 128]);
+        s.fc("fc", 10);
+        assert_eq!(s.shape().dims(), &[4, 10]);
+    }
+
+    #[test]
+    fn residual_and_branches() {
+        let mut s = LayerStack::new("in", [2, 8, 8, 4]);
+        let saved = s.mark();
+        s.conv("c", 4, 3, 1).relu("r");
+        s.add_residual("add", &saved);
+        assert_eq!(s.shape().dims(), &[2, 8, 8, 4]);
+        let g = s.graph();
+        assert_eq!(g.preds(g.by_name("add").unwrap()).count(), 2);
+    }
+
+    #[test]
+    fn concat_extends_channels() {
+        let mut s = LayerStack::new("in", [2, 8, 8, 4]);
+        let root = s.mark();
+        s.conv("b1", 8, 1, 1);
+        let b1 = s.mark();
+        s.goto(&root).conv("b2", 16, 3, 1);
+        s.concat("cat", &[b1]);
+        assert_eq!(s.shape().dims(), &[2, 8, 8, 24]);
+    }
+
+    #[test]
+    fn lstm_weight_sharing() {
+        let mut s = LayerStack::new("in", [4, 32]);
+        let (_, w) = s.lstm_cell("t0", 64, None);
+        let before = s.graph().op_count();
+        s.lstm_cell("t1", 64, Some(w));
+        // only the cell op was added, no new variable
+        assert_eq!(s.graph().op_count(), before + 1);
+    }
+
+    #[test]
+    fn embedding_shape() {
+        let mut s = LayerStack::new("ids", [4, 16]);
+        s.embedding("emb", 1000, 64);
+        assert_eq!(s.shape().dims(), &[4, 16, 64]);
+        let g = s.graph();
+        let t = g.op_ref(g.by_name("emb/table").unwrap());
+        assert_eq!(t.param_bytes, 1000 * 64 * 4);
+    }
+
+    #[test]
+    fn finished_graph_validates() {
+        let mut s = LayerStack::new("in", [2, 16, 16, 3]);
+        s.conv("c", 4, 3, 1).relu("r").pool("p", 2, 2);
+        s.flatten();
+        s.fc("fc", 10);
+        let g = s.finish_with_loss("loss");
+        g.validate().unwrap();
+        assert!(g.exit_ops().contains(&g.by_name("loss").unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate layer name")]
+    fn duplicate_layer_names_panic() {
+        let mut s = LayerStack::new("in", [2, 8, 8, 3]);
+        s.conv("c", 4, 3, 1);
+        s.conv("c", 4, 3, 1);
+    }
+}

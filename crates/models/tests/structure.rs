@@ -1,0 +1,123 @@
+//! Structural integration tests of the benchmark models: the properties the
+//! placement algorithms rely on (shape pyramids, attention wiring, batch
+//! scaling, splittability of the ops the paper's Table 6 names).
+
+use fastt_graph::{OpKind, SplitDim};
+use fastt_models::Model;
+
+#[test]
+fn cnn_activation_pyramids_shrink_spatially() {
+    // conv output bytes must (weakly) decrease from the first conv block to
+    // the last: spatial shrinking dominates channel growth in these nets
+    for m in [Model::Vgg19, Model::AlexNet] {
+        let g = m.forward_graph(8);
+        let convs: Vec<u64> = g
+            .iter_ops()
+            .filter(|(_, o)| o.kind == OpKind::Conv2D)
+            .map(|(_, o)| o.out_bytes())
+            .collect();
+        assert!(convs.len() >= 5, "{m}: too few convs");
+        assert!(
+            convs.first().unwrap() >= convs.last().unwrap(),
+            "{m}: pyramid should narrow"
+        );
+    }
+}
+
+#[test]
+fn paper_table6_split_candidates_are_splittable() {
+    // Table 6's key split ops: Conv2D/Conv2Dbp for CNNs, MatMul for
+    // attention models — the kinds must advertise split dimensions.
+    for kind in [OpKind::Conv2D, OpKind::Conv2DBackprop, OpKind::MatMul] {
+        assert!(!kind.split_dims().is_empty(), "{kind} must be splittable");
+    }
+    // ... and the batch dimensions of the paper-batch graphs divide evenly
+    for m in [Model::Vgg19, Model::InceptionV3, Model::BertLarge] {
+        let g = m.training_graph(m.paper_batch().min(16));
+        let candidate = g
+            .iter_ops()
+            .filter(|(_, o)| !o.kind.split_dims().is_empty())
+            .max_by_key(|(_, o)| o.flops);
+        let (_, o) = candidate.expect("has splittable ops");
+        assert!(
+            o.out_shape.divisible(0, 2),
+            "{m}: `{}` batch {} not divisible by 2",
+            o.name,
+            o.out_shape.dim(0)
+        );
+    }
+}
+
+#[test]
+fn lstm_models_have_no_splittable_heavy_ops_on_cells() {
+    // Table 6: GNMT/RNNLM show "None" — their LSTM cells are fused and the
+    // per-step projections are the only MatMuls; verify cells dominate the
+    // op count among compute ops
+    for m in [Model::Gnmt4, Model::Rnnlm] {
+        let g = m.forward_graph(16);
+        let cells = g
+            .iter_ops()
+            .filter(|(_, o)| o.kind == OpKind::LstmCell)
+            .count();
+        assert!(cells >= 20, "{m}: expected an unrolled cell chain");
+    }
+}
+
+#[test]
+fn attention_models_head_fanout_is_complete() {
+    let g = Model::BertLarge.forward_graph(2);
+    // each attention head reads q, k and v
+    for (oid, o) in g.iter_ops() {
+        if o.kind == OpKind::Attention {
+            assert_eq!(g.preds(oid).count(), 3, "`{}` should read q,k,v", o.name);
+        }
+    }
+}
+
+#[test]
+fn batch_one_builds_everywhere() {
+    for m in Model::all() {
+        let b = m.min_batch();
+        let g = m.training_graph(b);
+        g.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
+    }
+}
+
+#[test]
+fn flops_scale_linearly_with_batch() {
+    for m in [Model::Vgg19, Model::Rnnlm, Model::BertLarge] {
+        let base = m.min_batch().max(2);
+        let f1 = m.forward_graph(base).total_flops() as f64;
+        let f2 = m.forward_graph(base * 2).total_flops() as f64;
+        let ratio = f2 / f1;
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "{m}: flops ratio {ratio} not ~2 (attention grows superlinearly \
+             only in seq len, which is fixed)"
+        );
+    }
+}
+
+#[test]
+fn variables_feed_their_consumers_and_nothing_feeds_variables() {
+    for m in Model::all() {
+        let g = m.forward_graph(m.min_batch().max(2));
+        for (oid, o) in g.iter_ops() {
+            if o.kind == OpKind::Variable {
+                assert!(g.preds(oid).next().is_none(), "{m}: `{}` has preds", o.name);
+                assert!(g.succs(oid).next().is_some(), "{m}: `{}` unused", o.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn split_dims_match_kind_semantics() {
+    assert_eq!(
+        OpKind::Conv2D.split_dims(),
+        &[SplitDim::Batch, SplitDim::Channel]
+    );
+    assert_eq!(OpKind::Attention.split_dims(), &[SplitDim::Batch]);
+    assert!(OpKind::BatchNorm.split_dims().is_empty());
+    assert!(OpKind::LstmCell.split_dims().is_empty());
+}

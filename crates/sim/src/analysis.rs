@@ -1,0 +1,247 @@
+//! Post-hoc analysis of execution traces: where the time actually went.
+//!
+//! The paper's evaluation reasons about idle gaps ("there could be gap time
+//! between operation executions", Sec. 5.1), measured critical paths
+//! (OS-DPOS re-derives the critical path from the *placed* costs), and
+//! computation-vs-memcpy breakdowns (Fig. 5). This module computes all three
+//! from a [`RunTrace`].
+
+use crate::trace::RunTrace;
+use fastt_cluster::DeviceId;
+use fastt_graph::{Graph, OpId};
+
+/// An idle interval on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleGap {
+    /// The idle device.
+    pub device: DeviceId,
+    /// Gap start time.
+    pub start: f64,
+    /// Gap end time.
+    pub end: f64,
+}
+
+impl IdleGap {
+    /// Gap duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// All idle gaps on `device` between the start of its first op and the end
+/// of its last (gaps shorter than `min_len` are dropped).
+pub fn idle_gaps(trace: &RunTrace, device: DeviceId, min_len: f64) -> Vec<IdleGap> {
+    let mut busy: Vec<(f64, f64)> = trace
+        .op_records
+        .iter()
+        .filter(|r| r.device == device && r.start >= 0.0)
+        .map(|r| (r.start, r.end))
+        .collect();
+    busy.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut gaps = Vec::new();
+    for w in busy.windows(2) {
+        let gap = w[1].0 - w[0].1;
+        if gap > min_len {
+            gaps.push(IdleGap {
+                device,
+                start: w[0].1,
+                end: w[1].0,
+            });
+        }
+    }
+    gaps
+}
+
+/// The *measured* critical path of an executed iteration: walk backwards
+/// from the op that finished last, at each step following the predecessor
+/// (or incoming transfer) whose completion gated the current op's start.
+/// Returns ops from entry to exit.
+pub fn measured_critical_path(graph: &Graph, trace: &RunTrace) -> Vec<OpId> {
+    let mut cur = match trace
+        .op_records
+        .iter()
+        .filter(|r| r.start >= 0.0)
+        .max_by(|a, b| a.end.total_cmp(&b.end))
+    {
+        Some(r) => r.op,
+        None => return Vec::new(),
+    };
+    let mut path = vec![cur];
+    loop {
+        let started = trace.op_record(cur).start;
+        // the gating predecessor: latest data arrival among inputs
+        let mut best: Option<(f64, OpId)> = None;
+        for e in graph.in_edges(cur) {
+            let src = trace.op_record(e.src);
+            // arrival = src end, or transfer end when remote
+            let arrival = if src.device == trace.op_record(cur).device {
+                src.end
+            } else {
+                trace
+                    .transfers
+                    .iter()
+                    .filter(|t| t.src_op == e.src && t.dst_dev == trace.op_record(cur).device)
+                    .map(|t| t.end)
+                    .fold(src.end, f64::max)
+            };
+            if arrival <= started + 1e-9 && best.map(|(a, _)| arrival > a).unwrap_or(true) {
+                best = Some((arrival, e.src));
+            }
+        }
+        match best {
+            Some((_, p)) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Total transferred bytes per (source device, destination device) pair.
+pub fn traffic_matrix(trace: &RunTrace, n_devices: usize) -> Vec<Vec<u64>> {
+    let mut m = vec![vec![0u64; n_devices]; n_devices];
+    for t in &trace.transfers {
+        if t.src_dev.index() < n_devices && t.dst_dev.index() < n_devices {
+            m[t.src_dev.index()][t.dst_dev.index()] += t.bytes;
+        }
+    }
+    m
+}
+
+/// Fraction of the makespan during which compute overlapped with at least
+/// one in-flight transfer — how well communication is hidden (the effect
+/// behind Fig. 5's "per-iteration time is not the sum of computation and
+/// memcpy time").
+pub fn overlap_fraction(trace: &RunTrace) -> f64 {
+    if trace.makespan <= 0.0 {
+        return 0.0;
+    }
+    // sweep: collect transfer intervals, measure their union intersected
+    // with any-compute intervals; approximate with sampling-free sweep over
+    // event boundaries
+    let mut points: Vec<f64> = Vec::new();
+    for r in &trace.op_records {
+        points.push(r.start);
+        points.push(r.end);
+    }
+    for t in &trace.transfers {
+        points.push(t.start);
+        points.push(t.end);
+    }
+    points.sort_by(f64::total_cmp);
+    points.dedup();
+    let mut overlapped = 0.0;
+    for w in points.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b <= a {
+            continue;
+        }
+        let mid = (a + b) / 2.0;
+        let compute = trace
+            .op_records
+            .iter()
+            .any(|r| r.start <= mid && mid < r.end);
+        let transfer = trace
+            .transfers
+            .iter()
+            .any(|t| t.start <= mid && mid < t.end);
+        if compute && transfer {
+            overlapped += b - a;
+        }
+    }
+    overlapped / trace.makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{OpRecord, TransferRecord};
+
+    fn two_device_trace() -> (Graph, RunTrace) {
+        use fastt_graph::{OpKind, Operation};
+        let mut g = Graph::new();
+        let a = g.add_op(Operation::new("a", OpKind::Relu, [4])).unwrap();
+        let b = g.add_op(Operation::new("b", OpKind::Relu, [4])).unwrap();
+        let c = g.add_op(Operation::new("c", OpKind::Relu, [4])).unwrap();
+        g.connect(a, b).unwrap();
+        g.connect(b, c).unwrap();
+        let trace = RunTrace {
+            op_records: vec![
+                OpRecord {
+                    op: a,
+                    device: DeviceId(0),
+                    start: 0.0,
+                    end: 1.0,
+                },
+                OpRecord {
+                    op: b,
+                    device: DeviceId(1),
+                    start: 1.5,
+                    end: 2.5,
+                },
+                OpRecord {
+                    op: c,
+                    device: DeviceId(1),
+                    start: 4.0,
+                    end: 5.0,
+                },
+            ],
+            transfers: vec![TransferRecord {
+                src_op: a,
+                dst_op: b,
+                src_dev: DeviceId(0),
+                dst_dev: DeviceId(1),
+                bytes: 16,
+                start: 1.0,
+                end: 1.5,
+            }],
+            makespan: 5.0,
+            device_busy: vec![1.0, 2.0],
+            peak_mem: vec![0, 0],
+        };
+        (g, trace)
+    }
+
+    #[test]
+    fn finds_idle_gaps() {
+        let (_, tr) = two_device_trace();
+        let gaps = idle_gaps(&tr, DeviceId(1), 0.1);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].start, 2.5);
+        assert_eq!(gaps[0].end, 4.0);
+        assert!((gaps[0].duration() - 1.5).abs() < 1e-12);
+        assert!(idle_gaps(&tr, DeviceId(0), 0.1).is_empty());
+    }
+
+    #[test]
+    fn measured_cp_walks_gating_dependencies() {
+        let (g, tr) = two_device_trace();
+        let cp = measured_critical_path(&g, &tr);
+        let names: Vec<&str> = cp.iter().map(|&o| g.op_ref(o).name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn traffic_matrix_sums_bytes() {
+        let (_, tr) = two_device_trace();
+        let m = traffic_matrix(&tr, 2);
+        assert_eq!(m[0][1], 16);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn overlap_fraction_detects_hidden_comm() {
+        let (_, tr) = two_device_trace();
+        // transfer [1.0, 1.5) has no concurrent compute in this trace
+        assert_eq!(overlap_fraction(&tr), 0.0);
+        // move the transfer under op a's execution
+        let mut tr2 = tr.clone();
+        tr2.transfers[0].start = 0.2;
+        tr2.transfers[0].end = 0.8;
+        let f = overlap_fraction(&tr2);
+        assert!((f - 0.6 / 5.0).abs() < 1e-9, "overlap {f}");
+    }
+}

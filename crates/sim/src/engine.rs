@@ -1,0 +1,427 @@
+//! The discrete-event execution engine.
+//!
+//! Simulates one training iteration of a placed graph over a topology:
+//! per-device serial execution with FIFO or priority ready queues, tensor
+//! transfers serialized per channel (per device pair within a server, per
+//! server pair across servers), compute/communication overlap, and memory
+//! accounting with OOM detection.
+
+use crate::error::SimError;
+use crate::hardware::HardwarePerf;
+use crate::placement::Placement;
+use crate::queue::{ExecPolicy, ReadyQueue};
+use crate::trace::{OpRecord, RunTrace, TransferRecord};
+use fastt_cluster::{DeviceId, Topology};
+use fastt_graph::{Graph, OpId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Multiplicative execution-time noise amplitude (e.g. `0.02` = ±2%).
+    /// Deterministic given `seed` and `iteration`.
+    pub jitter_pct: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// Which training iteration this is (varies the jitter stream).
+    pub iteration: u64,
+    /// Fixed per-iteration framework overhead added to the makespan
+    /// (session dispatch, input pipeline) — calibrated to TF 1.x.
+    pub iteration_overhead: f64,
+    /// Whether to enforce device memory capacities.
+    pub check_memory: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            jitter_pct: 0.0,
+            seed: 0,
+            iteration: 0,
+            iteration_overhead: 3e-3,
+            check_memory: true,
+        }
+    }
+}
+
+/// splitmix64: cheap deterministic hash for the jitter stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform in [-1, 1] derived from (seed, op, iteration).
+fn jitter_unit(seed: u64, op: OpId, iteration: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(op.0 as u64) ^ splitmix64(iteration.wrapping_mul(0xA5A5)));
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[derive(Debug, PartialEq)]
+enum Event {
+    OpFinish {
+        op: OpId,
+    },
+    /// A tensor arrived on a device, satisfying one in-edge of each listed
+    /// consumer (TensorFlow sends a tensor once per destination device and
+    /// fans it out locally, so one transfer may unblock several consumers).
+    TransferArrive {
+        dsts: Vec<OpId>,
+    },
+    /// Placeholder left behind once an event has been consumed.
+    Consumed,
+}
+
+/// Simulates one iteration.
+///
+/// # Errors
+///
+/// * [`SimError::InvalidPlacement`] if the placement does not cover the
+///   graph, uses unknown devices, or violates colocation groups;
+/// * [`SimError::Oom`] if a device's memory capacity is exceeded
+///   (when `config.check_memory` is set);
+/// * [`SimError::Deadlock`] if the graph cannot be fully executed.
+pub fn simulate(
+    graph: &Graph,
+    topo: &Topology,
+    placement: &Placement,
+    hw: &HardwarePerf,
+    policy: ExecPolicy<'_>,
+    config: &SimConfig,
+) -> Result<RunTrace, SimError> {
+    placement
+        .validate(graph, topo)
+        .map_err(SimError::InvalidPlacement)?;
+
+    let n_ops = graph.op_count();
+    let n_dev = topo.device_count();
+
+    // Priorities from the execution-order list (missing ops run last).
+    let priority: Vec<u32> = match policy {
+        ExecPolicy::Fifo => vec![0; n_ops],
+        ExecPolicy::Priority(order) => {
+            let mut p = vec![u32::MAX; n_ops];
+            for (i, &o) in order.iter().enumerate() {
+                if o.index() < n_ops {
+                    p[o.index()] = i as u32;
+                }
+            }
+            p
+        }
+    };
+
+    let mut queues: Vec<ReadyQueue> = (0..n_dev)
+        .map(|_| match policy {
+            ExecPolicy::Fifo => ReadyQueue::new_fifo(),
+            ExecPolicy::Priority(_) => ReadyQueue::new_priority(),
+        })
+        .collect();
+
+    // Dependency counters.
+    let mut indeg: Vec<u32> = vec![0; n_ops];
+    for e in graph.iter_edges() {
+        indeg[e.dst.index()] += 1;
+    }
+    // Producers' outputs are freed once all their consumers finish.
+    let mut out_remaining: Vec<u32> = vec![0; n_ops];
+    for e in graph.iter_edges() {
+        out_remaining[e.src.index()] += 1;
+    }
+
+    // Memory: resident parameters up front.
+    let mut mem_used: Vec<u64> = vec![0; n_dev];
+    let mut mem_peak: Vec<u64> = vec![0; n_dev];
+    for (op, o) in graph.iter_ops() {
+        let d = placement.device_of(op);
+        mem_used[d.index()] += hw.resident_bytes(o);
+    }
+    for d in 0..n_dev {
+        mem_peak[d] = mem_used[d];
+        let cap = topo.device(DeviceId(d as u16)).mem_bytes;
+        if config.check_memory && mem_used[d] > cap {
+            return Err(SimError::Oom {
+                device: DeviceId(d as u16),
+                needed: mem_used[d],
+                capacity: cap,
+                at_op: String::new(),
+            });
+        }
+    }
+
+    // Device state.
+    let mut device_free: Vec<bool> = vec![true; n_dev];
+    let mut device_busy_time: Vec<f64> = vec![0.0; n_dev];
+
+    // Transfer channels: busy-until per channel key (see
+    // `Topology::channel_key` for the sharing rules).
+    let mut channels: HashMap<(u32, u32), f64> = HashMap::new();
+    let channel_key = |s: DeviceId, d: DeviceId| -> (u32, u32) { topo.channel_key(s, d) };
+
+    // Event queue ordered by (time, seq) for determinism.
+    let mut events: BinaryHeap<Reverse<(OrderedF64, u64, usize)>> = BinaryHeap::new();
+    let mut event_payload: Vec<Event> = Vec::new();
+    let mut seq: u64 = 0;
+    let push_event = |events: &mut BinaryHeap<Reverse<(OrderedF64, u64, usize)>>,
+                      payload: &mut Vec<Event>,
+                      seq: &mut u64,
+                      t: f64,
+                      ev: Event| {
+        payload.push(ev);
+        events.push(Reverse((OrderedF64(t), *seq, payload.len() - 1)));
+        *seq += 1;
+    };
+
+    let mut records: Vec<OpRecord> = (0..n_ops)
+        .map(|i| OpRecord {
+            op: OpId(i as u32),
+            device: placement.device_of(OpId(i as u32)),
+            start: -1.0,
+            end: -1.0,
+        })
+        .collect();
+    let mut transfers: Vec<TransferRecord> = Vec::new();
+    let mut executed = 0usize;
+
+    // Seed ready queues with zero-indegree ops. Under FIFO the seeding order
+    // is *hash-shuffled*: TensorFlow's default executor pops initially-ready
+    // ops (variable reads, constants) in an order determined by graph
+    // internals, not by model layer order — the arbitrary transfer ordering
+    // TicTac [23] identified and FastT's order enforcement fixes. Priority
+    // runs are unaffected (their order comes from the computed list).
+    let mut seeds: Vec<OpId> = graph.op_ids().filter(|op| indeg[op.index()] == 0).collect();
+    if matches!(policy, ExecPolicy::Fifo) {
+        seeds.sort_by_key(|op| splitmix64(0xF1F0 ^ op.0 as u64));
+    }
+    for op in seeds {
+        let d = placement.device_of(op);
+        queues[d.index()].push(op, priority[op.index()]);
+    }
+
+    // Tries to start the next ready op on an idle device.
+    // Returns Err on OOM.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        d: usize,
+        now: f64,
+        graph: &Graph,
+        topo: &Topology,
+        hw: &HardwarePerf,
+        config: &SimConfig,
+        queues: &mut [ReadyQueue],
+        device_free: &mut [bool],
+        device_busy_time: &mut [f64],
+        mem_used: &mut [u64],
+        mem_peak: &mut [u64],
+        records: &mut [OpRecord],
+        events: &mut BinaryHeap<Reverse<(OrderedF64, u64, usize)>>,
+        payload: &mut Vec<Event>,
+        seq: &mut u64,
+    ) -> Result<(), SimError> {
+        if !device_free[d] || queues[d].is_empty() {
+            return Ok(());
+        }
+        let op = queues[d].pop().expect("non-empty");
+        let o = graph.op_ref(op);
+        // allocate the activation
+        let act = hw.activation_bytes(o);
+        mem_used[d] += act;
+        mem_peak[d] = mem_peak[d].max(mem_used[d]);
+        let cap = topo.device(DeviceId(d as u16)).mem_bytes;
+        if config.check_memory && mem_used[d] > cap {
+            return Err(SimError::Oom {
+                device: DeviceId(d as u16),
+                needed: mem_used[d],
+                capacity: cap,
+                at_op: o.name.clone(),
+            });
+        }
+        let mut t = hw.exec_time(graph, op, topo.device(DeviceId(d as u16)));
+        if config.jitter_pct > 0.0 {
+            t *= 1.0 + config.jitter_pct * jitter_unit(config.seed, op, config.iteration);
+        }
+        records[op.index()].start = now;
+        records[op.index()].end = now + t;
+        device_busy_time[d] += t;
+        device_free[d] = false;
+        payload.push(Event::OpFinish { op });
+        events.push(Reverse((OrderedF64(now + t), *seq, payload.len() - 1)));
+        *seq += 1;
+        Ok(())
+    }
+
+    // Kick off every device.
+    for d in 0..n_dev {
+        dispatch(
+            d,
+            0.0,
+            graph,
+            topo,
+            hw,
+            config,
+            &mut queues,
+            &mut device_free,
+            &mut device_busy_time,
+            &mut mem_used,
+            &mut mem_peak,
+            &mut records,
+            &mut events,
+            &mut event_payload,
+            &mut seq,
+        )?;
+    }
+
+    let mut makespan = 0.0f64;
+    while let Some(Reverse((OrderedF64(now), _, idx))) = events.pop() {
+        makespan = makespan.max(now);
+        // Take the payload without shifting indices.
+        let ev = std::mem::replace(&mut event_payload[idx], Event::Consumed);
+        match ev {
+            Event::OpFinish { op } => {
+                executed += 1;
+                let d = placement.device_of(op).index();
+                device_free[d] = true;
+
+                // Free predecessors whose last consumer just finished.
+                for e in graph.in_edges(op) {
+                    let s = e.src.index();
+                    out_remaining[s] -= 1;
+                    if out_remaining[s] == 0 {
+                        let sd = placement.device_of(e.src).index();
+                        let act = hw.activation_bytes(graph.op_ref(e.src));
+                        mem_used[sd] = mem_used[sd].saturating_sub(act);
+                    }
+                }
+                // Sinks free their own output immediately.
+                if out_remaining[op.index()] == 0 {
+                    let act = hw.activation_bytes(graph.op_ref(op));
+                    mem_used[d] = mem_used[d].saturating_sub(act);
+                }
+
+                // Deliver outputs. The tensor is sent once per destination
+                // device (TF's send/recv dedup): group remote consumers by
+                // device, charge one transfer of the largest edge payload.
+                let sd = placement.device_of(op);
+                let mut remote: HashMap<DeviceId, (u64, Vec<OpId>)> = HashMap::new();
+                for e in graph.out_edges(op) {
+                    let dd = placement.device_of(e.dst);
+                    if sd == dd {
+                        indeg[e.dst.index()] -= 1;
+                        if indeg[e.dst.index()] == 0 {
+                            queues[dd.index()].push(e.dst, priority[e.dst.index()]);
+                        }
+                    } else {
+                        let entry = remote.entry(dd).or_insert((0, Vec::new()));
+                        entry.0 = entry.0.max(e.bytes);
+                        entry.1.push(e.dst);
+                    }
+                }
+                let mut remote: Vec<(DeviceId, (u64, Vec<OpId>))> = remote.into_iter().collect();
+                remote.sort_by_key(|(d, _)| *d); // deterministic event order
+                for (dd, (bytes, dsts)) in remote {
+                    let key = channel_key(sd, dd);
+                    let link = topo.link(sd, dd).expect("distinct devices have a link");
+                    let free_at = channels.get(&key).copied().unwrap_or(0.0).max(now);
+                    let arrive = free_at + link.transfer_time(bytes);
+                    channels.insert(key, arrive);
+                    transfers.push(TransferRecord {
+                        src_op: op,
+                        dst_op: dsts[0],
+                        src_dev: sd,
+                        dst_dev: dd,
+                        bytes,
+                        start: free_at,
+                        end: arrive,
+                    });
+                    push_event(
+                        &mut events,
+                        &mut event_payload,
+                        &mut seq,
+                        arrive,
+                        Event::TransferArrive { dsts },
+                    );
+                }
+
+                dispatch(
+                    d,
+                    now,
+                    graph,
+                    topo,
+                    hw,
+                    config,
+                    &mut queues,
+                    &mut device_free,
+                    &mut device_busy_time,
+                    &mut mem_used,
+                    &mut mem_peak,
+                    &mut records,
+                    &mut events,
+                    &mut event_payload,
+                    &mut seq,
+                )?;
+            }
+            Event::TransferArrive { dsts } => {
+                let dd = placement.device_of(dsts[0]).index();
+                for dst in dsts {
+                    indeg[dst.index()] -= 1;
+                    if indeg[dst.index()] == 0 {
+                        queues[dd].push(dst, priority[dst.index()]);
+                    }
+                }
+                dispatch(
+                    dd,
+                    now,
+                    graph,
+                    topo,
+                    hw,
+                    config,
+                    &mut queues,
+                    &mut device_free,
+                    &mut device_busy_time,
+                    &mut mem_used,
+                    &mut mem_peak,
+                    &mut records,
+                    &mut events,
+                    &mut event_payload,
+                    &mut seq,
+                )?;
+            }
+            Event::Consumed => unreachable!("each event index is popped once"),
+        }
+    }
+
+    if executed != n_ops {
+        return Err(SimError::Deadlock {
+            executed,
+            total: n_ops,
+        });
+    }
+
+    Ok(RunTrace {
+        op_records: records,
+        transfers,
+        makespan: makespan + config.iteration_overhead,
+        device_busy: device_busy_time,
+        peak_mem: mem_peak,
+    })
+}
+
+/// Total-ordered f64 wrapper for the event heap (times are finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}

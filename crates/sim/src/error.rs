@@ -1,0 +1,63 @@
+//! Simulator errors.
+
+use fastt_cluster::DeviceId;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by a simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A device ran out of memory — the simulated analogue of the
+    /// out-of-memory failures the paper's Table 3 reports for data
+    /// parallelism at large batch sizes.
+    Oom {
+        /// The device that overflowed.
+        device: DeviceId,
+        /// Bytes the allocation would have required in total.
+        needed: u64,
+        /// The device's capacity.
+        capacity: u64,
+        /// Name of the op whose allocation failed (empty for the initial
+        /// resident-parameter placement).
+        at_op: String,
+    },
+    /// The placement does not cover the graph or violates constraints.
+    InvalidPlacement(String),
+    /// Execution stalled before all ops ran (graph/placement inconsistency).
+    Deadlock {
+        /// Ops that did execute.
+        executed: usize,
+        /// Total ops in the graph.
+        total: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Oom {
+                device,
+                needed,
+                capacity,
+                at_op,
+            } => write!(
+                f,
+                "out of memory on {device}: need {needed} bytes of {capacity} (at `{at_op}`)"
+            ),
+            SimError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
+            SimError::Deadlock { executed, total } => {
+                write!(f, "execution stalled after {executed}/{total} ops")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl SimError {
+    /// Whether this is an out-of-memory failure.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, SimError::Oom { .. })
+    }
+}

@@ -1,0 +1,179 @@
+//! Device placements: the mapping from operations to devices.
+
+use fastt_cluster::{DeviceId, Topology};
+use fastt_graph::{Graph, OpId};
+use serde::{Deserialize, Serialize};
+
+/// A complete device assignment: one device per operation
+/// (the paper's output (ii), Sec. 3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    device_of: Vec<DeviceId>,
+}
+
+impl Placement {
+    /// Creates a placement from a per-op device vector (indexed by `OpId`).
+    pub fn new(device_of: Vec<DeviceId>) -> Self {
+        Placement { device_of }
+    }
+
+    /// Places every one of `n_ops` operations on `device`.
+    pub fn uniform(n_ops: usize, device: DeviceId) -> Self {
+        Placement {
+            device_of: vec![device; n_ops],
+        }
+    }
+
+    /// The device assigned to `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn device_of(&self, op: OpId) -> DeviceId {
+        self.device_of[op.index()]
+    }
+
+    /// Reassigns `op` to `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn set(&mut self, op: OpId, device: DeviceId) {
+        self.device_of[op.index()] = device;
+    }
+
+    /// Number of ops covered.
+    pub fn len(&self) -> usize {
+        self.device_of.len()
+    }
+
+    /// Whether the placement covers no ops.
+    pub fn is_empty(&self) -> bool {
+        self.device_of.is_empty()
+    }
+
+    /// Iterates over `(op, device)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, DeviceId)> + '_ {
+        self.device_of
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (OpId(i as u32), d))
+    }
+
+    /// The set of distinct devices actually used (FastT "may not use all the
+    /// input devices", Sec. 5.2).
+    pub fn devices_used(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self.device_of.clone();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Number of ops per device (the quantity plotted in the paper's
+    /// Fig. 4).
+    pub fn op_histogram(&self, topo: &Topology) -> Vec<usize> {
+        let mut h = vec![0usize; topo.device_count()];
+        for &d in &self.device_of {
+            if d.index() < h.len() {
+                h[d.index()] += 1;
+            }
+        }
+        h
+    }
+
+    /// Checks that the placement covers exactly the graph's ops, uses only
+    /// devices present in `topo`, and honours every colocation group.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self, graph: &Graph, topo: &Topology) -> Result<(), String> {
+        if self.device_of.len() != graph.op_count() {
+            return Err(format!(
+                "placement covers {} ops but graph has {}",
+                self.device_of.len(),
+                graph.op_count()
+            ));
+        }
+        for (op, d) in self.iter() {
+            if d.index() >= topo.device_count() {
+                return Err(format!("op {op} placed on unknown device {d}"));
+            }
+        }
+        for grp in graph.colocation_groups() {
+            let first = self.device_of(grp[0]);
+            for &o in grp.iter().skip(1) {
+                if self.device_of(o) != first {
+                    return Err(format!(
+                        "colocation violated: `{}` on {} but `{}` on {}",
+                        graph.op_ref(grp[0]).name,
+                        first,
+                        graph.op_ref(o).name,
+                        self.device_of(o)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::{OpKind, Operation};
+
+    fn two_op_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_op(Operation::new("a", OpKind::Input, [1])).unwrap();
+        let b = g.add_op(Operation::new("b", OpKind::Relu, [1])).unwrap();
+        g.connect(a, b).unwrap();
+        g
+    }
+
+    #[test]
+    fn uniform_covers_all() {
+        let g = two_op_graph();
+        let t = Topology::single_server(2);
+        let p = Placement::uniform(g.op_count(), DeviceId(1));
+        p.validate(&g, &t).unwrap();
+        assert_eq!(p.devices_used(), vec![DeviceId(1)]);
+    }
+
+    #[test]
+    fn histogram_counts_ops() {
+        let g = two_op_graph();
+        let t = Topology::single_server(2);
+        let mut p = Placement::uniform(g.op_count(), DeviceId(0));
+        p.set(OpId(1), DeviceId(1));
+        // histogram covers every device, including the idle CPU host
+        assert_eq!(p.op_histogram(&t), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let g = two_op_graph();
+        let t = Topology::single_server(1);
+        let p = Placement::uniform(1, DeviceId(0));
+        assert!(p.validate(&g, &t).is_err());
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let g = two_op_graph();
+        let t = Topology::single_server(1);
+        let p = Placement::uniform(g.op_count(), DeviceId(7));
+        assert!(p.validate(&g, &t).is_err());
+    }
+
+    #[test]
+    fn colocation_violation_rejected() {
+        let mut g = two_op_graph();
+        g.colocate(&[OpId(0), OpId(1)]);
+        let t = Topology::single_server(2);
+        let mut p = Placement::uniform(g.op_count(), DeviceId(0));
+        p.set(OpId(1), DeviceId(1));
+        let err = p.validate(&g, &t).unwrap_err();
+        assert!(err.contains("colocation"));
+    }
+}

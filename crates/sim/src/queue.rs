@@ -1,0 +1,103 @@
+//! Per-device ready queues.
+//!
+//! TensorFlow's default executor pops ready ops FIFO; FastT's order
+//! enforcement replaces this with priorities derived from the computed
+//! execution order (Sec. 6.1, "Order Enforcement"). The simulator supports
+//! both policies so the paper's Fig. 2 comparison can be reproduced.
+
+use fastt_graph::OpId;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How a device's executor picks the next ready op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy<'a> {
+    /// TensorFlow's default: first-in-first-out over ready ops.
+    Fifo,
+    /// FastT's order enforcement: each op's priority is its index in the
+    /// computed execution-order list; lower index runs first.
+    Priority(&'a [OpId]),
+}
+
+/// One device's ready queue.
+#[derive(Debug)]
+pub(crate) enum ReadyQueue {
+    Fifo(VecDeque<OpId>),
+    /// Min-heap on (priority, op id) via `Reverse` ordering.
+    Priority(BinaryHeap<std::cmp::Reverse<(u32, OpId)>>),
+}
+
+impl ReadyQueue {
+    pub(crate) fn new_fifo() -> Self {
+        ReadyQueue::Fifo(VecDeque::new())
+    }
+
+    pub(crate) fn new_priority() -> Self {
+        ReadyQueue::Priority(BinaryHeap::new())
+    }
+
+    /// Adds a ready op (with its priority, ignored under FIFO).
+    pub(crate) fn push(&mut self, op: OpId, priority: u32) {
+        match self {
+            ReadyQueue::Fifo(q) => q.push_back(op),
+            ReadyQueue::Priority(h) => h.push(std::cmp::Reverse((priority, op))),
+        }
+    }
+
+    /// Pops the next op to execute.
+    pub(crate) fn pop(&mut self) -> Option<OpId> {
+        match self {
+            ReadyQueue::Fifo(q) => q.pop_front(),
+            ReadyQueue::Priority(h) => h.pop().map(|std::cmp::Reverse((_, op))| op),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            ReadyQueue::Fifo(q) => q.is_empty(),
+            ReadyQueue::Priority(h) => h.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_insertion_order() {
+        let mut q = ReadyQueue::new_fifo();
+        q.push(OpId(5), 99);
+        q.push(OpId(1), 0);
+        assert_eq!(q.pop(), Some(OpId(5)));
+        assert_eq!(q.pop(), Some(OpId(1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn priority_pops_lowest_first() {
+        let mut q = ReadyQueue::new_priority();
+        q.push(OpId(5), 10);
+        q.push(OpId(1), 3);
+        q.push(OpId(9), 7);
+        assert_eq!(q.pop(), Some(OpId(1)));
+        assert_eq!(q.pop(), Some(OpId(9)));
+        assert_eq!(q.pop(), Some(OpId(5)));
+    }
+
+    #[test]
+    fn priority_ties_break_by_op_id() {
+        let mut q = ReadyQueue::new_priority();
+        q.push(OpId(7), 1);
+        q.push(OpId(2), 1);
+        assert_eq!(q.pop(), Some(OpId(2)));
+        assert_eq!(q.pop(), Some(OpId(7)));
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut q = ReadyQueue::new_priority();
+        assert!(q.is_empty());
+        q.push(OpId(0), 0);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Execution traces: the simulator's analogue of TensorFlow's
+//! `RunMetadata` (Sec. 4 of the paper) — per-op execution records and
+//! per-tensor transfer records, consumed by the adaptive cost models.
+
+use fastt_cluster::DeviceId;
+use fastt_graph::OpId;
+use serde::{Deserialize, Serialize};
+
+/// One op execution: where and when it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// The executed op.
+    pub op: OpId,
+    /// Device it ran on.
+    pub device: DeviceId,
+    /// Start time (seconds from iteration start).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+impl OpRecord {
+    /// Execution duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// One inter-device tensor transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Producer op.
+    pub src_op: OpId,
+    /// Consumer op.
+    pub dst_op: OpId,
+    /// Source device.
+    pub src_dev: DeviceId,
+    /// Destination device.
+    pub dst_dev: DeviceId,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Time the transfer started (after queueing on its channel).
+    pub start: f64,
+    /// Time the data arrived.
+    pub end: f64,
+}
+
+impl TransferRecord {
+    /// Transfer duration (including channel latency, excluding queueing).
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The result of simulating one training iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Per-op execution records, indexed by `OpId`.
+    pub op_records: Vec<OpRecord>,
+    /// All inter-device transfers, in completion order.
+    pub transfers: Vec<TransferRecord>,
+    /// End-to-end iteration time, including the fixed framework overhead.
+    pub makespan: f64,
+    /// Per-device busy (compute) seconds.
+    pub device_busy: Vec<f64>,
+    /// Per-device peak memory (bytes).
+    pub peak_mem: Vec<u64>,
+}
+
+impl RunTrace {
+    /// The record for a specific op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn op_record(&self, op: OpId) -> &OpRecord {
+        &self.op_records[op.index()]
+    }
+
+    /// Sum of all op execution durations (the paper's Fig. 5
+    /// "computation time").
+    pub fn total_compute_time(&self) -> f64 {
+        self.op_records.iter().map(|r| r.duration()).sum()
+    }
+
+    /// Sum of all transfer durations (the paper's Fig. 5 "memcpy time").
+    pub fn total_memcpy_time(&self) -> f64 {
+        self.transfers.iter().map(|t| t.duration()).sum()
+    }
+
+    /// Training speed for a given batch size, in samples per second —
+    /// the paper's headline metric (Sec. 6.2).
+    pub fn samples_per_sec(&self, batch: u64) -> f64 {
+        batch as f64 / self.makespan
+    }
+
+    /// Largest peak memory across devices.
+    pub fn max_peak_mem(&self) -> u64 {
+        self.peak_mem.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of the makespan each device spent computing.
+    pub fn utilization(&self) -> Vec<f64> {
+        self.device_busy
+            .iter()
+            .map(|b| {
+                if self.makespan > 0.0 {
+                    b / self.makespan
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the trace in Chrome's trace-event JSON format (open in
+    /// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)): one row
+    /// per device for op execution, one row per channel for transfers.
+    ///
+    /// `names` supplies the op labels (pass the graph's op names, indexed by
+    /// `OpId`); missing entries fall back to the op id.
+    pub fn to_chrome_trace(&self, names: &[String]) -> String {
+        let mut events = Vec::new();
+        let name_of = |op: OpId| -> String {
+            names
+                .get(op.index())
+                .cloned()
+                .unwrap_or_else(|| op.to_string())
+        };
+        for r in &self.op_records {
+            if r.start < 0.0 {
+                continue;
+            }
+            events.push(serde_json::json!({
+                "name": name_of(r.op),
+                "cat": "op",
+                "ph": "X",
+                "ts": r.start * 1e6,
+                "dur": r.duration() * 1e6,
+                "pid": 0,
+                "tid": r.device.0,
+            }));
+        }
+        for t in &self.transfers {
+            events.push(serde_json::json!({
+                "name": format!("{} -> {} ({} B)", name_of(t.src_op), name_of(t.dst_op), t.bytes),
+                "cat": "transfer",
+                "ph": "X",
+                "ts": t.start * 1e6,
+                "dur": t.duration() * 1e6,
+                "pid": 1,
+                "tid": t.src_dev.0 as u32 * 1000 + t.dst_dev.0 as u32,
+            }));
+        }
+        serde_json::json!({ "traceEvents": events }).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> RunTrace {
+        RunTrace {
+            op_records: vec![
+                OpRecord {
+                    op: OpId(0),
+                    device: DeviceId(0),
+                    start: 0.0,
+                    end: 1.0,
+                },
+                OpRecord {
+                    op: OpId(1),
+                    device: DeviceId(1),
+                    start: 1.5,
+                    end: 2.0,
+                },
+            ],
+            transfers: vec![TransferRecord {
+                src_op: OpId(0),
+                dst_op: OpId(1),
+                src_dev: DeviceId(0),
+                dst_dev: DeviceId(1),
+                bytes: 100,
+                start: 1.0,
+                end: 1.5,
+            }],
+            makespan: 2.0,
+            device_busy: vec![1.0, 0.5],
+            peak_mem: vec![10, 20],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = trace();
+        assert!((t.total_compute_time() - 1.5).abs() < 1e-12);
+        assert!((t.total_memcpy_time() - 0.5).abs() < 1e-12);
+        assert!((t.samples_per_sec(64) - 32.0).abs() < 1e-9);
+        assert_eq!(t.max_peak_mem(), 20);
+    }
+
+    #[test]
+    fn op_record_lookup() {
+        let t = trace();
+        assert_eq!(t.op_record(OpId(1)).device, DeviceId(1));
+        assert!((t.op_record(OpId(0)).duration() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let t = trace();
+        let u = t.utilization();
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_events() {
+        let t = trace();
+        let names = vec!["a".to_string(), "b".to_string()];
+        let json = t.to_chrome_trace(&names);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 3); // 2 ops + 1 transfer
+        assert!(events.iter().any(|e| e["name"] == "a"));
+        assert!(events.iter().any(|e| e["cat"] == "transfer"));
+        // timestamps in microseconds
+        assert_eq!(events[0]["dur"].as_f64().unwrap(), 1e6);
+    }
+
+    #[test]
+    fn chrome_trace_skips_unexecuted_ops() {
+        let mut t = trace();
+        t.op_records[1].start = -1.0;
+        let json = t.to_chrome_trace(&[]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let ops = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["cat"] == "op")
+            .count();
+        assert_eq!(ops, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Training a model that does not fit on a single GPU: BERT-large at a
+//! global batch of 48 (the paper's Table 3 scenario). Data parallelism runs
+//! out of memory; FastT automatically falls back to model parallelism and
+//! then optimizes the deployment across both GPUs.
+//!
+//! ```bash
+//! cargo run --release --example large_model
+//! ```
+
+use fastt::{data_parallel_plan_on, SessionConfig, TrainingSession};
+use fastt_cluster::{DeviceId, Topology};
+use fastt_graph::replicate;
+use fastt_models::Model;
+use fastt_sim::{HardwarePerf, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::single_server(2);
+    let hw = HardwarePerf::new();
+    let global_batch = 48u64;
+
+    // Data parallelism needs a batch-24 replica per GPU...
+    let replica_graph = Model::BertLarge.training_graph(global_batch / 2);
+    let rep = replicate(&replica_graph, 2)?;
+    let dp = data_parallel_plan_on(&rep, &topo, DeviceId(0));
+    match dp.simulate(&topo, &hw, &SimConfig::default()) {
+        Ok(t) => println!("data parallel: {:.3} s/iteration (unexpected!)", t.makespan),
+        Err(e) => println!("data parallel: {e}"),
+    }
+
+    // ...while FastT receives the whole-batch graph, notices that neither a
+    // single GPU nor data parallelism can host it, starts from greedy model
+    // parallelism, and optimizes from there.
+    let graph = Model::BertLarge.training_graph(global_batch);
+    let mut session = TrainingSession::new(
+        &graph,
+        topo.clone(),
+        hw.clone(),
+        SessionConfig {
+            dp_ps: Some(DeviceId(0)),
+            ..SessionConfig::default()
+        },
+    )?;
+    let report = session.pre_train()?;
+    println!(
+        "FastT        : {:.3} s/iteration at global batch {global_batch}",
+        report.final_iter_time
+    );
+
+    let plan = session.current_plan();
+    let trace = plan.simulate(&topo, &hw, &SimConfig::default())?;
+    println!(
+        "  peak memory per device: {:?} GB",
+        trace
+            .peak_mem
+            .iter()
+            .map(|b| format!("{:.1}", *b as f64 / (1u64 << 30) as f64))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  ops per device        : {:?}",
+        plan.placement.op_histogram(&topo)
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! GPipe-style pipeline parallelism on top of FastT's machinery — the
+//! extension the paper sketches in Sec. 7. A VGG-19 mini-batch of 32 is
+//! split into micro-batches over 4 GPUs; naive model parallelism leaves
+//! three stages idle at any time, pipelining fills the bubbles.
+//!
+//! ```bash
+//! cargo run --release --example pipeline
+//! ```
+
+use fastt::{model_parallel_plan, pipeline_plan};
+use fastt_cluster::Topology;
+use fastt_models::Model;
+use fastt_sim::{HardwarePerf, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::single_server(4);
+    let hw = HardwarePerf::new();
+    let mini_batch = 32u64;
+
+    // Naive model parallelism: the whole mini-batch flows through the
+    // stages once.
+    let full = Model::Vgg19.training_graph(mini_batch);
+    let mp = model_parallel_plan(&full, &topo, &hw);
+    let mp_tr = mp.simulate(&topo, &hw, &SimConfig::default())?;
+    println!(
+        "model parallel (1 batch)  : {:.2} ms/iter, utilization {:?}",
+        mp_tr.makespan * 1e3,
+        mp_tr
+            .utilization()
+            .iter()
+            .take(4)
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect::<Vec<_>>()
+    );
+
+    for micro_batches in [2u32, 4, 8] {
+        let micro = Model::Vgg19.training_graph(mini_batch / micro_batches as u64);
+        let pipe = pipeline_plan(&micro, micro_batches, &topo, &hw)?;
+        let tr = pipe.simulate(&topo, &hw, &SimConfig::default())?;
+        println!(
+            "pipeline ({micro_batches} micro-batches): {:.2} ms/iter, utilization {:?}",
+            tr.makespan * 1e3,
+            tr.utilization()
+                .iter()
+                .take(4)
+                .map(|u| format!("{:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: run the full FastT workflow on a benchmark model over a
+//! simulated 2-GPU server and compare against default data parallelism.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use fastt::{data_parallel_plan, SessionConfig, TrainingSession};
+use fastt_cluster::Topology;
+use fastt_graph::replicate;
+use fastt_models::Model;
+use fastt_sim::{HardwarePerf, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-GPU server (V100s + NVLink, CPU host attached over PCIe).
+    let topo = Topology::single_server(2);
+    let hw = HardwarePerf::new();
+
+    // The per-iteration training graph of AlexNet at batch 128 per replica.
+    let model = Model::AlexNet;
+    let graph = model.training_graph(128);
+    println!(
+        "{model}: {} ops, {} edges, {:.1} M parameters",
+        graph.op_count(),
+        graph.edge_count(),
+        graph.total_param_bytes() as f64 / 4e6
+    );
+
+    // Baseline: TF-slim style data parallelism (one replica per GPU,
+    // variables on the CPU parameter server).
+    let rep = replicate(&graph, 2)?;
+    let dp = data_parallel_plan(&rep, &topo);
+    let dp_trace = dp.simulate(&topo, &hw, &SimConfig::default())?;
+    println!(
+        "data parallel : {:.2} ms/iteration ({:.0} samples/s)",
+        dp_trace.makespan * 1e3,
+        dp_trace.samples_per_sec(256)
+    );
+
+    // FastT: bootstrap cost models by profiling, compute placement +
+    // execution order with DPOS/OS-DPOS, activate with rollback protection.
+    let mut session = TrainingSession::new(&graph, topo.clone(), hw, SessionConfig::default())?;
+    let report = session.pre_train()?;
+    println!(
+        "FastT         : {:.2} ms/iteration ({:.0} samples/s)",
+        report.final_iter_time * 1e3,
+        256.0 / report.final_iter_time
+    );
+    println!(
+        "  pre-training: {} rounds, {} activations, {} rollbacks, {:.2}s strategy computation",
+        report.rounds, report.activations, report.rollbacks, report.strategy_calc_secs
+    );
+
+    let plan = session.current_plan();
+    println!("  split list  : {:?}", plan.splits);
+    println!("  ops per GPU : {:?}", plan.placement.op_histogram(&topo));
+    println!(
+        "  speed-up    : {:.1}%",
+        (dp_trace.makespan / report.final_iter_time - 1.0) * 100.0
+    );
+    Ok(())
+}

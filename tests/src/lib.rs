@@ -1,0 +1,5 @@
+//! Host crate for the FastT cross-crate integration tests.
+//!
+//! The tests live in `tests/tests/` and exercise the full pipeline:
+//! model builders → rewrites → cost-model learning → DPOS/OS-DPOS →
+//! the training session → the simulator.

@@ -1,0 +1,162 @@
+//! Integration tests of the adaptive cost-model loop: the models must learn
+//! the simulator's hidden ground truth through profiling alone, across
+//! rewrites and placements.
+
+use fastt_cluster::{DeviceId, Topology};
+use fastt_cost::{canonical_name, CostModels};
+use fastt_graph::replicate;
+use fastt_models::Model;
+use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, SimConfig};
+
+#[test]
+fn dp_profiling_covers_every_device_through_replicas() {
+    // The paper's bootstrap trick: profiling the DP start teaches the cost
+    // model every op's time on every GPU, because replica k runs on GPU k
+    // and replicas share canonical cost keys.
+    let graph = Model::AlexNet.training_graph(8);
+    let topo = Topology::single_server(4);
+    let rep = replicate(&graph, 4).unwrap();
+    let plan = fastt::data_parallel_plan(&rep, &topo);
+    let trace = plan
+        .simulate(&topo, &HardwarePerf::new(), &SimConfig::default())
+        .unwrap();
+    let mut cost = CostModels::new();
+    cost.update_from_trace(&rep.graph, &trace);
+
+    for (_, op) in graph.iter_ops() {
+        if matches!(
+            op.kind,
+            fastt_graph::OpKind::Variable | fastt_graph::OpKind::ApplyGradient
+        ) {
+            continue; // shared PS state lives once, on the host
+        }
+        for d in topo.gpu_ids() {
+            assert!(
+                cost.comp.get(&op.name, d).is_some(),
+                "`{}` unprofiled on {d}",
+                op.name
+            );
+        }
+    }
+}
+
+#[test]
+fn learned_times_match_ground_truth_per_device() {
+    let graph = Model::LeNet.training_graph(16);
+    let topo = Topology::single_server(2);
+    let hw = HardwarePerf::new();
+    let mut cost = CostModels::new();
+    for d in topo.gpu_ids() {
+        let p = Placement::uniform(graph.op_count(), d);
+        let tr = simulate(
+            &graph,
+            &topo,
+            &p,
+            &hw,
+            ExecPolicy::Fifo,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        cost.update_from_trace(&graph, &tr);
+    }
+    for (oid, op) in graph.iter_ops() {
+        for d in topo.gpu_ids() {
+            let truth = hw.exec_time(&graph, oid, topo.device(d));
+            let learned = cost.comp.get(&op.name, d).expect("profiled");
+            assert!(
+                (learned - truth).abs() / truth < 1e-9,
+                "`{}` on {d}: learned {learned}, truth {truth}",
+                op.name
+            );
+        }
+    }
+}
+
+#[test]
+fn comm_model_recovers_link_parameters() {
+    // Profile transfers of different sizes across one NVLink pair and check
+    // the regression recovers the link's latency and bandwidth.
+    let topo = Topology::single_server(2);
+    let hw = HardwarePerf::new();
+    let mut cost = CostModels::new();
+    for (i, kb) in [64u64, 256, 1024, 4096, 16384].iter().enumerate() {
+        let mut g = fastt_graph::Graph::new();
+        let a = g
+            .add_op(fastt_graph::Operation::new(
+                "a",
+                fastt_graph::OpKind::Input,
+                [*kb * 256],
+            ))
+            .unwrap();
+        let b = g
+            .add_op(fastt_graph::Operation::new(
+                "b",
+                fastt_graph::OpKind::Relu,
+                [*kb * 256],
+            ))
+            .unwrap();
+        g.connect(a, b).unwrap();
+        let mut p = Placement::uniform(2, DeviceId(0));
+        p.set(b, DeviceId(1));
+        let cfg = SimConfig {
+            iteration: i as u64,
+            ..SimConfig::default()
+        };
+        let tr = simulate(&g, &topo, &p, &hw, ExecPolicy::Fifo, &cfg).unwrap();
+        cost.comm.update_from_trace(&tr);
+    }
+    let link = topo.link(DeviceId(0), DeviceId(1)).unwrap();
+    let fit = cost.comm.fit_for(DeviceId(0), DeviceId(1)).expect("fitted");
+    assert!(
+        (fit.slope - 1.0 / link.bandwidth).abs() / (1.0 / link.bandwidth) < 0.05,
+        "slope {} vs 1/bw {}",
+        fit.slope,
+        1.0 / link.bandwidth
+    );
+    assert!(
+        (fit.intercept - link.latency).abs() < link.latency * 2.0,
+        "intercept {} vs latency {}",
+        fit.intercept,
+        link.latency
+    );
+}
+
+#[test]
+fn canonicalization_shares_stats_across_replicas_and_parts() {
+    assert_eq!(canonical_name("rep5/conv1_2"), "conv1_2");
+    assert_eq!(canonical_name("rep5/conv1_2.part3"), "conv1_2.part#");
+    let mut cost = CostModels::new();
+    cost.comp.observe("rep0/fc6", DeviceId(0), 0.5);
+    assert_eq!(cost.comp.get("rep3/fc6", DeviceId(0)), Some(0.5));
+}
+
+#[test]
+fn stability_detection_terminates_bootstrap() {
+    // Repeated profiling of the same plan with small jitter must converge
+    // below the default stability threshold.
+    let graph = Model::LeNet.training_graph(16);
+    let topo = Topology::single_server(2);
+    let hw = HardwarePerf::new();
+    let rep = replicate(&graph, 2).unwrap();
+    let plan = fastt::data_parallel_plan(&rep, &topo);
+    let mut cost = CostModels::new();
+    let mut stable_at = None;
+    for round in 0..10u64 {
+        cost.snapshot();
+        for k in 0..3 {
+            let cfg = SimConfig {
+                jitter_pct: 0.02,
+                iteration: round * 3 + k,
+                ..SimConfig::default()
+            };
+            let tr = plan.simulate(&topo, &hw, &cfg).unwrap();
+            cost.update_from_trace(&rep.graph, &tr);
+        }
+        if cost.is_stable(0.05) {
+            stable_at = Some(round);
+            break;
+        }
+    }
+    let round = stable_at.expect("cost models should stabilize within 10 rounds");
+    assert!(round >= 1, "cannot be stable before any re-profiling");
+}

@@ -1,0 +1,92 @@
+//! Heterogeneous-cluster tests: the cost models key by (op, device), so
+//! FastT handles clusters whose GPUs differ in speed — the scheduling
+//! problem the paper notes is NP-complete even with *unit* times, and
+//! strictly harder with "heterogeneous operation execution time" (Sec. 3).
+
+use fastt::{dpos, SessionConfig, TrainingSession};
+use fastt_cluster::{Device, DeviceId, Link, Topology, TopologyBuilder};
+use fastt_cost::CostModels;
+use fastt_graph::{Graph, OpKind, Operation};
+use fastt_models::Model;
+use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, SimConfig};
+
+/// One fast GPU and one 4x-slower GPU on a single server.
+fn lopsided() -> Topology {
+    let mut b = TopologyBuilder::new();
+    b.add_device(Device::v100("fast"), 0);
+    b.add_device(Device::v100("slow").with_peak_flops(15.7e12 / 4.0), 0);
+    b.add_device(Device::host("cpu"), 0);
+    b.connect_intra_server(Link::nvlink());
+    b.connect_host_pcie(Link::pcie());
+    b.build()
+}
+
+#[test]
+fn dpos_prefers_the_fast_device_for_heavy_ops() {
+    let topo = lopsided();
+    let hw = HardwarePerf::new();
+
+    // one heavy op, profiled on both GPUs
+    let mut g = Graph::new();
+    let a = g
+        .add_op(Operation::new("heavy", OpKind::MatMul, [64]).with_flops(1 << 36))
+        .unwrap();
+    let mut cost = CostModels::new();
+    for d in topo.gpu_ids() {
+        let t = hw.exec_time(&g, a, topo.device(d));
+        cost.comp.observe("heavy", d, t);
+    }
+    let s = dpos(&g, &topo, &cost, &hw);
+    assert_eq!(
+        s.placement.device_of(a),
+        DeviceId(0),
+        "heavy op on the fast GPU"
+    );
+}
+
+#[test]
+fn profiled_times_differ_per_device() {
+    let topo = lopsided();
+    let hw = HardwarePerf::new();
+    let g = Model::LeNet.training_graph(16);
+    let mut cost = CostModels::new();
+    for d in topo.gpu_ids() {
+        let p = Placement::uniform(g.op_count(), d);
+        let tr = simulate(&g, &topo, &p, &hw, ExecPolicy::Fifo, &SimConfig::default()).unwrap();
+        cost.update_from_trace(&g, &tr);
+    }
+    // a compute-bound op must be measurably slower on the slow GPU
+    let conv = "conv1";
+    let fast = cost.comp.get(conv, DeviceId(0)).unwrap();
+    let slow = cost.comp.get(conv, DeviceId(1)).unwrap();
+    assert!(slow > fast * 1.5, "slow {slow} vs fast {fast}");
+}
+
+#[test]
+fn session_on_lopsided_cluster_leans_on_the_fast_gpu() {
+    let topo = lopsided();
+    let g = Model::AlexNet.training_graph(32);
+    let mut s = TrainingSession::new(
+        &g,
+        topo.clone(),
+        HardwarePerf::new(),
+        SessionConfig {
+            profile_iters: 2,
+            max_rounds: 4,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    let report = s.pre_train().unwrap();
+    assert!(report.final_iter_time.is_finite());
+    // the final plan must execute and its busy time should favor the fast GPU
+    let tr = s
+        .current_plan()
+        .simulate(&topo, &HardwarePerf::new(), &SimConfig::default())
+        .unwrap();
+    assert!(
+        tr.device_busy[0] >= tr.device_busy[1] * 0.5,
+        "fast GPU suspiciously idle: {:?}",
+        tr.device_busy
+    );
+}

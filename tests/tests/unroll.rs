@@ -1,0 +1,89 @@
+//! Integration test of the cycle-breaking extension: a dynamic-RNN-style
+//! cyclic graph is unrolled to a DAG and flows through the complete FastT
+//! pipeline (autodiff → session → deployment).
+
+use fastt::{SessionConfig, TrainingSession};
+use fastt_cluster::Topology;
+use fastt_graph::{break_cycles, build_training_graph, Graph, OpKind, Operation};
+use fastt_sim::HardwarePerf;
+
+/// A two-layer recurrent model written *with explicit cycles*, the way a
+/// dynamic RNN appears before unrolling.
+fn cyclic_rnn(batch: u64, hidden: u64) -> Graph {
+    let mut g = Graph::new();
+    let x = g
+        .add_op(Operation::new("x", OpKind::Input, [batch, hidden]))
+        .unwrap();
+    let mut prev = x;
+    for l in 0..2 {
+        let w = g
+            .add_op(
+                Operation::new(format!("w{l}"), OpKind::Variable, [2 * hidden, 4 * hidden])
+                    .with_param_bytes(2 * hidden * 4 * hidden * 4),
+            )
+            .unwrap();
+        let cell = g
+            .add_op(
+                Operation::new(format!("cell{l}"), OpKind::LstmCell, [batch, hidden])
+                    .with_flops(2 * batch * 2 * hidden * 4 * hidden),
+            )
+            .unwrap();
+        let state = g
+            .add_op(Operation::new(
+                format!("state{l}"),
+                OpKind::Identity,
+                [batch, hidden],
+            ))
+            .unwrap();
+        g.connect(prev, cell).unwrap();
+        g.connect(w, cell).unwrap();
+        g.connect(cell, state).unwrap();
+        g.connect(state, cell).unwrap(); // the recurrence
+        prev = cell;
+    }
+    let loss = g.add_op(Operation::new("loss", OpKind::Loss, [])).unwrap();
+    g.connect(prev, loss).unwrap();
+    g
+}
+
+#[test]
+fn cyclic_model_trains_after_unrolling() {
+    let cyclic = cyclic_rnn(16, 128);
+    assert!(cyclic.validate().is_err(), "the input really has cycles");
+
+    let unrolled = break_cycles(&cyclic, 8).unwrap();
+    let training = build_training_graph(&unrolled.graph).unwrap();
+
+    let topo = Topology::single_server(2);
+    let mut session = TrainingSession::new(
+        &training,
+        topo.clone(),
+        HardwarePerf::new(),
+        SessionConfig {
+            profile_iters: 2,
+            max_rounds: 3,
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    let report = session.pre_train().unwrap();
+    assert!(report.final_iter_time.is_finite() && report.final_iter_time > 0.0);
+    session
+        .current_plan()
+        .placement
+        .validate(&session.current_plan().graph, &topo)
+        .unwrap();
+}
+
+#[test]
+fn more_unroll_iterations_mean_proportionally_more_work() {
+    let cyclic = cyclic_rnn(8, 64);
+    let short = break_cycles(&cyclic, 2).unwrap();
+    let long = break_cycles(&cyclic, 8).unwrap();
+    let f_short = short.graph.total_flops();
+    let f_long = long.graph.total_flops();
+    assert!(
+        (f_long as f64 / f_short as f64 - 4.0).abs() < 0.2,
+        "flops should scale ~4x: {f_short} -> {f_long}"
+    );
+}
