@@ -7,6 +7,8 @@ use fastt_cluster::Topology;
 use fastt_graph::replicate;
 use fastt_models::Model;
 use fastt_sim::{HardwarePerf, SimConfig};
+use fastt_telemetry::{Collector, NullSink};
+use std::sync::Arc;
 
 fn bench_simulate_models(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate-dp4");
@@ -60,5 +62,37 @@ fn bench_policy_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulate_models, bench_policy_overhead);
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The acceptance bar for the telemetry layer: a collector draining to a
+    // null sink must not measurably slow the simulator against no collector
+    // at all.
+    let graph = Model::InceptionV3.training_graph(8);
+    let topo = Topology::single_server(4);
+    let rep = replicate(&graph, 4).unwrap();
+    let plan = data_parallel_plan(&rep, &topo);
+    let hw = HardwarePerf::new();
+    let mut g = c.benchmark_group("telemetry-overhead");
+    g.sample_size(20);
+    g.bench_function("no-collector", |b| {
+        b.iter(|| {
+            plan.simulate(&topo, &hw, &SimConfig::default())
+                .expect("fits")
+        })
+    });
+    let cfg = SimConfig {
+        collector: Some(Arc::new(Collector::new().with_sink(NullSink))),
+        ..SimConfig::default()
+    };
+    g.bench_function("null-sink", |b| {
+        b.iter(|| plan.simulate(&topo, &hw, &cfg).expect("fits"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulate_models,
+    bench_policy_overhead,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Post-mortem telemetry report for one FastT pre-training session.
+//!
+//! Runs a session with a JSONL telemetry sink attached, then reads the
+//! event stream back and prints what happened: the activation/rollback
+//! timeline, where time waits in queues, and how the cost models' accuracy
+//! evolved.
+//!
+//! ```bash
+//! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report
+//! ```
+
+use fastt::{SessionConfig, TrainingSession};
+use fastt_bench::{dp_ps_for, per_replica_batch};
+use fastt_cluster::Topology;
+use fastt_sim::{HardwarePerf, SimConfig};
+use fastt_telemetry::{parse_jsonl, Collector, Event, JsonlSink};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let model_arg = args.next().unwrap_or_else(|| "alexnet".into());
+    let gpus: u16 = match args.next() {
+        Some(s) => s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("GPU count must be a positive integer, got `{s}`"))?,
+        None => 2,
+    };
+    let outdir = PathBuf::from(args.next().unwrap_or_else(|| "report-out".into()));
+    std::fs::create_dir_all(&outdir)?;
+
+    let needle = model_arg.to_lowercase();
+    let model = fastt_models::Model::all()
+        .into_iter()
+        .find(|m| m.name().to_lowercase().contains(&needle))
+        .ok_or_else(|| format!("unknown model `{model_arg}`"))?;
+
+    let topo = Topology::single_server(gpus);
+    let batch = per_replica_batch(model, model.paper_batch(), gpus as u32);
+    let graph = model.training_graph(batch);
+    let config = SessionConfig {
+        dp_ps: dp_ps_for(model),
+        ..SessionConfig::default()
+    };
+
+    let jsonl_path = outdir.join(format!("{needle}-{gpus}gpu.events.jsonl"));
+    let collector = Arc::new(Collector::new().with_sink(JsonlSink::create(&jsonl_path)?));
+
+    let mut session = TrainingSession::new(&graph, topo.clone(), HardwarePerf::new(), config)?;
+    session.attach_collector(collector.clone());
+    let report = session.pre_train()?;
+    collector.flush();
+
+    // ---- Post-mortem: everything below is reconstructed from the JSONL
+    // stream, exactly as an offline analysis of a saved run would do.
+    let events = parse_jsonl(&std::fs::read_to_string(&jsonl_path)?);
+    if events.is_empty() {
+        return Err("event stream is empty — telemetry produced nothing".into());
+    }
+
+    println!("=== FastT session post-mortem: {model} on {gpus} GPUs ===");
+    println!(
+        "{} events in {} | rounds {} | activations {} | rollbacks {} | final iter {:.3} ms",
+        events.len(),
+        jsonl_path.display(),
+        report.rounds,
+        report.activations,
+        report.rollbacks,
+        report.final_iter_time * 1e3,
+    );
+
+    println!("\n--- Activation / rollback timeline ---");
+    let mut any = false;
+    for e in &events {
+        let line = match e.kind.as_str() {
+            "session.round" => format!(
+                "round {} starts (measured {:.3} ms, drift {:.3})",
+                e.field("round"),
+                ms(e, "measured"),
+                e.num("drift").unwrap_or(0.0),
+            ),
+            "session.candidate" => format!(
+                "  candidate [{}] est {:.3} ms vs measured {:.3} ms",
+                e.str_field("kind").unwrap_or("?"),
+                ms(e, "est_finish"),
+                ms(e, "measured"),
+            ),
+            "session.activation" => format!(
+                "  ACTIVATED [{}]: {:.3} -> {:.3} ms (est was {:.3} ms, off by {:+.1}%)",
+                e.str_field("kind").unwrap_or("?"),
+                ms(e, "measured_before"),
+                ms(e, "measured_after"),
+                ms(e, "est"),
+                e.num("est_error").unwrap_or(0.0) * 100.0,
+            ),
+            "session.rollback" => format!(
+                "  ROLLED BACK [{}]: est {:.3} ms but measured {:.3} ms (was {:.3} ms)",
+                e.str_field("kind").unwrap_or("?"),
+                ms(e, "est"),
+                ms(e, "measured_after"),
+                ms(e, "measured_before"),
+            ),
+            _ => continue,
+        };
+        any = true;
+        println!("[{:>9} us] {line}", e.t_us);
+    }
+    if !any {
+        println!("(no strategy changes recorded)");
+    }
+
+    println!("\n--- Top 10 queue-wait ops (final plan, one iteration) ---");
+    let plan = session.current_plan();
+    let trace = plan.simulate(&topo, &HardwarePerf::new(), &SimConfig::default())?;
+    let names: Vec<String> = plan.graph.iter_ops().map(|(_, o)| o.name.clone()).collect();
+    let top = trace.top_queue_waits(10);
+    if top.is_empty() {
+        println!("(no op ever waited in a ready queue)");
+    }
+    for (op, wait) in top {
+        println!(
+            "{:>10.1} us  {}",
+            wait * 1e6,
+            names.get(op.index()).map(String::as_str).unwrap_or("?")
+        );
+    }
+    let per_dev = trace.device_queue_wait();
+    println!(
+        "per-device queue-wait totals (ms): {:?} | channel contention {:.3} ms",
+        per_dev.iter().map(|w| w * 1e3).collect::<Vec<_>>(),
+        trace.contention * 1e3,
+    );
+
+    println!("\n--- Cost-model error trend ---");
+    let errs: Vec<&Event> = events.iter().filter(|e| e.kind == "cost.error").collect();
+    if errs.is_empty() {
+        println!("(models were never scored — no re-profile happened)");
+    }
+    for e in &errs {
+        println!(
+            "[{:>9} us] MAPE {:.2}% (worst {:.1}%, {} comp + {} comm samples)",
+            e.t_us,
+            e.num("mape").unwrap_or(0.0) * 100.0,
+            e.num("worst").unwrap_or(0.0) * 100.0,
+            e.field("comp_samples"),
+            e.field("comm_samples"),
+        );
+    }
+    if let (Some(first), Some(last)) = (errs.first(), errs.last()) {
+        println!(
+            "trend: {:.2}% -> {:.2}% over {} scorings",
+            first.num("mape").unwrap_or(0.0) * 100.0,
+            last.num("mape").unwrap_or(0.0) * 100.0,
+            errs.len()
+        );
+    }
+
+    println!("\n--- Metrics registry ---");
+    println!("{}", collector.metrics().to_json());
+
+    // A Perfetto-ready trace of the final plan, with named tracks and
+    // per-device memory counters.
+    let full_cfg = SimConfig {
+        record_mem_timeline: true,
+        ..SimConfig::default()
+    };
+    let full = plan.simulate(&topo, &HardwarePerf::new(), &full_cfg)?;
+    let trace_path = outdir.join(format!("{needle}-{gpus}gpu.trace.json"));
+    std::fs::write(&trace_path, full.to_chrome_trace_full(&names, &topo))?;
+    println!("\nperfetto trace: {}", trace_path.display());
+    println!("event stream  : {}", jsonl_path.display());
+    Ok(())
+}
+
+/// Millisecond rendering of a seconds field (NaN when absent).
+fn ms(e: &Event, field: &str) -> f64 {
+    e.num(field).map(|v| v * 1e3).unwrap_or(f64::NAN)
+}

@@ -38,11 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dot_path = outdir.join(format!("{needle}-{gpus}gpu.dot"));
     std::fs::write(&dot_path, dot)?;
 
-    // Chrome trace of one iteration
-    let trace = plan.simulate(&topo, &HardwarePerf::new(), &SimConfig::default())?;
+    // Chrome trace of one iteration, with Perfetto track names and
+    // per-device memory counter tracks
+    let cfg = SimConfig {
+        record_mem_timeline: true,
+        ..SimConfig::default()
+    };
+    let trace = plan.simulate(&topo, &HardwarePerf::new(), &cfg)?;
     let names: Vec<String> = plan.graph.iter_ops().map(|(_, o)| o.name.clone()).collect();
     let json_path = outdir.join(format!("{needle}-{gpus}gpu.trace.json"));
-    std::fs::write(&json_path, trace.to_chrome_trace(&names))?;
+    std::fs::write(&json_path, trace.to_chrome_trace_full(&names, &topo))?;
 
     println!("{model} on {gpus} GPUs:");
     println!("  iteration time : {:.3} ms", trace.makespan * 1e3);

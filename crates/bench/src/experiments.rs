@@ -344,7 +344,7 @@ pub mod table6 {
     #[allow(unused_imports)]
     use crate::*;
     use crate::{dp_ps_for, per_replica_batch, print_header, run_fastt};
-    use fastt::{dpos_plan, os_dpos, OsDposOptions, SessionConfig};
+    use fastt::SessionConfig;
     use fastt_cluster::Topology;
     use fastt_cost::canonical_name;
     use fastt_sim::{HardwarePerf, SimConfig};
@@ -397,8 +397,7 @@ pub mod table6 {
                                 .graph
                                 .iter_ops()
                                 .find(|(_, o)| {
-                                    canonical_name(&o.name)
-                                        .starts_with(&format!("{base}.part"))
+                                    canonical_name(&o.name).starts_with(&format!("{base}.part"))
                                 })
                                 .map(|(_, o)| o.kind.to_string())
                                 .unwrap_or(base)

@@ -1,10 +1,9 @@
 //! GPU devices.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a device within one [`Topology`](crate::Topology).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub u16);
 
 impl DeviceId {
@@ -25,7 +24,7 @@ impl fmt::Display for DeviceId {
 /// The fields feed two consumers: `mem_bytes` is the placement constraint
 /// FastT checks (Alg. 1 line 13), while `peak_flops`/`mem_bandwidth` drive
 /// the simulator's hidden hardware ground-truth model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     /// Human-readable name, e.g. `"srv0/gpu2"`.
     pub name: String,

@@ -1,10 +1,9 @@
 //! Cluster topologies: devices plus the interconnects between them.
 
 use crate::device::{Device, DeviceId};
-use serde::{Deserialize, Serialize};
 
 /// A directed interconnect between two devices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// One-way latency in seconds.
     pub latency: f64,
@@ -57,7 +56,7 @@ impl Link {
 /// A set of devices and the links between every ordered pair.
 ///
 /// `link(a, b)` is `None` when `a == b` — intra-device "transfers" are free.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     devices: Vec<Device>,
     /// `links[src][dst]`; `None` on the diagonal.

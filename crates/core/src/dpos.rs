@@ -13,6 +13,7 @@ use fastt_cluster::{DeviceId, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::{Graph, OpId};
 use fastt_sim::{HardwarePerf, Placement};
+use fastt_telemetry::{jobj, Collector, Value};
 
 /// The output of one DPOS run: placement, execution order, and the
 /// estimated schedule.
@@ -106,7 +107,24 @@ impl Default for DposFlags {
 ///
 /// Panics if `graph` contains a cycle.
 pub fn dpos(graph: &Graph, topo: &Topology, cost: &CostModels, hw: &HardwarePerf) -> Schedule {
-    dpos_impl(graph, topo, cost, hw, None, DposFlags::default())
+    dpos_impl(graph, topo, cost, hw, None, DposFlags::default(), None)
+}
+
+/// [`dpos`] with scheduler decision tracing: every placement decision is
+/// emitted to `col` as a `dpos.place` event carrying the chosen device and
+/// the earliest-finish-time score of every device that was considered.
+///
+/// # Panics
+///
+/// Panics if `graph` contains a cycle.
+pub fn dpos_traced(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &CostModels,
+    hw: &HardwarePerf,
+    col: &Collector,
+) -> Schedule {
+    dpos_impl(graph, topo, cost, hw, None, DposFlags::default(), Some(col))
 }
 
 /// [`dpos`] with explicit design-choice switches (ablations).
@@ -121,7 +139,7 @@ pub fn dpos_with(
     hw: &HardwarePerf,
     flags: DposFlags,
 ) -> Schedule {
-    dpos_impl(graph, topo, cost, hw, None, flags)
+    dpos_impl(graph, topo, cost, hw, None, flags, None)
 }
 
 /// Computes an execution order (and schedule estimate) for a **fixed**
@@ -141,7 +159,15 @@ pub fn schedule_for_placement(
     hw: &HardwarePerf,
     placement: &Placement,
 ) -> Schedule {
-    dpos_impl(graph, topo, cost, hw, Some(placement), DposFlags::default())
+    dpos_impl(
+        graph,
+        topo,
+        cost,
+        hw,
+        Some(placement),
+        DposFlags::default(),
+        None,
+    )
 }
 
 fn dpos_impl(
@@ -151,7 +177,11 @@ fn dpos_impl(
     hw: &HardwarePerf,
     fixed: Option<&Placement>,
     flags: DposFlags,
+    col: Option<&Collector>,
 ) -> Schedule {
+    if let Some(col) = col {
+        col.metrics().inc("dpos.runs");
+    }
     let n = graph.op_count();
     let n_dev = topo.device_count();
     let ranks = upward_ranks(graph, cost);
@@ -315,6 +345,7 @@ fn dpos_impl(
         let mut best_d = candidates[0];
         let mut best_est = f64::INFINITY;
         let mut best_eft = f64::INFINITY;
+        let mut considered: Vec<Value> = Vec::new();
         for &d in &candidates {
             let w = cost.comp.get(name, d).unwrap_or(0.0);
             let ready = ready_time(o, d, &ft, &placement, &chan, &xfer_done);
@@ -324,11 +355,27 @@ fn dpos_impl(
                 ready.max(timelines[d.index()].horizon())
             };
             let eft = est + w;
+            if col.is_some() {
+                considered.push(jobj! { "device" => d.0 as u64, "eft" => eft });
+            }
             if eft < best_eft {
                 best_eft = eft;
                 best_est = est;
                 best_d = d;
             }
+        }
+        if let Some(col) = col {
+            col.metrics().inc("dpos.ops_placed");
+            col.emit(
+                "dpos.place",
+                jobj! {
+                    "op" => name.as_str(),
+                    "device" => best_d.0 as u64,
+                    "eft" => best_eft,
+                    "on_cp" => on_cp[o.index()],
+                    "considered" => Value::Arr(considered),
+                },
+            );
         }
 
         commit_transfers(o, best_d, &ft, &placement, &mut chan, &mut xfer_done);

@@ -6,13 +6,14 @@
 //! estimate of `FT(o_exit)` improves, and stop at the first operation whose
 //! best split does not improve it (Sec. 5.2).
 
-use crate::dpos::dpos;
+use crate::dpos::{dpos, dpos_traced};
 use crate::rank::critical_path_placed;
 use crate::strategy::Plan;
 use fastt_cluster::{DeviceId, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::{split_operation, Graph, SplitDecision};
 use fastt_sim::HardwarePerf;
+use fastt_telemetry::{jobj, Collector};
 
 /// Options controlling the split search.
 #[derive(Debug, Clone)]
@@ -43,7 +44,32 @@ impl OsDposOptions {
 
 /// Runs plain DPOS and wraps the result in a [`Plan`] (no splitting).
 pub fn dpos_plan(graph: &Graph, topo: &Topology, cost: &CostModels, hw: &HardwarePerf) -> Plan {
-    let s = dpos(graph, topo, cost, hw);
+    dpos_plan_impl(graph, topo, cost, hw, None)
+}
+
+/// [`dpos_plan`] with scheduler decision tracing (see
+/// [`crate::dpos::dpos_traced`]).
+pub fn dpos_plan_traced(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &CostModels,
+    hw: &HardwarePerf,
+    col: &Collector,
+) -> Plan {
+    dpos_plan_impl(graph, topo, cost, hw, Some(col))
+}
+
+fn dpos_plan_impl(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &CostModels,
+    hw: &HardwarePerf,
+    col: Option<&Collector>,
+) -> Plan {
+    let s = match col {
+        Some(col) => dpos_traced(graph, topo, cost, hw, col),
+        None => dpos(graph, topo, cost, hw),
+    };
     Plan {
         graph: graph.clone(),
         splits: Vec::new(),
@@ -66,7 +92,36 @@ pub fn os_dpos(
     hw: &HardwarePerf,
     opts: &OsDposOptions,
 ) -> Plan {
-    let base = dpos(graph, topo, cost, hw);
+    os_dpos_impl(graph, topo, cost, hw, opts, None)
+}
+
+/// [`os_dpos`] with decision tracing: the base DPOS run emits `dpos.place`
+/// events, and every split verdict (accepted, rejected-and-stop) is emitted
+/// as a `dpos.split` event with the chosen dimension and degree. The inner
+/// DPOS re-runs of the split search stay untraced to bound event volume.
+pub fn os_dpos_traced(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &mut CostModels,
+    hw: &HardwarePerf,
+    opts: &OsDposOptions,
+    col: &Collector,
+) -> Plan {
+    os_dpos_impl(graph, topo, cost, hw, opts, Some(col))
+}
+
+fn os_dpos_impl(
+    graph: &Graph,
+    topo: &Topology,
+    cost: &mut CostModels,
+    hw: &HardwarePerf,
+    opts: &OsDposOptions,
+    col: Option<&Collector>,
+) -> Plan {
+    let base = match col {
+        Some(col) => dpos_traced(graph, topo, cost, hw, col),
+        None => dpos(graph, topo, cost, hw),
+    };
     let mut ft_old = base.est_finish;
 
     // Critical path under the actual placement, by descending compute time.
@@ -136,12 +191,43 @@ pub fn os_dpos(
 
         match best {
             Some((g, s, dec)) if s.est_finish < ft_old => {
+                if let Some(col) = col {
+                    col.metrics().inc("dpos.splits_accepted");
+                    col.emit(
+                        "dpos.split",
+                        jobj! {
+                            "op" => dec.op_name.as_str(),
+                            "dim" => dec.dim as u64,
+                            "parts" => dec.parts as u64,
+                            "est_before" => ft_old,
+                            "est_after" => s.est_finish,
+                            "accepted" => true,
+                        },
+                    );
+                }
                 ft_old = s.est_finish;
                 cur_graph = g;
                 cur_sched = s;
                 splits.push(dec);
             }
-            Some(_) => break, // best split of this op does not help: stop
+            Some((_, s, dec)) => {
+                // best split of this op does not help: stop the walk
+                if let Some(col) = col {
+                    col.metrics().inc("dpos.splits_rejected");
+                    col.emit(
+                        "dpos.split",
+                        jobj! {
+                            "op" => dec.op_name.as_str(),
+                            "dim" => dec.dim as u64,
+                            "parts" => dec.parts as u64,
+                            "est_before" => ft_old,
+                            "est_after" => s.est_finish,
+                            "accepted" => false,
+                        },
+                    );
+                }
+                break;
+            }
             None => continue, // no feasible split for this op: try the next
         }
     }

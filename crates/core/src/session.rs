@@ -9,12 +9,14 @@
 //! Pre-training ends when the cost models stabilize.
 
 use crate::error::FastTError;
-use crate::os_dpos::{dpos_plan, os_dpos, OsDposOptions};
+use crate::os_dpos::{dpos_plan, dpos_plan_traced, os_dpos, os_dpos_traced, OsDposOptions};
 use crate::strategy::{data_parallel_plan, data_parallel_plan_on, model_parallel_plan, Plan};
 use fastt_cluster::{DeviceId, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::{replicate_grouped, Graph, ReplicationMode};
 use fastt_sim::{HardwarePerf, SimConfig, SimError};
+use fastt_telemetry::{jobj, Collector, Value};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Session tuning knobs.
@@ -93,6 +95,7 @@ pub struct TrainingSession {
     current: Plan,
     measured: f64,
     iteration: u64,
+    collector: Option<Arc<Collector>>,
 }
 
 impl TrainingSession {
@@ -146,7 +149,38 @@ impl TrainingSession {
             current: start,
             measured: f64::INFINITY,
             iteration: 0,
+            collector: None,
         })
+    }
+
+    /// Attaches a telemetry collector to the whole session: lifecycle
+    /// events (`session.*`), scheduler decision traces (`dpos.*`),
+    /// simulator summaries (`sim.*`), and cost-model accuracy (`cost.*`)
+    /// all flow through it. Without a collector the session is untouched.
+    pub fn attach_collector(&mut self, collector: Arc<Collector>) {
+        self.cost.set_collector(collector.clone());
+        collector.emit(
+            "session.start",
+            jobj! {
+                "devices" => self.topo.device_count() as u64,
+                "gpus" => self.topo.gpu_count() as u64,
+                "ops" => self.base_graph.op_count() as u64,
+                "started_dp" => self.started_dp,
+                "est_finish" => self.current.est_finish,
+            },
+        );
+        self.collector = Some(collector);
+    }
+
+    /// The attached telemetry collector, if any.
+    pub fn collector(&self) -> Option<&Arc<Collector>> {
+        self.collector.as_ref()
+    }
+
+    fn emit(&self, kind: &str, fields: Value) {
+        if let Some(col) = &self.collector {
+            col.emit(kind, fields);
+        }
     }
 
     /// The currently active plan.
@@ -180,6 +214,7 @@ impl TrainingSession {
                 jitter_pct: self.config.jitter_pct,
                 seed: self.config.seed,
                 iteration: self.iteration,
+                collector: self.collector.clone(),
                 ..SimConfig::default()
             };
             let trace = self.current.simulate(&self.topo, &self.hw, &cfg)?;
@@ -193,17 +228,33 @@ impl TrainingSession {
     /// Computes a fresh candidate plan from the base graph with the current
     /// cost models (OS-DPOS when splitting is enabled, DPOS otherwise).
     pub fn compute_candidate(&mut self) -> Plan {
+        let col = self.collector.clone();
         let mut plan = if self.config.enable_split {
             let opts = OsDposOptions::for_topology(&self.topo);
-            os_dpos(
-                &self.base_graph,
-                &self.topo,
-                &mut self.cost,
-                &self.hw,
-                &opts,
-            )
+            match &col {
+                Some(col) => os_dpos_traced(
+                    &self.base_graph,
+                    &self.topo,
+                    &mut self.cost,
+                    &self.hw,
+                    &opts,
+                    col,
+                ),
+                None => os_dpos(
+                    &self.base_graph,
+                    &self.topo,
+                    &mut self.cost,
+                    &self.hw,
+                    &opts,
+                ),
+            }
         } else {
-            dpos_plan(&self.base_graph, &self.topo, &self.cost, &self.hw)
+            match &col {
+                Some(col) => {
+                    dpos_plan_traced(&self.base_graph, &self.topo, &self.cost, &self.hw, col)
+                }
+                None => dpos_plan(&self.base_graph, &self.topo, &self.cost, &self.hw),
+            }
         };
         if !self.config.enable_order {
             plan.order = None;
@@ -282,6 +333,7 @@ impl TrainingSession {
                     jitter_pct: self.config.jitter_pct,
                     seed: self.config.seed,
                     iteration: self.iteration,
+                    collector: self.collector.clone(),
                     ..SimConfig::default()
                 };
                 let trace = self.current.simulate(&self.topo, &self.hw, &cfg)?;
@@ -299,14 +351,71 @@ impl TrainingSession {
                 total += measured;
                 done += 1;
                 if !self.cost.is_stable(self.config.stability_eps) {
+                    self.emit(
+                        "session.drift",
+                        jobj! {
+                            "iteration" => self.iteration,
+                            "drift" => self.cost.comp.max_drift(),
+                            "eps" => self.config.stability_eps,
+                        },
+                    );
+                    if let Some(col) = &self.collector {
+                        col.metrics().inc("session.drift_detected");
+                    }
                     self.measured = self.profile(self.config.profile_iters)?;
                     let candidate = self.compute_candidate();
+                    self.emit(
+                        "session.candidate",
+                        jobj! {
+                            "kind" => "redeploy",
+                            "stage" => "normal",
+                            "est_finish" => candidate.est_finish,
+                            "measured" => self.measured,
+                        },
+                    );
                     if candidate.est_finish < self.measured {
+                        let est = candidate.est_finish;
                         let previous = std::mem::replace(&mut self.current, candidate);
                         let prev_measured = self.measured;
                         match self.profile(self.config.profile_iters) {
-                            Ok(m) if m <= prev_measured => self.measured = m,
-                            Ok(_) | Err(_) => self.current = previous,
+                            Ok(m) if m <= prev_measured => {
+                                self.measured = m;
+                                self.emit(
+                                    "session.activation",
+                                    jobj! {
+                                        "stage" => "normal",
+                                        "est" => est,
+                                        "measured_before" => prev_measured,
+                                        "measured_after" => m,
+                                        "est_error" => (m - est) / est.max(f64::MIN_POSITIVE),
+                                    },
+                                );
+                            }
+                            Ok(m) => {
+                                self.current = previous;
+                                self.emit(
+                                    "session.rollback",
+                                    jobj! {
+                                        "stage" => "normal",
+                                        "est" => est,
+                                        "measured_before" => prev_measured,
+                                        "measured_after" => m,
+                                        "est_error" => (m - est) / est.max(f64::MIN_POSITIVE),
+                                    },
+                                );
+                            }
+                            Err(_) => {
+                                self.current = previous;
+                                self.emit(
+                                    "session.rollback",
+                                    jobj! {
+                                        "stage" => "normal",
+                                        "est" => est,
+                                        "measured_before" => prev_measured,
+                                        "failed" => true,
+                                    },
+                                );
+                            }
                         }
                     }
                 }
@@ -338,27 +447,50 @@ impl TrainingSession {
         for _ in 0..self.config.max_rounds {
             report.rounds += 1;
             self.cost.snapshot();
+            self.emit(
+                "session.round",
+                jobj! {
+                    "round" => report.rounds as u64,
+                    "measured" => self.measured,
+                    "drift" => self.cost.comp.max_drift(),
+                },
+            );
 
             // Two candidates per round: the full DPOS/OS-DPOS redeployment
             // and the low-risk "enforce an order on the current placement"
             // (the paper's ordering lever, Fig. 2); tried best-estimate
             // first.
             let t0 = Instant::now();
-            let mut candidates: Vec<Plan> = vec![self.compute_candidate()];
+            let mut candidates: Vec<(Plan, &'static str)> =
+                vec![(self.compute_candidate(), "redeploy")];
             if let Some(oc) = self.compute_order_candidate() {
-                candidates.push(oc);
+                candidates.push((oc, "order"));
             }
-            candidates.sort_by(|a, b| a.est_finish.total_cmp(&b.est_finish));
+            candidates.sort_by(|a, b| a.0.est_finish.total_cmp(&b.0.est_finish));
             report.strategy_calc_secs += t0.elapsed().as_secs_f64();
+            for (candidate, kind) in &candidates {
+                self.emit(
+                    "session.candidate",
+                    jobj! {
+                        "round" => report.rounds as u64,
+                        "kind" => *kind,
+                        "stage" => "pre_train",
+                        "est_finish" => candidate.est_finish,
+                        "measured" => self.measured,
+                        "splits" => candidate.splits.len() as u64,
+                    },
+                );
+            }
 
             // Activate only when the estimate beats the measured time of the
             // current strategy (Sec. 4, "Strategy Calculator"); roll back
             // when the measured time regresses.
             let mut activated = false;
-            for candidate in candidates {
+            for (candidate, kind) in candidates {
                 if candidate.est_finish >= self.measured {
                     continue;
                 }
+                let est = candidate.est_finish;
                 let previous = std::mem::replace(&mut self.current, candidate);
                 let prev_measured = self.measured;
                 match self.profile(self.config.profile_iters) {
@@ -366,13 +498,62 @@ impl TrainingSession {
                         self.measured = new_measured;
                         report.activations += 1;
                         activated = true;
+                        if let Some(col) = &self.collector {
+                            col.metrics().inc("session.activations");
+                        }
+                        self.emit(
+                            "session.activation",
+                            jobj! {
+                                "round" => report.rounds as u64,
+                                "kind" => kind,
+                                "stage" => "pre_train",
+                                "est" => est,
+                                "measured_before" => prev_measured,
+                                "measured_after" => new_measured,
+                                "est_error" => (new_measured - est) / est.max(f64::MIN_POSITIVE),
+                            },
+                        );
                         break;
                     }
-                    Ok(_) | Err(_) => {
-                        // measured regression (or OOM under the new plan):
-                        // roll back to the previous strategy
+                    Ok(new_measured) => {
+                        // measured regression: roll back, recording how far
+                        // off the estimate was
                         self.current = previous;
                         report.rollbacks += 1;
+                        if let Some(col) = &self.collector {
+                            col.metrics().inc("session.rollbacks");
+                        }
+                        self.emit(
+                            "session.rollback",
+                            jobj! {
+                                "round" => report.rounds as u64,
+                                "kind" => kind,
+                                "stage" => "pre_train",
+                                "est" => est,
+                                "measured_before" => prev_measured,
+                                "measured_after" => new_measured,
+                                "est_error" => (new_measured - est) / est.max(f64::MIN_POSITIVE),
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        // the new plan failed outright (e.g. OOM): roll back
+                        self.current = previous;
+                        report.rollbacks += 1;
+                        if let Some(col) = &self.collector {
+                            col.metrics().inc("session.rollbacks");
+                        }
+                        self.emit(
+                            "session.rollback",
+                            jobj! {
+                                "round" => report.rounds as u64,
+                                "kind" => kind,
+                                "stage" => "pre_train",
+                                "est" => est,
+                                "measured_before" => prev_measured,
+                                "failed" => true,
+                            },
+                        );
                     }
                 }
             }
@@ -388,6 +569,16 @@ impl TrainingSession {
         }
 
         report.final_iter_time = self.measured;
+        self.emit(
+            "session.pre_train_done",
+            jobj! {
+                "rounds" => report.rounds as u64,
+                "activations" => report.activations as u64,
+                "rollbacks" => report.rollbacks as u64,
+                "final_iter_time" => report.final_iter_time,
+                "strategy_calc_secs" => report.strategy_calc_secs,
+            },
+        );
         Ok(report)
     }
 }

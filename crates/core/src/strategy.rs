@@ -9,10 +9,7 @@ use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, RunTrace, SimConf
 /// A complete deployment plan: the (possibly rewritten) graph, the list of
 /// split decisions that produced it, the device placement, and the
 /// (optional) enforced execution order.
-///
-/// Plans serialize with serde, so a computed strategy can be stored and
-/// re-activated later (the paper's checkpoint-activate workflow).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Plan {
     /// The graph to execute (original, replicated, and/or split).
     pub graph: Graph,

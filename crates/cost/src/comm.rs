@@ -7,7 +7,6 @@
 use crate::linreg::LinReg;
 use fastt_cluster::DeviceId;
 use fastt_sim::RunTrace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Maximum retained samples per device pair (new data replaces the oldest,
@@ -15,7 +14,7 @@ use std::collections::HashMap;
 const MAX_SAMPLES_PER_PAIR: usize = 512;
 
 /// Per-device-pair transfer-time model.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CommCostModel {
     samples: HashMap<(DeviceId, DeviceId), Vec<(f64, f64)>>,
     fits: HashMap<(DeviceId, DeviceId), LinReg>,

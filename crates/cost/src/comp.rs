@@ -6,7 +6,6 @@
 use fastt_cluster::DeviceId;
 use fastt_graph::Graph;
 use fastt_sim::RunTrace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Canonicalizes an op name for cost-model keying: data-parallel replicas
@@ -42,7 +41,7 @@ pub fn canonical_name(name: &str) -> String {
 }
 
 /// Running mean of observed execution times for one (op, device) key.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Stat {
     sum: f64,
     count: u64,
@@ -62,7 +61,7 @@ impl Stat {
 }
 
 /// Profiled per-(op, device) execution times with running averages.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CompCostModel {
     stats: HashMap<(String, DeviceId), Stat>,
     /// Means at the last [`CompCostModel::snapshot`], for stability checks.

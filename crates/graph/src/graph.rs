@@ -2,11 +2,10 @@
 
 use crate::error::GraphError;
 use crate::op::{OpId, OpKind, Operation};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of an edge within one [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -20,7 +19,7 @@ impl EdgeId {
 ///
 /// Edge byte counts drive the communication cost model: when `src` and `dst`
 /// are placed on different devices, `bytes` must cross the interconnect.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// Producer operation.
     pub src: OpId,
@@ -51,7 +50,7 @@ pub struct Edge {
 /// assert_eq!(g.topo_order()?.len(), 3);
 /// # Ok::<(), fastt_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     ops: Vec<Operation>,
     edges: Vec<Edge>,
@@ -343,7 +342,7 @@ impl Graph {
 }
 
 /// Summary statistics of a graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphStats {
     /// Number of operations.
     pub ops: usize,

@@ -1,14 +1,13 @@
 //! Operations: the nodes of the computation graph.
 
 use crate::shape::TensorShape;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an operation within one [`Graph`](crate::Graph).
 ///
 /// Ids are dense indices assigned in insertion order; they are only meaningful
 /// within the graph that issued them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub u32);
 
 impl OpId {
@@ -31,7 +30,7 @@ impl fmt::Display for OpId {
 ///   data edges are partitioned, weight edges are broadcast to every sub-op.
 /// * `Channel` — fine-grained **model** parallelism: weight edges are
 ///   partitioned, data edges are broadcast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SplitDim {
     /// Split along the sample (batch) dimension.
     Batch,
@@ -54,7 +53,7 @@ impl fmt::Display for SplitDim {
 /// dimensions (if any) an operation supports, and whether it is
 /// compute-bound or memory-bound (the simulator's hardware model uses this
 /// to derive execution time from `flops`/bytes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum OpKind {
     /// Training-data feed; produces the input mini-batch.
@@ -178,7 +177,7 @@ impl fmt::Display for OpKind {
 /// need: a stable `name` (cost models are keyed by name + device), the
 /// [`OpKind`], the output tensor shape, the floating-point work, and the
 /// resident parameter bytes (non-zero only for [`OpKind::Variable`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {
     /// Unique name within the graph, e.g. `"rep0/conv1_1"`.
     pub name: String,

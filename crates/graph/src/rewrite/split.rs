@@ -4,7 +4,6 @@
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::op::{OpId, OpKind, Operation, SplitDim};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of [`split_operation`]: the rewritten graph plus id bookkeeping.
 #[derive(Debug, Clone)]
@@ -22,7 +21,7 @@ pub struct SplitResult {
 
 /// A recorded split decision, as emitted in the paper's "operation split
 /// list" output (Sec. 3: name, partition dimension, number of partitions).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitDecision {
     /// Name of the split operation.
     pub op_name: String,

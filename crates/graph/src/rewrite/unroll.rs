@@ -182,8 +182,8 @@ pub fn break_cycles(graph: &Graph, iterations: u32) -> Result<UnrolledGraph, Gra
             }
             (false, true) => {
                 if graph.op_ref(e.src).kind.is_variable() {
-                    for t in 0..iterations as usize {
-                        g.connect_bytes(once_id[si].unwrap(), iter_id[di][t], e.bytes)?;
+                    for &dst in &iter_id[di] {
+                        g.connect_bytes(once_id[si].unwrap(), dst, e.bytes)?;
                     }
                 } else {
                     g.connect_bytes(once_id[si].unwrap(), iter_id[di][0], e.bytes)?;
@@ -202,8 +202,8 @@ pub fn break_cycles(graph: &Graph, iterations: u32) -> Result<UnrolledGraph, Gra
                         g.connect_bytes(iter_id[si][t], iter_id[di][t + 1], e.bytes)?;
                     }
                 } else {
-                    for t in 0..iterations as usize {
-                        g.connect_bytes(iter_id[si][t], iter_id[di][t], e.bytes)?;
+                    for (&src, &dst) in iter_id[si].iter().zip(&iter_id[di]) {
+                        g.connect_bytes(src, dst, e.bytes)?;
                     }
                 }
             }

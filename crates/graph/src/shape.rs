@@ -5,7 +5,6 @@
 //! sizes and split factors), so the shape type is the whole tensor abstraction
 //! needed by this workspace.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of bytes per tensor element. All benchmark models train in `f32`.
@@ -23,7 +22,7 @@ pub const BYTES_PER_ELEM: u64 = 4;
 /// assert_eq!(s.elems(), 32 * 224 * 224 * 3);
 /// assert_eq!(s.bytes(), s.elems() * 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct TensorShape(Vec<u64>);
 
 impl TensorShape {

@@ -29,11 +29,10 @@ pub use nlp::{bert_large, gnmt4, rnnlm, transformer, ATTN_SEQ_LEN, SEQ_LEN};
 pub use stack::{Cursor, LayerStack};
 
 use fastt_graph::{build_training_graph, Graph};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The nine benchmark models of the paper's evaluation (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Model {
     /// Inception-v3 CNN.
     InceptionV3,

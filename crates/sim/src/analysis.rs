@@ -173,18 +173,21 @@ mod tests {
                 OpRecord {
                     op: a,
                     device: DeviceId(0),
+                    ready: 0.0,
                     start: 0.0,
                     end: 1.0,
                 },
                 OpRecord {
                     op: b,
                     device: DeviceId(1),
+                    ready: 1.5,
                     start: 1.5,
                     end: 2.5,
                 },
                 OpRecord {
                     op: c,
                     device: DeviceId(1),
+                    ready: 4.0,
                     start: 4.0,
                     end: 5.0,
                 },
@@ -201,6 +204,9 @@ mod tests {
             makespan: 5.0,
             device_busy: vec![1.0, 2.0],
             peak_mem: vec![0, 0],
+            contention: 0.0,
+            steps: 0,
+            mem_timeline: Vec::new(),
         };
         (g, trace)
     }

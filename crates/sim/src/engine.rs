@@ -10,12 +10,14 @@ use crate::error::SimError;
 use crate::hardware::HardwarePerf;
 use crate::placement::Placement;
 use crate::queue::{ExecPolicy, ReadyQueue};
-use crate::trace::{OpRecord, RunTrace, TransferRecord};
+use crate::trace::{MemSample, OpRecord, RunTrace, TransferRecord};
 use fastt_cluster::{DeviceId, Topology};
 use fastt_graph::{Graph, OpId};
+use fastt_telemetry::{jobj, Collector};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -32,6 +34,14 @@ pub struct SimConfig {
     pub iteration_overhead: f64,
     /// Whether to enforce device memory capacities.
     pub check_memory: bool,
+    /// Telemetry collector; when set, the engine emits `sim.*` events
+    /// (iteration summary, OOM) and updates `sim.*` metrics. `None` keeps
+    /// the hot path untouched.
+    pub collector: Option<Arc<Collector>>,
+    /// Whether to record the per-device memory-over-time samples that back
+    /// Perfetto counter tracks (`RunTrace::mem_timeline`). Off by default:
+    /// it allocates per memory change.
+    pub record_mem_timeline: bool,
 }
 
 impl Default for SimConfig {
@@ -42,6 +52,8 @@ impl Default for SimConfig {
             iteration: 0,
             iteration_overhead: 3e-3,
             check_memory: true,
+            collector: None,
+            record_mem_timeline: false,
         }
     }
 }
@@ -142,6 +154,18 @@ pub fn simulate(
         mem_peak[d] = mem_used[d];
         let cap = topo.device(DeviceId(d as u16)).mem_bytes;
         if config.check_memory && mem_used[d] > cap {
+            if let Some(col) = &config.collector {
+                col.metrics().inc("sim.oom");
+                col.emit(
+                    "sim.oom",
+                    jobj! {
+                        "device" => d as u64,
+                        "needed" => mem_used[d],
+                        "capacity" => cap,
+                        "at" => "resident",
+                    },
+                );
+            }
             return Err(SimError::Oom {
                 device: DeviceId(d as u16),
                 needed: mem_used[d],
@@ -178,12 +202,16 @@ pub fn simulate(
         .map(|i| OpRecord {
             op: OpId(i as u32),
             device: placement.device_of(OpId(i as u32)),
+            ready: -1.0,
             start: -1.0,
             end: -1.0,
         })
         .collect();
     let mut transfers: Vec<TransferRecord> = Vec::new();
     let mut executed = 0usize;
+    let mut contention = 0.0f64;
+    let mut steps = 0u64;
+    let mut mem_timeline: Vec<MemSample> = Vec::new();
 
     // Seed ready queues with zero-indegree ops. Under FIFO the seeding order
     // is *hash-shuffled*: TensorFlow's default executor pops initially-ready
@@ -197,6 +225,7 @@ pub fn simulate(
     }
     for op in seeds {
         let d = placement.device_of(op);
+        records[op.index()].ready = 0.0;
         queues[d.index()].push(op, priority[op.index()]);
     }
 
@@ -219,6 +248,7 @@ pub fn simulate(
         events: &mut BinaryHeap<Reverse<(OrderedF64, u64, usize)>>,
         payload: &mut Vec<Event>,
         seq: &mut u64,
+        mem_timeline: &mut Vec<MemSample>,
     ) -> Result<(), SimError> {
         if !device_free[d] || queues[d].is_empty() {
             return Ok(());
@@ -229,8 +259,27 @@ pub fn simulate(
         let act = hw.activation_bytes(o);
         mem_used[d] += act;
         mem_peak[d] = mem_peak[d].max(mem_used[d]);
+        if config.record_mem_timeline && act > 0 {
+            mem_timeline.push(MemSample {
+                t: now,
+                device: DeviceId(d as u16),
+                bytes: mem_used[d],
+            });
+        }
         let cap = topo.device(DeviceId(d as u16)).mem_bytes;
         if config.check_memory && mem_used[d] > cap {
+            if let Some(col) = &config.collector {
+                col.metrics().inc("sim.oom");
+                col.emit(
+                    "sim.oom",
+                    jobj! {
+                        "device" => d as u64,
+                        "needed" => mem_used[d],
+                        "capacity" => cap,
+                        "at" => o.name.as_str(),
+                    },
+                );
+            }
             return Err(SimError::Oom {
                 device: DeviceId(d as u16),
                 needed: mem_used[d],
@@ -270,11 +319,13 @@ pub fn simulate(
             &mut events,
             &mut event_payload,
             &mut seq,
+            &mut mem_timeline,
         )?;
     }
 
     let mut makespan = 0.0f64;
     while let Some(Reverse((OrderedF64(now), _, idx))) = events.pop() {
+        steps += 1;
         makespan = makespan.max(now);
         // Take the payload without shifting indices.
         let ev = std::mem::replace(&mut event_payload[idx], Event::Consumed);
@@ -292,12 +343,26 @@ pub fn simulate(
                         let sd = placement.device_of(e.src).index();
                         let act = hw.activation_bytes(graph.op_ref(e.src));
                         mem_used[sd] = mem_used[sd].saturating_sub(act);
+                        if config.record_mem_timeline && act > 0 {
+                            mem_timeline.push(MemSample {
+                                t: now,
+                                device: DeviceId(sd as u16),
+                                bytes: mem_used[sd],
+                            });
+                        }
                     }
                 }
                 // Sinks free their own output immediately.
                 if out_remaining[op.index()] == 0 {
                     let act = hw.activation_bytes(graph.op_ref(op));
                     mem_used[d] = mem_used[d].saturating_sub(act);
+                    if config.record_mem_timeline && act > 0 {
+                        mem_timeline.push(MemSample {
+                            t: now,
+                            device: DeviceId(d as u16),
+                            bytes: mem_used[d],
+                        });
+                    }
                 }
 
                 // Deliver outputs. The tensor is sent once per destination
@@ -310,6 +375,7 @@ pub fn simulate(
                     if sd == dd {
                         indeg[e.dst.index()] -= 1;
                         if indeg[e.dst.index()] == 0 {
+                            records[e.dst.index()].ready = now;
                             queues[dd.index()].push(e.dst, priority[e.dst.index()]);
                         }
                     } else {
@@ -324,6 +390,7 @@ pub fn simulate(
                     let key = channel_key(sd, dd);
                     let link = topo.link(sd, dd).expect("distinct devices have a link");
                     let free_at = channels.get(&key).copied().unwrap_or(0.0).max(now);
+                    contention += free_at - now;
                     let arrive = free_at + link.transfer_time(bytes);
                     channels.insert(key, arrive);
                     transfers.push(TransferRecord {
@@ -360,6 +427,7 @@ pub fn simulate(
                     &mut events,
                     &mut event_payload,
                     &mut seq,
+                    &mut mem_timeline,
                 )?;
             }
             Event::TransferArrive { dsts } => {
@@ -367,6 +435,7 @@ pub fn simulate(
                 for dst in dsts {
                     indeg[dst.index()] -= 1;
                     if indeg[dst.index()] == 0 {
+                        records[dst.index()].ready = now;
                         queues[dd].push(dst, priority[dst.index()]);
                     }
                 }
@@ -386,6 +455,7 @@ pub fn simulate(
                     &mut events,
                     &mut event_payload,
                     &mut seq,
+                    &mut mem_timeline,
                 )?;
             }
             Event::Consumed => unreachable!("each event index is popped once"),
@@ -399,13 +469,39 @@ pub fn simulate(
         });
     }
 
-    Ok(RunTrace {
+    let trace = RunTrace {
         op_records: records,
         transfers,
         makespan: makespan + config.iteration_overhead,
         device_busy: device_busy_time,
         peak_mem: mem_peak,
-    })
+        contention,
+        steps,
+        mem_timeline,
+    };
+    if let Some(col) = &config.collector {
+        let m = col.metrics();
+        m.inc("sim.iterations");
+        m.add("sim.steps", trace.steps);
+        m.add("sim.transfers", trace.transfers.len() as u64);
+        m.add("sim.ops_executed", executed as u64);
+        m.observe("sim.makespan", trace.makespan);
+        let queue_wait = trace.device_queue_wait();
+        col.emit(
+            "sim.iteration",
+            jobj! {
+                "iteration" => config.iteration,
+                "makespan" => trace.makespan,
+                "steps" => trace.steps,
+                "ops" => executed as u64,
+                "transfers" => trace.transfers.len() as u64,
+                "contention" => trace.contention,
+                "queue_wait" => fastt_telemetry::Value::arr(queue_wait),
+                "peak_mem" => fastt_telemetry::Value::arr(trace.peak_mem.clone()),
+            },
+        );
+    }
+    Ok(trace)
 }
 
 /// Total-ordered f64 wrapper for the event heap (times are finite).

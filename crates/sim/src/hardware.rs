@@ -14,7 +14,6 @@
 
 use fastt_cluster::Device;
 use fastt_graph::{Graph, OpId, OpKind, Operation};
-use serde::{Deserialize, Serialize};
 
 /// Per-op kernel launch + framework dispatch overhead (seconds). Real
 /// TensorFlow 1.x measures ~5–20 µs per op.
@@ -85,7 +84,7 @@ pub fn is_transient(kind: OpKind) -> bool {
 }
 
 /// The hardware ground truth: execution-time and memory synthesis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HardwarePerf {
     /// Per-op launch overhead in seconds.
     pub launch_overhead: f64,

@@ -2,11 +2,10 @@
 
 use fastt_cluster::{DeviceId, Topology};
 use fastt_graph::{Graph, OpId};
-use serde::{Deserialize, Serialize};
 
 /// A complete device assignment: one device per operation
 /// (the paper's output (ii), Sec. 3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     device_of: Vec<DeviceId>,
 }

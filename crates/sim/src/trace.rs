@@ -2,17 +2,21 @@
 //! `RunMetadata` (Sec. 4 of the paper) — per-op execution records and
 //! per-tensor transfer records, consumed by the adaptive cost models.
 
-use fastt_cluster::DeviceId;
+use fastt_cluster::{DeviceId, Topology};
 use fastt_graph::OpId;
-use serde::{Deserialize, Serialize};
+use fastt_telemetry::jobj;
+use fastt_telemetry::json::Value;
 
 /// One op execution: where and when it ran.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpRecord {
     /// The executed op.
     pub op: OpId,
     /// Device it ran on.
     pub device: DeviceId,
+    /// Time the op became runnable (entered its device's ready queue);
+    /// `-1.0` if it never did.
+    pub ready: f64,
     /// Start time (seconds from iteration start).
     pub start: f64,
     /// End time.
@@ -24,10 +28,20 @@ impl OpRecord {
     pub fn duration(&self) -> f64 {
         self.end - self.start
     }
+
+    /// Seconds spent runnable-but-not-running, waiting behind other work on
+    /// the same device (0 when the op never ran).
+    pub fn queue_wait(&self) -> f64 {
+        if self.start < 0.0 || self.ready < 0.0 {
+            0.0
+        } else {
+            (self.start - self.ready).max(0.0)
+        }
+    }
 }
 
 /// One inter-device tensor transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferRecord {
     /// Producer op.
     pub src_op: OpId,
@@ -52,8 +66,20 @@ impl TransferRecord {
     }
 }
 
+/// One sample of a device's resident memory over time (recorded only when
+/// `SimConfig::record_mem_timeline` is set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSample {
+    /// Sample time (seconds from iteration start).
+    pub t: f64,
+    /// Sampled device.
+    pub device: DeviceId,
+    /// Resident bytes at `t`.
+    pub bytes: u64,
+}
+
 /// The result of simulating one training iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunTrace {
     /// Per-op execution records, indexed by `OpId`.
     pub op_records: Vec<OpRecord>,
@@ -65,6 +91,13 @@ pub struct RunTrace {
     pub device_busy: Vec<f64>,
     /// Per-device peak memory (bytes).
     pub peak_mem: Vec<u64>,
+    /// Total seconds transfers spent queued behind a busy channel.
+    pub contention: f64,
+    /// Event-loop steps the simulator processed.
+    pub steps: u64,
+    /// Per-device memory-over-time samples; empty unless the run asked for
+    /// them (`SimConfig::record_mem_timeline`).
+    pub mem_timeline: Vec<MemSample>,
 }
 
 impl RunTrace {
@@ -89,9 +122,15 @@ impl RunTrace {
     }
 
     /// Training speed for a given batch size, in samples per second —
-    /// the paper's headline metric (Sec. 6.2).
+    /// the paper's headline metric (Sec. 6.2). A degenerate zero-length
+    /// iteration (e.g. an empty graph with no overhead configured) reports
+    /// `0.0` rather than infinity.
     pub fn samples_per_sec(&self, batch: u64) -> f64 {
-        batch as f64 / self.makespan
+        if self.makespan > 0.0 {
+            batch as f64 / self.makespan
+        } else {
+            0.0
+        }
     }
 
     /// Largest peak memory across devices.
@@ -113,52 +152,164 @@ impl RunTrace {
             .collect()
     }
 
+    /// Per-device totals of time ops spent ready-but-queued.
+    pub fn device_queue_wait(&self) -> Vec<f64> {
+        let n = self.device_busy.len();
+        let mut w = vec![0.0; n];
+        for r in &self.op_records {
+            if r.device.index() < n {
+                w[r.device.index()] += r.queue_wait();
+            }
+        }
+        w
+    }
+
+    /// The `n` ops that waited longest in a ready queue, worst first.
+    pub fn top_queue_waits(&self, n: usize) -> Vec<(OpId, f64)> {
+        let mut waits: Vec<(OpId, f64)> = self
+            .op_records
+            .iter()
+            .map(|r| (r.op, r.queue_wait()))
+            .filter(|(_, w)| *w > 0.0)
+            .collect();
+        waits.sort_by(|a, b| b.1.total_cmp(&a.1));
+        waits.truncate(n);
+        waits
+    }
+
     /// Renders the trace in Chrome's trace-event JSON format (open in
     /// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)): one row
-    /// per device for op execution, one row per channel for transfers.
+    /// per device for op execution, one row per source→destination device
+    /// pair for transfers.
     ///
     /// `names` supplies the op labels (pass the graph's op names, indexed by
     /// `OpId`); missing entries fall back to the op id.
     pub fn to_chrome_trace(&self, names: &[String]) -> String {
-        let mut events = Vec::new();
+        self.render_chrome(names, None)
+    }
+
+    /// Like [`RunTrace::to_chrome_trace`], with the topology available:
+    /// transfer rows collapse onto the *physical channels* of `topo`
+    /// (`Topology::channel_key` — PCIe pair, NIC, host link), Perfetto
+    /// metadata events name every process/thread row, and per-device memory
+    /// counter tracks are emitted when the trace carries a memory timeline.
+    pub fn to_chrome_trace_full(&self, names: &[String], topo: &Topology) -> String {
+        self.render_chrome(names, Some(topo))
+    }
+
+    fn render_chrome(&self, names: &[String], topo: Option<&Topology>) -> String {
+        let mut events: Vec<Value> = Vec::new();
         let name_of = |op: OpId| -> String {
             names
                 .get(op.index())
                 .cloned()
                 .unwrap_or_else(|| op.to_string())
         };
+        if let Some(topo) = topo {
+            events.push(meta_event("process_name", 0, None, "compute"));
+            events.push(meta_event("process_name", 1, None, "transfers"));
+            events.push(meta_event("process_name", 2, None, "memory"));
+            for d in 0..topo.device_count() {
+                let label = &topo.device(DeviceId(d as u16)).name;
+                events.push(meta_event("thread_name", 0, Some(d as u64), label));
+            }
+        }
         for r in &self.op_records {
             if r.start < 0.0 {
                 continue;
             }
-            events.push(serde_json::json!({
-                "name": name_of(r.op),
-                "cat": "op",
-                "ph": "X",
-                "ts": r.start * 1e6,
-                "dur": r.duration() * 1e6,
-                "pid": 0,
-                "tid": r.device.0,
-            }));
+            events.push(jobj! {
+                "name" => name_of(r.op).as_str(),
+                "cat" => "op",
+                "ph" => "X",
+                "ts" => r.start * 1e6,
+                "dur" => r.duration() * 1e6,
+                "pid" => 0u64,
+                "tid" => r.device.0 as u64,
+            });
         }
+        // Transfer rows. Without a topology, fall back to one row per
+        // (src, dst) device pair; `DeviceId` is 16-bit, so packing the pair
+        // into disjoint halves of the tid can never collide (the seed's
+        // `src * 1000 + dst` encoding aliased for topologies of 1000+
+        // devices). With a topology, rows are the actual shared channels.
+        let mut channel_rows: Vec<((u32, u32), String)> = Vec::new();
+        let mut tid_of = |t: &TransferRecord| -> u64 {
+            match topo {
+                None => ((t.src_dev.0 as u64) << 16) | t.dst_dev.0 as u64,
+                Some(topo) => {
+                    let key = topo.channel_key(t.src_dev, t.dst_dev);
+                    let idx = match channel_rows.iter().position(|(k, _)| *k == key) {
+                        Some(i) => i,
+                        None => {
+                            channel_rows.push((key, channel_label(key)));
+                            channel_rows.len() - 1
+                        }
+                    };
+                    idx as u64
+                }
+            }
+        };
         for t in &self.transfers {
-            events.push(serde_json::json!({
-                "name": format!("{} -> {} ({} B)", name_of(t.src_op), name_of(t.dst_op), t.bytes),
-                "cat": "transfer",
-                "ph": "X",
-                "ts": t.start * 1e6,
-                "dur": t.duration() * 1e6,
-                "pid": 1,
-                "tid": t.src_dev.0 as u32 * 1000 + t.dst_dev.0 as u32,
-            }));
+            let tid = tid_of(t);
+            events.push(jobj! {
+                "name" => format!("{} -> {} ({} B)", name_of(t.src_op), name_of(t.dst_op), t.bytes).as_str(),
+                "cat" => "transfer",
+                "ph" => "X",
+                "ts" => t.start * 1e6,
+                "dur" => t.duration() * 1e6,
+                "pid" => 1u64,
+                "tid" => tid,
+            });
         }
-        serde_json::json!({ "traceEvents": events }).to_string()
+        if topo.is_some() {
+            for (i, (_, label)) in channel_rows.iter().enumerate() {
+                events.push(meta_event("thread_name", 1, Some(i as u64), label));
+            }
+            for s in &self.mem_timeline {
+                events.push(jobj! {
+                    "name" => format!("mem gpu:{}", s.device.0).as_str(),
+                    "cat" => "memory",
+                    "ph" => "C",
+                    "ts" => s.t * 1e6,
+                    "pid" => 2u64,
+                    "args" => jobj! { "bytes" => s.bytes },
+                });
+            }
+        }
+        jobj! { "traceEvents" => Value::Arr(events) }.to_string()
+    }
+}
+
+/// A Chrome trace "M" (metadata) event naming a process or thread row.
+fn meta_event(kind: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
+    let mut fields = vec![
+        ("name".to_string(), Value::from(kind)),
+        ("ph".to_string(), Value::from("M")),
+        ("pid".to_string(), Value::from(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Value::from(tid)));
+    }
+    fields.push(("args".to_string(), jobj! { "name" => label }));
+    Value::Obj(fields)
+}
+
+/// Human label for a channel row, from the key scheme documented on
+/// `Topology::channel_key`.
+fn channel_label(key: (u32, u32)) -> String {
+    match key {
+        (s, _) if s >= 0x3_0000 => format!("host->gpu:{}", s - 0x3_0000),
+        (s, _) if s >= 0x2_0000 => format!("gpu:{}->host", s - 0x2_0000),
+        (s, d) if s >= 0x1_0000 => format!("net srv{}->srv{}", s - 0x1_0000, d - 0x1_0000),
+        (s, d) => format!("pcie gpu:{s}->gpu:{d}"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastt_telemetry::json::Value;
 
     fn trace() -> RunTrace {
         RunTrace {
@@ -166,12 +317,14 @@ mod tests {
                 OpRecord {
                     op: OpId(0),
                     device: DeviceId(0),
+                    ready: 0.0,
                     start: 0.0,
                     end: 1.0,
                 },
                 OpRecord {
                     op: OpId(1),
                     device: DeviceId(1),
+                    ready: 1.5,
                     start: 1.5,
                     end: 2.0,
                 },
@@ -188,6 +341,9 @@ mod tests {
             makespan: 2.0,
             device_busy: vec![1.0, 0.5],
             peak_mem: vec![10, 20],
+            contention: 0.0,
+            steps: 3,
+            mem_timeline: Vec::new(),
         }
     }
 
@@ -198,6 +354,15 @@ mod tests {
         assert!((t.total_memcpy_time() - 0.5).abs() < 1e-12);
         assert!((t.samples_per_sec(64) - 32.0).abs() < 1e-9);
         assert_eq!(t.max_peak_mem(), 20);
+    }
+
+    #[test]
+    fn samples_per_sec_is_zero_for_zero_makespan() {
+        // A degenerate run must not report infinite throughput.
+        let mut t = trace();
+        t.makespan = 0.0;
+        assert_eq!(t.samples_per_sec(64), 0.0);
+        assert!(t.samples_per_sec(64).is_finite());
     }
 
     #[test]
@@ -216,11 +381,26 @@ mod tests {
     }
 
     #[test]
+    fn queue_wait_accounting() {
+        let mut t = trace();
+        t.op_records[1].ready = 1.0; // ready at 1.0, started at 1.5
+        assert!((t.op_records[1].queue_wait() - 0.5).abs() < 1e-12);
+        let per_dev = t.device_queue_wait();
+        assert_eq!(per_dev.len(), 2);
+        assert!((per_dev[1] - 0.5).abs() < 1e-12);
+        let top = t.top_queue_waits(10);
+        assert_eq!(top, vec![(OpId(1), 0.5)]);
+        // unexecuted ops contribute nothing
+        t.op_records[0].start = -1.0;
+        assert_eq!(t.op_records[0].queue_wait(), 0.0);
+    }
+
+    #[test]
     fn chrome_trace_is_valid_json_with_all_events() {
         let t = trace();
         let names = vec!["a".to_string(), "b".to_string()];
         let json = t.to_chrome_trace(&names);
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = Value::parse(&json).unwrap();
         let events = v["traceEvents"].as_array().unwrap();
         assert_eq!(events.len(), 3); // 2 ops + 1 transfer
         assert!(events.iter().any(|e| e["name"] == "a"));
@@ -234,7 +414,7 @@ mod tests {
         let mut t = trace();
         t.op_records[1].start = -1.0;
         let json = t.to_chrome_trace(&[]);
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = Value::parse(&json).unwrap();
         let ops = v["traceEvents"]
             .as_array()
             .unwrap()
@@ -242,5 +422,78 @@ mod tests {
             .filter(|e| e["cat"] == "op")
             .count();
         assert_eq!(ops, 1);
+    }
+
+    #[test]
+    fn transfer_tids_do_not_collide_on_large_topologies() {
+        // Seed encoding (src*1000 + dst) aliased (1, 2) with (0, 1002).
+        let mut t = trace();
+        t.transfers = vec![
+            TransferRecord {
+                src_op: OpId(0),
+                dst_op: OpId(1),
+                src_dev: DeviceId(1),
+                dst_dev: DeviceId(2),
+                bytes: 1,
+                start: 0.0,
+                end: 0.1,
+            },
+            TransferRecord {
+                src_op: OpId(0),
+                dst_op: OpId(1),
+                src_dev: DeviceId(0),
+                dst_dev: DeviceId(1002),
+                bytes: 1,
+                start: 0.0,
+                end: 0.1,
+            },
+        ];
+        let v = Value::parse(&t.to_chrome_trace(&[])).unwrap();
+        let tids: Vec<f64> = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["cat"] == "transfer")
+            .map(|e| e["tid"].as_f64().unwrap())
+            .collect();
+        assert_eq!(tids.len(), 2);
+        assert_ne!(tids[0], tids[1]);
+    }
+
+    #[test]
+    fn full_trace_emits_perfetto_metadata_and_counters() {
+        let topo = Topology::single_server(2);
+        let mut t = trace();
+        t.mem_timeline = vec![
+            MemSample {
+                t: 0.0,
+                device: DeviceId(0),
+                bytes: 10,
+            },
+            MemSample {
+                t: 1.0,
+                device: DeviceId(0),
+                bytes: 4,
+            },
+        ];
+        let v = Value::parse(&t.to_chrome_trace_full(&[], &topo)).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let metas: Vec<_> = events.iter().filter(|e| e["ph"] == "M").collect();
+        // 3 process names + one thread name per device (2 GPUs + host CPU)
+        // + 1 channel thread name
+        assert_eq!(metas.len(), 3 + topo.device_count() + 1);
+        assert!(metas
+            .iter()
+            .any(|e| e["name"] == "process_name" && e["args"]["name"] == "compute"));
+        let counters = events.iter().filter(|e| e["ph"] == "C").count();
+        assert_eq!(counters, 2);
+        // transfers collapse onto dense per-channel rows starting at 0
+        let tmin = events
+            .iter()
+            .filter(|e| e["cat"] == "transfer")
+            .map(|e| e["tid"].as_u64().unwrap())
+            .min()
+            .unwrap();
+        assert_eq!(tmin, 0);
     }
 }

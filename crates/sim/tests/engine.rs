@@ -204,7 +204,7 @@ fn jitter_is_deterministic_per_seed_and_iteration() {
             seed,
             iteration,
             iteration_overhead: 0.0,
-            check_memory: true,
+            ..SimConfig::default()
         };
         simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &c)
             .unwrap()

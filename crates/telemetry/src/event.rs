@@ -1,0 +1,88 @@
+//! Structured telemetry events.
+
+use crate::json::Value;
+
+/// One structured event: a monotonically increasing sequence number, a
+/// timestamp relative to the collector's creation, a dotted kind string
+/// (`"session.activation"`, `"sim.oom"`, …), and a free-form object of
+/// fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Position in the collector's event stream (0-based).
+    pub seq: u64,
+    /// Microseconds since the collector was created.
+    pub t_us: u64,
+    /// Dotted event kind, e.g. `"session.rollback"`.
+    pub kind: String,
+    /// Event payload; always a [`Value::Obj`].
+    pub fields: Value,
+}
+
+impl Event {
+    /// Field lookup (`Value::Null` when absent).
+    pub fn field(&self, name: &str) -> &Value {
+        &self.fields[name]
+    }
+
+    /// Numeric field shorthand.
+    pub fn num(&self, name: &str) -> Option<f64> {
+        self.fields[name].as_f64()
+    }
+
+    /// String field shorthand.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        self.fields[name].as_str()
+    }
+
+    /// The JSONL representation: one flat object with reserved keys
+    /// `seq`, `t_us`, and `kind` plus the nested `fields` object.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("seq", Value::from(self.seq)),
+            ("t_us", Value::from(self.t_us)),
+            ("kind", Value::from(self.kind.as_str())),
+            ("fields", self.fields.clone()),
+        ])
+    }
+
+    /// Rebuilds an event from its [`Event::to_json`] form (e.g. one JSONL
+    /// line). Returns `None` when the reserved keys are missing.
+    pub fn from_json(v: &Value) -> Option<Event> {
+        Some(Event {
+            seq: v["seq"].as_u64()?,
+            t_us: v["t_us"].as_u64()?,
+            kind: v["kind"].as_str()?.to_string(),
+            fields: match &v["fields"] {
+                obj @ Value::Obj(_) => obj.clone(),
+                _ => Value::Obj(Vec::new()),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobj;
+
+    #[test]
+    fn json_roundtrip() {
+        let ev = Event {
+            seq: 7,
+            t_us: 1234,
+            kind: "session.activation".to_string(),
+            fields: jobj! { "est" => 0.5, "round" => 2u64 },
+        };
+        let line = ev.to_json().to_string();
+        let back = Event::from_json(&Value::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(back.num("est"), Some(0.5));
+        assert_eq!(back.field("round").as_u64(), Some(2));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        let v = Value::parse(r#"{"seq":1}"#).unwrap();
+        assert!(Event::from_json(&v).is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Pluggable event sinks: where emitted events go.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Receives every event emitted through a
+/// [`Collector`](crate::Collector).
+///
+/// Implementations must be cheap and must not panic: sinks run inline on
+/// the instrumented hot paths.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Sharing a sink between a collector and an observer (e.g. a test that
+/// asserts on recorded events) works through `Arc`.
+impl<S: Sink + ?Sized> Sink for Arc<S> {
+    fn record(&self, event: &Event) {
+        (**self).record(event);
+    }
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+/// Discards every event. Useful for measuring instrumentation overhead and
+/// as a placeholder in configs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// A bounded in-memory ring buffer of events: when full, the oldest events
+/// are dropped (and counted).
+#[derive(Debug)]
+pub struct MemorySink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl MemorySink {
+    /// A ring buffer holding at most `cap` events (`cap` is clamped to ≥1).
+    pub fn new(cap: usize) -> Self {
+        MemorySink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A ring buffer with a default capacity suited to a full
+    /// pre-training session.
+    pub fn with_default_capacity() -> Self {
+        Self::new(65_536)
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("sink lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained events whose kind starts with `prefix`.
+    pub fn events_of(&self, prefix: &str) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("sink lock")
+            .iter()
+            .filter(|e| e.kind.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("sink lock").len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&self) {
+        self.buf.lock().expect("sink lock").clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        let mut buf = self.buf.lock().expect("sink lock");
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Appends one JSON object per event to a writer (JSON Lines). Create with
+/// [`JsonlSink::create`] for a file target, or wrap any writer with
+/// [`JsonlSink::new`].
+pub struct JsonlSink {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Streams events to an arbitrary writer.
+    pub fn new<W: Write + Send + 'static>(w: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(Box::new(w))),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams events to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().expect("sink lock");
+        // I/O errors are swallowed: telemetry must never fail the workload.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("sink lock").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Parses a JSONL event stream (e.g. a file written through [`JsonlSink`]),
+/// skipping unparsable lines.
+pub fn parse_jsonl(text: &str) -> Vec<Event> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| crate::json::Value::parse(l).ok())
+        .filter_map(|v| Event::from_json(&v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobj;
+
+    fn ev(seq: u64, kind: &str) -> Event {
+        Event {
+            seq,
+            t_us: seq * 10,
+            kind: kind.to_string(),
+            fields: jobj! { "x" => seq },
+        }
+    }
+
+    #[test]
+    fn memory_sink_ring_evicts_oldest() {
+        let s = MemorySink::new(3);
+        for i in 0..5 {
+            s.record(&ev(i, "k"));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let evs = s.events();
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[2].seq, 4);
+    }
+
+    #[test]
+    fn memory_sink_filters_by_prefix() {
+        let s = MemorySink::new(10);
+        s.record(&ev(0, "session.round"));
+        s.record(&ev(1, "sim.iteration"));
+        s.record(&ev(2, "session.activation"));
+        assert_eq!(s.events_of("session.").len(), 2);
+        assert_eq!(s.events_of("sim.").len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("fastt-telemetry-test-{}.jsonl", std::process::id()));
+        {
+            let s = JsonlSink::create(&path).unwrap();
+            s.record(&ev(0, "a.b"));
+            s.record(&ev(1, "c.d"));
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = parse_jsonl(&text);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, "c.d");
+        assert_eq!(events[1].field("x").as_u64(), Some(1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_jsonl_skips_garbage_lines() {
+        let text = format!("garbage\n{}\n\n{{\"seq\":1}}\n", ev(3, "k").to_json());
+        let events = parse_jsonl(&text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 3);
+    }
+}
