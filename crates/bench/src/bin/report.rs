@@ -7,12 +7,14 @@
 //!
 //! ```bash
 //! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report
+//! # with a scripted chaos scenario (fault injection + recovery timeline):
+//! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report chaos:21
 //! ```
 
 use fastt::{SessionConfig, TrainingSession};
 use fastt_bench::{dp_ps_for, per_replica_batch};
 use fastt_cluster::Topology;
-use fastt_sim::{HardwarePerf, SimConfig};
+use fastt_sim::{FaultSchedule, HardwarePerf, SimConfig};
 use fastt_telemetry::{parse_jsonl, Collector, Event, JsonlSink};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,6 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outdir = PathBuf::from(args.next().unwrap_or_else(|| "report-out".into()));
     std::fs::create_dir_all(&outdir)?;
 
+    // Optional 4th arg `chaos[:seed]`: inject a seeded fault scenario
+    // (straggler, degraded link, transient ops, memory pressure, one
+    // mid-run crash) and run the normal-training stage so the recovery
+    // machinery has something to do.
+    let chaos_seed: Option<u64> = match args.next() {
+        Some(s) if s == "chaos" => Some(21),
+        Some(s) => match s.strip_prefix("chaos:") {
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|_| format!("chaos seed must be an integer, got `{n}`"))?,
+            ),
+            None => return Err(format!("unknown argument `{s}` (expected `chaos[:seed]`)").into()),
+        },
+        None => None,
+    };
+
     let needle = model_arg.to_lowercase();
     let model = fastt_models::Model::all()
         .into_iter()
@@ -42,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = model.training_graph(batch);
     let config = SessionConfig {
         dp_ps: dp_ps_for(model),
+        faults: chaos_seed.map(|s| Arc::new(FaultSchedule::seeded(s, gpus, 60, gpus >= 2))),
         ..SessionConfig::default()
     };
 
@@ -51,6 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = TrainingSession::new(&graph, topo.clone(), HardwarePerf::new(), config)?;
     session.attach_collector(collector.clone());
     let report = session.pre_train()?;
+    if chaos_seed.is_some() {
+        // run into the fault windows so the recovery timeline has content
+        session.train_normal(40, 5)?;
+    }
     collector.flush();
 
     // ---- Post-mortem: everything below is reconstructed from the JSONL
@@ -109,6 +132,95 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !any {
         println!("(no strategy changes recorded)");
+    }
+
+    println!("\n--- Fault / recovery timeline ---");
+    let mut any_fault = false;
+    // the engine re-emits `fault.injected` on every iteration a fault is
+    // active; the timeline only needs the first sighting of each fault
+    let mut seen_faults = std::collections::HashSet::new();
+    for e in &events {
+        let line = match e.kind.as_str() {
+            "fault.injected" => {
+                let key = format!(
+                    "{}/{}/{}/{}",
+                    e.str_field("kind").unwrap_or("?"),
+                    e.field("device"),
+                    e.field("from_iter"),
+                    e.field("until_iter"),
+                );
+                if !seen_faults.insert(key) {
+                    continue;
+                }
+                let until = match e.num("until_iter") {
+                    Some(v) if v > 1e18 => "forever".to_string(),
+                    _ => e.field("until_iter").to_string(),
+                };
+                format!(
+                    "fault [{}] on device {} (iterations {}..{until})",
+                    e.str_field("kind").unwrap_or("?"),
+                    e.field("device"),
+                    e.field("from_iter"),
+                )
+            }
+            "health.degraded" => format!(
+                "  DEGRADED device {} running {:.2}x slower than predicted (iteration {})",
+                e.field("device"),
+                e.num("slowdown").unwrap_or(f64::NAN),
+                e.field("iteration"),
+            ),
+            "health.restored" => format!(
+                "  restored device {} (iteration {})",
+                e.field("device"),
+                e.field("iteration"),
+            ),
+            "session.retry" => format!(
+                "  retry attempt {} on device {} (iteration {}, backoff {:.0} ms)",
+                e.field("attempt"),
+                e.field("device"),
+                e.field("iteration"),
+                ms(e, "backoff_secs"),
+            ),
+            "session.replan" => format!(
+                "  REPLAN [{}] over {} survivors (iteration {}, failed {})",
+                e.str_field("reason").unwrap_or("?"),
+                e.field("survivors"),
+                e.field("iteration"),
+                e.field("failed"),
+            ),
+            "session.fallback" => format!(
+                "  FELL BACK to [{}] at {:.3} ms (iteration {})",
+                e.str_field("kind").unwrap_or("?"),
+                ms(e, "measured"),
+                e.field("iteration"),
+            ),
+            "session.recovered" => format!(
+                "  RECOVERED with [{}] on {} survivors at {:.3} ms (iteration {})",
+                e.str_field("kind").unwrap_or("?"),
+                e.field("survivors"),
+                ms(e, "measured"),
+                e.field("iteration"),
+            ),
+            _ => continue,
+        };
+        any_fault = true;
+        println!("[{:>9} us] {line}", e.t_us);
+    }
+    if !any_fault {
+        println!("(no faults injected — pass `chaos[:seed]` as the 4th argument)");
+    } else {
+        let topo_now = session.topology();
+        println!(
+            "surviving GPUs {}/{} | blacklisted {:?} | {} recovery decisions",
+            topo_now.gpu_count(),
+            gpus,
+            topo_now
+                .failed_devices()
+                .iter()
+                .map(|d| d.0)
+                .collect::<Vec<_>>(),
+            session.recovery_log().len(),
+        );
     }
 
     println!("\n--- Top 10 queue-wait ops (final plan, one iteration) ---");

@@ -1,0 +1,191 @@
+//! Per-device health state, inferred by whoever watches the cluster.
+//!
+//! The topology records the *hard* facts (a blacklisted device is gone from
+//! [`Topology::gpu_ids`](crate::Topology::gpu_ids)); this module records the
+//! *soft* ones: a device that still works but runs slower than the cost
+//! models predict, a device under repeated transient failures, and the
+//! history of how each device got into its current state. The training
+//! session owns a [`HealthMap`] and updates it from fresh profiling traces.
+
+use crate::device::DeviceId;
+
+/// The observed condition of one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceHealth {
+    /// Performing as the cost models predict.
+    Healthy,
+    /// Alive but slower than predicted by `slowdown`× (a straggler).
+    Degraded {
+        /// Observed-over-predicted duration ratio (> 1).
+        slowdown: f64,
+    },
+    /// Blacklisted: crashed, preempted, or beyond the retry budget.
+    Failed,
+}
+
+impl DeviceHealth {
+    /// Short label for telemetry fields.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceHealth::Healthy => "healthy",
+            DeviceHealth::Degraded { .. } => "degraded",
+            DeviceHealth::Failed => "failed",
+        }
+    }
+}
+
+/// Health state for every device in a topology, indexed by [`DeviceId`].
+///
+/// # Examples
+///
+/// ```
+/// use fastt_cluster::{DeviceHealth, DeviceId, HealthMap};
+///
+/// let mut h = HealthMap::new(4);
+/// h.mark_degraded(DeviceId(2), 3.0);
+/// h.mark_failed(DeviceId(1));
+/// assert!(h.is_failed(DeviceId(1)));
+/// assert_eq!(h.degraded(), vec![(DeviceId(2), 3.0)]);
+/// assert_eq!(h.live_count(), 3);
+/// assert_eq!(h.health(DeviceId(0)), DeviceHealth::Healthy);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthMap {
+    state: Vec<DeviceHealth>,
+}
+
+impl HealthMap {
+    /// A map of `device_count` healthy devices.
+    pub fn new(device_count: usize) -> Self {
+        HealthMap {
+            state: vec![DeviceHealth::Healthy; device_count],
+        }
+    }
+
+    /// Number of devices tracked.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the map tracks no devices.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// The health of `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn health(&self, d: DeviceId) -> DeviceHealth {
+        self.state[d.index()]
+    }
+
+    /// Marks `d` healthy again (a straggler window ended).
+    /// Failure is sticky: a failed device cannot be marked healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn mark_healthy(&mut self, d: DeviceId) {
+        if self.state[d.index()] != DeviceHealth::Failed {
+            self.state[d.index()] = DeviceHealth::Healthy;
+        }
+    }
+
+    /// Marks `d` as a straggler running `slowdown`× slower than predicted.
+    /// Failure is sticky: a failed device stays failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn mark_degraded(&mut self, d: DeviceId, slowdown: f64) {
+        if self.state[d.index()] != DeviceHealth::Failed {
+            self.state[d.index()] = DeviceHealth::Degraded { slowdown };
+        }
+    }
+
+    /// Blacklists `d` permanently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn mark_failed(&mut self, d: DeviceId) {
+        self.state[d.index()] = DeviceHealth::Failed;
+    }
+
+    /// Whether `d` is blacklisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn is_failed(&self, d: DeviceId) -> bool {
+        self.state[d.index()] == DeviceHealth::Failed
+    }
+
+    /// All blacklisted devices, in id order.
+    pub fn failed(&self) -> Vec<DeviceId> {
+        self.ids().filter(|&d| self.is_failed(d)).collect()
+    }
+
+    /// All degraded devices with their slowdowns, in id order.
+    pub fn degraded(&self) -> Vec<(DeviceId, f64)> {
+        self.ids()
+            .filter_map(|d| match self.state[d.index()] {
+                DeviceHealth::Degraded { slowdown } => Some((d, slowdown)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Devices not blacklisted (healthy or merely degraded).
+    pub fn live_count(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s != DeviceHealth::Failed)
+            .count()
+    }
+
+    fn ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.state.len() as u16).map(DeviceId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_healthy() {
+        let h = HealthMap::new(3);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.live_count(), 3);
+        assert!(h.failed().is_empty());
+        assert!(h.degraded().is_empty());
+        assert_eq!(h.health(DeviceId(2)), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn degraded_tracks_slowdown_and_recovers() {
+        let mut h = HealthMap::new(2);
+        h.mark_degraded(DeviceId(0), 2.5);
+        assert_eq!(h.degraded(), vec![(DeviceId(0), 2.5)]);
+        assert_eq!(h.health(DeviceId(0)).label(), "degraded");
+        h.mark_healthy(DeviceId(0));
+        assert!(h.degraded().is_empty());
+        assert_eq!(h.live_count(), 2);
+    }
+
+    #[test]
+    fn failure_is_sticky() {
+        let mut h = HealthMap::new(2);
+        h.mark_failed(DeviceId(1));
+        assert!(h.is_failed(DeviceId(1)));
+        h.mark_healthy(DeviceId(1));
+        h.mark_degraded(DeviceId(1), 2.0);
+        assert!(h.is_failed(DeviceId(1)), "failed devices never come back");
+        assert_eq!(h.failed(), vec![DeviceId(1)]);
+        assert_eq!(h.live_count(), 1);
+    }
+}

@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 
 mod device;
+mod health;
 mod topology;
 
 pub use device::{Device, DeviceId};
+pub use health::{DeviceHealth, HealthMap};
 pub use topology::{Link, Topology, TopologyBuilder};

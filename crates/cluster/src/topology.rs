@@ -63,6 +63,11 @@ pub struct Topology {
     links: Vec<Vec<Option<Link>>>,
     /// `server_of[d]`: which physical server hosts device `d`.
     server_of: Vec<u16>,
+    /// `failed[d]`: device `d` has been blacklisted (crashed / preempted).
+    /// Device ids stay stable — failed devices keep their slot so that
+    /// id-indexed state (cost-model keys, traces, fault schedules) remains
+    /// valid — but planners skip them via [`Topology::gpu_ids`].
+    failed: Vec<bool>,
 }
 
 impl Topology {
@@ -104,26 +109,54 @@ impl Topology {
         b.build()
     }
 
-    /// Number of devices (GPUs and hosts).
+    /// Number of devices (GPUs and hosts), including failed ones — this is
+    /// the size of every id-indexed vector, so it never shrinks.
     pub fn device_count(&self) -> usize {
         self.devices.len()
     }
 
-    /// Number of GPU devices.
+    /// Number of *live* GPU devices (failed GPUs are excluded).
     pub fn gpu_count(&self) -> usize {
-        self.devices.iter().filter(|d| !d.is_host).count()
+        self.gpu_ids().count()
     }
 
-    /// All device ids (GPUs and hosts).
+    /// All device ids (GPUs and hosts, live and failed).
     pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
         (0..self.devices.len() as u16).map(DeviceId)
     }
 
-    /// GPU device ids only — the placement targets FastT considers
+    /// Live GPU device ids only — the placement targets FastT considers
     /// (Sec. 3: the input device set is "the set of devices (GPUs)").
+    /// Blacklisted devices are skipped, so planners that iterate this set
+    /// automatically plan over the surviving cluster.
     pub fn gpu_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
         self.device_ids()
-            .filter(|d| !self.devices[d.index()].is_host)
+            .filter(|d| !self.devices[d.index()].is_host && !self.failed[d.index()])
+    }
+
+    /// Blacklists `d`: it stays in the topology (ids remain stable) but is
+    /// excluded from [`Topology::gpu_ids`]/[`Topology::gpu_count`] and
+    /// rejected by placement validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn fail_device(&mut self, d: DeviceId) {
+        self.failed[d.index()] = true;
+    }
+
+    /// Whether `d` has been blacklisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn is_failed(&self, d: DeviceId) -> bool {
+        self.failed[d.index()]
+    }
+
+    /// All blacklisted device ids, in id order.
+    pub fn failed_devices(&self) -> Vec<DeviceId> {
+        self.device_ids().filter(|&d| self.is_failed(d)).collect()
     }
 
     /// Whether `d` is a CPU host.
@@ -135,10 +168,13 @@ impl Topology {
         self.devices[d.index()].is_host
     }
 
-    /// The host device of `server`, if the topology has one.
+    /// The live host device of `server`, if the topology has one.
     pub fn host_of(&self, server: u16) -> Option<DeviceId> {
-        self.device_ids()
-            .find(|&d| self.devices[d.index()].is_host && self.server_of[d.index()] == server)
+        self.device_ids().find(|&d| {
+            self.devices[d.index()].is_host
+                && self.server_of[d.index()] == server
+                && !self.failed[d.index()]
+        })
     }
 
     /// The device with id `d`.
@@ -234,6 +270,7 @@ impl Topology {
                 .map(|row| row[..n].to_vec())
                 .collect(),
             server_of: self.server_of[..n].to_vec(),
+            failed: self.failed[..n].to_vec(),
         }
     }
 }
@@ -336,6 +373,7 @@ impl TopologyBuilder {
             devices: self.devices.clone(),
             links,
             server_of: self.servers.clone(),
+            failed: vec![false; n],
         }
     }
 }
@@ -420,6 +458,23 @@ mod tests {
         let p = t.prefix(3);
         assert_eq!(p.device_count(), 3);
         assert!(p.link(DeviceId(0), DeviceId(2)).is_some());
+    }
+
+    #[test]
+    fn failed_devices_keep_ids_but_leave_gpu_set() {
+        let mut t = Topology::single_server(4);
+        assert_eq!(t.gpu_count(), 4);
+        t.fail_device(DeviceId(1));
+        assert!(t.is_failed(DeviceId(1)));
+        assert_eq!(t.failed_devices(), vec![DeviceId(1)]);
+        // the survivor set skips the blacklisted id, ids stay stable
+        assert_eq!(t.gpu_count(), 3);
+        let ids: Vec<DeviceId> = t.gpu_ids().collect();
+        assert_eq!(ids, vec![DeviceId(0), DeviceId(2), DeviceId(3)]);
+        // total device count (vector sizing) is unchanged
+        assert_eq!(t.device_count(), 5);
+        // the device itself is still addressable
+        assert!(!t.device(DeviceId(1)).is_host);
     }
 
     #[test]

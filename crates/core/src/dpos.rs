@@ -46,7 +46,7 @@ fn select_cp_device(
     remaining_cp: &[OpId],
     mem_used: &[u64],
 ) -> DeviceId {
-    let mut best = DeviceId(0);
+    let mut best = topo.gpu_ids().next().unwrap_or(DeviceId(0));
     let mut best_avg = f64::INFINITY;
     for d in topo.gpu_ids() {
         let cap = topo.device(d).mem_bytes;

@@ -1,5 +1,6 @@
 //! Error type for the FastT core crate.
 
+use fastt_cluster::DeviceId;
 use fastt_graph::GraphError;
 use fastt_sim::SimError;
 use std::error::Error;
@@ -21,6 +22,19 @@ pub enum FastTError {
         /// The error from the model-parallel attempt.
         mp: SimError,
     },
+    /// A caller passed a degenerate argument (e.g. zero iterations) that
+    /// would otherwise poison a measurement with NaN.
+    InvalidArgument(&'static str),
+    /// A transient failure persisted past the bounded retry budget and the
+    /// session could not recover by re-planning either.
+    RetriesExhausted {
+        /// The device whose failures exhausted the budget.
+        device: DeviceId,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
+    /// Every GPU has been blacklisted — there is nothing left to train on.
+    ClusterExhausted,
 }
 
 impl fmt::Display for FastTError {
@@ -32,6 +46,14 @@ impl fmt::Display for FastTError {
                 f,
                 "no feasible start strategy: data-parallel failed ({dp}); model-parallel failed ({mp})"
             ),
+            FastTError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            FastTError::RetriesExhausted { device, attempts } => write!(
+                f,
+                "transient failures on {device} persisted through {attempts} attempts"
+            ),
+            FastTError::ClusterExhausted => {
+                write!(f, "all GPUs are blacklisted; no devices left to train on")
+            }
         }
     }
 }
@@ -42,6 +64,9 @@ impl Error for FastTError {
             FastTError::Graph(e) => Some(e),
             FastTError::Sim(e) => Some(e),
             FastTError::NoFeasibleStart { dp, .. } => Some(dp),
+            FastTError::InvalidArgument(_)
+            | FastTError::RetriesExhausted { .. }
+            | FastTError::ClusterExhausted => None,
         }
     }
 }

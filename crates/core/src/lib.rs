@@ -66,6 +66,6 @@ pub use os_dpos::{dpos_plan, os_dpos, OsDposOptions};
 pub use pipeline::pipeline_plan;
 pub use profiling::bootstrap_cost_models;
 pub use rank::{critical_path, critical_path_placed, upward_ranks};
-pub use session::{PreTrainReport, SessionConfig, TrainingSession};
+pub use session::{PreTrainReport, RecoveryEvent, SessionConfig, TrainingSession};
 pub use strategy::{data_parallel_plan, data_parallel_plan_on, model_parallel_plan, Plan};
 pub use timeline::DeviceTimeline;

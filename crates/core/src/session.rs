@@ -11,10 +11,10 @@
 use crate::error::FastTError;
 use crate::os_dpos::{dpos_plan, dpos_plan_traced, os_dpos, os_dpos_traced, OsDposOptions};
 use crate::strategy::{data_parallel_plan, data_parallel_plan_on, model_parallel_plan, Plan};
-use fastt_cluster::{DeviceId, Topology};
+use fastt_cluster::{DeviceHealth, DeviceId, HealthMap, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::{replicate_grouped, Graph, ReplicationMode};
-use fastt_sim::{HardwarePerf, SimConfig, SimError};
+use fastt_sim::{FaultSchedule, HardwarePerf, RunTrace, SimConfig, SimError};
 use fastt_telemetry::{jobj, Collector, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -42,6 +42,21 @@ pub struct SessionConfig {
     /// `Some(d)` pins the parameter server to device `d` (the convention
     /// for the non-slim NMT baselines is GPU 0).
     pub dp_ps: Option<DeviceId>,
+    /// Scripted infrastructure faults injected into every simulated
+    /// iteration (see [`FaultSchedule`]); `None` trains on a healthy
+    /// cluster with behaviour bit-identical to a fault-free build.
+    pub faults: Option<Arc<FaultSchedule>>,
+    /// Transient-failure retries per iteration before the failing device is
+    /// blacklisted and the session re-plans.
+    pub max_transient_retries: u32,
+    /// Base of the exponential retry backoff, in seconds: attempt `k`
+    /// backs off `retry_backoff_base * 2^k`. Reported through
+    /// `session.retry` telemetry (the simulated cluster does not actually
+    /// sleep).
+    pub retry_backoff_base: f64,
+    /// Measured-over-predicted per-device duration ratio above which a
+    /// device is flagged as degraded (`health.degraded`).
+    pub degraded_slowdown: f64,
 }
 
 impl Default for SessionConfig {
@@ -55,8 +70,62 @@ impl Default for SessionConfig {
             enable_split: true,
             enable_order: true,
             dp_ps: None,
+            faults: None,
+            max_transient_retries: 4,
+            retry_backoff_base: 0.05,
+            degraded_slowdown: 1.5,
         }
     }
+}
+
+/// One entry in the session's recovery log: a pure record of every
+/// resilience decision, in the order taken. Deterministic — two sessions
+/// with the same seed, config, and fault schedule produce identical logs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// A transient failure was retried (with exponential backoff).
+    Retry {
+        /// The hiccupping device.
+        device: DeviceId,
+        /// The iteration being attempted.
+        iteration: u64,
+        /// The failed attempt number (0-based).
+        attempt: u32,
+    },
+    /// A device was blacklisted (crash, or transient failures past the
+    /// retry budget).
+    DeviceFailed {
+        /// The blacklisted device.
+        device: DeviceId,
+        /// The iteration at which it was observed dead.
+        iteration: u64,
+    },
+    /// A device was flagged as running slower than the cost models predict.
+    Degraded {
+        /// The straggling device.
+        device: DeviceId,
+        /// Measured-over-predicted duration ratio.
+        slowdown: f64,
+    },
+    /// A recovery fell back to a start strategy (`"data_parallel"` or
+    /// `"model_parallel"`) because the planner candidate was infeasible or
+    /// slower.
+    Fallback {
+        /// Which fallback won.
+        kind: &'static str,
+    },
+    /// The session adopted a new plan over the surviving topology.
+    Replanned {
+        /// Live GPUs at re-planning time.
+        survivors: usize,
+        /// `"replan"` (fresh DPOS/OS-DPOS candidate) or the fallback kind.
+        kind: &'static str,
+    },
+    /// Recovery completed; training continues.
+    Recovered {
+        /// The iteration at which training resumed.
+        iteration: u64,
+    },
 }
 
 /// What happened during pre-training (feeds the paper's Table 4 timing and
@@ -83,8 +152,12 @@ pub struct PreTrainReport {
 pub struct TrainingSession {
     /// The base graph strategies are computed from: the data-parallel
     /// replica graph when DP fits, otherwise the raw training graph
-    /// (Sec. 5.2's input-graph rule).
+    /// (Sec. 5.2's input-graph rule). Rebuilt over the survivors after a
+    /// device failure.
     base_graph: Graph,
+    /// The raw (unreplicated) training graph, kept so re-planning after a
+    /// failure can rebuild the base graph over a smaller cluster.
+    training_graph: Graph,
     /// Whether the start strategy was data parallelism.
     started_dp: bool,
     topo: Topology,
@@ -95,7 +168,18 @@ pub struct TrainingSession {
     current: Plan,
     measured: f64,
     iteration: u64,
+    /// Observed per-device health, inferred from profiled traces.
+    health: HealthMap,
+    /// Every resilience decision taken, in order (see [`RecoveryEvent`]).
+    recovery_log: Vec<RecoveryEvent>,
     collector: Option<Arc<Collector>>,
+}
+
+/// Whether a profiling error is specific to the plan being measured (so a
+/// rollback to the previous plan can recover) rather than a cluster-wide
+/// dead end that must propagate.
+fn recoverable(e: &FastTError) -> bool {
+    matches!(e, FastTError::Sim(_))
 }
 
 impl TrainingSession {
@@ -139,8 +223,10 @@ impl TrainingSession {
             }
             Err(e) => return Err(e.into()),
         };
+        let health = HealthMap::new(topo.device_count());
         Ok(TrainingSession {
             base_graph,
+            training_graph: training_graph.clone(),
             started_dp,
             topo,
             hw,
@@ -149,6 +235,8 @@ impl TrainingSession {
             current: start,
             measured: f64::INFINITY,
             iteration: 0,
+            health,
+            recovery_log: Vec::new(),
             collector: None,
         })
     }
@@ -199,28 +287,373 @@ impl TrainingSession {
         self.measured
     }
 
+    /// The (possibly shrunken) topology the session is training on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Observed per-device health, inferred from profiled traces.
+    pub fn health(&self) -> &HealthMap {
+        &self.health
+    }
+
+    /// Every resilience decision taken so far, in order. Deterministic:
+    /// same seed + same fault schedule ⇒ identical log.
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
+    }
+
+    /// Training iterations executed so far (profiled and unprofiled).
+    pub fn iterations_run(&self) -> u64 {
+        self.iteration
+    }
+
+    /// The simulation parameters for the current iteration. `attempt` only
+    /// matters under injected profile-failure faults.
+    fn sim_config(&self, attempt: u32) -> SimConfig {
+        SimConfig {
+            jitter_pct: self.config.jitter_pct,
+            seed: self.config.seed,
+            iteration: self.iteration,
+            collector: self.collector.clone(),
+            faults: self.config.faults.clone(),
+            attempt,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Probes a plan with one simulated iteration at the current position
+    /// (faults included, so an infeasible-under-current-faults plan fails
+    /// here instead of after activation). `attempt = u32::MAX` exempts the
+    /// probe from transient profile-failure windows — a probe is a planning
+    /// query, not a profiling run, and recovery must not deadlock on them.
+    fn probe_plan(&self, plan: &Plan) -> Result<f64, SimError> {
+        let cfg = self.sim_config(u32::MAX);
+        plan.simulate(&self.topo, &self.hw, &cfg)
+            .map(|t| t.makespan)
+    }
+
+    /// Runs one training iteration of the current plan, absorbing faults:
+    /// transient failures are retried with exponential backoff, crashes and
+    /// exhausted retry budgets blacklist the device and re-plan over the
+    /// survivors, and memory-pressure OOM falls back to a cheaper plan.
+    /// On success the iteration counter advances and (when `feed_cost`) the
+    /// trace is fed to the cost models.
+    fn run_iteration(&mut self, feed_cost: bool) -> Result<f64, FastTError> {
+        let mut pressure_replans = 0u32;
+        loop {
+            let mut attempt = 0u32;
+            let outcome = loop {
+                let cfg = self.sim_config(attempt);
+                match self.current.simulate(&self.topo, &self.hw, &cfg) {
+                    Err(SimError::Transient {
+                        device, iteration, ..
+                    }) if attempt < self.config.max_transient_retries => {
+                        let backoff =
+                            self.config.retry_backoff_base * f64::powi(2.0, attempt as i32);
+                        self.recovery_log.push(RecoveryEvent::Retry {
+                            device,
+                            iteration,
+                            attempt,
+                        });
+                        if let Some(col) = &self.collector {
+                            col.metrics().inc("session.retries");
+                        }
+                        self.emit(
+                            "session.retry",
+                            jobj! {
+                                "device" => device.0 as u64,
+                                "iteration" => iteration,
+                                "attempt" => attempt as u64,
+                                "backoff_secs" => backoff,
+                            },
+                        );
+                        attempt += 1;
+                    }
+                    other => break other,
+                }
+            };
+            match outcome {
+                Ok(trace) => {
+                    if feed_cost {
+                        self.check_health(&trace);
+                        self.cost.update_from_trace(&self.current.graph, &trace);
+                    }
+                    self.iteration += 1;
+                    return Ok(trace.makespan);
+                }
+                Err(SimError::Transient {
+                    device,
+                    iteration,
+                    attempt,
+                }) => {
+                    // Retry budget spent: the hiccup is persistent enough to
+                    // count as a failure — blacklist and re-plan. If that
+                    // device was the last one, surface the retry story.
+                    self.recover_from_failure(device, iteration)
+                        .map_err(|e| match e {
+                            FastTError::ClusterExhausted => FastTError::RetriesExhausted {
+                                device,
+                                attempts: attempt + 1,
+                            },
+                            other => other,
+                        })?;
+                }
+                Err(SimError::DeviceCrash { device, iteration }) => {
+                    self.recover_from_failure(device, iteration)?;
+                }
+                Err(oom @ SimError::Oom { .. }) => {
+                    // Under an injected memory-pressure spike, degrade to a
+                    // plan that fits the reduced capacity (once per
+                    // iteration); a genuine OOM propagates as before.
+                    let device = match &oom {
+                        SimError::Oom { device, .. } => *device,
+                        _ => unreachable!(),
+                    };
+                    let under_pressure = self
+                        .config
+                        .faults
+                        .as_ref()
+                        .map(|f| f.mem_reserved(device, self.iteration) > 0)
+                        .unwrap_or(false);
+                    if under_pressure && pressure_replans == 0 {
+                        pressure_replans += 1;
+                        self.replan_and_degrade(self.iteration, "mem_pressure")?;
+                    } else {
+                        return Err(oom.into());
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Health detection (tentpole (a)): compares each device's measured op
+    /// durations in `trace` against the cost models' *pre-update*
+    /// predictions; a device running `degraded_slowdown`× slower than
+    /// predicted is flagged (`health.degraded`), and unflagged once the
+    /// ratio normalizes (the adaptive models absorb persistent slowdowns,
+    /// so the flag marks the transition, not the steady state).
+    fn check_health(&mut self, trace: &RunTrace) {
+        let n = self.topo.device_count();
+        let mut measured = vec![0.0f64; n];
+        let mut predicted = vec![0.0f64; n];
+        for r in &trace.op_records {
+            if r.start < 0.0 || r.device.index() >= n {
+                continue;
+            }
+            let name = &self.current.graph.op_ref(r.op).name;
+            if let Some(p) = self.cost.comp.get(name, r.device) {
+                measured[r.device.index()] += r.duration();
+                predicted[r.device.index()] += p;
+            }
+        }
+        for d in self.topo.gpu_ids().collect::<Vec<_>>() {
+            let (m, p) = (measured[d.index()], predicted[d.index()]);
+            if p <= 1e-12 {
+                continue;
+            }
+            let ratio = m / p;
+            let was_degraded = matches!(self.health.health(d), DeviceHealth::Degraded { .. });
+            if ratio >= self.config.degraded_slowdown {
+                if !was_degraded {
+                    self.recovery_log.push(RecoveryEvent::Degraded {
+                        device: d,
+                        slowdown: ratio,
+                    });
+                    if let Some(col) = &self.collector {
+                        col.metrics().inc("health.degraded");
+                    }
+                    self.emit(
+                        "health.degraded",
+                        jobj! {
+                            "device" => d.0 as u64,
+                            "iteration" => self.iteration,
+                            "slowdown" => ratio,
+                        },
+                    );
+                }
+                self.health.mark_degraded(d, ratio);
+            } else if was_degraded {
+                self.health.mark_healthy(d);
+                self.emit(
+                    "health.restored",
+                    jobj! {
+                        "device" => d.0 as u64,
+                        "iteration" => self.iteration,
+                        "slowdown" => ratio,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Restores `previous` as the active plan after a measured regression —
+    /// unless a device failed while the candidate was being measured, in
+    /// which case `previous` may reference blacklisted devices and the
+    /// recovery plan installed by [`Self::replan_and_degrade`] stays active.
+    fn roll_back_to(&mut self, previous: Plan) {
+        let stale = previous
+            .placement
+            .devices_used()
+            .iter()
+            .any(|d| self.topo.is_failed(*d));
+        if !stale {
+            self.current = previous;
+        }
+    }
+
+    /// Re-planning (tentpole (b)): blacklists `device`, then rebuilds the
+    /// plan over the surviving topology.
+    fn recover_from_failure(&mut self, device: DeviceId, iteration: u64) -> Result<(), FastTError> {
+        self.topo.fail_device(device);
+        self.health.mark_failed(device);
+        self.recovery_log
+            .push(RecoveryEvent::DeviceFailed { device, iteration });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.device_failures");
+        }
+        if self.topo.gpu_count() == 0 {
+            return Err(FastTError::ClusterExhausted);
+        }
+        self.replan_and_degrade(iteration, "device_failed")
+    }
+
+    /// Graceful degradation (tentpole (d)): recomputes a planner candidate
+    /// over the current (possibly shrunken) topology, probes it against the
+    /// start-strategy fallbacks — data parallelism when it still fits, else
+    /// model parallelism (a single-device plan in the 1-GPU limit) — and
+    /// adopts whichever *measures* fastest; choosing a fallback over the
+    /// candidate is the rollback the tentpole requires.
+    fn replan_and_degrade(
+        &mut self,
+        iteration: u64,
+        reason: &'static str,
+    ) -> Result<(), FastTError> {
+        let survivors = self.topo.gpu_count();
+        self.emit(
+            "session.replan",
+            jobj! {
+                "iteration" => iteration,
+                "reason" => reason,
+                "survivors" => survivors as u64,
+                "failed" => Value::arr(
+                    self.topo
+                        .failed_devices()
+                        .iter()
+                        .map(|d| d.0 as u64)
+                        .collect::<Vec<_>>()
+                ),
+            },
+        );
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.replans");
+        }
+
+        // Rebuild the base graph over the survivors, preferring the replica
+        // graph exactly as session construction does (Sec. 5.2's rule).
+        let groups: Vec<u16> = self
+            .topo
+            .gpu_ids()
+            .map(|d| self.topo.server_of(d))
+            .collect();
+        let rep = replicate_grouped(
+            &self.training_graph,
+            &groups,
+            ReplicationMode::ParameterServer,
+        )?;
+        let dp = match self.config.dp_ps {
+            Some(d) if !self.topo.is_failed(d) => data_parallel_plan_on(&rep, &self.topo, d),
+            _ => data_parallel_plan(&rep, &self.topo),
+        };
+        let dp_measured = self.probe_plan(&dp).ok();
+        self.base_graph = if dp_measured.is_some() {
+            rep.graph.clone()
+        } else {
+            self.training_graph.clone()
+        };
+
+        let candidate = self.compute_candidate();
+        let mut best: Option<(Plan, &'static str, f64)> = None;
+        let mut last_err: Option<FastTError> = None;
+        match self.probe_plan(&candidate) {
+            Ok(m) => best = Some((candidate, "replan", m)),
+            Err(e) => last_err = Some(e.into()),
+        }
+        if let Some(m) = dp_measured {
+            if best.as_ref().map(|(_, _, b)| m < *b).unwrap_or(true) {
+                best = Some((dp, "data_parallel", m));
+            }
+        } else {
+            let mp = model_parallel_plan(&self.training_graph, &self.topo, &self.hw);
+            match self.probe_plan(&mp) {
+                Ok(m) => {
+                    if best.as_ref().map(|(_, _, b)| m < *b).unwrap_or(true) {
+                        best = Some((mp, "model_parallel", m));
+                    }
+                }
+                Err(e) => last_err = Some(e.into()),
+            }
+        }
+        let (plan, kind, probe_measured) = match best {
+            Some(b) => b,
+            None => return Err(last_err.unwrap_or(FastTError::ClusterExhausted)),
+        };
+        if kind != "replan" {
+            if let Some(col) = &self.collector {
+                col.metrics().inc("session.fallbacks");
+            }
+            self.emit(
+                "session.fallback",
+                jobj! {
+                    "iteration" => iteration,
+                    "kind" => kind,
+                    "reason" => reason,
+                    "measured" => probe_measured,
+                },
+            );
+            self.recovery_log.push(RecoveryEvent::Fallback { kind });
+        }
+        self.recovery_log
+            .push(RecoveryEvent::Replanned { survivors, kind });
+        self.current = plan;
+        self.measured = probe_measured;
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.recoveries");
+        }
+        self.emit(
+            "session.recovered",
+            jobj! {
+                "iteration" => iteration,
+                "kind" => kind,
+                "survivors" => survivors as u64,
+                "measured" => probe_measured,
+            },
+        );
+        self.recovery_log
+            .push(RecoveryEvent::Recovered { iteration });
+        Ok(())
+    }
+
     /// Runs `iters` simulated training iterations of the current plan,
     /// feeding every trace into the cost models, and returns the average
-    /// iteration time.
+    /// iteration time. Faults are absorbed by the resilience loop
+    /// (bounded retries, blacklisting, re-planning).
     ///
     /// # Errors
     ///
-    /// Propagates simulator failures (the current plan was validated when
-    /// activated, so this only fails if memory behaviour changed).
+    /// Returns [`FastTError::InvalidArgument`] when `iters == 0` (a
+    /// zero-iteration "measurement" would propagate NaN into the cost
+    /// models); otherwise propagates unrecoverable simulator failures.
     pub fn profile(&mut self, iters: u32) -> Result<f64, FastTError> {
+        if iters == 0 {
+            return Err(FastTError::InvalidArgument(
+                "profile() needs at least one iteration",
+            ));
+        }
         let mut total = 0.0;
         for _ in 0..iters {
-            let cfg = SimConfig {
-                jitter_pct: self.config.jitter_pct,
-                seed: self.config.seed,
-                iteration: self.iteration,
-                collector: self.collector.clone(),
-                ..SimConfig::default()
-            };
-            let trace = self.current.simulate(&self.topo, &self.hw, &cfg)?;
-            self.cost.update_from_trace(&self.current.graph, &trace);
-            total += trace.makespan;
-            self.iteration += 1;
+            total += self.run_iteration(true)?;
         }
         Ok(total / iters as f64)
     }
@@ -315,13 +748,15 @@ impl TrainingSession {
     ///
     /// # Errors
     ///
-    /// Propagates simulator failures of the active plan.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `iters == 0` or `reprofile_every == 0`.
+    /// Returns [`FastTError::InvalidArgument`] when `iters == 0` or
+    /// `reprofile_every == 0`; otherwise propagates unrecoverable simulator
+    /// failures of the active plan.
     pub fn train_normal(&mut self, iters: u32, reprofile_every: u32) -> Result<f64, FastTError> {
-        assert!(iters > 0 && reprofile_every > 0);
+        if iters == 0 || reprofile_every == 0 {
+            return Err(FastTError::InvalidArgument(
+                "train_normal() needs iters > 0 and reprofile_every > 0",
+            ));
+        }
         let mut total = 0.0;
         let mut since_profile = 0u32;
         let mut done = 0u32;
@@ -329,16 +764,7 @@ impl TrainingSession {
             let chunk = reprofile_every.min(iters - done);
             // non-profiled iterations: run without feeding the cost models
             for _ in 0..chunk {
-                let cfg = SimConfig {
-                    jitter_pct: self.config.jitter_pct,
-                    seed: self.config.seed,
-                    iteration: self.iteration,
-                    collector: self.collector.clone(),
-                    ..SimConfig::default()
-                };
-                let trace = self.current.simulate(&self.topo, &self.hw, &cfg)?;
-                total += trace.makespan;
-                self.iteration += 1;
+                total += self.run_iteration(false)?;
             }
             done += chunk;
             since_profile += chunk;
@@ -392,7 +818,7 @@ impl TrainingSession {
                                 );
                             }
                             Ok(m) => {
-                                self.current = previous;
+                                self.roll_back_to(previous);
                                 self.emit(
                                     "session.rollback",
                                     jobj! {
@@ -404,8 +830,9 @@ impl TrainingSession {
                                     },
                                 );
                             }
+                            Err(e) if !recoverable(&e) => return Err(e),
                             Err(_) => {
-                                self.current = previous;
+                                self.roll_back_to(previous);
                                 self.emit(
                                     "session.rollback",
                                     jobj! {
@@ -518,7 +945,7 @@ impl TrainingSession {
                     Ok(new_measured) => {
                         // measured regression: roll back, recording how far
                         // off the estimate was
-                        self.current = previous;
+                        self.roll_back_to(previous);
                         report.rollbacks += 1;
                         if let Some(col) = &self.collector {
                             col.metrics().inc("session.rollbacks");
@@ -536,9 +963,10 @@ impl TrainingSession {
                             },
                         );
                     }
+                    Err(e) if !recoverable(&e) => return Err(e),
                     Err(_) => {
                         // the new plan failed outright (e.g. OOM): roll back
-                        self.current = previous;
+                        self.roll_back_to(previous);
                         report.rollbacks += 1;
                         if let Some(col) = &self.collector {
                             col.metrics().inc("session.rollbacks");

@@ -110,10 +110,11 @@ impl Plan {
 ///
 /// Panics if the replicated graph has more replicas than `topo` has GPUs.
 pub fn data_parallel_plan(rep: &ReplicatedGraph, topo: &Topology) -> Plan {
+    let first_gpu = topo.gpu_ids().next().unwrap_or(DeviceId(0));
     let ps = if rep.replicas > 1 {
-        topo.host_of(0).unwrap_or(DeviceId(0))
+        topo.host_of(0).unwrap_or(first_gpu)
     } else {
-        DeviceId(0)
+        first_gpu
     };
     data_parallel_plan_on(rep, topo, ps)
 }
@@ -125,15 +126,19 @@ pub fn data_parallel_plan(rep: &ReplicatedGraph, topo: &Topology) -> Plan {
 ///
 /// Panics if the replicated graph has more replicas than `topo` has devices.
 pub fn data_parallel_plan_on(rep: &ReplicatedGraph, topo: &Topology, ps: DeviceId) -> Plan {
+    // Replica k runs on the k-th *live* GPU: after a device is blacklisted
+    // the surviving GPUs may have non-contiguous ids, so replicas index into
+    // the survivor list rather than assuming GPU ids are 0..n.
+    let gpus: Vec<DeviceId> = topo.gpu_ids().collect();
     assert!(
-        (rep.replicas as usize) <= topo.gpu_count(),
+        (rep.replicas as usize) <= gpus.len(),
         "need one device per replica"
     );
     let n = rep.graph.op_count();
     let mut placement = Placement::uniform(n, ps);
     for (oid, _) in rep.graph.iter_ops() {
         match rep.roles[oid.index()] {
-            fastt_graph::ReplicaRole::Replica(k) => placement.set(oid, DeviceId(k as u16)),
+            fastt_graph::ReplicaRole::Replica(k) => placement.set(oid, gpus[k as usize]),
             fastt_graph::ReplicaRole::ServerShared(s) => {
                 // per-server caches/aggregators live on that server's PS:
                 // its host when the global PS is a host, else its first GPU
@@ -164,7 +169,11 @@ pub fn data_parallel_plan_on(rep: &ReplicatedGraph, topo: &Topology, ps: DeviceI
 /// is both the paper's start strategy for models that cannot fit on one GPU
 /// (Sec. 4) and the classical model-parallel baseline.
 pub fn model_parallel_plan(graph: &Graph, topo: &Topology, hw: &HardwarePerf) -> Plan {
-    let n_dev = topo.gpu_count();
+    // Consecutive "devices" are the live GPUs (possibly non-contiguous ids
+    // after failures); per-device weights stay id-indexed.
+    let gpus: Vec<DeviceId> = topo.gpu_ids().collect();
+    assert!(!gpus.is_empty(), "model parallelism needs a live GPU");
+    let n_dev = gpus.len();
 
     // Memory weight per op, by *liveness*: an output consumed only by
     // nearby ops (in topological order) is transient; an output held until
@@ -208,11 +217,11 @@ pub fn model_parallel_plan(graph: &Graph, topo: &Topology, hw: &HardwarePerf) ->
     // backward weight anchors *back* onto earlier devices, the best
     // threshold is found by searching over a few scale factors below.
     let run = |share: u64| -> (Placement, Vec<u64>) {
-        let mut placement = Placement::uniform(graph.op_count(), DeviceId(0));
+        let mut placement = Placement::uniform(graph.op_count(), gpus[0]);
         let mut forced: Vec<Option<DeviceId>> = vec![None; graph.op_count()];
         let mut placed = vec![false; graph.op_count()];
         let mut dev = 0usize;
-        let mut used = vec![0u64; n_dev];
+        let mut used = vec![0u64; topo.device_count()];
         let place = |o: fastt_graph::OpId,
                      d: DeviceId,
                      placement: &mut Placement,
@@ -265,11 +274,11 @@ pub fn model_parallel_plan(graph: &Graph, topo: &Topology, hw: &HardwarePerf) ->
                         need += weight(p);
                     }
                 }
-                if used[dev] + need > share && dev + 1 < n_dev {
+                if used[gpus[dev].index()] + need > share && dev + 1 < n_dev {
                     dev += 1;
                 }
-                used[dev] += need;
-                DeviceId(dev as u16)
+                used[gpus[dev].index()] += need;
+                gpus[dev]
             };
             place(o, d, &mut placement, &mut placed, &mut forced);
             for p in graph.preds(o).collect::<Vec<_>>() {
@@ -282,7 +291,7 @@ pub fn model_parallel_plan(graph: &Graph, topo: &Topology, hw: &HardwarePerf) ->
         // anything still unplaced (updates whose variable was placed late)
         for o in graph.op_ids() {
             if !placed[o.index()] {
-                let d = forced[o.index()].unwrap_or(DeviceId(dev as u16));
+                let d = forced[o.index()].unwrap_or(gpus[dev]);
                 place(o, d, &mut placement, &mut placed, &mut forced);
             }
         }

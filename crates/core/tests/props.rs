@@ -163,3 +163,43 @@ fn plan_roundtrips_through_serde() {
     back.placement.validate(&back.graph, &topo).unwrap();
     let _ = Placement::uniform(1, DeviceId(0));
 }
+
+/// The whole resilience pipeline — retries, blacklisting, re-planning,
+/// fallbacks — must be a pure function of (seed, config, fault schedule):
+/// two sessions over the same scripted chaos take identical decisions.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn recovery_log_replays_identically(seed in any::<u64>(), gpus in 2u16..5) {
+        use fastt::{SessionConfig, TrainingSession};
+        use fastt_models::Model;
+        use fastt_sim::FaultSchedule;
+        use std::sync::Arc;
+        let run = || {
+            let g = Model::LeNet.training_graph(16);
+            let topo = Topology::single_server(gpus);
+            let cfg = SessionConfig {
+                profile_iters: 2,
+                max_rounds: 2,
+                seed,
+                faults: Some(Arc::new(FaultSchedule::seeded(seed, gpus, 30, true))),
+                ..SessionConfig::default()
+            };
+            let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), cfg).unwrap();
+            let outcome = s.pre_train().and_then(|_| s.train_normal(20, 5));
+            (
+                s.recovery_log().to_vec(),
+                s.topology().failed_devices(),
+                s.iterations_run(),
+                outcome.is_ok(),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.3, b.3);
+    }
+}

@@ -13,6 +13,11 @@ use std::collections::HashMap;
 /// so the model adapts to changing congestion).
 const MAX_SAMPLES_PER_PAIR: usize = 512;
 
+/// Fraction of the worst-residual samples discarded per refit; keeps a few
+/// transfers profiled during a straggler/degraded-link window from skewing
+/// the per-pair line (see [`LinReg::fit_trimmed`]).
+const TRIM_FRAC: f64 = 0.1;
+
 /// Per-device-pair transfer-time model.
 #[derive(Debug, Clone, Default)]
 pub struct CommCostModel {
@@ -47,12 +52,19 @@ impl CommCostModel {
         self.refit();
     }
 
-    /// Recomputes every pair's regression from its current samples.
+    /// Recomputes every pair's regression from its current samples: a
+    /// trimmed (straggler-robust) least-squares fit, falling back to the
+    /// proportional prior when every retained transfer of a pair has the
+    /// same size (the slope is unidentifiable, so `LinReg::fit` refuses).
     pub fn refit(&mut self) {
         self.fits = self
             .samples
             .iter()
-            .filter_map(|(k, pts)| LinReg::fit(pts).map(|f| (*k, f)))
+            .filter_map(|(k, pts)| {
+                LinReg::fit_trimmed(pts, TRIM_FRAC)
+                    .or_else(|| LinReg::proportional(pts))
+                    .map(|f| (*k, f))
+            })
             .collect();
     }
 

@@ -77,6 +77,13 @@ impl CompCostModel {
     /// Records one observed execution of `name` on `device`. The first real
     /// measurement discards any analytic seed for the key. Names are
     /// canonicalized (see [`canonical_name`]).
+    ///
+    /// Once a key has a few real measurements (≥ 3), new samples are
+    /// winsorized to within 8x of the running mean: a straggler window or a
+    /// faulty re-executed op then nudges the average instead of poisoning
+    /// it, while genuine hardware drift (which arrives as a stream of
+    /// consistent samples, not one spike) still moves the mean past the
+    /// drift threshold.
     pub fn observe(&mut self, name: &str, device: DeviceId, secs: f64) {
         let s = self
             .stats
@@ -85,6 +92,16 @@ impl CompCostModel {
         if s.seeded {
             *s = Stat::default();
         }
+        let secs = if s.count >= 3 {
+            let m = s.mean();
+            if m > 0.0 {
+                secs.clamp(m / 8.0, m * 8.0)
+            } else {
+                secs
+            }
+        } else {
+            secs
+        };
         s.sum += secs;
         s.count += 1;
     }
@@ -229,6 +246,26 @@ mod tests {
         m.snapshot();
         m.observe("b", D0, 1.0);
         assert!(m.max_drift() >= 1.0);
+    }
+
+    #[test]
+    fn winsorized_observe_bounds_straggler_spikes() {
+        let mut m = CompCostModel::new();
+        for _ in 0..4 {
+            m.observe("conv", D0, 1.0);
+        }
+        // a 100x spike (op re-executed under faults) is clamped to 8x ...
+        m.observe("conv", D0, 100.0);
+        let after_spike = m.get("conv", D0).unwrap();
+        assert!(
+            (after_spike - (4.0 + 8.0) / 5.0).abs() < 1e-9,
+            "mean {after_spike}"
+        );
+        // ... while early samples (count < 3) are taken at face value
+        let mut fresh = CompCostModel::new();
+        fresh.observe("x", D0, 1.0);
+        fresh.observe("x", D0, 100.0);
+        assert_eq!(fresh.get("x", D0), Some(50.5));
     }
 
     #[test]

@@ -16,14 +16,22 @@ pub struct LinReg {
 impl LinReg {
     /// Fits a line to `(x, y)` points by ordinary least squares.
     ///
-    /// With one point (or zero x-variance) the fit degenerates to a
-    /// proportional model through that point (`slope = y/x`), which is the
-    /// right prior for transfer times.
+    /// With exactly one point the fit degenerates to a proportional model
+    /// through that point (`slope = y/x`), which is the right prior for
+    /// transfer times.
     ///
-    /// Returns `None` when `points` is empty.
+    /// Returns `None` when `points` is empty, or when two or more points
+    /// share (near-)identical `x`: the slope of such a fit is not
+    /// identifiable, and the old proportional-through-the-mean answer
+    /// silently hid disagreeing `y` measurements behind an arbitrary line.
+    /// Callers that want the proportional prior anyway should say so with
+    /// [`LinReg::proportional`].
     pub fn fit(points: &[(f64, f64)]) -> Option<LinReg> {
         if points.is_empty() {
             return None;
+        }
+        if points.len() == 1 {
+            return Self::proportional(points);
         }
         let n = points.len() as f64;
         let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
@@ -31,17 +39,7 @@ impl LinReg {
         let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
         let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
         if sxx <= f64::EPSILON * mean_x.abs().max(1.0) {
-            // all x equal: proportional model through the mean point
-            let slope = if mean_x.abs() > f64::EPSILON {
-                mean_y / mean_x
-            } else {
-                0.0
-            };
-            return Some(LinReg {
-                slope,
-                intercept: 0.0,
-                n: points.len(),
-            });
+            return None;
         }
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
@@ -50,6 +48,58 @@ impl LinReg {
             intercept,
             n: points.len(),
         })
+    }
+
+    /// A proportional (through-origin) model fitted to the mean point:
+    /// `slope = ȳ/x̄`, zero intercept. The explicit fallback for degenerate
+    /// sample sets where every observed `x` is the same.
+    ///
+    /// Returns `None` when `points` is empty.
+    pub fn proportional(points: &[(f64, f64)]) -> Option<LinReg> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let slope = if mean_x.abs() > f64::EPSILON {
+            mean_y / mean_x
+        } else {
+            0.0
+        };
+        Some(LinReg {
+            slope,
+            intercept: 0.0,
+            n: points.len(),
+        })
+    }
+
+    /// Straggler-robust fit: ordinary least squares, then the
+    /// `⌊trim_frac · n⌋` points with the largest absolute residuals are
+    /// discarded and the line refitted on the rest. A handful of samples
+    /// taken during a slowdown window or a re-executed transfer then cannot
+    /// drag the model away from the healthy steady state.
+    ///
+    /// Falls back to the untrimmed fit when too few points would remain
+    /// (< 3) for the refit to be meaningful, and returns `None` exactly
+    /// when [`LinReg::fit`] does.
+    pub fn fit_trimmed(points: &[(f64, f64)], trim_frac: f64) -> Option<LinReg> {
+        let full = Self::fit(points)?;
+        let drop = (points.len() as f64 * trim_frac.clamp(0.0, 0.5)).floor() as usize;
+        if drop == 0 || points.len() - drop < 3 {
+            return Some(full);
+        }
+        let mut by_residual: Vec<usize> = (0..points.len()).collect();
+        by_residual.sort_by(|&a, &b| {
+            let ra = (points[a].1 - full.slope * points[a].0 - full.intercept).abs();
+            let rb = (points[b].1 - full.slope * points[b].0 - full.intercept).abs();
+            ra.total_cmp(&rb).then(a.cmp(&b))
+        });
+        let kept: Vec<(f64, f64)> = by_residual[..points.len() - drop]
+            .iter()
+            .map(|&i| points[i])
+            .collect();
+        Self::fit(&kept).or(Some(full))
     }
 
     /// Predicted `y` at `x`, clamped to be non-negative.
@@ -81,6 +131,48 @@ mod tests {
     #[test]
     fn empty_is_none() {
         assert!(LinReg::fit(&[]).is_none());
+        assert!(LinReg::proportional(&[]).is_none());
+        assert!(LinReg::fit_trimmed(&[], 0.2).is_none());
+    }
+
+    // Pins the degenerate-design contract: two or more samples at the same
+    // x leave the slope unidentifiable, and `fit` must refuse rather than
+    // invent a line (it used to return a proportional model that averaged
+    // away disagreeing y values).
+    #[test]
+    fn repeated_x_is_none() {
+        assert!(LinReg::fit(&[(4.0, 8.0), (4.0, 100.0)]).is_none());
+        assert!(LinReg::fit(&[(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]).is_none());
+        // the explicit fallback still serves the proportional prior
+        let p = LinReg::proportional(&[(4.0, 8.0), (4.0, 12.0)]).unwrap();
+        assert!((p.predict(2.0) - 5.0).abs() < 1e-9);
+        assert_eq!(p.intercept, 0.0);
+    }
+
+    #[test]
+    fn trimmed_fit_rejects_straggler_outliers() {
+        // 20 clean points on y = 2x + 1, plus two samples taken while the
+        // link was degraded 10x.
+        let mut pts: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        pts.push((5.0, 110.0));
+        pts.push((15.0, 310.0));
+        let naive = LinReg::fit(&pts).unwrap();
+        let robust = LinReg::fit_trimmed(&pts, 0.1).unwrap();
+        assert!((robust.slope - 2.0).abs() < 1e-6, "slope {}", robust.slope);
+        assert!(
+            (robust.intercept - 1.0).abs() < 1e-6,
+            "intercept {}",
+            robust.intercept
+        );
+        assert!((naive.slope - 2.0).abs() > 0.5, "naive should be skewed");
+    }
+
+    #[test]
+    fn trimmed_fit_keeps_small_samples_untrimmed() {
+        let pts = [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)];
+        let f = LinReg::fit_trimmed(&pts, 0.3).unwrap();
+        assert_eq!(f.n, 3);
+        assert!((f.slope - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -207,6 +207,7 @@ mod tests {
             contention: 0.0,
             steps: 0,
             mem_timeline: Vec::new(),
+            reexecutions: 0,
         };
         (g, trace)
     }

@@ -7,6 +7,7 @@
 //! accounting with OOM detection.
 
 use crate::error::SimError;
+use crate::faults::FaultSchedule;
 use crate::hardware::HardwarePerf;
 use crate::placement::Placement;
 use crate::queue::{ExecPolicy, ReadyQueue};
@@ -42,6 +43,15 @@ pub struct SimConfig {
     /// Perfetto counter tracks (`RunTrace::mem_timeline`). Off by default:
     /// it allocates per memory change.
     pub record_mem_timeline: bool,
+    /// Scripted infrastructure faults (stragglers, degraded links, crashes,
+    /// memory pressure, transient failures) active during this run. `None`
+    /// (the default) leaves every code path bit-identical to a fault-free
+    /// engine.
+    pub faults: Option<Arc<FaultSchedule>>,
+    /// Which retry attempt of this iteration this run is (0-based). Only
+    /// consulted by `FaultKind::ProfileFailure` faults: attempts below the
+    /// fault's threshold fail with [`SimError::Transient`].
+    pub attempt: u32,
 }
 
 impl Default for SimConfig {
@@ -54,6 +64,8 @@ impl Default for SimConfig {
             check_memory: true,
             collector: None,
             record_mem_timeline: false,
+            faults: None,
+            attempt: 0,
         }
     }
 }
@@ -95,7 +107,11 @@ enum Event {
 ///   graph, uses unknown devices, or violates colocation groups;
 /// * [`SimError::Oom`] if a device's memory capacity is exceeded
 ///   (when `config.check_memory` is set);
-/// * [`SimError::Deadlock`] if the graph cannot be fully executed.
+/// * [`SimError::Deadlock`] if the graph cannot be fully executed;
+/// * [`SimError::DeviceCrash`] if a scheduled fault crashed a device the
+///   placement still uses;
+/// * [`SimError::Transient`] if a scheduled profile-failure fault aborts
+///   this attempt (`config.attempt` below the fault's threshold).
 pub fn simulate(
     graph: &Graph,
     topo: &Topology,
@@ -110,6 +126,53 @@ pub fn simulate(
 
     let n_ops = graph.op_count();
     let n_dev = topo.device_count();
+
+    // Scripted faults: surface crashes and transient profiling failures
+    // before any work "runs", exactly as the real cluster would refuse the
+    // step. Everything in this block is skipped when no schedule is set.
+    if let Some(faults) = &config.faults {
+        if let Some(col) = &config.collector {
+            for f in faults.active(config.iteration) {
+                col.metrics().inc("sim.faults_active");
+                col.emit(
+                    "fault.injected",
+                    jobj! {
+                        "kind" => f.kind.label(),
+                        "device" => f.kind.device().0 as u64,
+                        "iteration" => config.iteration,
+                        "from_iter" => f.from_iter,
+                        "until_iter" => f.until_iter,
+                    },
+                );
+            }
+        }
+        if let Some((device, fail_attempts)) = faults.profile_fail_attempts(config.iteration) {
+            if config.attempt < fail_attempts {
+                return Err(SimError::Transient {
+                    device,
+                    iteration: config.iteration,
+                    attempt: config.attempt,
+                });
+            }
+        }
+        let used_devices = graph.op_ids().map(|op| placement.device_of(op));
+        if let Some(device) = faults.first_crashed(used_devices, config.iteration) {
+            return Err(SimError::DeviceCrash {
+                device,
+                iteration: config.iteration,
+            });
+        }
+    }
+
+    // Effective memory capacity: hardware capacity minus any scripted
+    // memory-pressure reservation (another tenant pinning memory).
+    let capacity_of = |d: usize| -> u64 {
+        let cap = topo.device(DeviceId(d as u16)).mem_bytes;
+        match &config.faults {
+            Some(f) => cap.saturating_sub(f.mem_reserved(DeviceId(d as u16), config.iteration)),
+            None => cap,
+        }
+    };
 
     // Priorities from the execution-order list (missing ops run last).
     let priority: Vec<u32> = match policy {
@@ -152,7 +215,7 @@ pub fn simulate(
     }
     for d in 0..n_dev {
         mem_peak[d] = mem_used[d];
-        let cap = topo.device(DeviceId(d as u16)).mem_bytes;
+        let cap = capacity_of(d);
         if config.check_memory && mem_used[d] > cap {
             if let Some(col) = &config.collector {
                 col.metrics().inc("sim.oom");
@@ -212,6 +275,7 @@ pub fn simulate(
     let mut contention = 0.0f64;
     let mut steps = 0u64;
     let mut mem_timeline: Vec<MemSample> = Vec::new();
+    let mut reexecutions = 0u64;
 
     // Seed ready queues with zero-indegree ops. Under FIFO the seeding order
     // is *hash-shuffled*: TensorFlow's default executor pops initially-ready
@@ -249,6 +313,7 @@ pub fn simulate(
         payload: &mut Vec<Event>,
         seq: &mut u64,
         mem_timeline: &mut Vec<MemSample>,
+        reexecutions: &mut u64,
     ) -> Result<(), SimError> {
         if !device_free[d] || queues[d].is_empty() {
             return Ok(());
@@ -266,7 +331,10 @@ pub fn simulate(
                 bytes: mem_used[d],
             });
         }
-        let cap = topo.device(DeviceId(d as u16)).mem_bytes;
+        let mut cap = topo.device(DeviceId(d as u16)).mem_bytes;
+        if let Some(faults) = &config.faults {
+            cap = cap.saturating_sub(faults.mem_reserved(DeviceId(d as u16), config.iteration));
+        }
         if config.check_memory && mem_used[d] > cap {
             if let Some(col) = &config.collector {
                 col.metrics().inc("sim.oom");
@@ -290,6 +358,15 @@ pub fn simulate(
         let mut t = hw.exec_time(graph, op, topo.device(DeviceId(d as u16)));
         if config.jitter_pct > 0.0 {
             t *= 1.0 + config.jitter_pct * jitter_unit(config.seed, op, config.iteration);
+        }
+        if let Some(faults) = &config.faults {
+            t *= faults.slowdown(DeviceId(d as u16), config.iteration);
+            let reruns =
+                faults.reexecutions(config.seed, op.0, DeviceId(d as u16), config.iteration);
+            if reruns > 0 {
+                t *= 1.0 + reruns as f64;
+                *reexecutions += reruns as u64;
+            }
         }
         records[op.index()].start = now;
         records[op.index()].end = now + t;
@@ -320,6 +397,7 @@ pub fn simulate(
             &mut event_payload,
             &mut seq,
             &mut mem_timeline,
+            &mut reexecutions,
         )?;
     }
 
@@ -391,7 +469,11 @@ pub fn simulate(
                     let link = topo.link(sd, dd).expect("distinct devices have a link");
                     let free_at = channels.get(&key).copied().unwrap_or(0.0).max(now);
                     contention += free_at - now;
-                    let arrive = free_at + link.transfer_time(bytes);
+                    let mut xfer = link.transfer_time(bytes);
+                    if let Some(faults) = &config.faults {
+                        xfer *= faults.link_factor(sd, dd, config.iteration);
+                    }
+                    let arrive = free_at + xfer;
                     channels.insert(key, arrive);
                     transfers.push(TransferRecord {
                         src_op: op,
@@ -428,6 +510,7 @@ pub fn simulate(
                     &mut event_payload,
                     &mut seq,
                     &mut mem_timeline,
+                    &mut reexecutions,
                 )?;
             }
             Event::TransferArrive { dsts } => {
@@ -456,6 +539,7 @@ pub fn simulate(
                     &mut event_payload,
                     &mut seq,
                     &mut mem_timeline,
+                    &mut reexecutions,
                 )?;
             }
             Event::Consumed => unreachable!("each event index is popped once"),
@@ -478,6 +562,7 @@ pub fn simulate(
         contention,
         steps,
         mem_timeline,
+        reexecutions,
     };
     if let Some(col) = &config.collector {
         let m = col.metrics();

@@ -31,6 +31,26 @@ pub enum SimError {
         /// Total ops in the graph.
         total: usize,
     },
+    /// A device with work placed on it has crashed (injected via
+    /// [`FaultSchedule`](crate::FaultSchedule)): the iteration cannot run
+    /// until the plan stops using the device.
+    DeviceCrash {
+        /// The crashed device.
+        device: DeviceId,
+        /// The training iteration at which the crash was observed.
+        iteration: u64,
+    },
+    /// A transient infrastructure failure (driver hiccup, profiling
+    /// collector timeout) aborted this attempt; retrying the same
+    /// iteration with a higher `SimConfig::attempt` may succeed.
+    Transient {
+        /// The device that hiccupped.
+        device: DeviceId,
+        /// The training iteration being attempted.
+        iteration: u64,
+        /// The attempt number that failed (0-based).
+        attempt: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +69,17 @@ impl fmt::Display for SimError {
             SimError::Deadlock { executed, total } => {
                 write!(f, "execution stalled after {executed}/{total} ops")
             }
+            SimError::DeviceCrash { device, iteration } => {
+                write!(f, "{device} crashed (iteration {iteration})")
+            }
+            SimError::Transient {
+                device,
+                iteration,
+                attempt,
+            } => write!(
+                f,
+                "transient failure on {device} (iteration {iteration}, attempt {attempt})"
+            ),
         }
     }
 }
@@ -59,5 +90,19 @@ impl SimError {
     /// Whether this is an out-of-memory failure.
     pub fn is_oom(&self) -> bool {
         matches!(self, SimError::Oom { .. })
+    }
+
+    /// Whether this failure is transient — retrying the same attempt may
+    /// succeed (as opposed to a crash or OOM, which need a new plan).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Transient { .. })
+    }
+
+    /// The crashed device, when this is a [`SimError::DeviceCrash`].
+    pub fn crashed_device(&self) -> Option<DeviceId> {
+        match self {
+            SimError::DeviceCrash { device, .. } => Some(*device),
+            _ => None,
+        }
     }
 }

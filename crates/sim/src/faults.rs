@@ -1,0 +1,525 @@
+//! Deterministic fault injection.
+//!
+//! The paper's heuristics assume the profiled cluster stays healthy; real
+//! fleets do not. This module lets a simulation run replay a *scripted*
+//! sequence of infrastructure faults — stragglers, degraded links, transient
+//! op failures, device crashes, memory-pressure spikes — so the training
+//! session's detection/re-planning/degradation machinery can be exercised
+//! reproducibly.
+//!
+//! Everything here is **pure and seed-derived**: a [`FaultSchedule`] is
+//! either written out literally or generated from a seed with
+//! [`FaultSchedule::seeded`], and every in-engine decision (e.g. which op a
+//! transient failure hits) is a hash of `(seed, op, iteration)`. There is no
+//! wall clock and no global RNG, so the same schedule plus the same
+//! [`SimConfig`](crate::SimConfig) always produces bit-identical traces and
+//! identical typed errors.
+//!
+//! Fault windows are expressed in **training iterations** (the unit the
+//! session steps in, threaded through `SimConfig::iteration`), not in
+//! intra-iteration simulated seconds: an iteration is milliseconds long
+//! while faults live for seconds-to-forever, so the iteration is the
+//! natural granularity.
+
+use fastt_cluster::DeviceId;
+
+/// splitmix64 — the same cheap deterministic hash the jitter stream uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// What kind of infrastructure fault is injected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The device computes `slowdown`× slower than healthy (thermal
+    /// throttling, a noisy neighbour, a failing fan). `slowdown > 1`.
+    Straggler {
+        /// Affected device.
+        device: DeviceId,
+        /// Multiplier on every op's execution time (e.g. `3.0`).
+        slowdown: f64,
+    },
+    /// The `src → dst` link moves data `factor`× slower (flaky NVLink
+    /// retraining, congested NIC). `factor > 1`.
+    LinkDegrade {
+        /// Source device of the degraded direction.
+        src: DeviceId,
+        /// Destination device.
+        dst: DeviceId,
+        /// Multiplier on the transfer time (e.g. `4.0`).
+        factor: f64,
+    },
+    /// Ops on the device occasionally fail and must re-execute (ECC
+    /// retries, XID errors that the driver survives). Each op execution
+    /// independently (but deterministically, from the jitter seed) fails
+    /// with probability `prob` and is re-run, doubling its time.
+    TransientOp {
+        /// Affected device.
+        device: DeviceId,
+        /// Per-op re-execution probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Profiling the device fails outright for the first `fail_attempts`
+    /// attempts of each iteration in the window (driver hiccup, collector
+    /// timeout); the run surfaces [`SimError::Transient`](crate::SimError)
+    /// and succeeds once the caller has retried enough times.
+    ProfileFailure {
+        /// Affected device.
+        device: DeviceId,
+        /// Attempts that fail before one succeeds.
+        fail_attempts: u32,
+    },
+    /// The device is gone (XID 79, preemption, kernel panic). Any run that
+    /// places work on it fails with
+    /// [`SimError::DeviceCrash`](crate::SimError).
+    Crash {
+        /// The crashed device.
+        device: DeviceId,
+    },
+    /// Another tenant (or a fragmentation spike) pins `reserve_bytes` of
+    /// the device's memory, shrinking the capacity the run sees.
+    MemPressure {
+        /// Affected device.
+        device: DeviceId,
+        /// Bytes unavailable to the training job while active.
+        reserve_bytes: u64,
+    },
+}
+
+impl FaultKind {
+    /// The primary device this fault touches (the `src` for link faults).
+    pub fn device(&self) -> DeviceId {
+        match *self {
+            FaultKind::Straggler { device, .. }
+            | FaultKind::TransientOp { device, .. }
+            | FaultKind::ProfileFailure { device, .. }
+            | FaultKind::Crash { device }
+            | FaultKind::MemPressure { device, .. } => device,
+            FaultKind::LinkDegrade { src, .. } => src,
+        }
+    }
+
+    /// Short machine-readable label for telemetry (`fault.injected` events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::LinkDegrade { .. } => "link_degrade",
+            FaultKind::TransientOp { .. } => "transient_op",
+            FaultKind::ProfileFailure { .. } => "profile_failure",
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::MemPressure { .. } => "mem_pressure",
+        }
+    }
+}
+
+/// One scheduled fault: a kind active over `[from_iter, until_iter)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// What happens.
+    pub kind: FaultKind,
+    /// First training iteration the fault is active (inclusive).
+    pub from_iter: u64,
+    /// First iteration the fault is over (exclusive); `u64::MAX` means the
+    /// fault is permanent, which is the only sensible window for a crash.
+    pub until_iter: u64,
+}
+
+impl Fault {
+    /// A fault active over `[from, until)`.
+    pub fn windowed(kind: FaultKind, from: u64, until: u64) -> Self {
+        Fault {
+            kind,
+            from_iter: from,
+            until_iter: until,
+        }
+    }
+
+    /// A fault active from `from` forever (the right shape for crashes).
+    pub fn from(kind: FaultKind, from: u64) -> Self {
+        Fault {
+            kind,
+            from_iter: from,
+            until_iter: u64::MAX,
+        }
+    }
+
+    /// Whether the fault is active at `iteration`.
+    pub fn active(&self, iteration: u64) -> bool {
+        self.from_iter <= iteration && iteration < self.until_iter
+    }
+}
+
+/// A deterministic script of infrastructure faults for one training run.
+///
+/// Shared immutably (usually as `Arc<FaultSchedule>`) through
+/// [`SimConfig::faults`](crate::SimConfig); an empty or absent schedule
+/// leaves the engine's behaviour bit-identical to a fault-free build.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (injects nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule from an explicit fault list.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        FaultSchedule { faults }
+    }
+
+    /// Builder-style: appends one fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// A pseudo-random but fully seed-determined chaos scenario over
+    /// `gpus` devices and `iters` iterations: one straggler window, one
+    /// degraded link, one transient-op window, one memory-pressure spike,
+    /// and (when `with_crash` is set and at least two GPUs exist) one
+    /// permanent device crash in the middle of the run. Useful for chaos
+    /// smoke tests and the `report` binary's fault scenarios.
+    pub fn seeded(seed: u64, gpus: u16, iters: u64, with_crash: bool) -> Self {
+        assert!(gpus > 0 && iters > 0, "need devices and iterations");
+        let pick = |salt: u64, modulo: u64| -> u64 {
+            if modulo == 0 {
+                0
+            } else {
+                splitmix64(seed ^ splitmix64(salt)) % modulo
+            }
+        };
+        let dev = |salt: u64| DeviceId(pick(salt, gpus as u64) as u16);
+        let span = (iters / 4).max(1);
+        let mut s = FaultSchedule::none()
+            .with(Fault::windowed(
+                FaultKind::Straggler {
+                    device: dev(1),
+                    slowdown: 2.0 + pick(2, 30) as f64 / 10.0,
+                },
+                pick(3, iters),
+                pick(3, iters) + span,
+            ))
+            .with(Fault::windowed(
+                FaultKind::LinkDegrade {
+                    src: dev(4),
+                    dst: dev(5),
+                    factor: 3.0 + pick(6, 50) as f64 / 10.0,
+                },
+                pick(7, iters),
+                pick(7, iters) + span,
+            ))
+            .with(Fault::windowed(
+                FaultKind::TransientOp {
+                    device: dev(8),
+                    prob: 0.02 + pick(9, 8) as f64 / 100.0,
+                },
+                pick(10, iters),
+                pick(10, iters) + span,
+            ))
+            .with(Fault::windowed(
+                FaultKind::MemPressure {
+                    device: dev(11),
+                    reserve_bytes: (1 + pick(12, 3)) << 30,
+                },
+                pick(13, iters),
+                pick(13, iters) + span,
+            ));
+        if with_crash && gpus >= 2 {
+            s = s.with(Fault::from(
+                FaultKind::Crash { device: dev(14) },
+                iters / 2 + pick(15, span),
+            ));
+        }
+        s
+    }
+
+    /// Whether the schedule injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// All scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Faults active at `iteration`.
+    pub fn active(&self, iteration: u64) -> impl Iterator<Item = &Fault> {
+        self.faults.iter().filter(move |f| f.active(iteration))
+    }
+
+    /// Combined compute-slowdown factor for `device` at `iteration`
+    /// (product of overlapping stragglers; `1.0` when healthy).
+    pub fn slowdown(&self, device: DeviceId, iteration: u64) -> f64 {
+        self.active(iteration)
+            .filter_map(|f| match f.kind {
+                FaultKind::Straggler {
+                    device: d,
+                    slowdown,
+                } if d == device => Some(slowdown),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Combined transfer-time factor for the `src → dst` direction at
+    /// `iteration` (`1.0` when the link is healthy).
+    pub fn link_factor(&self, src: DeviceId, dst: DeviceId, iteration: u64) -> f64 {
+        self.active(iteration)
+            .filter_map(|f| match f.kind {
+                FaultKind::LinkDegrade {
+                    src: s,
+                    dst: d,
+                    factor,
+                } if s == src && d == dst => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Whether `device` has crashed as of `iteration`.
+    pub fn crashed(&self, device: DeviceId, iteration: u64) -> bool {
+        self.active(iteration)
+            .any(|f| matches!(f.kind, FaultKind::Crash { device: d } if d == device))
+    }
+
+    /// Bytes of `device` memory pinned by pressure spikes at `iteration`.
+    pub fn mem_reserved(&self, device: DeviceId, iteration: u64) -> u64 {
+        self.active(iteration)
+            .filter_map(|f| match f.kind {
+                FaultKind::MemPressure {
+                    device: d,
+                    reserve_bytes,
+                } if d == device => Some(reserve_bytes),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// How many extra executions a transient fault forces on `op` (by
+    /// index) on `device` at `iteration`: `0` for the overwhelmingly common
+    /// healthy case, `1` when the deterministic per-op coin lands inside an
+    /// active window's probability.
+    pub fn reexecutions(&self, seed: u64, op_index: u32, device: DeviceId, iteration: u64) -> u32 {
+        let mut prob = 0.0f64;
+        for f in self.active(iteration) {
+            if let FaultKind::TransientOp { device: d, prob: p } = f.kind {
+                if d == device {
+                    prob = prob.max(p);
+                }
+            }
+        }
+        if prob <= 0.0 {
+            return 0;
+        }
+        let h = splitmix64(
+            seed ^ 0xFA17_FA17
+                ^ splitmix64(op_index as u64)
+                ^ splitmix64(iteration.wrapping_mul(0x5DEECE66D)),
+        );
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u32::from(unit < prob)
+    }
+
+    /// Failing attempts a profile-failure fault forces at `iteration`: a
+    /// simulation with `SimConfig::attempt` below this returns
+    /// [`SimError::Transient`](crate::SimError); at or above it, the run
+    /// proceeds. `0` when no such fault is active.
+    pub fn profile_fail_attempts(&self, iteration: u64) -> Option<(DeviceId, u32)> {
+        self.active(iteration)
+            .filter_map(|f| match f.kind {
+                FaultKind::ProfileFailure {
+                    device,
+                    fail_attempts,
+                } => Some((device, fail_attempts)),
+                _ => None,
+            })
+            .max_by_key(|&(_, n)| n)
+    }
+
+    /// The first crashed device at `iteration` among `devices`, if any.
+    pub fn first_crashed<I: IntoIterator<Item = DeviceId>>(
+        &self,
+        devices: I,
+        iteration: u64,
+    ) -> Option<DeviceId> {
+        devices.into_iter().find(|&d| self.crashed(d, iteration))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D0: DeviceId = DeviceId(0);
+    const D1: DeviceId = DeviceId(1);
+
+    #[test]
+    fn windows_are_half_open() {
+        let f = Fault::windowed(
+            FaultKind::Straggler {
+                device: D0,
+                slowdown: 2.0,
+            },
+            5,
+            10,
+        );
+        assert!(!f.active(4));
+        assert!(f.active(5));
+        assert!(f.active(9));
+        assert!(!f.active(10));
+    }
+
+    #[test]
+    fn slowdowns_multiply_and_ignore_other_devices() {
+        let s = FaultSchedule::none()
+            .with(Fault::from(
+                FaultKind::Straggler {
+                    device: D0,
+                    slowdown: 2.0,
+                },
+                0,
+            ))
+            .with(Fault::from(
+                FaultKind::Straggler {
+                    device: D0,
+                    slowdown: 3.0,
+                },
+                0,
+            ));
+        assert_eq!(s.slowdown(D0, 0), 6.0);
+        assert_eq!(s.slowdown(D1, 0), 1.0);
+    }
+
+    #[test]
+    fn link_factor_is_directional() {
+        let s = FaultSchedule::none().with(Fault::from(
+            FaultKind::LinkDegrade {
+                src: D0,
+                dst: D1,
+                factor: 4.0,
+            },
+            0,
+        ));
+        assert_eq!(s.link_factor(D0, D1, 0), 4.0);
+        assert_eq!(s.link_factor(D1, D0, 0), 1.0);
+    }
+
+    #[test]
+    fn crash_is_permanent_with_from() {
+        let s = FaultSchedule::none().with(Fault::from(FaultKind::Crash { device: D1 }, 7));
+        assert!(!s.crashed(D1, 6));
+        assert!(s.crashed(D1, 7));
+        assert!(s.crashed(D1, 1_000_000));
+        assert_eq!(s.first_crashed([D0, D1], 8), Some(D1));
+        assert_eq!(s.first_crashed([D0], 8), None);
+    }
+
+    #[test]
+    fn mem_pressure_sums() {
+        let s = FaultSchedule::none()
+            .with(Fault::windowed(
+                FaultKind::MemPressure {
+                    device: D0,
+                    reserve_bytes: 100,
+                },
+                0,
+                10,
+            ))
+            .with(Fault::windowed(
+                FaultKind::MemPressure {
+                    device: D0,
+                    reserve_bytes: 50,
+                },
+                5,
+                10,
+            ));
+        assert_eq!(s.mem_reserved(D0, 2), 100);
+        assert_eq!(s.mem_reserved(D0, 7), 150);
+        assert_eq!(s.mem_reserved(D0, 10), 0);
+    }
+
+    #[test]
+    fn reexecutions_deterministic_and_bounded_by_prob() {
+        let s = FaultSchedule::none().with(Fault::from(
+            FaultKind::TransientOp {
+                device: D0,
+                prob: 0.25,
+            },
+            0,
+        ));
+        let mut hits = 0;
+        for op in 0..1000u32 {
+            let a = s.reexecutions(42, op, D0, 3);
+            let b = s.reexecutions(42, op, D0, 3);
+            assert_eq!(a, b, "same inputs must give the same coin");
+            hits += a;
+        }
+        // ~25% of 1000, very loose bounds
+        assert!((150..350).contains(&hits), "hits = {hits}");
+        // other devices unaffected
+        assert_eq!(s.reexecutions(42, 0, D1, 3), 0);
+    }
+
+    #[test]
+    fn profile_failure_reports_worst_attempts() {
+        let s = FaultSchedule::none()
+            .with(Fault::windowed(
+                FaultKind::ProfileFailure {
+                    device: D0,
+                    fail_attempts: 1,
+                },
+                0,
+                10,
+            ))
+            .with(Fault::windowed(
+                FaultKind::ProfileFailure {
+                    device: D1,
+                    fail_attempts: 3,
+                },
+                0,
+                5,
+            ));
+        assert_eq!(s.profile_fail_attempts(2), Some((D1, 3)));
+        assert_eq!(s.profile_fail_attempts(7), Some((D0, 1)));
+        assert_eq!(s.profile_fail_attempts(12), None);
+    }
+
+    #[test]
+    fn seeded_scenarios_reproducible_and_seed_sensitive() {
+        let a = FaultSchedule::seeded(9, 4, 40, true);
+        let b = FaultSchedule::seeded(9, 4, 40, true);
+        let c = FaultSchedule::seeded(10, 4, 40, true);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.faults().len() == 5);
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::Crash { .. })));
+        // no crash requested → none scheduled
+        let no_crash = FaultSchedule::seeded(9, 4, 40, false);
+        assert!(!no_crash
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::Crash { .. })));
+    }
+
+    #[test]
+    fn empty_schedule_is_inert() {
+        let s = FaultSchedule::none();
+        assert!(s.is_empty());
+        assert_eq!(s.slowdown(D0, 0), 1.0);
+        assert_eq!(s.link_factor(D0, D1, 0), 1.0);
+        assert!(!s.crashed(D0, 0));
+        assert_eq!(s.mem_reserved(D0, 0), 0);
+        assert_eq!(s.reexecutions(0, 0, D0, 0), 0);
+        assert_eq!(s.profile_fail_attempts(0), None);
+    }
+}

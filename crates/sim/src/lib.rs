@@ -47,6 +47,7 @@
 pub mod analysis;
 mod engine;
 mod error;
+pub mod faults;
 mod hardware;
 mod placement;
 mod queue;
@@ -54,6 +55,7 @@ mod trace;
 
 pub use engine::{simulate, SimConfig};
 pub use error::SimError;
+pub use faults::{Fault, FaultKind, FaultSchedule};
 pub use hardware::{is_transient, HardwarePerf, LAUNCH_OVERHEAD, OPTIMIZER_RESIDENT_FACTOR};
 pub use placement::Placement;
 pub use queue::ExecPolicy;

@@ -98,6 +98,9 @@ impl Placement {
             if d.index() >= topo.device_count() {
                 return Err(format!("op {op} placed on unknown device {d}"));
             }
+            if topo.is_failed(d) {
+                return Err(format!("op {op} placed on failed device {d}"));
+            }
         }
         for grp in graph.colocation_groups() {
             let first = self.device_of(grp[0]);
@@ -163,6 +166,17 @@ mod tests {
         let t = Topology::single_server(1);
         let p = Placement::uniform(g.op_count(), DeviceId(7));
         assert!(p.validate(&g, &t).is_err());
+    }
+
+    #[test]
+    fn failed_device_rejected() {
+        let g = two_op_graph();
+        let mut t = Topology::single_server(2);
+        let p = Placement::uniform(g.op_count(), DeviceId(1));
+        p.validate(&g, &t).unwrap();
+        t.fail_device(DeviceId(1));
+        let err = p.validate(&g, &t).unwrap_err();
+        assert!(err.contains("failed device"));
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub struct RunTrace {
     /// Per-device memory-over-time samples; empty unless the run asked for
     /// them (`SimConfig::record_mem_timeline`).
     pub mem_timeline: Vec<MemSample>,
+    /// Op executions repeated because of injected transient faults
+    /// (`FaultKind::TransientOp`); always `0` without a fault schedule.
+    pub reexecutions: u64,
 }
 
 impl RunTrace {
@@ -344,6 +347,7 @@ mod tests {
             contention: 0.0,
             steps: 3,
             mem_timeline: Vec::new(),
+            reexecutions: 0,
         }
     }
 

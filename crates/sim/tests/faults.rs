@@ -1,0 +1,270 @@
+//! Behavioural tests of deterministic fault injection in the engine.
+
+use std::sync::Arc;
+
+use fastt_cluster::{Device, DeviceId, Topology, TopologyBuilder};
+use fastt_graph::{Graph, OpId, OpKind, Operation};
+use fastt_sim::{
+    simulate, ExecPolicy, Fault, FaultKind, FaultSchedule, HardwarePerf, Placement, SimConfig,
+    SimError,
+};
+
+const D0: DeviceId = DeviceId(0);
+const D1: DeviceId = DeviceId(1);
+
+fn hw() -> HardwarePerf {
+    HardwarePerf::new()
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        iteration_overhead: 0.0,
+        ..SimConfig::default()
+    }
+}
+
+fn with_faults(schedule: FaultSchedule, iteration: u64) -> SimConfig {
+    SimConfig {
+        faults: Some(Arc::new(schedule)),
+        iteration,
+        ..cfg()
+    }
+}
+
+/// a -> b -> c chain of compute-bound ops.
+fn chain() -> Graph {
+    let mut g = Graph::new();
+    let a = g
+        .add_op(Operation::new("a", OpKind::Input, [1 << 20]))
+        .unwrap();
+    let b = g
+        .add_op(Operation::new("b", OpKind::MatMul, [1 << 20]).with_flops(1 << 30))
+        .unwrap();
+    let c = g
+        .add_op(Operation::new("c", OpKind::MatMul, [1 << 20]).with_flops(1 << 30))
+        .unwrap();
+    g.connect(a, b).unwrap();
+    g.connect(b, c).unwrap();
+    g
+}
+
+#[test]
+fn empty_schedule_is_bit_identical_to_no_schedule() {
+    let g = chain();
+    let t = Topology::single_server(2);
+    let p = Placement::uniform(g.op_count(), D0);
+    let plain = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let empty = simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(FaultSchedule::none(), 0),
+    )
+    .unwrap();
+    assert_eq!(plain.makespan, empty.makespan);
+    assert_eq!(plain.op_records, empty.op_records);
+    assert_eq!(plain.transfers, empty.transfers);
+    assert_eq!(empty.reexecutions, 0);
+}
+
+#[test]
+fn straggler_slows_only_its_window() {
+    let g = chain();
+    let t = Topology::single_server(1);
+    let p = Placement::uniform(g.op_count(), D0);
+    let s = FaultSchedule::none().with(Fault::windowed(
+        FaultKind::Straggler {
+            device: D0,
+            slowdown: 3.0,
+        },
+        5,
+        10,
+    ));
+    let healthy = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let inside = simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(s.clone(), 7),
+    )
+    .unwrap();
+    let after = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 10)).unwrap();
+    assert!(
+        inside.makespan > 2.0 * healthy.makespan,
+        "straggled {} vs healthy {}",
+        inside.makespan,
+        healthy.makespan
+    );
+    assert_eq!(after.makespan, healthy.makespan);
+}
+
+#[test]
+fn link_degrade_stretches_transfers() {
+    let g = chain();
+    let t = Topology::single_server(2);
+    let mut p = Placement::uniform(g.op_count(), D0);
+    p.set(OpId(2), D1);
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::LinkDegrade {
+            src: D0,
+            dst: D1,
+            factor: 4.0,
+        },
+        0,
+    ));
+    let healthy = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let degraded = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 0)).unwrap();
+    assert_eq!(healthy.transfers.len(), 1);
+    assert_eq!(degraded.transfers.len(), 1);
+    let ratio = degraded.transfers[0].duration() / healthy.transfers[0].duration();
+    assert!((ratio - 4.0).abs() < 1e-9, "ratio {ratio}");
+}
+
+#[test]
+fn crash_surfaces_typed_error_once_active() {
+    let g = chain();
+    let t = Topology::single_server(2);
+    let p = Placement::uniform(g.op_count(), D0);
+    let s = FaultSchedule::none().with(Fault::from(FaultKind::Crash { device: D0 }, 5));
+    // before the crash the run succeeds
+    simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(s.clone(), 4),
+    )
+    .unwrap();
+    let err = simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(s.clone(), 5),
+    )
+    .unwrap_err();
+    match err {
+        SimError::DeviceCrash { device, iteration } => {
+            assert_eq!(device, D0);
+            assert_eq!(iteration, 5);
+        }
+        other => panic!("expected DeviceCrash, got {other}"),
+    }
+    // runs not touching the crashed device are unaffected
+    let on_d1 = Placement::uniform(g.op_count(), D1);
+    simulate(&g, &t, &on_d1, &hw(), ExecPolicy::Fifo, &with_faults(s, 9)).unwrap();
+}
+
+#[test]
+fn mem_pressure_shrinks_capacity_to_oom() {
+    let g = chain();
+    let mut tb = TopologyBuilder::new();
+    tb.add_device(Device::v100("tiny").with_mem_bytes(32 << 20), 0);
+    let t = tb.build();
+    let p = Placement::uniform(g.op_count(), D0);
+    simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let s = FaultSchedule::none().with(Fault::windowed(
+        FaultKind::MemPressure {
+            device: D0,
+            reserve_bytes: 30 << 20,
+        },
+        0,
+        3,
+    ));
+    let err = simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(s.clone(), 1),
+    )
+    .unwrap_err();
+    assert!(err.is_oom(), "expected OOM under pressure, got {err}");
+    // once the spike passes, the same run fits again
+    simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 3)).unwrap();
+}
+
+#[test]
+fn transient_op_faults_reexecute_and_slow_the_run() {
+    let g = chain();
+    let t = Topology::single_server(1);
+    let p = Placement::uniform(g.op_count(), D0);
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::TransientOp {
+            device: D0,
+            prob: 1.0,
+        },
+        0,
+    ));
+    let healthy = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let faulty = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 0)).unwrap();
+    assert_eq!(faulty.reexecutions, g.op_count() as u64);
+    assert!(faulty.makespan > 1.5 * healthy.makespan);
+}
+
+#[test]
+fn profile_failure_yields_to_enough_attempts() {
+    let g = chain();
+    let t = Topology::single_server(1);
+    let p = Placement::uniform(g.op_count(), D0);
+    let s = FaultSchedule::none().with(Fault::windowed(
+        FaultKind::ProfileFailure {
+            device: D0,
+            fail_attempts: 2,
+        },
+        0,
+        10,
+    ));
+    for attempt in 0..2u32 {
+        let c = SimConfig {
+            attempt,
+            ..with_faults(s.clone(), 3)
+        };
+        let err = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &c).unwrap_err();
+        match err {
+            SimError::Transient {
+                device, attempt: a, ..
+            } => {
+                assert_eq!(device, D0);
+                assert_eq!(a, attempt);
+                assert!(err.is_transient());
+            }
+            other => panic!("expected Transient, got {other}"),
+        }
+    }
+    let c = SimConfig {
+        attempt: 2,
+        ..with_faults(s, 3)
+    };
+    simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &c).unwrap();
+}
+
+#[test]
+fn chaos_schedule_is_deterministic_per_seed() {
+    let g = chain();
+    let t = Topology::single_server(2);
+    let mut p = Placement::uniform(g.op_count(), D0);
+    p.set(OpId(2), D1);
+    let run = |seed: u64| {
+        let s = FaultSchedule::seeded(seed, 2, 40, false);
+        let c = SimConfig {
+            jitter_pct: 0.05,
+            seed,
+            ..with_faults(s, 6)
+        };
+        simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &c).unwrap()
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.op_records, b.op_records);
+    assert_eq!(a.transfers, b.transfers);
+    assert_eq!(a.reexecutions, b.reexecutions);
+}

@@ -182,3 +182,62 @@ proptest! {
         prop_assert!(tr.op_records.iter().all(|r| r.start >= 0.0));
     }
 }
+
+/// Any seed-derived fault schedule must replay bit-identically, and an
+/// empty schedule must be indistinguishable from no schedule at all.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fault_injection_is_deterministic(
+        g in arb_dag(),
+        gpus in 2u16..5,
+        seed in any::<u64>(),
+        iteration in 0u64..40,
+    ) {
+        use fastt_sim::FaultSchedule;
+        use std::sync::Arc;
+        let topo = Topology::single_server(gpus);
+        let p = Placement::uniform(g.op_count(), DeviceId(0));
+        let run = || {
+            let c = SimConfig {
+                jitter_pct: 0.05,
+                seed,
+                iteration,
+                faults: Some(Arc::new(FaultSchedule::seeded(seed, gpus, 40, false))),
+                ..cfg()
+            };
+            simulate(&g, &topo, &p, &HardwarePerf::new(), ExecPolicy::Fifo, &c)
+        };
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.makespan, b.makespan);
+                prop_assert_eq!(a.reexecutions, b.reexecutions);
+                for (ra, rb) in a.op_records.iter().zip(&b.op_records) {
+                    prop_assert_eq!(ra.start, rb.start);
+                    prop_assert_eq!(ra.end, rb.end);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_inert(g in arb_dag(), gpus in 1u16..4, seed in any::<u64>()) {
+        use fastt_sim::FaultSchedule;
+        use std::sync::Arc;
+        let topo = Topology::single_server(gpus);
+        let p = Placement::uniform(g.op_count(), DeviceId(0));
+        let base_cfg = SimConfig { jitter_pct: 0.05, seed, ..cfg() };
+        let empty_cfg = SimConfig {
+            faults: Some(Arc::new(FaultSchedule::none())),
+            ..base_cfg.clone()
+        };
+        let plain = simulate(&g, &topo, &p, &HardwarePerf::new(), ExecPolicy::Fifo, &base_cfg).unwrap();
+        let empty = simulate(&g, &topo, &p, &HardwarePerf::new(), ExecPolicy::Fifo, &empty_cfg).unwrap();
+        prop_assert_eq!(plain.makespan, empty.makespan);
+        prop_assert_eq!(plain.op_records, empty.op_records);
+        prop_assert_eq!(plain.transfers, empty.transfers);
+    }
+}
