@@ -131,22 +131,43 @@ pub fn simulate(
     // before any work "runs", exactly as the real cluster would refuse the
     // step. Everything in this block is skipped when no schedule is set.
     if let Some(faults) = &config.faults {
-        if let Some(col) = &config.collector {
-            for f in faults.active(config.iteration) {
-                col.metrics().inc("sim.faults_active");
-                col.emit(
-                    "fault.injected",
-                    jobj! {
-                        "kind" => f.kind.label(),
-                        "device" => f.kind.device().0 as u64,
-                        "iteration" => config.iteration,
-                        "from_iter" => f.from_iter,
-                        "until_iter" => f.until_iter,
-                    },
-                );
+        // Emit the active-fault story only on the first attempt of an
+        // iteration: retries and the session's planning probes
+        // (`attempt = u32::MAX`) re-simulate the same iteration and would
+        // otherwise inflate `sim.faults_active` and the JSONL stream.
+        if config.attempt == 0 {
+            if let Some(col) = &config.collector {
+                for f in faults.active(config.iteration) {
+                    col.metrics().inc("sim.faults_active");
+                    col.emit(
+                        "fault.injected",
+                        jobj! {
+                            "kind" => f.kind.label(),
+                            "device" => f.kind.device().0 as u64,
+                            "iteration" => config.iteration,
+                            "from_iter" => f.from_iter,
+                            "until_iter" => f.until_iter,
+                        },
+                    );
+                }
             }
         }
-        if let Some((device, fail_attempts)) = faults.profile_fail_attempts(config.iteration) {
+        let mut used = vec![false; n_dev];
+        for op in graph.op_ids() {
+            used[placement.device_of(op).index()] = true;
+        }
+        // A profile failure only bites on a device that is live and that
+        // this placement actually schedules work on: once the session
+        // blacklists the device (or plans around it), the fault must go
+        // inert — otherwise a fault outlasting the retry budget would keep
+        // failing every re-planned run forever. Overlapping faults are
+        // attributed to the worst offender, which is the device the caller
+        // will blacklist first; the survivors' faults then get their turn.
+        if let Some((device, fail_attempts)) = faults
+            .profile_fail_attempts(config.iteration)
+            .filter(|&(d, _)| used.get(d.index()).copied().unwrap_or(false) && !topo.is_failed(d))
+            .max_by_key(|&(_, n)| n)
+        {
             if config.attempt < fail_attempts {
                 return Err(SimError::Transient {
                     device,

@@ -196,6 +196,14 @@ impl FaultSchedule {
         };
         let dev = |salt: u64| DeviceId(pick(salt, gpus as u64) as u16);
         let span = (iters / 4).max(1);
+        // A self-loop "link" would be a silent no-op (the engine only
+        // stretches cross-device transfers), so when the draw collides,
+        // shift the destination to the next device.
+        let link_src = dev(4);
+        let mut link_dst = dev(5);
+        if link_dst == link_src {
+            link_dst = DeviceId((link_dst.0 + 1) % gpus);
+        }
         let mut s = FaultSchedule::none()
             .with(Fault::windowed(
                 FaultKind::Straggler {
@@ -207,8 +215,8 @@ impl FaultSchedule {
             ))
             .with(Fault::windowed(
                 FaultKind::LinkDegrade {
-                    src: dev(4),
-                    dst: dev(5),
+                    src: link_src,
+                    dst: link_dst,
                     factor: 3.0 + pick(6, 50) as f64 / 10.0,
                 },
                 pick(7, iters),
@@ -327,20 +335,25 @@ impl FaultSchedule {
         u32::from(unit < prob)
     }
 
-    /// Failing attempts a profile-failure fault forces at `iteration`: a
-    /// simulation with `SimConfig::attempt` below this returns
-    /// [`SimError::Transient`](crate::SimError); at or above it, the run
-    /// proceeds. `0` when no such fault is active.
-    pub fn profile_fail_attempts(&self, iteration: u64) -> Option<(DeviceId, u32)> {
-        self.active(iteration)
-            .filter_map(|f| match f.kind {
-                FaultKind::ProfileFailure {
-                    device,
-                    fail_attempts,
-                } => Some((device, fail_attempts)),
-                _ => None,
-            })
-            .max_by_key(|&(_, n)| n)
+    /// All profile-failure faults active at `iteration`, as
+    /// `(device, fail_attempts)` pairs in schedule order. A simulation whose
+    /// `SimConfig::attempt` is below an *applicable* pair's threshold
+    /// returns [`SimError::Transient`](crate::SimError) for that device;
+    /// which pairs apply is the engine's call (it skips devices the
+    /// placement does not use or that the topology has blacklisted, so a
+    /// fault cannot keep failing runs after the session has planned around
+    /// its device).
+    pub fn profile_fail_attempts(
+        &self,
+        iteration: u64,
+    ) -> impl Iterator<Item = (DeviceId, u32)> + '_ {
+        self.active(iteration).filter_map(|f| match f.kind {
+            FaultKind::ProfileFailure {
+                device,
+                fail_attempts,
+            } => Some((device, fail_attempts)),
+            _ => None,
+        })
     }
 
     /// The first crashed device at `iteration` among `devices`, if any.
@@ -468,7 +481,7 @@ mod tests {
     }
 
     #[test]
-    fn profile_failure_reports_worst_attempts() {
+    fn profile_failure_lists_every_active_fault() {
         let s = FaultSchedule::none()
             .with(Fault::windowed(
                 FaultKind::ProfileFailure {
@@ -486,9 +499,10 @@ mod tests {
                 0,
                 5,
             ));
-        assert_eq!(s.profile_fail_attempts(2), Some((D1, 3)));
-        assert_eq!(s.profile_fail_attempts(7), Some((D0, 1)));
-        assert_eq!(s.profile_fail_attempts(12), None);
+        let at = |i: u64| s.profile_fail_attempts(i).collect::<Vec<_>>();
+        assert_eq!(at(2), vec![(D0, 1), (D1, 3)]);
+        assert_eq!(at(7), vec![(D0, 1)]);
+        assert_eq!(at(12), vec![]);
     }
 
     #[test]
@@ -520,6 +534,21 @@ mod tests {
         assert!(!s.crashed(D0, 0));
         assert_eq!(s.mem_reserved(D0, 0), 0);
         assert_eq!(s.reexecutions(0, 0, D0, 0), 0);
-        assert_eq!(s.profile_fail_attempts(0), None);
+        assert_eq!(s.profile_fail_attempts(0).count(), 0);
+    }
+
+    #[test]
+    fn seeded_link_degrade_is_never_a_self_loop() {
+        for seed in 0..200u64 {
+            for gpus in 2..6u16 {
+                let s = FaultSchedule::seeded(seed, gpus, 40, false);
+                for f in s.faults() {
+                    if let FaultKind::LinkDegrade { src, dst, .. } = f.kind {
+                        assert_ne!(src, dst, "seed {seed}, gpus {gpus}");
+                        assert!(dst.0 < gpus);
+                    }
+                }
+            }
+        }
     }
 }

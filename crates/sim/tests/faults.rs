@@ -247,6 +247,38 @@ fn profile_failure_yields_to_enough_attempts() {
 }
 
 #[test]
+fn profile_failure_is_inert_on_unused_or_blacklisted_devices() {
+    let g = chain();
+    let t = Topology::single_server(2);
+    // everything runs on D0; the failing device is D1
+    let p = Placement::uniform(g.op_count(), D0);
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::ProfileFailure {
+            device: D1,
+            fail_attempts: u32::MAX,
+        },
+        0,
+    ));
+    // an unused device's profiling hiccups must not abort the run, even at
+    // attempt 0 — this is what lets a session that blacklisted the device
+    // and re-planned onto the survivors make progress again
+    simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(s.clone(), 3),
+    )
+    .unwrap();
+
+    // and once the device is blacklisted the same schedule is inert too
+    let mut dead = Topology::single_server(2);
+    dead.fail_device(D1);
+    simulate(&g, &dead, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 3)).unwrap();
+}
+
+#[test]
 fn chaos_schedule_is_deterministic_per_seed() {
     let g = chain();
     let t = Topology::single_server(2);

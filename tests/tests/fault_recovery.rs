@@ -113,6 +113,39 @@ fn transient_profile_failures_are_retried_not_fatal() {
 }
 
 #[test]
+fn profile_failure_past_the_retry_budget_blacklists_instead_of_looping() {
+    // A profile-failure fault whose threshold exceeds the retry budget used
+    // to live-lock the session: the device was blacklisted, re-planning
+    // moved the work, but the still-active fault re-failed every subsequent
+    // run with the attempt counter reset. The fault must go inert once its
+    // device is out of the placement.
+    let g = Model::LeNet.training_graph(32);
+    let topo = Topology::single_server(2);
+    let faults = FaultSchedule::none().with(Fault::from(
+        FaultKind::ProfileFailure {
+            device: D1,
+            fail_attempts: u32::MAX - 1,
+        },
+        0,
+    ));
+    let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick(faults)).unwrap();
+    let avg = s.train_normal(10, 5).unwrap();
+    assert!(avg.is_finite() && avg > 0.0);
+    assert!(s.topology().is_failed(D1));
+    assert!(s
+        .recovery_log()
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::DeviceFailed { device, .. } if *device == D1)));
+    assert!(s
+        .recovery_log()
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::Recovered { .. })));
+    let plan = s.current_plan();
+    plan.placement.validate(&plan.graph, s.topology()).unwrap();
+    assert!(!plan.placement.devices_used().contains(&D1));
+}
+
+#[test]
 fn losing_every_gpu_is_a_typed_dead_end() {
     let g = Model::LeNet.training_graph(32);
     let topo = Topology::single_server(2);
