@@ -11,7 +11,8 @@
 //! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report chaos:21
 //! ```
 
-use fastt::{SessionConfig, TrainingSession};
+use fastt::search::{CemPlanner, GdpPlanner, McmcPlanner, RandomPlanner, ReinforcePlanner};
+use fastt::{Portfolio, PortfolioInputs, SessionConfig, TrainingSession};
 use fastt_bench::{dp_ps_for, per_replica_batch};
 use fastt_cluster::Topology;
 use fastt_sim::{FaultSchedule, HardwarePerf, SimConfig};
@@ -134,6 +135,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("(no strategy changes recorded)");
     }
 
+    println!("\n--- Planner arbitration ---");
+    let mut any_planner = false;
+    for e in &events {
+        let line = match e.kind.as_str() {
+            "planner.cache_hit" => format!(
+                "  cache HIT  [{}] (graph {:016x}, failed mask {:x}, cost gen {})",
+                e.str_field("planner").unwrap_or("?"),
+                e.num("graph_hash").unwrap_or(0.0) as u64,
+                e.num("failed_mask").unwrap_or(0.0) as u64,
+                e.field("cost_generation"),
+            ),
+            "planner.candidate" => {
+                let cached = e.field("cached").as_bool().unwrap_or(false);
+                let selected = e.field("selected").as_bool().unwrap_or(false);
+                let sim = e.num("simulated").unwrap_or(f64::NAN);
+                format!(
+                    "  candidate [{}/{}] est {:.3} ms{}{}{}{}",
+                    e.str_field("planner").unwrap_or("?"),
+                    e.str_field("kind").unwrap_or("?"),
+                    ms(e, "est_finish"),
+                    if sim.is_nan() {
+                        String::new()
+                    } else {
+                        format!(", probed {:.3} ms", sim * 1e3)
+                    },
+                    match e.num("evals_used") {
+                        Some(v) if v > 0.0 => format!(", {v} evals"),
+                        _ => String::new(),
+                    },
+                    if cached { " (cached)" } else { "" },
+                    if selected { "  << selected" } else { "" },
+                )
+            }
+            "planner.selected" => format!(
+                "  WINNER [{}] by {} at {:.3} ms ({} candidates)",
+                e.str_field("planner").unwrap_or("?"),
+                e.str_field("by").unwrap_or("?"),
+                ms(e, "score"),
+                e.field("candidates"),
+            ),
+            _ => continue,
+        };
+        any_planner = true;
+        println!("[{:>9} us] {line}", e.t_us);
+    }
+    if !any_planner {
+        println!("(no portfolio evaluations recorded)");
+    }
+    println!(
+        "plan cache: {} hits / {} misses, {} plans held",
+        session.plan_cache().hits(),
+        session.plan_cache().misses(),
+        session.plan_cache().len(),
+    );
+
     println!("\n--- Fault / recovery timeline ---");
     let mut any_fault = false;
     // the engine re-emits `fault.injected` on every iteration a fault is
@@ -244,6 +300,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_dev.iter().map(|w| w * 1e3).collect::<Vec<_>>(),
         trace.contention * 1e3,
     );
+
+    // Fig.-3 search baselines, re-planned from the session's *final* graph
+    // and trained cost models, arbitrated by one probed iteration each —
+    // small budgets, this is a report not a benchmark.
+    println!("\n--- Search-baseline comparison (final graph, trained cost models) ---");
+    let search_portfolio = Portfolio::new()
+        .with(Box::new(GdpPlanner))
+        .with(Box::new(McmcPlanner {
+            evals: 200,
+            ..McmcPlanner::default()
+        }))
+        .with(Box::new(CemPlanner {
+            rounds: 6,
+            pop: 8,
+            ..CemPlanner::default()
+        }))
+        .with(Box::new(ReinforcePlanner {
+            rounds: 6,
+            batch: 6,
+            ..ReinforcePlanner::default()
+        }))
+        .with(Box::new(RandomPlanner::default()));
+    let search_outcome = search_portfolio.evaluate(
+        &PortfolioInputs {
+            graph: &plan.graph,
+            raw: None,
+            current: Some(plan),
+            topo: &topo,
+            hw: &HardwarePerf::new(),
+            cost: &session.cost,
+            collector: None,
+            enable_order: true,
+            dp_ps: None,
+            probe: Some(SimConfig::default()),
+        },
+        None,
+    );
+    println!(
+        "| {:<12} | {:<13} | {:>9} | {:>6} |",
+        "Method", "Source", "Sim (ms)", "Evals"
+    );
+    println!(
+        "| {:<12} | {:<13} | {:>9.3} | {:>6} |",
+        "fastt",
+        "session plan",
+        trace.makespan * 1e3,
+        "-"
+    );
+    for c in &search_outcome.candidates {
+        match c.simulated {
+            Some(s) => println!(
+                "| {:<12} | {:<13} | {:>9.3} | {:>6} |",
+                c.planner,
+                "search",
+                s * 1e3,
+                c.evals_used,
+            ),
+            None => println!(
+                "| {:<12} | {:<13} | {:>9} | {:>6} |",
+                c.planner, "search", "ERR", c.evals_used,
+            ),
+        }
+    }
 
     println!("\n--- Cost-model error trend ---");
     let errs: Vec<&Event> = events.iter().filter(|e| e.kind == "cost.error").collect();

@@ -514,8 +514,8 @@ pub mod fig3 {
     #[allow(unused_imports)]
     use crate::*;
     use crate::{dp_ps_for, per_replica_batch, print_header, run_dp, run_fastt};
-    use fastt::search::{cem_search, gdp_place, mcmc_search, reinforce_search};
-    use fastt::{data_parallel_plan, data_parallel_plan_on};
+    use fastt::search::{CemPlanner, GdpPlanner, McmcPlanner, ReinforcePlanner};
+    use fastt::{data_parallel_plan, data_parallel_plan_on, Portfolio, PortfolioInputs};
     use fastt_cluster::Topology;
     use fastt_graph::{replicate_grouped, ReplicationMode};
     use fastt_models::Model;
@@ -559,9 +559,42 @@ pub mod fig3 {
                 let raw = model.training_graph(global.min(prb * gpus as u64));
                 let cost = bootstrap_costs(&raw, &topo, &hw);
 
-                let reinforce = reinforce_search(&raw, &topo, &hw, 12, 8, 11);
-                let gdp = gdp_place(&raw, &topo, &cost, &hw);
-                let post = cem_search(&raw, &topo, &hw, 10, 10, 0.25, 13);
+                // one portfolio evaluation runs the three raw-graph
+                // searchers concurrently; their `est_finish` is the
+                // search's own best simulated time
+                let raw_portfolio = Portfolio::new()
+                    .with(Box::new(ReinforcePlanner {
+                        rounds: 12,
+                        batch: 8,
+                        seed: 11,
+                    }))
+                    .with(Box::new(GdpPlanner))
+                    .with(Box::new(CemPlanner {
+                        rounds: 10,
+                        pop: 10,
+                        elite_frac: 0.25,
+                        seed: 13,
+                    }));
+                let raw_outcome = raw_portfolio.evaluate(
+                    &PortfolioInputs {
+                        graph: &raw,
+                        raw: None,
+                        current: None,
+                        topo: &topo,
+                        hw: &hw,
+                        cost: &cost,
+                        collector: None,
+                        enable_order: true,
+                        dp_ps: None,
+                        probe: None,
+                    },
+                    None,
+                );
+                let (reinforce, gdp, post) = (
+                    raw_outcome.candidates[0].est_finish(),
+                    raw_outcome.candidates[1].est_finish(),
+                    raw_outcome.candidates[2].est_finish(),
+                );
 
                 // FlexFlow-like MCMC on the replicated graph, seeded from DP
                 let groups: Vec<u16> = topo.gpu_ids().map(|d| topo.server_of(d)).collect();
@@ -575,15 +608,30 @@ pub mod fig3 {
                     Some(d) => data_parallel_plan_on(&rep, &topo, d),
                     None => data_parallel_plan(&rep, &topo),
                 };
-                let flexflow = mcmc_search(
-                    &rep.graph,
-                    &topo,
-                    &hw,
-                    Some(&dp_plan.placement),
-                    400,
-                    0.03,
-                    17,
-                );
+                let flexflow = Portfolio::new()
+                    .with(Box::new(McmcPlanner {
+                        evals: 400,
+                        temp: 0.03,
+                        seed: 17,
+                        start_from_current: true,
+                    }))
+                    .evaluate(
+                        &PortfolioInputs {
+                            graph: &rep.graph,
+                            raw: None,
+                            current: Some(&dp_plan),
+                            topo: &topo,
+                            hw: &hw,
+                            cost: &cost,
+                            collector: None,
+                            enable_order: true,
+                            dp_ps: None,
+                            probe: None,
+                        },
+                        None,
+                    )
+                    .candidates[0]
+                    .est_finish();
 
                 let fastt = run_fastt(model, &topo, prb, global, None).expect("fastt runs");
 
@@ -591,10 +639,10 @@ pub mod fig3 {
                     "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} |",
                     model.name(),
                     gpus,
-                    norm(reinforce.best_time),
-                    norm(gdp.best_time),
-                    norm(post.best_time),
-                    norm(flexflow.best_time),
+                    norm(reinforce),
+                    norm(gdp),
+                    norm(post),
+                    norm(flexflow),
                     norm(fastt.measurement.iter_time),
                 );
             }

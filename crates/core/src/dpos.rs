@@ -110,21 +110,23 @@ pub fn dpos(graph: &Graph, topo: &Topology, cost: &CostModels, hw: &HardwarePerf
     dpos_impl(graph, topo, cost, hw, None, DposFlags::default(), None)
 }
 
-/// [`dpos`] with scheduler decision tracing: every placement decision is
-/// emitted to `col` as a `dpos.place` event carrying the chosen device and
-/// the earliest-finish-time score of every device that was considered.
+/// [`dpos`] with optional scheduler decision tracing: when `col` is `Some`,
+/// every placement decision is emitted as a `dpos.place` event carrying the
+/// chosen device and the earliest-finish-time score of every device that was
+/// considered. This is the single entry point the planner layer uses — the
+/// old `dpos_traced` duplicate is gone.
 ///
 /// # Panics
 ///
 /// Panics if `graph` contains a cycle.
-pub fn dpos_traced(
+pub(crate) fn dpos_opt(
     graph: &Graph,
     topo: &Topology,
     cost: &CostModels,
     hw: &HardwarePerf,
-    col: &Collector,
+    col: Option<&Collector>,
 ) -> Schedule {
-    dpos_impl(graph, topo, cost, hw, None, DposFlags::default(), Some(col))
+    dpos_impl(graph, topo, cost, hw, None, DposFlags::default(), col)
 }
 
 /// [`dpos`] with explicit design-choice switches (ablations).

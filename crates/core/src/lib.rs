@@ -53,6 +53,7 @@ mod dpos;
 mod error;
 mod os_dpos;
 mod pipeline;
+pub mod planner;
 mod profiling;
 mod rank;
 pub mod search;
@@ -64,6 +65,11 @@ pub use dpos::{dpos, dpos_with, schedule_for_placement, DposFlags, Schedule};
 pub use error::FastTError;
 pub use os_dpos::{dpos_plan, os_dpos, OsDposOptions};
 pub use pipeline::pipeline_plan;
+pub use planner::{
+    CandidateOutcome, DataParallelPlanner, DposPlanner, Fingerprint, ModelParallelPlanner,
+    OrderOnlyPlanner, OsDposPlanner, PipelinePlanner, PlanCache, Planner, PlannerKind,
+    PlanningContext, Portfolio, PortfolioInputs, PortfolioOutcome,
+};
 pub use profiling::bootstrap_cost_models;
 pub use rank::{critical_path, critical_path_placed, upward_ranks};
 pub use session::{PreTrainReport, RecoveryEvent, SessionConfig, TrainingSession};

@@ -6,7 +6,7 @@
 //! estimate of `FT(o_exit)` improves, and stop at the first operation whose
 //! best split does not improve it (Sec. 5.2).
 
-use crate::dpos::{dpos, dpos_traced};
+use crate::dpos::{dpos, dpos_opt};
 use crate::rank::critical_path_placed;
 use crate::strategy::Plan;
 use fastt_cluster::{DeviceId, Topology};
@@ -44,32 +44,20 @@ impl OsDposOptions {
 
 /// Runs plain DPOS and wraps the result in a [`Plan`] (no splitting).
 pub fn dpos_plan(graph: &Graph, topo: &Topology, cost: &CostModels, hw: &HardwarePerf) -> Plan {
-    dpos_plan_impl(graph, topo, cost, hw, None)
+    dpos_plan_opt(graph, topo, cost, hw, None)
 }
 
-/// [`dpos_plan`] with scheduler decision tracing (see
-/// [`crate::dpos::dpos_traced`]).
-pub fn dpos_plan_traced(
-    graph: &Graph,
-    topo: &Topology,
-    cost: &CostModels,
-    hw: &HardwarePerf,
-    col: &Collector,
-) -> Plan {
-    dpos_plan_impl(graph, topo, cost, hw, Some(col))
-}
-
-fn dpos_plan_impl(
+/// [`dpos_plan`] with an optional collector for scheduler decision tracing
+/// (`dpos.place` events). The planner layer threads the context's collector
+/// through here — there is no separate `*_traced` duplicate.
+pub(crate) fn dpos_plan_opt(
     graph: &Graph,
     topo: &Topology,
     cost: &CostModels,
     hw: &HardwarePerf,
     col: Option<&Collector>,
 ) -> Plan {
-    let s = match col {
-        Some(col) => dpos_traced(graph, topo, cost, hw, col),
-        None => dpos(graph, topo, cost, hw),
-    };
+    let s = dpos_opt(graph, topo, cost, hw, col);
     Plan {
         graph: graph.clone(),
         splits: Vec::new(),
@@ -92,25 +80,15 @@ pub fn os_dpos(
     hw: &HardwarePerf,
     opts: &OsDposOptions,
 ) -> Plan {
-    os_dpos_impl(graph, topo, cost, hw, opts, None)
+    os_dpos_opt(graph, topo, cost, hw, opts, None)
 }
 
-/// [`os_dpos`] with decision tracing: the base DPOS run emits `dpos.place`
-/// events, and every split verdict (accepted, rejected-and-stop) is emitted
-/// as a `dpos.split` event with the chosen dimension and degree. The inner
-/// DPOS re-runs of the split search stay untraced to bound event volume.
-pub fn os_dpos_traced(
-    graph: &Graph,
-    topo: &Topology,
-    cost: &mut CostModels,
-    hw: &HardwarePerf,
-    opts: &OsDposOptions,
-    col: &Collector,
-) -> Plan {
-    os_dpos_impl(graph, topo, cost, hw, opts, Some(col))
-}
-
-fn os_dpos_impl(
+/// [`os_dpos`] with an optional collector: when tracing, the base DPOS run
+/// emits `dpos.place` events and every split verdict (accepted,
+/// rejected-and-stop) is emitted as a `dpos.split` event with the chosen
+/// dimension and degree. The inner DPOS re-runs of the split search stay
+/// untraced to bound event volume.
+pub(crate) fn os_dpos_opt(
     graph: &Graph,
     topo: &Topology,
     cost: &mut CostModels,
@@ -118,10 +96,7 @@ fn os_dpos_impl(
     opts: &OsDposOptions,
     col: Option<&Collector>,
 ) -> Plan {
-    let base = match col {
-        Some(col) => dpos_traced(graph, topo, cost, hw, col),
-        None => dpos(graph, topo, cost, hw),
-    };
+    let base = dpos_opt(graph, topo, cost, hw, col);
     let mut ft_old = base.est_finish;
 
     // Critical path under the actual placement, by descending compute time.

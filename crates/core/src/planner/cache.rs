@@ -1,0 +1,223 @@
+//! Fingerprint-keyed plan memoization.
+//!
+//! A plan only depends on (a) the structure of the graph being planned,
+//! (b) which devices are dead, (c) — for cost-model-driven planners — the
+//! state of the adaptive cost models, and (d) the planner's own parameters.
+//! The [`Fingerprint`] captures exactly those four, so fault recovery and
+//! drift re-profiling can reuse still-valid candidates: re-planning after a
+//! memory-pressure spike on an unchanged cluster is a cache hit, while a
+//! blacklisted device or a cost-model refit changes the fingerprint and
+//! forces a fresh computation.
+
+use super::{Planner, PlannerKind};
+use crate::strategy::Plan;
+use fastt_cluster::Topology;
+use fastt_cost::CostModels;
+use fastt_graph::Graph;
+use std::collections::{HashMap, VecDeque};
+
+/// Cache key for one (planner, planning inputs) combination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// [`Graph::structure_hash`] of the planning input: the base graph for
+    /// most planners, the raw training graph for start strategies (which
+    /// build their own replication).
+    pub graph_hash: u64,
+    /// One bit per failed device (bit `d mod 64`), folded by XOR — any
+    /// blacklist change on clusters up to 64 devices changes the mask.
+    pub failed_mask: u64,
+    /// [`CostModels::generation`] at planning time for planners that
+    /// consult the cost models; 0 for those that do not, so their cached
+    /// plans survive refits.
+    pub cost_generation: u64,
+    /// [`Planner::name`] — two planners never share a slot.
+    pub planner: &'static str,
+    /// [`Planner::fingerprint_extra`]: tuning parameters and RNG seeds.
+    pub extra: u64,
+}
+
+impl Fingerprint {
+    /// Computes the fingerprint `planner` would be cached under for these
+    /// inputs. `raw` is the unreplicated training graph (used as the graph
+    /// component for start-strategy planners); pass `None` when absent —
+    /// such fingerprints hash the planning graph instead.
+    pub fn compute(
+        planner: &dyn Planner,
+        graph: &Graph,
+        raw: Option<&Graph>,
+        topo: &Topology,
+        cost: &CostModels,
+    ) -> Fingerprint {
+        let graph_hash = match (planner.kind(), raw) {
+            (PlannerKind::StartStrategy, Some(r)) => r.structure_hash(),
+            _ => graph.structure_hash(),
+        };
+        Fingerprint {
+            graph_hash,
+            failed_mask: failed_mask(topo),
+            cost_generation: if planner.uses_cost_models() {
+                cost.generation()
+            } else {
+                0
+            },
+            planner: planner.name(),
+            extra: planner.fingerprint_extra(),
+        }
+    }
+}
+
+/// XOR-folded bitmask of the blacklisted devices (bit `d mod 64`).
+fn failed_mask(topo: &Topology) -> u64 {
+    topo.failed_devices()
+        .iter()
+        .fold(0u64, |m, d| m ^ 1u64.rotate_left(d.0 as u32))
+}
+
+/// A bounded FIFO memo of computed plans, keyed by [`Fingerprint`].
+///
+/// Hit/miss counters survive [`PlanCache::clear`] so a session can report
+/// cumulative reuse.
+#[derive(Debug)]
+pub struct PlanCache {
+    map: HashMap<Fingerprint, Plan>,
+    order: VecDeque<Fingerprint>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(64)
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `cap` plans (at least one).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a plan, counting the hit or miss.
+    pub fn get(&mut self, fp: &Fingerprint) -> Option<Plan> {
+        match self.map.get(fp) {
+            Some(p) => {
+                self.hits += 1;
+                Some(p.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a plan, evicting the oldest entry when full.
+    pub fn insert(&mut self, fp: Fingerprint, plan: Plan) {
+        if self.map.insert(fp.clone(), plan).is_none() {
+            self.order.push_back(fp);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_sim::Placement;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint {
+            graph_hash: n,
+            failed_mask: 0,
+            cost_generation: 0,
+            planner: "test",
+            extra: 0,
+        }
+    }
+
+    fn plan() -> Plan {
+        Plan {
+            graph: Graph::new(),
+            splits: Vec::new(),
+            placement: Placement::uniform(0, fastt_cluster::DeviceId(0)),
+            order: None,
+            est_finish: 1.0,
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_and_counters() {
+        let mut c = PlanCache::new(2);
+        assert!(c.get(&fp(1)).is_none());
+        c.insert(fp(1), plan());
+        c.insert(fp(2), plan());
+        assert!(c.get(&fp(1)).is_some());
+        c.insert(fp(3), plan()); // evicts fp(1), the oldest
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&fp(1)).is_none());
+        assert!(c.get(&fp(3)).is_some());
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 2, "counters survive clear()");
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_eviction_slot() {
+        let mut c = PlanCache::new(2);
+        c.insert(fp(1), plan());
+        c.insert(fp(1), plan());
+        c.insert(fp(2), plan());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&fp(1)).is_some());
+    }
+
+    #[test]
+    fn failed_mask_reflects_blacklist() {
+        let mut t = Topology::single_server(4);
+        let m0 = failed_mask(&t);
+        t.fail_device(fastt_cluster::DeviceId(2));
+        let m1 = failed_mask(&t);
+        assert_ne!(m0, m1);
+        t.fail_device(fastt_cluster::DeviceId(0));
+        assert_ne!(m1, failed_mask(&t));
+    }
+}

@@ -83,6 +83,70 @@ pub fn cem_search(
     }
 }
 
+/// [`cem_search`] as a seeded [`Planner`](crate::planner::Planner).
+#[derive(Debug, Clone, Copy)]
+pub struct CemPlanner {
+    /// CEM rounds.
+    pub rounds: u32,
+    /// Samples per round.
+    pub pop: u32,
+    /// Elite fraction each round refits to.
+    pub elite_frac: f64,
+    /// RNG seed — explicit, so same-seed runs are bit-identical.
+    pub seed: u64,
+}
+
+impl Default for CemPlanner {
+    fn default() -> Self {
+        CemPlanner {
+            rounds: 10,
+            pop: 10,
+            elite_frac: 0.25,
+            seed: 13,
+        }
+    }
+}
+
+impl crate::planner::Planner for CemPlanner {
+    fn name(&self) -> &'static str {
+        "cem"
+    }
+
+    fn kind(&self) -> crate::planner::PlannerKind {
+        crate::planner::PlannerKind::Search
+    }
+
+    fn uses_cost_models(&self) -> bool {
+        false
+    }
+
+    fn fingerprint_extra(&self) -> u64 {
+        crate::planner::hash_params(&[
+            self.rounds as u64,
+            self.pop as u64,
+            self.elite_frac.to_bits(),
+            self.seed,
+        ])
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut crate::planner::PlanningContext<'_>,
+    ) -> Result<crate::Plan, crate::FastTError> {
+        let r = cem_search(
+            ctx.graph,
+            ctx.topo,
+            ctx.hw,
+            self.rounds,
+            self.pop,
+            self.elite_frac,
+            self.seed,
+        );
+        ctx.evals_used += r.evals_used;
+        Ok(r.into_plan(ctx.graph))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -117,6 +117,31 @@ pub fn gdp_place(
     }
 }
 
+/// [`gdp_place`] as a [`Planner`](crate::planner::Planner): white-box like
+/// DPOS (it reads the cost models), so its cached plans are invalidated by
+/// cost-model updates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GdpPlanner;
+
+impl crate::planner::Planner for GdpPlanner {
+    fn name(&self) -> &'static str {
+        "gdp"
+    }
+
+    fn kind(&self) -> crate::planner::PlannerKind {
+        crate::planner::PlannerKind::WhiteBox
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut crate::planner::PlanningContext<'_>,
+    ) -> Result<crate::Plan, crate::FastTError> {
+        let r = gdp_place(ctx.graph, ctx.topo, &ctx.cost, ctx.hw);
+        ctx.evals_used += r.evals_used;
+        Ok(r.into_plan(ctx.graph))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

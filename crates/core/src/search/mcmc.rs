@@ -72,6 +72,75 @@ pub fn mcmc_search(
     }
 }
 
+/// [`mcmc_search`] as a seeded [`Planner`](crate::planner::Planner). When
+/// `start_from_current` is set and the context carries a current plan over
+/// the *same* graph, the chain starts from that placement (FlexFlow's
+/// warm-started search); otherwise it starts from a seeded random point.
+#[derive(Debug, Clone, Copy)]
+pub struct McmcPlanner {
+    /// MCMC steps (each one simulated evaluation).
+    pub evals: u32,
+    /// Metropolis temperature, in relative runtime units.
+    pub temp: f64,
+    /// RNG seed — explicit, so same-seed runs are bit-identical.
+    pub seed: u64,
+    /// Warm-start from the context's current plan when its graph matches.
+    pub start_from_current: bool,
+}
+
+impl Default for McmcPlanner {
+    fn default() -> Self {
+        McmcPlanner {
+            evals: 400,
+            temp: 0.03,
+            seed: 17,
+            start_from_current: true,
+        }
+    }
+}
+
+impl crate::planner::Planner for McmcPlanner {
+    fn name(&self) -> &'static str {
+        "mcmc"
+    }
+
+    fn kind(&self) -> crate::planner::PlannerKind {
+        crate::planner::PlannerKind::Search
+    }
+
+    fn uses_cost_models(&self) -> bool {
+        false
+    }
+
+    fn cacheable(&self) -> bool {
+        // the warm start depends on the current plan, which the
+        // fingerprint does not capture
+        !self.start_from_current
+    }
+
+    fn fingerprint_extra(&self) -> u64 {
+        crate::planner::hash_params(&[self.evals as u64, self.temp.to_bits(), self.seed])
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut crate::planner::PlanningContext<'_>,
+    ) -> Result<crate::Plan, crate::FastTError> {
+        let start = if self.start_from_current {
+            ctx.current
+                .filter(|c| c.graph.op_count() == ctx.graph.op_count())
+                .map(|c| &c.placement)
+        } else {
+            None
+        };
+        let r = mcmc_search(
+            ctx.graph, ctx.topo, ctx.hw, start, self.evals, self.temp, self.seed,
+        );
+        ctx.evals_used += r.evals_used;
+        Ok(r.into_plan(ctx.graph))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

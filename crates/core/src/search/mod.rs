@@ -25,12 +25,13 @@ mod mcmc;
 mod random;
 mod reinforce;
 
-pub use cem::cem_search;
-pub use gdp::gdp_place;
-pub use mcmc::mcmc_search;
-pub use random::random_search;
-pub use reinforce::reinforce_search;
+pub use cem::{cem_search, CemPlanner};
+pub use gdp::{gdp_place, GdpPlanner};
+pub use mcmc::{mcmc_search, McmcPlanner};
+pub use random::{random_search, RandomPlanner};
+pub use reinforce::{reinforce_search, ReinforcePlanner};
 
+use crate::strategy::Plan;
 use fastt_cluster::{DeviceId, Topology};
 use fastt_graph::{Graph, OpId};
 use fastt_sim::{simulate, ExecPolicy, HardwarePerf, Placement, SimConfig};
@@ -45,6 +46,21 @@ pub struct SearchResult {
     /// Number of full (simulated) training iterations the search consumed —
     /// the resource cost the paper contrasts with FastT's minutes.
     pub evals_used: u32,
+}
+
+impl SearchResult {
+    /// Wraps the found placement as a [`Plan`] over `graph` (no splits, no
+    /// enforced order — the searchers place, they do not sequence), with
+    /// the searched simulated time as the estimate.
+    pub fn into_plan(self, graph: &Graph) -> Plan {
+        Plan {
+            graph: graph.clone(),
+            splits: Vec::new(),
+            placement: self.placement,
+            order: None,
+            est_finish: self.best_time,
+        }
+    }
 }
 
 /// Movable placement units: colocation groups move as one, everything else

@@ -38,6 +38,52 @@ pub fn random_search(
     }
 }
 
+/// [`random_search`] as a seeded [`Planner`](crate::planner::Planner) — the
+/// sanity-check baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPlanner {
+    /// Random placements to evaluate.
+    pub evals: u32,
+    /// RNG seed — explicit, so same-seed runs are bit-identical.
+    pub seed: u64,
+}
+
+impl Default for RandomPlanner {
+    fn default() -> Self {
+        RandomPlanner {
+            evals: 64,
+            seed: 19,
+        }
+    }
+}
+
+impl crate::planner::Planner for RandomPlanner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn kind(&self) -> crate::planner::PlannerKind {
+        crate::planner::PlannerKind::Search
+    }
+
+    fn uses_cost_models(&self) -> bool {
+        false
+    }
+
+    fn fingerprint_extra(&self) -> u64 {
+        crate::planner::hash_params(&[self.evals as u64, self.seed])
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut crate::planner::PlanningContext<'_>,
+    ) -> Result<crate::Plan, crate::FastTError> {
+        let r = random_search(ctx.graph, ctx.topo, ctx.hw, self.evals, self.seed);
+        ctx.evals_used += r.evals_used;
+        Ok(r.into_plan(ctx.graph))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

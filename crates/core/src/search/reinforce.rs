@@ -98,6 +98,61 @@ pub fn reinforce_search(
     }
 }
 
+/// [`reinforce_search`] as a seeded [`Planner`](crate::planner::Planner).
+#[derive(Debug, Clone, Copy)]
+pub struct ReinforcePlanner {
+    /// Policy-gradient rounds.
+    pub rounds: u32,
+    /// Sampled placements per round.
+    pub batch: u32,
+    /// RNG seed — explicit, so same-seed runs are bit-identical.
+    pub seed: u64,
+}
+
+impl Default for ReinforcePlanner {
+    fn default() -> Self {
+        ReinforcePlanner {
+            rounds: 12,
+            batch: 8,
+            seed: 11,
+        }
+    }
+}
+
+impl crate::planner::Planner for ReinforcePlanner {
+    fn name(&self) -> &'static str {
+        "reinforce"
+    }
+
+    fn kind(&self) -> crate::planner::PlannerKind {
+        crate::planner::PlannerKind::Search
+    }
+
+    fn uses_cost_models(&self) -> bool {
+        false
+    }
+
+    fn fingerprint_extra(&self) -> u64 {
+        crate::planner::hash_params(&[self.rounds as u64, self.batch as u64, self.seed])
+    }
+
+    fn plan(
+        &self,
+        ctx: &mut crate::planner::PlanningContext<'_>,
+    ) -> Result<crate::Plan, crate::FastTError> {
+        let r = reinforce_search(
+            ctx.graph,
+            ctx.topo,
+            ctx.hw,
+            self.rounds,
+            self.batch,
+            self.seed,
+        );
+        ctx.evals_used += r.evals_used;
+        Ok(r.into_plan(ctx.graph))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

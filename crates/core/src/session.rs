@@ -9,11 +9,15 @@
 //! Pre-training ends when the cost models stabilize.
 
 use crate::error::FastTError;
-use crate::os_dpos::{dpos_plan, dpos_plan_traced, os_dpos, os_dpos_traced, OsDposOptions};
-use crate::strategy::{data_parallel_plan, data_parallel_plan_on, model_parallel_plan, Plan};
+use crate::planner::{
+    CandidateOutcome, DataParallelPlanner, DposPlanner, ModelParallelPlanner, OrderOnlyPlanner,
+    OsDposPlanner, PlanCache, Planner, PlannerKind, PlanningContext, Portfolio, PortfolioInputs,
+    PortfolioOutcome,
+};
+use crate::strategy::Plan;
 use fastt_cluster::{DeviceHealth, DeviceId, HealthMap, Topology};
 use fastt_cost::CostModels;
-use fastt_graph::{replicate_grouped, Graph, ReplicationMode};
+use fastt_graph::Graph;
 use fastt_sim::{FaultSchedule, HardwarePerf, RunTrace, SimConfig, SimError};
 use fastt_telemetry::{jobj, Collector, Value};
 use std::sync::Arc;
@@ -173,6 +177,9 @@ pub struct TrainingSession {
     /// Every resilience decision taken, in order (see [`RecoveryEvent`]).
     recovery_log: Vec<RecoveryEvent>,
     collector: Option<Arc<Collector>>,
+    /// Fingerprint-keyed memo of computed plans, shared by every portfolio
+    /// evaluation the session runs (see [`PlanCache`]).
+    cache: PlanCache,
 }
 
 /// Whether a profiling error is specific to the plan being measured (so a
@@ -200,29 +207,58 @@ impl TrainingSession {
         hw: HardwarePerf,
         config: SessionConfig,
     ) -> Result<Self, FastTError> {
-        let groups: Vec<u16> = topo.gpu_ids().map(|d| topo.server_of(d)).collect();
-        let rep = replicate_grouped(training_graph, &groups, ReplicationMode::ParameterServer)?;
-        let dp = match config.dp_ps {
-            Some(d) => data_parallel_plan_on(&rep, &topo, d),
-            None => data_parallel_plan(&rep, &topo),
+        // Both start strategies are planned and probed as one portfolio
+        // (concurrently), but selection is *first-feasible*, not
+        // fastest-probe: the paper always starts data-parallel when the
+        // replicated model fits, regardless of which probe looks quicker.
+        let cost = CostModels::new();
+        let portfolio = Portfolio::new()
+            .with(Box::new(DataParallelPlanner))
+            .with(Box::new(ModelParallelPlanner));
+        let inputs = PortfolioInputs {
+            graph: training_graph,
+            raw: Some(training_graph),
+            current: None,
+            topo: &topo,
+            hw: &hw,
+            cost: &cost,
+            collector: None,
+            enable_order: config.enable_order,
+            dp_ps: config.dp_ps,
+            probe: Some(SimConfig::default()),
         };
-        let probe = SimConfig::default();
-        let (base_graph, start, started_dp) = match dp.simulate(&topo, &hw, &probe) {
-            Ok(_) => (rep.graph.clone(), dp, true),
-            Err(dp_err @ SimError::Oom { .. }) => {
-                let mp = model_parallel_plan(training_graph, &topo, &hw);
-                match mp.simulate(&topo, &hw, &probe) {
-                    Ok(_) => (training_graph.clone(), mp, false),
-                    Err(mp_err) => {
-                        return Err(FastTError::NoFeasibleStart {
-                            dp: dp_err,
-                            mp: mp_err,
-                        })
+        let mut outcome = portfolio.evaluate(&inputs, None);
+        let mut mp_out = outcome.candidates.pop().expect("portfolio of two");
+        let mut dp_out = outcome.candidates.pop().expect("portfolio of two");
+        let (start, started_dp) = if dp_out.simulated.is_some() {
+            (dp_out.plan.take().expect("probed plan"), true)
+        } else {
+            // DP infeasible: only an OOM (the replicated model not fitting
+            // in device memory) falls back to model parallelism; any other
+            // failure propagates.
+            match dp_out.error.take() {
+                Some(FastTError::Sim(dp_err @ SimError::Oom { .. })) => {
+                    if mp_out.simulated.is_some() {
+                        (mp_out.plan.take().expect("probed plan"), false)
+                    } else {
+                        return Err(match mp_out.error.take() {
+                            Some(FastTError::Sim(mp_err)) => FastTError::NoFeasibleStart {
+                                dp: dp_err,
+                                mp: mp_err,
+                            },
+                            Some(other) => other,
+                            None => FastTError::ClusterExhausted,
+                        });
                     }
                 }
+                Some(other) => return Err(other),
+                None => return Err(FastTError::ClusterExhausted),
             }
-            Err(e) => return Err(e.into()),
         };
+        // Sec. 5.2's input-graph rule: strategies are computed from the
+        // replica graph when DP fits, else from the raw training graph —
+        // both are exactly the winning start plan's graph.
+        let base_graph = start.graph.clone();
         let health = HealthMap::new(topo.device_count());
         Ok(TrainingSession {
             base_graph,
@@ -231,13 +267,14 @@ impl TrainingSession {
             topo,
             hw,
             config,
-            cost: CostModels::new(),
+            cost,
             current: start,
             measured: f64::INFINITY,
             iteration: 0,
             health,
             recovery_log: Vec::new(),
             collector: None,
+            cache: PlanCache::default(),
         })
     }
 
@@ -322,15 +359,65 @@ impl TrainingSession {
         }
     }
 
-    /// Probes a plan with one simulated iteration at the current position
-    /// (faults included, so an infeasible-under-current-faults plan fails
-    /// here instead of after activation). `attempt = u32::MAX` exempts the
-    /// probe from transient profile-failure windows — a probe is a planning
-    /// query, not a profiling run, and recovery must not deadlock on them.
-    fn probe_plan(&self, plan: &Plan) -> Result<f64, SimError> {
-        let cfg = self.sim_config(u32::MAX);
-        plan.simulate(&self.topo, &self.hw, &cfg)
-            .map(|t| t.makespan)
+    /// The probe configuration for plan arbitration: the current position
+    /// with faults included (so an infeasible-under-current-faults plan
+    /// loses the arbitration instead of failing after activation), but with
+    /// `attempt = u32::MAX` to exempt probes from transient profile-failure
+    /// windows — a probe is a planning query, not a profiling run, and
+    /// recovery must not deadlock on them.
+    fn probe_config(&self) -> SimConfig {
+        self.sim_config(u32::MAX)
+    }
+
+    /// The session's main strategy calculator as a [`Planner`]: OS-DPOS
+    /// when splitting is enabled (Alg. 2), plain DPOS otherwise (the
+    /// "No split" ablation).
+    fn main_planner(&self) -> Box<dyn Planner> {
+        if self.config.enable_split {
+            Box::new(OsDposPlanner::default())
+        } else {
+            Box::new(DposPlanner)
+        }
+    }
+
+    /// Evaluates `portfolio` against the session's state (base graph, raw
+    /// graph, current plan, live topology, cost models, collector) through
+    /// the session's [`PlanCache`].
+    fn run_portfolio(
+        &mut self,
+        portfolio: &Portfolio,
+        probe: Option<SimConfig>,
+    ) -> PortfolioOutcome {
+        let inputs = PortfolioInputs {
+            graph: &self.base_graph,
+            raw: Some(&self.training_graph),
+            current: Some(&self.current),
+            topo: &self.topo,
+            hw: &self.hw,
+            cost: &self.cost,
+            collector: self.collector.clone(),
+            enable_order: self.config.enable_order,
+            dp_ps: self.config.dp_ps,
+            probe,
+        };
+        portfolio.evaluate(&inputs, Some(&mut self.cache))
+    }
+
+    /// Adopts the cost-model clone mutated by the portfolio's *main*
+    /// candidate (index 0 — always the DPOS/OS-DPOS planner in this
+    /// session): OS-DPOS seeds analytic priors for fresh sub-operations,
+    /// and those must persist in the session exactly as the old
+    /// mutate-in-place API did. Cache-served candidates carry no clone —
+    /// their seeds were adopted when the plan was first computed.
+    fn adopt_candidate_cost(&mut self, outcome: &mut PortfolioOutcome) {
+        if let Some(cost) = outcome.candidates[0].cost.take() {
+            self.cost = cost;
+        }
+    }
+
+    /// The session's plan cache (hit/miss counters included).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
     }
 
     /// Runs one training iteration of the current plan, absorbing faults:
@@ -550,53 +637,72 @@ impl TrainingSession {
             col.metrics().inc("session.replans");
         }
 
-        // Rebuild the base graph over the survivors, preferring the replica
-        // graph exactly as session construction does (Sec. 5.2's rule).
-        let groups: Vec<u16> = self
-            .topo
-            .gpu_ids()
-            .map(|d| self.topo.server_of(d))
-            .collect();
-        let rep = replicate_grouped(
-            &self.training_graph,
-            &groups,
-            ReplicationMode::ParameterServer,
-        )?;
-        let dp = match self.config.dp_ps {
-            Some(d) if !self.topo.is_failed(d) => data_parallel_plan_on(&rep, &self.topo, d),
-            _ => data_parallel_plan(&rep, &self.topo),
-        };
-        let dp_measured = self.probe_plan(&dp).ok();
-        self.base_graph = if dp_measured.is_some() {
-            rep.graph.clone()
-        } else {
-            self.training_graph.clone()
+        // Stage 1: probe data parallelism over the survivors first — its
+        // feasibility decides which base graph the main planner plans from,
+        // preferring the replica graph exactly as session construction does
+        // (Sec. 5.2's rule).
+        let probe = self.probe_config();
+        let dp_portfolio = Portfolio::new().with(Box::new(DataParallelPlanner));
+        let mut dp_outcome = self.run_portfolio(&dp_portfolio, Some(probe.clone()));
+        let dp_out = dp_outcome.candidates.pop().expect("portfolio of one");
+        let dp_ok = dp_out.simulated.is_some();
+        self.base_graph = match (&dp_out.plan, dp_ok) {
+            (Some(p), true) => p.graph.clone(),
+            _ => self.training_graph.clone(),
         };
 
-        let candidate = self.compute_candidate();
-        let mut best: Option<(Plan, &'static str, f64)> = None;
-        let mut last_err: Option<FastTError> = None;
-        match self.probe_plan(&candidate) {
-            Ok(m) => best = Some((candidate, "replan", m)),
-            Err(e) => last_err = Some(e.into()),
+        // Stage 2: the fresh planner candidate, plus model parallelism as
+        // the last-resort fallback when DP no longer fits. Arbitration over
+        // the merged set keeps the paper's preference order — re-plan, then
+        // data parallelism, then model parallelism — by strict
+        // lowest-probed-time with ties to the earlier candidate.
+        let mut portfolio = Portfolio::new().with(self.main_planner());
+        if !dp_ok {
+            portfolio.push(Box::new(ModelParallelPlanner));
         }
-        if let Some(m) = dp_measured {
-            if best.as_ref().map(|(_, _, b)| m < *b).unwrap_or(true) {
-                best = Some((dp, "data_parallel", m));
-            }
-        } else {
-            let mp = model_parallel_plan(&self.training_graph, &self.topo, &self.hw);
-            match self.probe_plan(&mp) {
-                Ok(m) => {
-                    if best.as_ref().map(|(_, _, b)| m < *b).unwrap_or(true) {
-                        best = Some((mp, "model_parallel", m));
-                    }
+        let mut outcome = self.run_portfolio(&portfolio, Some(probe));
+        self.adopt_candidate_cost(&mut outcome);
+        let mut merged: Vec<CandidateOutcome> = Vec::with_capacity(3);
+        let mut rest = outcome.candidates.drain(..);
+        merged.push(rest.next().expect("main candidate"));
+        merged.push(dp_out);
+        merged.extend(rest);
+
+        let mut last_err: Option<FastTError> = None;
+        for c in merged.iter_mut() {
+            // dp probe failures are expected (that is what mp is for) and
+            // were never reported by the pre-portfolio recovery loop
+            if c.planner != "data_parallel" {
+                if let Some(e) = c.error.take() {
+                    last_err = Some(e);
                 }
-                Err(e) => last_err = Some(e.into()),
+            }
+        }
+        let mut best: Option<usize> = None;
+        for (i, c) in merged.iter().enumerate() {
+            if let Some(m) = c.simulated {
+                let better = match best {
+                    Some(b) => m < merged[b].simulated.unwrap_or(f64::INFINITY),
+                    None => true,
+                };
+                if better {
+                    best = Some(i);
+                }
             }
         }
         let (plan, kind, probe_measured) = match best {
-            Some(b) => b,
+            Some(i) => {
+                let c = &mut merged[i];
+                let kind = match c.kind {
+                    PlannerKind::StartStrategy => c.planner,
+                    _ => "replan",
+                };
+                (
+                    c.plan.take().expect("probed plan"),
+                    kind,
+                    c.simulated.expect("probed time"),
+                )
+            }
             None => return Err(last_err.unwrap_or(FastTError::ClusterExhausted)),
         };
         if kind != "replan" {
@@ -659,51 +765,25 @@ impl TrainingSession {
     }
 
     /// Computes a fresh candidate plan from the base graph with the current
-    /// cost models (OS-DPOS when splitting is enabled, DPOS otherwise).
+    /// cost models (OS-DPOS when splitting is enabled, DPOS otherwise),
+    /// through the session's plan cache.
     pub fn compute_candidate(&mut self) -> Plan {
-        let col = self.collector.clone();
-        let mut plan = if self.config.enable_split {
-            let opts = OsDposOptions::for_topology(&self.topo);
-            match &col {
-                Some(col) => os_dpos_traced(
-                    &self.base_graph,
-                    &self.topo,
-                    &mut self.cost,
-                    &self.hw,
-                    &opts,
-                    col,
-                ),
-                None => os_dpos(
-                    &self.base_graph,
-                    &self.topo,
-                    &mut self.cost,
-                    &self.hw,
-                    &opts,
-                ),
-            }
-        } else {
-            match &col {
-                Some(col) => {
-                    dpos_plan_traced(&self.base_graph, &self.topo, &self.cost, &self.hw, col)
-                }
-                None => dpos_plan(&self.base_graph, &self.topo, &self.cost, &self.hw),
-            }
-        };
-        if !self.config.enable_order {
-            plan.order = None;
-        }
-        plan
+        let portfolio = Portfolio::new().with(self.main_planner());
+        let mut outcome = self.run_portfolio(&portfolio, None);
+        self.adopt_candidate_cost(&mut outcome);
+        outcome
+            .into_winning_plan()
+            .expect("DPOS/OS-DPOS planning is total")
     }
 
     /// Computes a plain-DPOS candidate (no operation splitting) from the
     /// base graph with the current cost models — the "No split" arm of the
-    /// paper's Table 6 ablation.
-    pub fn compute_candidate_no_split(&self) -> Plan {
-        let mut plan = dpos_plan(&self.base_graph, &self.topo, &self.cost, &self.hw);
-        if !self.config.enable_order {
-            plan.order = None;
-        }
-        plan
+    /// paper's Table 6 ablation. Traced through the attached collector
+    /// exactly like [`Self::compute_candidate`].
+    pub fn compute_candidate_no_split(&mut self) -> Plan {
+        let portfolio = Portfolio::new().with(Box::new(DposPlanner));
+        let outcome = self.run_portfolio(&portfolio, None);
+        outcome.into_winning_plan().expect("DPOS planning is total")
     }
 
     /// Computes the low-risk candidate: keep the current plan's graph and
@@ -714,20 +794,10 @@ impl TrainingSession {
         if !self.config.enable_order {
             return None;
         }
-        let s = crate::dpos::schedule_for_placement(
-            &self.current.graph,
-            &self.topo,
-            &self.cost,
-            &self.hw,
-            &self.current.placement,
-        );
-        Some(Plan {
-            graph: self.current.graph.clone(),
-            splits: self.current.splits.clone(),
-            placement: self.current.placement.clone(),
-            order: Some(s.order),
-            est_finish: s.est_finish,
-        })
+        let mut ctx =
+            PlanningContext::new(&self.base_graph, &self.topo, &self.hw, self.cost.clone())
+                .with_current(&self.current);
+        OrderOnlyPlanner.plan(&mut ctx).ok()
     }
 
     /// Replaces the hardware model mid-session (used by tests and the drift
@@ -883,16 +953,28 @@ impl TrainingSession {
                 },
             );
 
-            // Two candidates per round: the full DPOS/OS-DPOS redeployment
-            // and the low-risk "enforce an order on the current placement"
-            // (the paper's ordering lever, Fig. 2); tried best-estimate
-            // first.
+            // Two candidates per round, planned concurrently as one
+            // portfolio: the full DPOS/OS-DPOS redeployment and the
+            // low-risk "enforce an order on the current placement" (the
+            // paper's ordering lever, Fig. 2); tried best-estimate first.
             let t0 = Instant::now();
-            let mut candidates: Vec<(Plan, &'static str)> =
-                vec![(self.compute_candidate(), "redeploy")];
-            if let Some(oc) = self.compute_order_candidate() {
-                candidates.push((oc, "order"));
+            let mut portfolio = Portfolio::new().with(self.main_planner());
+            if self.config.enable_order {
+                portfolio.push(Box::new(OrderOnlyPlanner));
             }
+            let mut outcome = self.run_portfolio(&portfolio, None);
+            self.adopt_candidate_cost(&mut outcome);
+            let mut candidates: Vec<(Plan, &'static str)> = outcome
+                .candidates
+                .iter_mut()
+                .filter_map(|c| {
+                    let kind = match c.kind {
+                        PlannerKind::OrderOnly => "order",
+                        _ => "redeploy",
+                    };
+                    c.plan.take().map(|p| (p, kind))
+                })
+                .collect();
             candidates.sort_by(|a, b| a.0.est_finish.total_cmp(&b.0.est_finish));
             report.strategy_calc_secs += t0.elapsed().as_secs_f64();
             for (candidate, kind) in &candidates {

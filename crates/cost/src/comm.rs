@@ -23,6 +23,9 @@ const TRIM_FRAC: f64 = 0.1;
 pub struct CommCostModel {
     samples: HashMap<(DeviceId, DeviceId), Vec<(f64, f64)>>,
     fits: HashMap<(DeviceId, DeviceId), LinReg>,
+    /// Monotonic counter bumped on every [`CommCostModel::refit`]; cached
+    /// plans keyed on an older generation are stale once the lines move.
+    generation: u64,
 }
 
 impl CommCostModel {
@@ -57,6 +60,7 @@ impl CommCostModel {
     /// proportional prior when every retained transfer of a pair has the
     /// same size (the slope is unidentifiable, so `LinReg::fit` refuses).
     pub fn refit(&mut self) {
+        self.generation += 1;
         self.fits = self
             .samples
             .iter()
@@ -97,6 +101,11 @@ impl CommCostModel {
     /// The fitted line for a pair, if profiled.
     pub fn fit_for(&self, src: DeviceId, dst: DeviceId) -> Option<&LinReg> {
         self.fits.get(&(src, dst))
+    }
+
+    /// Monotonic refit generation: bumped once per [`CommCostModel::refit`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 

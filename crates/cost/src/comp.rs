@@ -66,6 +66,9 @@ pub struct CompCostModel {
     stats: HashMap<(String, DeviceId), Stat>,
     /// Means at the last [`CompCostModel::snapshot`], for stability checks.
     snapshot: HashMap<(String, DeviceId), f64>,
+    /// Monotonic counter bumped on every real measurement; plan-cache
+    /// fingerprints use it to detect that predictions may have moved.
+    generation: u64,
 }
 
 impl CompCostModel {
@@ -85,6 +88,7 @@ impl CompCostModel {
     /// consistent samples, not one spike) still moves the mean past the
     /// drift threshold.
     pub fn observe(&mut self, name: &str, device: DeviceId, secs: f64) {
+        self.generation += 1;
         let s = self
             .stats
             .entry((canonical_name(name), device))
@@ -140,6 +144,16 @@ impl CompCostModel {
     /// Number of distinct (op, device) keys profiled.
     pub fn key_count(&self) -> usize {
         self.stats.len()
+    }
+
+    /// Monotonic measurement generation: bumped once per [`observe`] call
+    /// (including trace ingestion), never by [`seed`] — analytic priors do
+    /// not invalidate cached plans.
+    ///
+    /// [`observe`]: CompCostModel::observe
+    /// [`seed`]: CompCostModel::seed
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Whether every op of `graph` has at least one profiled device.

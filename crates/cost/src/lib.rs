@@ -153,6 +153,16 @@ impl CostModels {
     pub fn snapshot(&mut self) {
         self.comp.snapshot();
     }
+
+    /// Combined monotonic model generation: advances whenever the
+    /// computation model absorbs a real measurement or the communication
+    /// model refits its per-pair lines. Analytic seeding
+    /// ([`CompCostModel::seed`]) deliberately does *not* advance it — seeds
+    /// are derived from existing knowledge and never invalidate a cached
+    /// plan on their own.
+    pub fn generation(&self) -> u64 {
+        self.comp.generation() + self.comm.generation()
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +228,40 @@ mod tests {
         cm.snapshot();
         cm.update_from_trace(&g, &trace);
         assert!(cm.is_stable(0.01));
+    }
+
+    #[test]
+    fn generation_tracks_measurements_not_seeds() {
+        let (g, topo, p) = tiny();
+        let mut cm = CostModels::new();
+        assert_eq!(cm.generation(), 0);
+
+        // seeding is an analytic prior, not new knowledge
+        cm.comp.seed("b", &[DeviceId(0), DeviceId(1)], 1e-3);
+        assert_eq!(cm.generation(), 0);
+
+        // a real observation bumps the computation side
+        cm.comp.observe("b", DeviceId(0), 2e-3);
+        let after_obs = cm.generation();
+        assert!(after_obs > 0);
+
+        // a comm refit bumps the communication side
+        cm.comm.refit();
+        assert!(cm.generation() > after_obs);
+
+        // trace ingestion (observe + refit) advances it too
+        let before = cm.generation();
+        let trace = simulate(
+            &g,
+            &topo,
+            &p,
+            &HardwarePerf::new(),
+            ExecPolicy::Fifo,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        cm.update_from_trace(&g, &trace);
+        assert!(cm.generation() > before);
     }
 
     #[test]

@@ -328,6 +328,43 @@ impl Graph {
         h
     }
 
+    /// Deterministic 64-bit hash of the graph *structure*: every operation
+    /// (in id order — ids are append-only and stable) with its name, kind,
+    /// output shape, flops and parameter bytes, every edge with its byte
+    /// count, and every colocation group. Two graphs that the placement
+    /// algorithms cannot distinguish hash identically; any rewrite
+    /// (replication, splitting, survivor rebuild) changes the hash.
+    ///
+    /// Uses [`std::collections::hash_map::DefaultHasher`] with its default
+    /// keys, so the value is stable across processes and runs — suitable as
+    /// a plan-cache fingerprint component.
+    pub fn structure_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.op_count().hash(&mut h);
+        for (id, op) in self.iter_ops() {
+            id.index().hash(&mut h);
+            op.name.hash(&mut h);
+            op.kind.hash(&mut h);
+            op.out_shape.hash(&mut h);
+            op.flops.hash(&mut h);
+            op.param_bytes.hash(&mut h);
+        }
+        self.edge_count().hash(&mut h);
+        for e in self.iter_edges() {
+            e.src.index().hash(&mut h);
+            e.dst.index().hash(&mut h);
+            e.bytes.hash(&mut h);
+        }
+        for group in self.colocation_groups() {
+            for op in group {
+                op.index().hash(&mut h);
+            }
+            usize::MAX.hash(&mut h); // group separator
+        }
+        h.finish()
+    }
+
     /// Summary statistics, for logging and experiment reports.
     pub fn stats(&self) -> GraphStats {
         GraphStats {
@@ -466,6 +503,25 @@ mod tests {
         for o in [a, b, c, d] {
             assert!(g.colocation_group(o).unwrap().contains(&o));
         }
+    }
+
+    #[test]
+    fn structure_hash_is_stable_and_sensitive() {
+        let (g1, _) = diamond();
+        let (g2, [a2, b2, ..]) = diamond();
+        // identical construction → identical hash (and repeatable)
+        assert_eq!(g1.structure_hash(), g2.structure_hash());
+        assert_eq!(g1.structure_hash(), g1.structure_hash());
+
+        // structural changes move the hash
+        let mut extra = g2.clone();
+        extra
+            .add_op(Operation::new("tail", OpKind::Relu, [1]))
+            .unwrap();
+        assert_ne!(g1.structure_hash(), extra.structure_hash());
+        let mut coloc = g2.clone();
+        coloc.colocate(&[a2, b2]);
+        assert_ne!(g1.structure_hash(), coloc.structure_hash());
     }
 
     #[test]
