@@ -7,6 +7,8 @@
 //!
 //! ```bash
 //! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report
+//! # multi-server: SERVERSxGPUS (2 servers of 4 GPUs over RDMA)
+//! cargo run --release -p fastt-bench --bin report -- alexnet 2x4 /tmp/fastt-report
 //! # with a scripted chaos scenario (fault injection + recovery timeline):
 //! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report chaos:21
 //! ```
@@ -23,14 +25,10 @@ use std::sync::Arc;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let model_arg = args.next().unwrap_or_else(|| "alexnet".into());
-    let gpus: u16 = match args.next() {
-        Some(s) => s
-            .parse()
-            .ok()
-            .filter(|&n| n >= 1)
-            .ok_or_else(|| format!("GPU count must be a positive integer, got `{s}`"))?,
-        None => 2,
-    };
+    // `N` → one server with N GPUs; `SxG` → S servers of G GPUs over RDMA.
+    let topo_arg = args.next().unwrap_or_else(|| "2".into());
+    let (topo, topo_label) = parse_topology(&topo_arg)?;
+    let gpus = topo.gpu_count() as u16;
     let outdir = PathBuf::from(args.next().unwrap_or_else(|| "report-out".into()));
     std::fs::create_dir_all(&outdir)?;
 
@@ -56,7 +54,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|m| m.name().to_lowercase().contains(&needle))
         .ok_or_else(|| format!("unknown model `{model_arg}`"))?;
 
-    let topo = Topology::single_server(gpus);
     let batch = per_replica_batch(model, model.paper_batch(), gpus as u32);
     let graph = model.training_graph(batch);
     let config = SessionConfig {
@@ -65,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SessionConfig::default()
     };
 
-    let jsonl_path = outdir.join(format!("{needle}-{gpus}gpu.events.jsonl"));
+    let jsonl_path = outdir.join(format!("{needle}-{topo_label}.events.jsonl"));
     let collector = Arc::new(Collector::new().with_sink(JsonlSink::create(&jsonl_path)?));
 
     let mut session = TrainingSession::new(&graph, topo.clone(), HardwarePerf::new(), config)?;
@@ -84,7 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err("event stream is empty — telemetry produced nothing".into());
     }
 
-    println!("=== FastT session post-mortem: {model} on {gpus} GPUs ===");
+    println!("=== FastT session post-mortem: {model} on {topo_label} ({gpus} GPUs) ===");
     println!(
         "{} events in {} | rounds {} | activations {} | rollbacks {} | final iter {:.3} ms",
         events.len(),
@@ -301,6 +298,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace.contention * 1e3,
     );
 
+    communication_section(&graph, &topo);
+
     // Fig.-3 search baselines, re-planned from the session's *final* graph
     // and trained cost models, arbitrated by one probed iteration each —
     // small budgets, this is a report not a benchmark.
@@ -398,7 +397,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SimConfig::default()
     };
     let full = plan.simulate(&topo, &HardwarePerf::new(), &full_cfg)?;
-    let trace_path = outdir.join(format!("{needle}-{gpus}gpu.trace.json"));
+    let trace_path = outdir.join(format!("{needle}-{topo_label}.trace.json"));
     std::fs::write(&trace_path, full.to_chrome_trace_full(&names, &topo))?;
     println!("\nperfetto trace: {}", trace_path.display());
     println!("event stream  : {}", jsonl_path.display());
@@ -408,4 +407,129 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Millisecond rendering of a seconds field (NaN when absent).
 fn ms(e: &Event, field: &str) -> f64 {
     e.num(field).map(|v| v * 1e3).unwrap_or(f64::NAN)
+}
+
+/// `N` → one server with N GPUs; `SxG` → S servers of G GPUs each. Returns
+/// the topology and a filesystem-safe label (`4gpu`, `2x4`).
+fn parse_topology(arg: &str) -> Result<(Topology, String), String> {
+    if let Some((s, g)) = arg.split_once('x') {
+        let servers: u16 = s
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("server count must be a positive integer, got `{s}`"))?;
+        let per: u16 = g
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("GPUs per server must be a positive integer, got `{g}`"))?;
+        return Ok((
+            Topology::multi_server(servers, per),
+            format!("{servers}x{per}"),
+        ));
+    }
+    let n: u16 = arg
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("GPU count must be `N` or `SxG`, got `{arg}`"))?;
+    Ok((Topology::single_server(n), format!("{n}gpu")))
+}
+
+/// Compares the two data-parallel gradient-aggregation strategies on the
+/// raw training graph: the parameter-server funnel vs ring all-reduce
+/// collectives, with per-link-class traffic totals for each. Everything is
+/// one plain simulated iteration — no profiling, no cost models.
+fn communication_section(graph: &fastt_graph::Graph, topo: &Topology) {
+    use fastt_cluster::LinkClass;
+    use fastt_graph::{replicate_grouped, ReplicationMode};
+
+    println!("\n--- Communication: PS funnel vs ring all-reduce (data parallel) ---");
+    if topo.gpu_count() < 2 {
+        println!("(needs at least 2 GPUs)");
+        return;
+    }
+    let groups: Vec<u16> = topo.gpu_ids().map(|d| topo.server_of(d)).collect();
+    let mut results: Vec<(&str, f64, f64, usize)> = Vec::new();
+    println!(
+        "| {:<22} | {:>9} | {:>12} | {:>11} | traffic by link class |",
+        "Aggregation", "Sim (ms)", "Agg comm (ms)", "Collectives"
+    );
+    for (label, mode) in [
+        ("parameter server", ReplicationMode::ParameterServer),
+        ("ring all-reduce", ReplicationMode::AllReduce),
+    ] {
+        let rep = match replicate_grouped(graph, &groups, mode) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("| {label:<22} | replication failed: {e} |");
+                continue;
+            }
+        };
+        let plan = fastt::data_parallel_plan(&rep, topo);
+        let tr = match plan.simulate(topo, &HardwarePerf::new(), &SimConfig::default()) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("| {label:<22} | simulation failed: {e} |");
+                continue;
+            }
+        };
+        // time spent moving/reducing gradients: P2P transfers into the
+        // aggregation nodes for PS, collective durations for all-reduce
+        let agg_comm: f64 = if mode == ReplicationMode::AllReduce {
+            tr.collectives.iter().map(|c| c.duration()).sum()
+        } else {
+            let agg: Vec<bool> = plan
+                .graph
+                .iter_ops()
+                .map(|(_, o)| o.kind == fastt_graph::OpKind::AggregateGradients)
+                .collect();
+            tr.transfers
+                .iter()
+                .filter(|t| agg.get(t.dst_op.index()).copied().unwrap_or(false))
+                .map(|t| t.duration())
+                .sum()
+        };
+        let mut by_class: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for t in &tr.transfers {
+            let class = match topo.link_class(t.src_dev, t.dst_dev) {
+                Some(LinkClass::NvLink) => "nvlink",
+                Some(LinkClass::Pcie) => "pcie",
+                Some(LinkClass::Eth) => "eth",
+                Some(LinkClass::Rdma) => "rdma",
+                None => "local",
+            };
+            *by_class.entry(class).or_default() += t.bytes;
+        }
+        let traffic = by_class
+            .iter()
+            .map(|(c, b)| format!("{c} {:.1} MB", *b as f64 / 1e6))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "| {:<22} | {:>9.3} | {:>12.3} | {:>11} | {} |",
+            label,
+            tr.makespan * 1e3,
+            agg_comm * 1e3,
+            tr.collectives.len(),
+            if traffic.is_empty() {
+                "-".into()
+            } else {
+                traffic
+            },
+        );
+        results.push((label, tr.makespan, agg_comm, tr.collectives.len()));
+    }
+    if let [ps, ar] = results.as_slice() {
+        let speedup = ps.1 / ar.1;
+        println!(
+            "ring all-reduce is {:.2}x {} than the PS funnel on this topology",
+            if speedup >= 1.0 {
+                speedup
+            } else {
+                1.0 / speedup
+            },
+            if speedup >= 1.0 { "faster" } else { "slower" },
+        );
+    }
 }

@@ -37,4 +37,4 @@ mod topology;
 
 pub use device::{Device, DeviceId};
 pub use health::{DeviceHealth, HealthMap};
-pub use topology::{Link, Topology, TopologyBuilder};
+pub use topology::{Link, LinkClass, Topology, TopologyBuilder};

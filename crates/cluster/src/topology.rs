@@ -53,6 +53,70 @@ impl Link {
     }
 }
 
+/// Hardware class of an interconnect. Communication cost models fit one
+/// regression per *class* rather than per device pair, so an observation on
+/// any NVLink edge informs every NVLink edge (O(classes) fits instead of
+/// O(n²), which stays data-starved on 16-GPU clusters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkClass {
+    /// GPU↔GPU peer link within a server (NVLink-grade bandwidth).
+    NvLink,
+    /// Intra-server link through the PCIe root complex (host↔GPU, or
+    /// GPU↔GPU without peer links).
+    Pcie,
+    /// Inter-server commodity Ethernet.
+    Eth,
+    /// Inter-server RDMA fabric.
+    Rdma,
+}
+
+impl LinkClass {
+    /// Every class, in a stable order (for reports and iteration).
+    pub fn all() -> [LinkClass; 4] {
+        [
+            LinkClass::NvLink,
+            LinkClass::Pcie,
+            LinkClass::Eth,
+            LinkClass::Rdma,
+        ]
+    }
+
+    /// Classifies a link by its placement and bandwidth. Intra-server links
+    /// at NVLink-grade bandwidth (≥ 25 GB/s) are [`LinkClass::NvLink`],
+    /// slower ones [`LinkClass::Pcie`]; inter-server links at RDMA-grade
+    /// bandwidth (≥ 8 GB/s) are [`LinkClass::Rdma`], slower ones
+    /// [`LinkClass::Eth`].
+    pub fn classify(link: &Link, same_server: bool) -> LinkClass {
+        if same_server {
+            if link.bandwidth >= 25.0e9 {
+                LinkClass::NvLink
+            } else {
+                LinkClass::Pcie
+            }
+        } else if link.bandwidth >= 8.0e9 {
+            LinkClass::Rdma
+        } else {
+            LinkClass::Eth
+        }
+    }
+
+    /// Lower-case stable name (`nvlink`, `pcie`, `eth`, `rdma`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LinkClass::NvLink => "nvlink",
+            LinkClass::Pcie => "pcie",
+            LinkClass::Eth => "eth",
+            LinkClass::Rdma => "rdma",
+        }
+    }
+}
+
+impl std::fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A set of devices and the links between every ordered pair.
 ///
 /// `link(a, b)` is `None` when `a == b` — intra-device "transfers" are free.
@@ -216,6 +280,74 @@ impl Topology {
     /// Panics if `d` is out of range.
     pub fn server_of(&self, d: DeviceId) -> u16 {
         self.server_of[d.index()]
+    }
+
+    /// The hardware class of the `src → dst` link, or `None` when the
+    /// devices are colocated or unconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn link_class(&self, src: DeviceId, dst: DeviceId) -> Option<LinkClass> {
+        let link = self.link(src, dst)?;
+        Some(LinkClass::classify(
+            link,
+            self.server_of(src) == self.server_of(dst),
+        ))
+    }
+
+    /// The physical route a `src → dst` transfer takes, as a list of
+    /// single-link hops.
+    ///
+    /// Intra-server transfers are one direct hop. Inter-server transfers
+    /// are staged through the hosts' NICs — `src → host(src)` over PCIe,
+    /// `host(src) → host(dst)` over the inter-server fabric, `host(dst) →
+    /// dst` over PCIe — with the first/last stage skipped when the endpoint
+    /// is itself a host, and collapsed to a direct hop when a server has no
+    /// live host to stage through. Colocated devices have an empty route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn route(&self, src: DeviceId, dst: DeviceId) -> Vec<(DeviceId, DeviceId)> {
+        if src == dst {
+            return Vec::new();
+        }
+        if self.server_of(src) == self.server_of(dst) {
+            return vec![(src, dst)];
+        }
+        let mut hops = Vec::with_capacity(3);
+        let mut cur = src;
+        if !self.is_host(src) {
+            if let Some(h) = self.host_of(self.server_of(src)) {
+                hops.push((cur, h));
+                cur = h;
+            }
+        }
+        let ingress = if self.is_host(dst) {
+            None
+        } else {
+            self.host_of(self.server_of(dst))
+        };
+        match ingress {
+            Some(h) => {
+                hops.push((cur, h));
+                hops.push((h, dst));
+            }
+            None => hops.push((cur, dst)),
+        }
+        hops
+    }
+
+    /// Transfer time for `bytes` from `src` to `dst` summed along the
+    /// physical route ([`Topology::route`]) — the pessimistic serial bound
+    /// planners fall back to for unprofiled pairs (hops may in fact
+    /// pipeline, so real transfers can only be faster).
+    pub fn transfer_time_routed(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
+        self.route(src, dst)
+            .iter()
+            .map(|&(a, b)| self.transfer_time(a, b, bytes))
+            .sum()
     }
 
     /// Stable identifier of the physical channel a `src → dst` transfer
@@ -475,6 +607,150 @@ mod tests {
         assert_eq!(t.device_count(), 5);
         // the device itself is still addressable
         assert!(!t.device(DeviceId(1)).is_host);
+    }
+
+    #[test]
+    fn link_classes_of_the_stock_fabrics() {
+        let t = Topology::multi_server(2, 2);
+        let host0 = t.host_of(0).unwrap();
+        // GPU↔GPU same server: NVLink; host↔GPU: PCIe; across servers: RDMA
+        assert_eq!(
+            t.link_class(DeviceId(0), DeviceId(1)),
+            Some(LinkClass::NvLink)
+        );
+        assert_eq!(t.link_class(host0, DeviceId(0)), Some(LinkClass::Pcie));
+        assert_eq!(
+            t.link_class(DeviceId(0), DeviceId(2)),
+            Some(LinkClass::Rdma)
+        );
+        assert_eq!(t.link_class(DeviceId(0), DeviceId(0)), None);
+        assert_eq!(
+            LinkClass::classify(&Link::ethernet_25g(), false),
+            LinkClass::Eth
+        );
+    }
+
+    #[test]
+    fn intra_server_route_is_one_direct_hop() {
+        let t = Topology::single_server(4);
+        assert!(t.route(DeviceId(0), DeviceId(0)).is_empty());
+        assert_eq!(
+            t.route(DeviceId(0), DeviceId(3)),
+            vec![(DeviceId(0), DeviceId(3))]
+        );
+        assert_eq!(
+            t.transfer_time_routed(DeviceId(0), DeviceId(0), 1 << 20),
+            0.0
+        );
+    }
+
+    #[test]
+    fn inter_server_route_stages_through_both_hosts() {
+        let t = Topology::multi_server(2, 2);
+        let (h0, h1) = (t.host_of(0).unwrap(), t.host_of(1).unwrap());
+        // GPU → GPU across servers: PCIe up, NIC across, PCIe down
+        assert_eq!(
+            t.route(DeviceId(0), DeviceId(2)),
+            vec![(DeviceId(0), h0), (h0, h1), (h1, DeviceId(2))]
+        );
+        // host endpoints skip their own staging hop
+        assert_eq!(t.route(h0, DeviceId(2)), vec![(h0, h1), (h1, DeviceId(2))]);
+        assert_eq!(t.route(DeviceId(0), h1), vec![(DeviceId(0), h0), (h0, h1)]);
+        assert_eq!(t.route(h0, h1), vec![(h0, h1)]);
+        // routed time = sum of the hop times, dominated by the NIC
+        let bytes = 64 << 20;
+        let want = Link::pcie().transfer_time(bytes) * 2.0 + Link::rdma_100g().transfer_time(bytes);
+        assert!((t.transfer_time_routed(DeviceId(0), DeviceId(2), bytes) - want).abs() < 1e-12);
+        assert!(
+            t.transfer_time_routed(DeviceId(0), DeviceId(2), bytes)
+                > t.transfer_time(DeviceId(0), DeviceId(2), bytes)
+        );
+    }
+
+    #[test]
+    fn route_collapses_to_direct_when_hosts_are_dead() {
+        let mut t = Topology::multi_server(2, 2);
+        let (h0, h1) = (t.host_of(0).unwrap(), t.host_of(1).unwrap());
+        t.fail_device(h0);
+        // source server lost its host: direct NIC hop from the GPU side
+        assert_eq!(
+            t.route(DeviceId(0), DeviceId(2)),
+            vec![(DeviceId(0), h1), (h1, DeviceId(2))]
+        );
+        t.fail_device(h1);
+        assert_eq!(
+            t.route(DeviceId(0), DeviceId(2)),
+            vec![(DeviceId(0), DeviceId(2))]
+        );
+    }
+
+    #[test]
+    fn channel_keys_distinguish_nvlink_pairs_hosts_and_nics() {
+        let t = Topology::multi_server(2, 2);
+        let (h0, h1) = (t.host_of(0).unwrap(), t.host_of(1).unwrap());
+        // GPU pairs on a server: dedicated per-pair channels, direction-distinct
+        assert_eq!(t.channel_key(DeviceId(0), DeviceId(1)), (0, 1));
+        assert_ne!(
+            t.channel_key(DeviceId(0), DeviceId(1)),
+            t.channel_key(DeviceId(1), DeviceId(0))
+        );
+        // all traffic leaving a host shares one key; entering it another
+        assert_eq!(
+            t.channel_key(h0, DeviceId(0)),
+            t.channel_key(h0, DeviceId(1))
+        );
+        assert_eq!(
+            t.channel_key(DeviceId(0), h0),
+            t.channel_key(DeviceId(1), h0)
+        );
+        assert_ne!(
+            t.channel_key(h0, DeviceId(0)),
+            t.channel_key(DeviceId(0), h0)
+        );
+        // every transfer between two servers shares the NIC-pair key,
+        // regardless of which endpoints are involved
+        let nic = t.channel_key(DeviceId(0), DeviceId(2));
+        assert_eq!(t.channel_key(DeviceId(1), DeviceId(3)), nic);
+        assert_eq!(t.channel_key(h0, h1), nic);
+        assert_ne!(t.channel_key(DeviceId(2), DeviceId(0)), nic);
+        // NIC keys never collide with host or per-pair keys
+        assert!(nic.0 >= 0x1_0000);
+    }
+
+    #[test]
+    fn channel_keys_ignore_failure_masks() {
+        // failing a device must not re-key live channels: id-indexed
+        // reservations taken before a crash stay valid after it
+        let mut t = Topology::multi_server(2, 2);
+        let before = t.channel_key(DeviceId(1), DeviceId(3));
+        t.fail_device(DeviceId(0));
+        assert_eq!(t.channel_key(DeviceId(1), DeviceId(3)), before);
+        assert_eq!(t.channel_key(DeviceId(1), DeviceId(2)), before);
+    }
+
+    #[test]
+    fn prefix_preserves_server_identity_and_inter_server_keys() {
+        // 2 servers × 2 GPUs: ids 0,1 on server 0, ids 2,3 on server 1,
+        // hosts 4,5. prefix(4) drops the hosts but must keep the server
+        // split — and with it the inter-server channel keys and routes.
+        let t = Topology::multi_server(2, 2);
+        let p = t.prefix(4);
+        assert_eq!(p.server_of(DeviceId(1)), 0);
+        assert_eq!(p.server_of(DeviceId(2)), 1);
+        assert_eq!(
+            p.channel_key(DeviceId(1), DeviceId(2)),
+            t.channel_key(DeviceId(1), DeviceId(2))
+        );
+        // no hosts survive the cut: inter-server routes collapse to direct
+        assert_eq!(p.host_of(0), None);
+        assert_eq!(
+            p.route(DeviceId(0), DeviceId(2)),
+            vec![(DeviceId(0), DeviceId(2))]
+        );
+        // failure masks survive the cut too
+        let mut f = t.clone();
+        f.fail_device(DeviceId(1));
+        assert!(f.prefix(4).is_failed(DeviceId(1)));
     }
 
     #[test]

@@ -99,9 +99,12 @@ impl Default for DposFlags {
 
 /// Runs DPOS on `graph` over `topo` using the current cost models.
 ///
-/// Missing computation or communication costs are treated as zero, which
-/// biases the schedule toward unexplored placements so the profiler can
-/// measure them in the following training steps (Sec. 4).
+/// Missing *computation* costs are treated as zero, which biases the
+/// schedule toward unexplored placements so the profiler can measure them in
+/// the following training steps (Sec. 4). Missing *communication* costs fall
+/// back to the topology's analytic per-route transfer time instead — a free
+/// unprofiled link would win every earliest-finish-time comparison and pull
+/// whole subgraphs across the slowest wires in the cluster.
 ///
 /// # Panics
 ///
@@ -244,14 +247,53 @@ fn dpos_impl(
     };
 
     // Transfer bookkeeping mirrors the executor: tensors are sent once per
-    // (producer, destination device) — later readers reuse the arrival — and
-    // transfers sharing a physical channel serialize, which the schedule
-    // models with channel timelines (the estimate would otherwise be blind
-    // to exactly the contention the communication cost model measures).
+    // (producer, destination device) — later readers reuse the arrival —
+    // routed hop by hop over the physical topology, and hops sharing a
+    // physical channel serialize, which the schedule models with channel
+    // timelines (the estimate would otherwise be blind to exactly the
+    // contention the communication cost model measures).
     let mut chan: std::collections::HashMap<(u32, u32), DeviceTimeline> =
         std::collections::HashMap::new();
     let mut xfer_done: std::collections::HashMap<(OpId, DeviceId), f64> =
         std::collections::HashMap::new();
+
+    // Predicted duration of one physical hop: the cost model's answer when
+    // it has one, else the topology's analytic transfer time — never zero.
+    // An unprofiled link priced at zero would beat every profiled one in
+    // each EFT comparison it enters, which is the opposite of pessimism the
+    // scheduler needs before the profiler has visited that link.
+    let hop_dur = |a: DeviceId, b: DeviceId, bytes: u64| -> f64 {
+        cost.comm
+            .predict(a, b, bytes)
+            .unwrap_or_else(|| topo.transfer_time_routed(a, b, bytes))
+    };
+
+    // Collective duration as the simulator will run it: ring all-reduce over
+    // the producers' devices, predicted from the same per-link-class fits,
+    // with the analytic ring time as the unprofiled fallback.
+    let collective_dur = |parts: &[DeviceId], bytes: u64| -> f64 {
+        cost.comm
+            .predict_allreduce(parts, bytes)
+            .unwrap_or_else(|| {
+                let n = parts.len();
+                if n < 2 {
+                    return 0.0;
+                }
+                let chunk = bytes.div_ceil(n as u64);
+                let slowest = (0..n)
+                    .map(|i| topo.transfer_time_routed(parts[i], parts[(i + 1) % n], chunk))
+                    .fold(0.0f64, f64::max);
+                2.0 * (n as f64 - 1.0) * slowest
+            })
+    };
+
+    // Whether `p`'s output is already resident on `d` because `p` is a
+    // collective whose ring included `d` (all-reduce leaves the reduced
+    // tensor on every participant).
+    let collective_local = |p: OpId, d: DeviceId, placement: &Placement| -> bool {
+        graph.op_ref(p).collective.is_some()
+            && graph.in_edges(p).any(|e| placement.device_of(e.src) == d)
+    };
 
     // Earliest start of `o` on `d` given already-placed predecessors.
     let ready_time = |o: OpId,
@@ -261,29 +303,54 @@ fn dpos_impl(
                       chan: &std::collections::HashMap<(u32, u32), DeviceTimeline>,
                       xfer_done: &std::collections::HashMap<(OpId, DeviceId), f64>|
      -> f64 {
+        if graph.op_ref(o).collective.is_some() {
+            // The node starts once every producer has finished and the ring
+            // has run — its in-edges are a collective, not P2P transfers.
+            let mut last = 0.0f64;
+            let mut parts: Vec<DeviceId> = Vec::new();
+            let mut bytes = 0u64;
+            for e in graph.in_edges(o) {
+                debug_assert!(!ft[e.src.index()].is_nan(), "preds placed first");
+                last = last.max(ft[e.src.index()]);
+                bytes = bytes.max(e.bytes);
+                let dp = placement.device_of(e.src);
+                if !parts.contains(&dp) {
+                    parts.push(dp);
+                }
+            }
+            parts.sort_unstable();
+            return last + collective_dur(&parts, bytes);
+        }
         let mut ready = 0.0f64;
         for e in graph.in_edges(o) {
             let p = e.src;
             debug_assert!(!ft[p.index()].is_nan(), "preds placed first");
             let dp = placement.device_of(p);
-            let arrive = if dp == d {
+            let arrive = if dp == d || collective_local(p, d, placement) {
                 ft[p.index()]
             } else if let Some(&t) = xfer_done.get(&(p, d)) {
                 t
             } else {
-                let dur = cost.comm.predict(dp, d, e.bytes).unwrap_or(0.0);
-                let start = chan
-                    .get(&topo.channel_key(dp, d))
-                    .map(|t| t.earliest_slot(ft[p.index()], dur))
-                    .unwrap_or(ft[p.index()]);
-                start + dur
+                let mut cursor = ft[p.index()];
+                for &(a, b) in &topo.route(dp, d) {
+                    let dur = hop_dur(a, b, e.bytes);
+                    let start = chan
+                        .get(&topo.channel_key(a, b))
+                        .map(|t| t.earliest_slot(cursor, dur))
+                        .unwrap_or(cursor);
+                    cursor = start + dur;
+                }
+                cursor
             };
             ready = ready.max(arrive);
         }
         ready
     };
 
-    // Commits the transfers implied by placing `o` on `d`.
+    // Commits the transfers implied by placing `o` on `d`: every hop of
+    // every route reserves its channel. Collective in-edges reserve nothing
+    // (the ring's cost is in the node's ready time; modelling its channel
+    // occupancy is not worth the estimate's complexity).
     let commit_transfers =
         |o: OpId,
          d: DeviceId,
@@ -291,17 +358,24 @@ fn dpos_impl(
          placement: &Placement,
          chan: &mut std::collections::HashMap<(u32, u32), DeviceTimeline>,
          xfer_done: &mut std::collections::HashMap<(OpId, DeviceId), f64>| {
+            if graph.op_ref(o).collective.is_some() {
+                return;
+            }
             for e in graph.in_edges(o) {
                 let p = e.src;
                 let dp = placement.device_of(p);
-                if dp == d || xfer_done.contains_key(&(p, d)) {
+                if dp == d || collective_local(p, d, placement) || xfer_done.contains_key(&(p, d)) {
                     continue;
                 }
-                let dur = cost.comm.predict(dp, d, e.bytes).unwrap_or(0.0);
-                let tl = chan.entry(topo.channel_key(dp, d)).or_default();
-                let start = tl.earliest_slot(ft[p.index()], dur);
-                tl.reserve(start, dur);
-                xfer_done.insert((p, d), start + dur);
+                let mut cursor = ft[p.index()];
+                for &(a, b) in &topo.route(dp, d) {
+                    let dur = hop_dur(a, b, e.bytes);
+                    let tl = chan.entry(topo.channel_key(a, b)).or_default();
+                    let start = tl.earliest_slot(cursor, dur);
+                    tl.reserve(start, dur);
+                    cursor = start + dur;
+                }
+                xfer_done.insert((p, d), cursor);
             }
         };
 
@@ -597,5 +671,42 @@ mod tests {
         let s = dpos(&g, &topo, &cost, &HardwarePerf::new());
         s.placement.validate(&g, &topo).unwrap();
         assert_eq!(s.est_finish, 0.0);
+    }
+
+    /// An unprofiled cross-server link must not beat a profiled local one.
+    /// Before the pessimistic fallback, a missing communication fit counted
+    /// as a free transfer, so min-EFT happily shipped a 100 MB tensor to the
+    /// other server "for free" instead of paying a profiled 2 ms NVLink hop.
+    #[test]
+    fn unprofiled_cross_server_edge_does_not_win_eft() {
+        let topo = Topology::multi_server(2, 2); // GPUs 0..4, hosts 4 and 5
+        let mut cost = CostModels::new(); // deliberately unbound: no priors
+        let mut g = Graph::new();
+        let a = g.add_op(Operation::new("a", OpKind::Relu, [1])).unwrap();
+        let b = g.add_op(Operation::new("b", OpKind::Relu, [1])).unwrap();
+        g.connect_bytes(a, b, 100_000_000).unwrap();
+        // pin `a` to device 0 by making it expensive elsewhere
+        cost.comp.observe("a", D0, 1e-6);
+        for d in [D1, DeviceId(2), DeviceId(3)] {
+            cost.comp.observe("a", d, 5.0);
+        }
+        // `b` is slow at home, fast everywhere else
+        cost.comp.observe("b", D0, 10.0);
+        for d in [D1, DeviceId(2), DeviceId(3)] {
+            cost.comp.observe("b", d, 1.0);
+        }
+        // only the intra-server NVLink pair is profiled: 2 ms for 100 MB
+        cost.comm.observe(D0, D1, 100_000_000, 2e-3);
+        cost.comm.refit();
+        // plain min-EFT (no CP grouping, which would colocate the chain)
+        let flags = DposFlags {
+            insertion: true,
+            cp_grouping: false,
+        };
+        let s = dpos_with(&g, &topo, &cost, &HardwarePerf::new(), flags);
+        // the profiled 2 ms hop to device 1 beats the analytic ~26 ms
+        // staged route (PCIe + RDMA + PCIe) to either cross-server device
+        assert_eq!(s.placement.device_of(a), D0);
+        assert_eq!(s.placement.device_of(b), D1);
     }
 }

@@ -100,7 +100,7 @@ pub(crate) fn os_dpos_opt(
     let mut ft_old = base.est_finish;
 
     // Critical path under the actual placement, by descending compute time.
-    let cp = critical_path_placed(graph, &base.placement, cost);
+    let cp = critical_path_placed(graph, &base.placement, cost, topo);
     let mut cp_named: Vec<(String, f64)> = cp
         .iter()
         .map(|&o| {

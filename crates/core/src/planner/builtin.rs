@@ -131,15 +131,41 @@ impl Planner for OrderOnlyPlanner {
 }
 
 /// The data-parallel start strategy (Sec. 4): replicate the raw training
-/// graph over the live GPUs (grouped by server) with a parameter server.
+/// graph over the live GPUs (grouped by server), aggregating gradients
+/// either through a parameter server (the default, TF-slim's convention) or
+/// with a ring all-reduce collective ([`DataParallelPlanner::all_reduce`]).
 /// The plan's `est_finish` is NaN — start strategies are arbitrated by
 /// probing, not by estimates.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DataParallelPlanner;
+#[derive(Debug, Clone, Copy)]
+pub struct DataParallelPlanner {
+    /// How gradient aggregation is replicated and communicated.
+    pub mode: ReplicationMode,
+}
+
+impl Default for DataParallelPlanner {
+    fn default() -> Self {
+        DataParallelPlanner {
+            mode: ReplicationMode::ParameterServer,
+        }
+    }
+}
+
+impl DataParallelPlanner {
+    /// Data parallelism with collective (ring all-reduce) gradient
+    /// aggregation instead of the parameter-server funnel.
+    pub fn all_reduce() -> Self {
+        DataParallelPlanner {
+            mode: ReplicationMode::AllReduce,
+        }
+    }
+}
 
 impl Planner for DataParallelPlanner {
     fn name(&self) -> &'static str {
-        "data_parallel"
+        match self.mode {
+            ReplicationMode::AllReduce => "data_parallel_allreduce",
+            _ => "data_parallel",
+        }
     }
 
     fn kind(&self) -> PlannerKind {
@@ -158,7 +184,7 @@ impl Planner for DataParallelPlanner {
             return Err(FastTError::ClusterExhausted);
         }
         let groups: Vec<u16> = ctx.topo.gpu_ids().map(|d| ctx.topo.server_of(d)).collect();
-        let rep = replicate_grouped(raw, &groups, ReplicationMode::ParameterServer)?;
+        let rep = replicate_grouped(raw, &groups, self.mode)?;
         Ok(match ctx.dp_ps {
             Some(d) if !ctx.topo.is_failed(d) => data_parallel_plan_on(&rep, ctx.topo, d),
             _ => data_parallel_plan(&rep, ctx.topo),

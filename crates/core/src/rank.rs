@@ -9,6 +9,7 @@
 //! costs count as 0, which makes the algorithms explore unprofiled
 //! placements (Sec. 4).
 
+use fastt_cluster::Topology;
 use fastt_cost::CostModels;
 use fastt_graph::{Graph, OpId};
 use fastt_sim::Placement;
@@ -60,14 +61,21 @@ pub fn critical_path(graph: &Graph, ranks: &[f64]) -> Vec<OpId> {
 
 /// The critical path of a *placed* graph: the longest path weighing each op
 /// by its execution time on its assigned device and each edge by the
-/// predicted transfer time between the assigned devices (0 when colocated).
+/// predicted transfer time between the assigned devices (0 when colocated;
+/// the topology's analytic route time when the link is unprofiled — a free
+/// unprofiled edge would hide real critical paths).
 /// Used by OS-DPOS to pick split candidates ("calculates the new critical
 /// path based on the placement strategy", Sec. 5.2).
 ///
 /// # Panics
 ///
 /// Panics if `graph` contains a cycle.
-pub fn critical_path_placed(graph: &Graph, placement: &Placement, cost: &CostModels) -> Vec<OpId> {
+pub fn critical_path_placed(
+    graph: &Graph,
+    placement: &Placement,
+    cost: &CostModels,
+    cluster: &Topology,
+) -> Vec<OpId> {
     let topo = graph.topo_order().expect("needs a DAG");
     let n = graph.op_count();
     // longest-path-to-exit per op, and the successor achieving it
@@ -80,7 +88,10 @@ pub fn critical_path_placed(graph: &Graph, placement: &Placement, cost: &CostMod
         let mut best_next = None;
         for e in graph.out_edges(o) {
             let d_s = placement.device_of(e.dst);
-            let c = cost.comm.predict(d_o, d_s, e.bytes).unwrap_or(0.0);
+            let c = cost
+                .comm
+                .predict(d_o, d_s, e.bytes)
+                .unwrap_or_else(|| cluster.transfer_time_routed(d_o, d_s, e.bytes));
             let cand = c + dist[e.dst.index()];
             if cand > best {
                 best = cand;
@@ -192,7 +203,7 @@ mod tests {
         let mut p = Placement::uniform(g.op_count(), D0);
         p.set(OpId(1), DeviceId(1));
         p.set(OpId(2), DeviceId(1));
-        let cp = critical_path_placed(&g, &p, &cost);
+        let cp = critical_path_placed(&g, &p, &cost, &fastt_cluster::Topology::single_server(2));
         let names: Vec<&str> = cp.iter().map(|&o| g.op_ref(o).name.as_str()).collect();
         assert_eq!(names, vec!["a", "c", "d"]);
     }
@@ -203,6 +214,7 @@ mod tests {
         let cost = CostModels::new();
         assert!(critical_path(&g, &[]).is_empty());
         let p = Placement::uniform(0, D0);
-        assert!(critical_path_placed(&g, &p, &cost).is_empty());
+        let topo = fastt_cluster::Topology::single_server(1);
+        assert!(critical_path_placed(&g, &p, &cost, &topo).is_empty());
     }
 }

@@ -74,7 +74,10 @@ pub fn gdp_place(
                 let c = if dp == d {
                     0.0
                 } else {
-                    cost.comm.predict(dp, d, e.bytes).unwrap_or(0.0)
+                    // unprofiled links cost their analytic route time, not 0
+                    cost.comm
+                        .predict(dp, d, e.bytes)
+                        .unwrap_or_else(|| topo.transfer_time_routed(dp, d, e.bytes))
                 };
                 ready = ready.max(ft[e.src.index()] + c);
             }

@@ -211,9 +211,13 @@ impl TrainingSession {
         // (concurrently), but selection is *first-feasible*, not
         // fastest-probe: the paper always starts data-parallel when the
         // replicated model fits, regardless of which probe looks quicker.
-        let cost = CostModels::new();
+        // Bind the communication model to the cluster up front: per-link-class
+        // fits composed along physical routes, with link-spec priors so that
+        // never-profiled links cost something pessimistic instead of zero.
+        let mut cost = CostModels::new();
+        cost.bind_topology(&topo);
         let portfolio = Portfolio::new()
-            .with(Box::new(DataParallelPlanner))
+            .with(Box::new(DataParallelPlanner::default()))
             .with(Box::new(ModelParallelPlanner));
         let inputs = PortfolioInputs {
             graph: training_graph,
@@ -367,6 +371,41 @@ impl TrainingSession {
     /// recovery must not deadlock on them.
     fn probe_config(&self) -> SimConfig {
         self.sim_config(u32::MAX)
+    }
+
+    /// Order enforcement is a lever, not a mandate (Fig. 2): before
+    /// measuring an order-bearing candidate, probe its enforced order
+    /// against plain FIFO execution of the same placement and strip the
+    /// order when it does not help. The priority list is derived from
+    /// partially-profiled estimates, so a misordered list can serialize
+    /// transfers the unordered executor would overlap — and rollback alone
+    /// cannot catch that: the activation baseline is the *previous* plan's
+    /// measured time, not the same placement without the order.
+    fn arbitrate_order(&self, plan: &mut Plan) {
+        if plan.order.is_none() {
+            return;
+        }
+        let probe = self.probe_config();
+        let ordered = match plan.simulate(&self.topo, &self.hw, &probe) {
+            Ok(t) => t.makespan,
+            Err(_) => return, // infeasibility is the activation loop's call
+        };
+        let order = plan.order.take();
+        match plan.simulate(&self.topo, &self.hw, &probe) {
+            Ok(t) if t.makespan < ordered => {
+                if let Some(col) = &self.collector {
+                    col.metrics().inc("session.orders_dropped");
+                }
+                self.emit(
+                    "session.order_dropped",
+                    jobj! {
+                        "ordered" => ordered,
+                        "fifo" => t.makespan,
+                    },
+                );
+            }
+            _ => plan.order = order,
+        }
     }
 
     /// The session's main strategy calculator as a [`Planner`]: OS-DPOS
@@ -594,6 +633,9 @@ impl TrainingSession {
     /// plan over the surviving topology.
     fn recover_from_failure(&mut self, device: DeviceId, iteration: u64) -> Result<(), FastTError> {
         self.topo.fail_device(device);
+        // Routes change when a device (especially a host) dies: rebind so
+        // route-composed predictions stop staging through the corpse.
+        self.cost.bind_topology(&self.topo);
         self.health.mark_failed(device);
         self.recovery_log
             .push(RecoveryEvent::DeviceFailed { device, iteration });
@@ -642,7 +684,7 @@ impl TrainingSession {
         // preferring the replica graph exactly as session construction does
         // (Sec. 5.2's rule).
         let probe = self.probe_config();
-        let dp_portfolio = Portfolio::new().with(Box::new(DataParallelPlanner));
+        let dp_portfolio = Portfolio::new().with(Box::new(DataParallelPlanner::default()));
         let mut dp_outcome = self.run_portfolio(&dp_portfolio, Some(probe.clone()));
         let dp_out = dp_outcome.candidates.pop().expect("portfolio of one");
         let dp_ok = dp_out.simulated.is_some();
@@ -995,8 +1037,13 @@ impl TrainingSession {
             // current strategy (Sec. 4, "Strategy Calculator"); roll back
             // when the measured time regresses.
             let mut activated = false;
-            for (candidate, kind) in candidates {
+            for (mut candidate, kind) in candidates {
                 if candidate.est_finish >= self.measured {
+                    continue;
+                }
+                self.arbitrate_order(&mut candidate);
+                if kind == "order" && candidate.order.is_none() {
+                    // the order was the candidate's whole content
                     continue;
                 }
                 let est = candidate.est_finish;

@@ -103,6 +103,12 @@ impl Plan {
 /// the PS is the server's CPU host (when the topology has one); a single
 /// replica keeps everything on its GPU, as slim does.
 ///
+/// A graph replicated with [`fastt_graph::ReplicationMode::AllReduce`] has no parameter
+/// server: its aggregation is a ring collective over the replicas' GPUs, so
+/// shared ops anchor on the first GPU instead of the host — staging gradients
+/// through the CPU would put the host's PCIe funnel back on the path the
+/// collective exists to avoid.
+///
 /// Use [`data_parallel_plan_on`] to pin the PS elsewhere (e.g. GPU 0, the
 /// common convention for the NMT baselines that do not use slim).
 ///
@@ -110,8 +116,9 @@ impl Plan {
 ///
 /// Panics if the replicated graph has more replicas than `topo` has GPUs.
 pub fn data_parallel_plan(rep: &ReplicatedGraph, topo: &Topology) -> Plan {
+    use fastt_graph::ReplicationMode;
     let first_gpu = topo.gpu_ids().next().unwrap_or(DeviceId(0));
-    let ps = if rep.replicas > 1 {
+    let ps = if rep.replicas > 1 && rep.mode == ReplicationMode::ParameterServer {
         topo.host_of(0).unwrap_or(first_gpu)
     } else {
         first_gpu

@@ -7,9 +7,13 @@
 //!
 //! Both models are *learned from profiled traces* — the simulator's
 //! [`fastt_sim::RunTrace`] plays the role of TensorFlow's `RunMetadata` —
-//! never read directly from the hardware ground truth. Missing entries are
-//! deliberately treated as zero cost by the placement algorithms so they
-//! explore unprofiled placements (Sec. 4).
+//! never read directly from the hardware ground truth. Bound to a topology
+//! ([`CostModels::bind_topology`]), the communication model keys its
+//! regressions on link *classes* and composes them along physical routes;
+//! unprofiled computation entries stay at zero cost so the algorithms
+//! explore (Sec. 4), while unprofiled communication falls back to seeded
+//! link-spec priors — treating an unprofiled NIC as free distorts every
+//! earliest-finish-time comparison it appears in.
 //!
 //! # Examples
 //!
@@ -66,6 +70,15 @@ impl CostModels {
     /// Creates empty cost models.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Binds the communication model to a cluster (see
+    /// [`CommCostModel::bind_topology`]): class-keyed fits, route-composed
+    /// predictions, and link-spec priors for never-profiled classes. Does
+    /// not advance [`CostModels::generation`] unless pre-bind per-pair
+    /// samples had to be re-bucketed.
+    pub fn bind_topology(&mut self, topo: &fastt_cluster::Topology) {
+        self.comm.bind_topology(topo);
     }
 
     /// Attaches a telemetry collector: each subsequent

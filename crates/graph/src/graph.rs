@@ -349,6 +349,7 @@ impl Graph {
             op.out_shape.hash(&mut h);
             op.flops.hash(&mut h);
             op.param_bytes.hash(&mut h);
+            op.collective.hash(&mut h);
         }
         self.edge_count().hash(&mut h);
         for e in self.iter_edges() {

@@ -53,7 +53,7 @@ pub use autodiff::{build_training_graph, grad_kind, BACKWARD_FLOP_FACTOR};
 pub use dot::to_dot;
 pub use error::GraphError;
 pub use graph::{Edge, EdgeId, Graph, GraphStats};
-pub use op::{OpId, OpKind, Operation, SplitDim};
+pub use op::{CollectiveKind, OpId, OpKind, Operation, SplitDim};
 pub use rewrite::{
     break_cycles, replicate, replicate_grouped, replicate_with, split_operation,
     strongly_connected_components, ReplicaRole, ReplicatedGraph, ReplicationMode, SplitDecision,

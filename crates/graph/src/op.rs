@@ -171,6 +171,41 @@ impl fmt::Display for OpKind {
     }
 }
 
+/// The collective communication pattern an operation's *incoming* edges
+/// should be lowered to, instead of independent point-to-point transfers.
+///
+/// Graph rewrites annotate nodes with a collective (e.g.
+/// `ReplicationMode::AllReduce` marks its gradient-aggregation nodes); the
+/// communication-plan lowering maps the annotation to the matching
+/// [`CommStep`](https://docs.rs/fastt-sim) and the simulator executes it
+/// over per-link channel timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Ring all-reduce over the producers' devices: every participant ends
+    /// with the reduced tensor (`2(n−1)` phases of `bytes/n`).
+    AllReduce,
+    /// One root sends the same tensor to every participant.
+    Broadcast,
+    /// Ring reduce-scatter: each participant ends with one reduced shard
+    /// (`n−1` phases of `bytes/n`).
+    ReduceScatter,
+    /// Ring all-gather: each participant ends with every shard
+    /// (`n−1` phases of `bytes/n`).
+    AllGather,
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::AllGather => "all_gather",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A node of the computation graph.
 ///
 /// The fields are the exact inputs the FastT algorithms and the simulator
@@ -190,6 +225,10 @@ pub struct Operation {
     /// Bytes of trainable parameters resident on the op's device
     /// (non-zero only for `Variable` ops).
     pub param_bytes: u64,
+    /// How this op's incoming edges are communicated: `None` for ordinary
+    /// point-to-point transfers, `Some` for a collective pattern over the
+    /// producers' devices.
+    pub collective: Option<CollectiveKind>,
 }
 
 impl Operation {
@@ -201,6 +240,7 @@ impl Operation {
             out_shape: out_shape.into(),
             flops: 0,
             param_bytes: 0,
+            collective: None,
         }
     }
 
@@ -213,6 +253,12 @@ impl Operation {
     /// Builder-style: sets the resident parameter bytes.
     pub fn with_param_bytes(mut self, bytes: u64) -> Self {
         self.param_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: marks this op's incoming edges as a collective.
+    pub fn with_collective(mut self, kind: CollectiveKind) -> Self {
+        self.collective = Some(kind);
         self
     }
 

@@ -2,7 +2,7 @@
 
 use crate::error::GraphError;
 use crate::graph::Graph;
-use crate::op::{OpId, OpKind, Operation};
+use crate::op::{CollectiveKind, OpId, OpKind, Operation};
 use crate::shape::{TensorShape, BYTES_PER_ELEM};
 
 /// How trainable state is handled across replicas.
@@ -20,6 +20,12 @@ pub enum ReplicationMode {
     /// the aggregated gradient is broadcast back to every replica's update.
     /// (No per-server hierarchy; used by ablations.)
     Mirrored,
+    /// Mirrored variables with **collective** gradient aggregation: the
+    /// aggregation node is annotated [`CollectiveKind::AllReduce`], so the
+    /// communication-plan lowering runs a ring all-reduce over the replicas'
+    /// devices (`2(n−1)` phases of `bytes/n`) instead of funneling every
+    /// gradient into one parameter server and broadcasting the result back.
+    AllReduce,
 }
 
 /// What role an op of a replicated graph plays.
@@ -282,12 +288,15 @@ pub fn replicate_grouped(
             let grad_bytes: u64 = grad_edges.iter().map(|(_, b)| *b).max().unwrap_or(0);
             let elems = (grad_bytes / BYTES_PER_ELEM).max(1);
 
-            let agg = Operation::new(
+            let mut agg = Operation::new(
                 format!("agg/{}", aop.name),
                 OpKind::AggregateGradients,
                 TensorShape::new([elems]),
             )
             .with_flops(elems * n as u64);
+            if mode == ReplicationMode::AllReduce {
+                agg = agg.with_collective(CollectiveKind::AllReduce);
+            }
             let agg_id = g.add_op(agg)?;
             roles.push(ReplicaRole::Shared);
 
@@ -323,7 +332,7 @@ pub fn replicate_grouped(
                     g.connect_bytes(agg_id, apply, grad_bytes)?;
                     g.colocate(&[agg_id, apply]);
                 }
-                ReplicationMode::Mirrored => {
+                ReplicationMode::Mirrored | ReplicationMode::AllReduce => {
                     for map_k in &id_map {
                         g.connect_bytes(agg_id, map_k[aid.index()], grad_bytes)?;
                     }
@@ -411,6 +420,32 @@ mod tests {
     }
 
     #[test]
+    fn allreduce_mode_annotates_aggregation_as_collective() {
+        let t = tiny_training();
+        let r = replicate_with(&t, 4, ReplicationMode::AllReduce).unwrap();
+        // mirrored-style state: every replica owns its variables and update
+        assert!(r.graph.by_name("rep0/w").is_some());
+        assert!(r.graph.by_name("rep3/apply/w").is_some());
+        assert!(r.graph.by_name("w").is_none());
+        // the aggregation node carries the collective annotation and fans
+        // out to every replica's update
+        let agg = r.graph.by_name("agg/apply/w").unwrap();
+        assert_eq!(
+            r.graph.op_ref(agg).collective,
+            Some(CollectiveKind::AllReduce)
+        );
+        assert_eq!(r.graph.preds(agg).count(), 4);
+        assert_eq!(r.graph.succs(agg).count(), 4);
+        // PS and Mirrored graphs stay annotation-free
+        let ps = replicate(&t, 4).unwrap();
+        let ps_agg = ps.graph.by_name("agg/apply/w").unwrap();
+        assert_eq!(ps.graph.op_ref(ps_agg).collective, None);
+        // ...and the annotation is fingerprint-relevant
+        let m = replicate_with(&t, 4, ReplicationMode::Mirrored).unwrap();
+        assert_ne!(m.graph.structure_hash(), r.graph.structure_hash());
+    }
+
+    #[test]
     fn replica_metadata_is_consistent() {
         let t = tiny_training();
         let r = replicate(&t, 2).unwrap();
@@ -481,7 +516,11 @@ mod tests {
     fn replicated_graph_is_valid_dag() {
         let t = tiny_training();
         for n in [1usize, 2, 3, 8] {
-            for mode in [ReplicationMode::ParameterServer, ReplicationMode::Mirrored] {
+            for mode in [
+                ReplicationMode::ParameterServer,
+                ReplicationMode::Mirrored,
+                ReplicationMode::AllReduce,
+            ] {
                 let groups: Vec<u16> = (0..n).map(|k| (k % 2) as u16).collect();
                 let r = replicate_grouped(&t, &groups, mode).unwrap();
                 r.graph.validate().unwrap();

@@ -201,6 +201,7 @@ mod tests {
                 start: 1.0,
                 end: 1.5,
             }],
+            collectives: Vec::new(),
             makespan: 5.0,
             device_busy: vec![1.0, 2.0],
             peak_mem: vec![0, 0],

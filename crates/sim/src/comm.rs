@@ -1,0 +1,296 @@
+//! The communication plan: a lowered IR of every transfer an iteration
+//! performs.
+//!
+//! [`CommPlan::lower`] turns `(graph, placement, topology)` into per-op
+//! [`OpComm`] delivery lists (local hand-offs, point-to-point sends with
+//! their physical multi-hop routes) and per-node [`CollectiveStep`]s for ops
+//! annotated with a [`CollectiveKind`] — **once**, before the event loop
+//! runs, instead of rediscovering the communication structure edge-by-edge
+//! inside the engine. The engine then merely *executes* the plan over
+//! per-link channel timelines: route hops serialize on their links, ring
+//! phases serialize on every hop simultaneously, and compute/communication
+//! overlap falls out of the event queue as before.
+
+use crate::placement::Placement;
+use fastt_cluster::{DeviceId, Topology};
+use fastt_graph::{CollectiveKind, Graph, OpId};
+use std::collections::HashMap;
+
+/// One point-to-point delivery: the producer's output tensor sent to one
+/// destination device (TensorFlow's send/recv dedup — a tensor crosses to a
+/// device once and fans out locally), staged along its physical route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2pSend {
+    /// Destination device.
+    pub dst_dev: DeviceId,
+    /// Bytes moved (the largest edge payload into that device).
+    pub bytes: u64,
+    /// Consumers unblocked on arrival — one entry per satisfied in-edge.
+    pub dsts: Vec<OpId>,
+    /// Physical hops ([`Topology::route`]): one direct hop within a server,
+    /// PCIe→NIC→PCIe staging across servers.
+    pub route: Vec<(DeviceId, DeviceId)>,
+}
+
+/// How one op's outputs are delivered once it finishes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpComm {
+    /// Consumers receiving the output locally (no transfer) — one entry per
+    /// in-edge satisfied. For a collective node this includes the consumers
+    /// on participant devices, which already hold the reduced tensor.
+    pub local: Vec<OpId>,
+    /// One send per remote destination device, sorted by device id (the
+    /// engine's deterministic event order depends on it).
+    pub sends: Vec<P2pSend>,
+    /// Collective nodes fed by this op — one entry per in-edge contributed.
+    /// The edge is handled by the collective, not by a point-to-point send.
+    pub feeds: Vec<OpId>,
+}
+
+/// A lowered collective: the communication performed by one
+/// collective-annotated node's incoming edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveStep {
+    /// The annotated node.
+    pub node: OpId,
+    /// The pattern.
+    pub kind: CollectiveKind,
+    /// Participating devices (the producers' devices, sorted, deduped).
+    /// Ring hops are `participants[i] → participants[(i+1) % n]`.
+    pub participants: Vec<DeviceId>,
+    /// Full tensor bytes (the largest in-edge payload).
+    pub bytes: u64,
+    /// In-edge count: the engine counts producer finishes against this
+    /// before the collective can start.
+    pub pending: u32,
+}
+
+impl CollectiveStep {
+    /// Number of synchronized ring phases this collective runs: `2(n−1)`
+    /// for all-reduce, `n−1` for reduce-scatter/all-gather, one
+    /// root-fan-out round (counted as 1) for broadcast. Degenerate rings
+    /// (fewer than two participants) run zero phases.
+    pub fn phases(&self) -> u32 {
+        let n = self.participants.len() as u32;
+        if n < 2 {
+            return 0;
+        }
+        match self.kind {
+            CollectiveKind::AllReduce => 2 * (n - 1),
+            CollectiveKind::ReduceScatter | CollectiveKind::AllGather => n - 1,
+            CollectiveKind::Broadcast => 1,
+        }
+    }
+
+    /// Bytes each ring phase moves per hop: `bytes/n` chunks for the ring
+    /// collectives, the full tensor for broadcast.
+    pub fn chunk_bytes(&self) -> u64 {
+        let n = self.participants.len() as u64;
+        if n < 2 {
+            return 0;
+        }
+        match self.kind {
+            CollectiveKind::Broadcast => self.bytes,
+            _ => self.bytes.div_ceil(n),
+        }
+    }
+}
+
+/// The complete communication plan of one placed iteration.
+#[derive(Debug, Clone)]
+pub struct CommPlan {
+    /// Delivery list per op, indexed by `OpId`.
+    pub op_comm: Vec<OpComm>,
+    /// Lowered collective per op, indexed by `OpId`; `None` for ordinary
+    /// ops. A collective node placed so that all its producers share one
+    /// device lowers to `None` degenerate handling (its `pending` still
+    /// gates readiness but no ring runs).
+    pub collectives: Vec<Option<CollectiveStep>>,
+}
+
+impl CommPlan {
+    /// Lowers the communication structure of `(graph, placement, topo)`.
+    ///
+    /// Rules:
+    /// * an edge into a [`CollectiveKind`]-annotated node is subsumed by
+    ///   that node's collective step (ring phases over the producers'
+    ///   devices), never a point-to-point send;
+    /// * any other cross-device edge joins the per-destination-device send
+    ///   of its producer (largest payload wins, consumers fan out locally),
+    ///   routed via [`Topology::route`];
+    /// * out-edges of a collective node deliver locally to consumers on
+    ///   participant devices — the collective already left the reduced
+    ///   tensor there — and as routed sends elsewhere.
+    pub fn lower(graph: &Graph, placement: &Placement, topo: &Topology) -> CommPlan {
+        let n_ops = graph.op_count();
+        let mut collectives: Vec<Option<CollectiveStep>> = vec![None; n_ops];
+        for (id, op) in graph.iter_ops() {
+            let Some(kind) = op.collective else { continue };
+            let mut pending = 0u32;
+            let mut participants: Vec<DeviceId> = Vec::new();
+            let mut bytes = 0u64;
+            for e in graph.in_edges(id) {
+                pending += 1;
+                bytes = bytes.max(e.bytes);
+                let d = placement.device_of(e.src);
+                if !participants.contains(&d) {
+                    participants.push(d);
+                }
+            }
+            participants.sort_unstable();
+            collectives[id.index()] = Some(CollectiveStep {
+                node: id,
+                kind,
+                participants,
+                bytes,
+                pending,
+            });
+        }
+
+        let mut op_comm: Vec<OpComm> = vec![OpComm::default(); n_ops];
+        for (id, _) in graph.iter_ops() {
+            let src_dev = placement.device_of(id);
+            let mut oc = OpComm::default();
+            // participant devices of this op's own collective (if any)
+            // already hold the result when the node finishes
+            let own_participants: &[DeviceId] = match &collectives[id.index()] {
+                Some(c) => &c.participants,
+                None => &[],
+            };
+            let mut remote: HashMap<DeviceId, (u64, Vec<OpId>)> = HashMap::new();
+            for e in graph.out_edges(id) {
+                if collectives[e.dst.index()].is_some() {
+                    oc.feeds.push(e.dst);
+                    continue;
+                }
+                let dd = placement.device_of(e.dst);
+                if dd == src_dev || own_participants.contains(&dd) {
+                    oc.local.push(e.dst);
+                } else {
+                    let entry = remote.entry(dd).or_insert((0, Vec::new()));
+                    entry.0 = entry.0.max(e.bytes);
+                    entry.1.push(e.dst);
+                }
+            }
+            let mut sends: Vec<(DeviceId, (u64, Vec<OpId>))> = remote.into_iter().collect();
+            sends.sort_by_key(|(d, _)| *d); // deterministic event order
+            oc.sends = sends
+                .into_iter()
+                .map(|(dd, (bytes, dsts))| P2pSend {
+                    dst_dev: dd,
+                    bytes,
+                    dsts,
+                    route: topo.route(src_dev, dd),
+                })
+                .collect();
+            op_comm[id.index()] = oc;
+        }
+        CommPlan {
+            op_comm,
+            collectives,
+        }
+    }
+
+    /// The collective step of `node`, if it is a collective.
+    pub fn collective(&self, node: OpId) -> Option<&CollectiveStep> {
+        self.collectives[node.index()].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastt_graph::{OpKind, Operation};
+
+    fn grad_graph() -> (Graph, [OpId; 4]) {
+        // three per-device grads feeding an all-reduce agg, one consumer
+        let mut g = Graph::new();
+        let g0 = g
+            .add_op(Operation::new("g0", OpKind::EltwiseGrad, [256]))
+            .unwrap();
+        let g1 = g
+            .add_op(Operation::new("g1", OpKind::EltwiseGrad, [256]))
+            .unwrap();
+        let agg = g
+            .add_op(
+                Operation::new("agg", OpKind::AggregateGradients, [256])
+                    .with_collective(CollectiveKind::AllReduce),
+            )
+            .unwrap();
+        let apply = g
+            .add_op(Operation::new("apply", OpKind::ApplyGradient, [256]))
+            .unwrap();
+        g.connect_bytes(g0, agg, 1024).unwrap();
+        g.connect_bytes(g1, agg, 1024).unwrap();
+        g.connect_bytes(agg, apply, 1024).unwrap();
+        (g, [g0, g1, agg, apply])
+    }
+
+    #[test]
+    fn lowers_collective_with_ring_arithmetic() {
+        let (g, [g0, g1, agg, _]) = grad_graph();
+        let topo = Topology::single_server(2);
+        let mut p = Placement::uniform(g.op_count(), DeviceId(0));
+        p.set(g1, DeviceId(1));
+        let plan = CommPlan::lower(&g, &p, &topo);
+        let c = plan.collective(agg).expect("collective step");
+        assert_eq!(c.kind, CollectiveKind::AllReduce);
+        assert_eq!(c.participants, vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(c.bytes, 1024);
+        assert_eq!(c.pending, 2);
+        assert_eq!(c.phases(), 2); // 2(n−1), n = 2
+        assert_eq!(c.chunk_bytes(), 512);
+        // producer edges feed the collective, not point-to-point sends
+        assert_eq!(plan.op_comm[g0.index()].feeds, vec![agg]);
+        assert_eq!(plan.op_comm[g1.index()].feeds, vec![agg]);
+        assert!(plan.op_comm[g0.index()].sends.is_empty());
+    }
+
+    #[test]
+    fn collective_output_is_local_on_participant_devices() {
+        let (g, [_, g1, agg, apply]) = grad_graph();
+        let topo = Topology::single_server(4);
+        let mut p = Placement::uniform(g.op_count(), DeviceId(0));
+        p.set(g1, DeviceId(1));
+        // consumer on a participant device: no transfer needed
+        p.set(apply, DeviceId(1));
+        let plan = CommPlan::lower(&g, &p, &topo);
+        assert_eq!(plan.op_comm[agg.index()].local, vec![apply]);
+        assert!(plan.op_comm[agg.index()].sends.is_empty());
+        // consumer outside the ring: routed send
+        let mut p2 = p.clone();
+        p2.set(apply, DeviceId(3));
+        let plan2 = CommPlan::lower(&g, &p2, &topo);
+        assert!(plan2.op_comm[agg.index()].local.is_empty());
+        assert_eq!(plan2.op_comm[agg.index()].sends.len(), 1);
+        assert_eq!(plan2.op_comm[agg.index()].sends[0].dst_dev, DeviceId(3));
+    }
+
+    #[test]
+    fn p2p_sends_carry_multi_hop_routes() {
+        let mut g = Graph::new();
+        let a = g.add_op(Operation::new("a", OpKind::Input, [64])).unwrap();
+        let b = g.add_op(Operation::new("b", OpKind::Relu, [64])).unwrap();
+        g.connect_bytes(a, b, 256).unwrap();
+        let topo = Topology::multi_server(2, 2);
+        let mut p = Placement::uniform(g.op_count(), DeviceId(0));
+        p.set(b, DeviceId(2));
+        let plan = CommPlan::lower(&g, &p, &topo);
+        let send = &plan.op_comm[a.index()].sends[0];
+        assert_eq!(send.route.len(), 3, "PCIe → NIC → PCIe staging");
+        assert_eq!(send.route[0].0, DeviceId(0));
+        assert_eq!(send.route[2].1, DeviceId(2));
+    }
+
+    #[test]
+    fn degenerate_single_device_collective_runs_no_phases() {
+        let (g, [_, _, agg, _]) = grad_graph();
+        let topo = Topology::single_server(2);
+        let p = Placement::uniform(g.op_count(), DeviceId(0));
+        let plan = CommPlan::lower(&g, &p, &topo);
+        let c = plan.collective(agg).unwrap();
+        assert_eq!(c.participants, vec![DeviceId(0)]);
+        assert_eq!(c.phases(), 0);
+        assert_eq!(c.pending, 2, "readiness still gated on both producers");
+    }
+}

@@ -6,14 +6,15 @@
 //! server pair across servers), compute/communication overlap, and memory
 //! accounting with OOM detection.
 
+use crate::comm::{CollectiveStep, CommPlan};
 use crate::error::SimError;
 use crate::faults::FaultSchedule;
 use crate::hardware::HardwarePerf;
 use crate::placement::Placement;
 use crate::queue::{ExecPolicy, ReadyQueue};
-use crate::trace::{MemSample, OpRecord, RunTrace, TransferRecord};
+use crate::trace::{CollectiveRecord, MemSample, OpRecord, RunTrace, TransferRecord};
 use fastt_cluster::{DeviceId, Topology};
-use fastt_graph::{Graph, OpId};
+use fastt_graph::{CollectiveKind, Graph, OpId};
 use fastt_telemetry::{jobj, Collector};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -95,8 +96,144 @@ enum Event {
     TransferArrive {
         dsts: Vec<OpId>,
     },
+    /// A collective's final ring phase completed; its node becomes ready.
+    CollectiveDone {
+        node: OpId,
+    },
     /// Placeholder left behind once an event has been consumed.
     Consumed,
+}
+
+/// Executes one routed transfer: hop by hop along `route`, each hop queueing
+/// on its physical channel, recording one [`TransferRecord`] per hop (the
+/// cost model learns single links from them). Returns the arrival time of
+/// the last hop.
+///
+/// Fault semantics: each hop is degraded by its own physical link factor;
+/// multi-hop routes are *additionally* degraded by the logical pair's factor
+/// so that scripted `LinkDegrade(src → dst)` faults keep biting after the
+/// route decomposition (a single-hop route applies the factor exactly once,
+/// matching the pre-route engine).
+#[allow(clippy::too_many_arguments)]
+fn run_route(
+    route: &[(DeviceId, DeviceId)],
+    bytes: u64,
+    src_op: OpId,
+    dst_op: OpId,
+    start: f64,
+    logical: (DeviceId, DeviceId),
+    topo: &Topology,
+    config: &SimConfig,
+    channels: &mut HashMap<(u32, u32), f64>,
+    contention: &mut f64,
+    transfers: &mut Vec<TransferRecord>,
+) -> f64 {
+    let logical_factor = match &config.faults {
+        Some(f) if route.len() > 1 => f.link_factor(logical.0, logical.1, config.iteration),
+        _ => 1.0,
+    };
+    let mut cursor = start;
+    for &(a, b) in route {
+        let key = topo.channel_key(a, b);
+        let free_at = channels.get(&key).copied().unwrap_or(0.0).max(cursor);
+        *contention += free_at - cursor;
+        let link = topo.link(a, b).expect("route hops are physical links");
+        let mut xfer = link.transfer_time(bytes);
+        if let Some(faults) = &config.faults {
+            xfer *= faults.link_factor(a, b, config.iteration) * logical_factor;
+        }
+        let hop_end = free_at + xfer;
+        channels.insert(key, hop_end);
+        transfers.push(TransferRecord {
+            src_op,
+            dst_op,
+            src_dev: a,
+            dst_dev: b,
+            bytes,
+            start: free_at,
+            end: hop_end,
+        });
+        if config.attempt == 0 {
+            if let Some(col) = &config.collector {
+                if let Some(class) = topo.link_class(a, b) {
+                    col.metrics()
+                        .add(&format!("comm.bytes.{}", class.name()), bytes);
+                }
+            }
+        }
+        cursor = hop_end;
+    }
+    cursor
+}
+
+/// Executes one lowered collective over the channel timelines, starting at
+/// `now` (when its last producer finished). Ring collectives run
+/// [`CollectiveStep::phases`] synchronized phases — every phase waits for
+/// its slowest ring hop, and each ring hop expands to its physical route.
+/// Broadcast fans the full tensor from the first participant to every other
+/// concurrently. Returns the completion time.
+fn run_collective(
+    step: &CollectiveStep,
+    now: f64,
+    topo: &Topology,
+    config: &SimConfig,
+    channels: &mut HashMap<(u32, u32), f64>,
+    contention: &mut f64,
+    transfers: &mut Vec<TransferRecord>,
+) -> f64 {
+    let n = step.participants.len();
+    if n < 2 {
+        return now;
+    }
+    if step.kind == CollectiveKind::Broadcast {
+        let root = step.participants[0];
+        let mut end = now;
+        for &p in &step.participants[1..] {
+            let route = topo.route(root, p);
+            let t = run_route(
+                &route,
+                step.bytes,
+                step.node,
+                step.node,
+                now,
+                (root, p),
+                topo,
+                config,
+                channels,
+                contention,
+                transfers,
+            );
+            end = end.max(t);
+        }
+        return end;
+    }
+    let chunk = step.chunk_bytes();
+    let mut t = now;
+    for _ in 0..step.phases() {
+        let phase_start = t;
+        let mut phase_end = phase_start;
+        for i in 0..n {
+            let a = step.participants[i];
+            let b = step.participants[(i + 1) % n];
+            let route = topo.route(a, b);
+            let hop_end = run_route(
+                &route,
+                chunk,
+                step.node,
+                step.node,
+                phase_start,
+                (a, b),
+                topo,
+                config,
+                channels,
+                contention,
+                transfers,
+            );
+            phase_end = phase_end.max(hop_end);
+        }
+        t = phase_end;
+    }
+    t
 }
 
 /// Simulates one iteration.
@@ -266,7 +403,17 @@ pub fn simulate(
     // Transfer channels: busy-until per channel key (see
     // `Topology::channel_key` for the sharing rules).
     let mut channels: HashMap<(u32, u32), f64> = HashMap::new();
-    let channel_key = |s: DeviceId, d: DeviceId| -> (u32, u32) { topo.channel_key(s, d) };
+
+    // The communication plan: every cross-device edge's route and every
+    // collective's ring, lowered once up front (see `crate::comm`). The
+    // event loop below only *executes* it.
+    let plan = CommPlan::lower(graph, placement, topo);
+    let mut coll_pending: Vec<u32> = plan
+        .collectives
+        .iter()
+        .map(|c| c.as_ref().map_or(0, |s| s.pending))
+        .collect();
+    let mut collectives_run: Vec<CollectiveRecord> = Vec::new();
 
     // Event queue ordered by (time, seq) for determinism.
     let mut events: BinaryHeap<Reverse<(OrderedF64, u64, usize)>> = BinaryHeap::new();
@@ -464,56 +611,137 @@ pub fn simulate(
                     }
                 }
 
-                // Deliver outputs. The tensor is sent once per destination
-                // device (TF's send/recv dedup): group remote consumers by
-                // device, charge one transfer of the largest edge payload.
+                // Deliver outputs per the communication plan: local
+                // consumers unblock inline (the tensor is already on their
+                // device — including collective participants), point-to-point
+                // sends run hop by hop along their routes, and edges into
+                // collective nodes count toward the collective's readiness.
                 let sd = placement.device_of(op);
-                let mut remote: HashMap<DeviceId, (u64, Vec<OpId>)> = HashMap::new();
-                for e in graph.out_edges(op) {
-                    let dd = placement.device_of(e.dst);
-                    if sd == dd {
-                        indeg[e.dst.index()] -= 1;
-                        if indeg[e.dst.index()] == 0 {
-                            records[e.dst.index()].ready = now;
-                            queues[dd.index()].push(e.dst, priority[e.dst.index()]);
+                let oc = &plan.op_comm[op.index()];
+                let mut wake: Vec<usize> = Vec::new();
+                for &dst in &oc.local {
+                    indeg[dst.index()] -= 1;
+                    if indeg[dst.index()] == 0 {
+                        records[dst.index()].ready = now;
+                        let dd = placement.device_of(dst).index();
+                        queues[dd].push(dst, priority[dst.index()]);
+                        if dd != d && !wake.contains(&dd) {
+                            wake.push(dd);
                         }
-                    } else {
-                        let entry = remote.entry(dd).or_insert((0, Vec::new()));
-                        entry.0 = entry.0.max(e.bytes);
-                        entry.1.push(e.dst);
                     }
                 }
-                let mut remote: Vec<(DeviceId, (u64, Vec<OpId>))> = remote.into_iter().collect();
-                remote.sort_by_key(|(d, _)| *d); // deterministic event order
-                for (dd, (bytes, dsts)) in remote {
-                    let key = channel_key(sd, dd);
-                    let link = topo.link(sd, dd).expect("distinct devices have a link");
-                    let free_at = channels.get(&key).copied().unwrap_or(0.0).max(now);
-                    contention += free_at - now;
-                    let mut xfer = link.transfer_time(bytes);
-                    if let Some(faults) = &config.faults {
-                        xfer *= faults.link_factor(sd, dd, config.iteration);
+                wake.sort_unstable();
+                for send in &oc.sends {
+                    let arrive = run_route(
+                        &send.route,
+                        send.bytes,
+                        op,
+                        send.dsts[0],
+                        now,
+                        (sd, send.dst_dev),
+                        topo,
+                        config,
+                        &mut channels,
+                        &mut contention,
+                        &mut transfers,
+                    );
+                    if config.attempt == 0 {
+                        if let Some(col) = &config.collector {
+                            col.emit(
+                                "comm.step",
+                                jobj! {
+                                    "op" => op.0 as u64,
+                                    "src_dev" => sd.0 as u64,
+                                    "dst_dev" => send.dst_dev.0 as u64,
+                                    "bytes" => send.bytes,
+                                    "hops" => send.route.len() as u64,
+                                    "start" => now,
+                                    "end" => arrive,
+                                },
+                            );
+                        }
                     }
-                    let arrive = free_at + xfer;
-                    channels.insert(key, arrive);
-                    transfers.push(TransferRecord {
-                        src_op: op,
-                        dst_op: dsts[0],
-                        src_dev: sd,
-                        dst_dev: dd,
-                        bytes,
-                        start: free_at,
-                        end: arrive,
-                    });
                     push_event(
                         &mut events,
                         &mut event_payload,
                         &mut seq,
                         arrive,
-                        Event::TransferArrive { dsts },
+                        Event::TransferArrive {
+                            dsts: send.dsts.clone(),
+                        },
+                    );
+                }
+                for &node in &oc.feeds {
+                    coll_pending[node.index()] -= 1;
+                    if coll_pending[node.index()] != 0 {
+                        continue;
+                    }
+                    let step = plan
+                        .collective(node)
+                        .expect("fed node carries a collective step");
+                    let end = run_collective(
+                        step,
+                        now,
+                        topo,
+                        config,
+                        &mut channels,
+                        &mut contention,
+                        &mut transfers,
+                    );
+                    collectives_run.push(CollectiveRecord {
+                        node,
+                        kind: step.kind,
+                        participants: step.participants.clone(),
+                        bytes: step.bytes,
+                        start: now,
+                        end,
+                    });
+                    if config.attempt == 0 {
+                        if let Some(col) = &config.collector {
+                            col.metrics().inc("comm.collectives");
+                            col.emit(
+                                "comm.collective",
+                                jobj! {
+                                    "node" => node.0 as u64,
+                                    "kind" => step.kind.to_string().as_str(),
+                                    "participants" => step.participants.len() as u64,
+                                    "bytes" => step.bytes,
+                                    "start" => now,
+                                    "end" => end,
+                                },
+                            );
+                        }
+                    }
+                    push_event(
+                        &mut events,
+                        &mut event_payload,
+                        &mut seq,
+                        end,
+                        Event::CollectiveDone { node },
                     );
                 }
 
+                for dd in wake {
+                    dispatch(
+                        dd,
+                        now,
+                        graph,
+                        topo,
+                        hw,
+                        config,
+                        &mut queues,
+                        &mut device_free,
+                        &mut device_busy_time,
+                        &mut mem_used,
+                        &mut mem_peak,
+                        &mut records,
+                        &mut events,
+                        &mut event_payload,
+                        &mut seq,
+                        &mut mem_timeline,
+                        &mut reexecutions,
+                    )?;
+                }
                 dispatch(
                     d,
                     now,
@@ -563,6 +791,33 @@ pub fn simulate(
                     &mut reexecutions,
                 )?;
             }
+            Event::CollectiveDone { node } => {
+                // The ring already moved (and reduced) the data; the node
+                // itself now runs as an ordinary op on its device.
+                indeg[node.index()] = 0;
+                let dd = placement.device_of(node).index();
+                records[node.index()].ready = now;
+                queues[dd].push(node, priority[node.index()]);
+                dispatch(
+                    dd,
+                    now,
+                    graph,
+                    topo,
+                    hw,
+                    config,
+                    &mut queues,
+                    &mut device_free,
+                    &mut device_busy_time,
+                    &mut mem_used,
+                    &mut mem_peak,
+                    &mut records,
+                    &mut events,
+                    &mut event_payload,
+                    &mut seq,
+                    &mut mem_timeline,
+                    &mut reexecutions,
+                )?;
+            }
             Event::Consumed => unreachable!("each event index is popped once"),
         }
     }
@@ -577,6 +832,7 @@ pub fn simulate(
     let trace = RunTrace {
         op_records: records,
         transfers,
+        collectives: collectives_run,
         makespan: makespan + config.iteration_overhead,
         device_busy: device_busy_time,
         peak_mem: mem_peak,
@@ -601,6 +857,7 @@ pub fn simulate(
                 "steps" => trace.steps,
                 "ops" => executed as u64,
                 "transfers" => trace.transfers.len() as u64,
+                "collectives" => trace.collectives.len() as u64,
                 "contention" => trace.contention,
                 "queue_wait" => fastt_telemetry::Value::arr(queue_wait),
                 "peak_mem" => fastt_telemetry::Value::arr(trace.peak_mem.clone()),

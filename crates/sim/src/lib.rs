@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod comm;
 mod engine;
 mod error;
 pub mod faults;
@@ -53,10 +54,11 @@ mod placement;
 mod queue;
 mod trace;
 
+pub use comm::{CollectiveStep, CommPlan, OpComm, P2pSend};
 pub use engine::{simulate, SimConfig};
 pub use error::SimError;
 pub use faults::{Fault, FaultKind, FaultSchedule};
 pub use hardware::{is_transient, HardwarePerf, LAUNCH_OVERHEAD, OPTIMIZER_RESIDENT_FACTOR};
 pub use placement::Placement;
 pub use queue::ExecPolicy;
-pub use trace::{OpRecord, RunTrace, TransferRecord};
+pub use trace::{CollectiveRecord, OpRecord, RunTrace, TransferRecord};

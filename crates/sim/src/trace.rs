@@ -66,6 +66,31 @@ impl TransferRecord {
     }
 }
 
+/// One executed collective (a [`fastt_graph::CollectiveKind`]-annotated
+/// node's aggregation), spanning all its ring phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveRecord {
+    /// The collective-annotated node.
+    pub node: OpId,
+    /// The pattern that ran.
+    pub kind: fastt_graph::CollectiveKind,
+    /// Participating devices, in ring order.
+    pub participants: Vec<DeviceId>,
+    /// Full tensor bytes reduced/moved.
+    pub bytes: u64,
+    /// Time the last producer finished (collective became eligible).
+    pub start: f64,
+    /// Time the final ring phase's slowest hop completed.
+    pub end: f64,
+}
+
+impl CollectiveRecord {
+    /// Wall-clock duration of the collective.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
 /// One sample of a device's resident memory over time (recorded only when
 /// `SimConfig::record_mem_timeline` is set).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,8 +108,14 @@ pub struct MemSample {
 pub struct RunTrace {
     /// Per-op execution records, indexed by `OpId`.
     pub op_records: Vec<OpRecord>,
-    /// All inter-device transfers, in completion order.
+    /// All inter-device transfers, in completion order. Multi-hop routes and
+    /// ring collectives contribute one record per *physical hop*, so every
+    /// record is an observation of a single link — exactly what the
+    /// per-link-class communication cost model wants to learn from.
     pub transfers: Vec<TransferRecord>,
+    /// Collectives executed this iteration (empty for graphs without
+    /// collective-annotated nodes).
+    pub collectives: Vec<CollectiveRecord>,
     /// End-to-end iteration time, including the fixed framework overhead.
     pub makespan: f64,
     /// Per-device busy (compute) seconds.
@@ -341,6 +372,7 @@ mod tests {
                 start: 1.0,
                 end: 1.5,
             }],
+            collectives: Vec::new(),
             makespan: 2.0,
             device_busy: vec![1.0, 0.5],
             peak_mem: vec![10, 20],
