@@ -11,6 +11,8 @@
 //! cargo run --release -p fastt-bench --bin report -- alexnet 2x4 /tmp/fastt-report
 //! # with a scripted chaos scenario (fault injection + recovery timeline):
 //! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report chaos:21
+//! # network chaos (link flaps, partitions, stragglers, NIC degradation):
+//! cargo run --release -p fastt-bench --bin report -- alexnet 2x2 /tmp/fastt-report netchaos:21
 //! ```
 
 use fastt::search::{CemPlanner, GdpPlanner, McmcPlanner, RandomPlanner, ReinforcePlanner};
@@ -32,20 +34,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outdir = PathBuf::from(args.next().unwrap_or_else(|| "report-out".into()));
     std::fs::create_dir_all(&outdir)?;
 
-    // Optional 4th arg `chaos[:seed]`: inject a seeded fault scenario
+    // Optional 4th arg `chaos[:seed]` or `netchaos[:seed]`: inject a seeded
+    // fault scenario and run the normal-training stage so the recovery
+    // machinery has something to do. `chaos` scripts device faults
     // (straggler, degraded link, transient ops, memory pressure, one
-    // mid-run crash) and run the normal-training stage so the recovery
-    // machinery has something to do.
-    let chaos_seed: Option<u64> = match args.next() {
-        Some(s) if s == "chaos" => Some(21),
-        Some(s) => match s.strip_prefix("chaos:") {
-            Some(n) => Some(
-                n.parse()
-                    .map_err(|_| format!("chaos seed must be an integer, got `{n}`"))?,
-            ),
-            None => return Err(format!("unknown argument `{s}` (expected `chaos[:seed]`)").into()),
-        },
-        None => None,
+    // mid-run crash); `netchaos` scripts network faults (link flaps, a host
+    // partition, a collective straggler, NIC degradation).
+    let (chaos_seed, net_chaos): (Option<u64>, bool) = match args.next() {
+        Some(s) if s == "chaos" => (Some(21), false),
+        Some(s) if s == "netchaos" => (Some(21), true),
+        Some(s) => {
+            let (prefix, net) = match s.strip_prefix("netchaos:") {
+                Some(n) => (n, true),
+                None => match s.strip_prefix("chaos:") {
+                    Some(n) => (n, false),
+                    None => {
+                        return Err(format!(
+                            "unknown argument `{s}` (expected `chaos[:seed]` or `netchaos[:seed]`)"
+                        )
+                        .into())
+                    }
+                },
+            };
+            let seed = prefix
+                .parse()
+                .map_err(|_| format!("chaos seed must be an integer, got `{prefix}`"))?;
+            (Some(seed), net)
+        }
+        None => (None, false),
     };
 
     let needle = model_arg.to_lowercase();
@@ -56,9 +72,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let batch = per_replica_batch(model, model.paper_batch(), gpus as u32);
     let graph = model.training_graph(batch);
+    let servers = topo
+        .device_ids()
+        .map(|d| topo.server_of(d))
+        .max()
+        .map(|s| s + 1)
+        .unwrap_or(1);
     let config = SessionConfig {
         dp_ps: dp_ps_for(model),
-        faults: chaos_seed.map(|s| Arc::new(FaultSchedule::seeded(s, gpus, 60, gpus >= 2))),
+        faults: chaos_seed.map(|s| {
+            Arc::new(if net_chaos {
+                FaultSchedule::seeded_network(s, gpus, servers, 40)
+            } else {
+                FaultSchedule::seeded(s, gpus, 60, gpus >= 2)
+            })
+        }),
         ..SessionConfig::default()
     };
 
@@ -192,12 +220,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the engine re-emits `fault.injected` on every iteration a fault is
     // active; the timeline only needs the first sighting of each fault
     let mut seen_faults = std::collections::HashSet::new();
+    // a flapping transfer retries up to the budget: aggregate all of its
+    // attempts so the timeline shows ONE line per retried transfer with the
+    // retry count, not one line per attempt
+    let mut retry_totals: std::collections::HashMap<String, (u64, f64)> =
+        std::collections::HashMap::new();
+    for e in &events {
+        if e.kind == "comm.retry" {
+            let key = format!(
+                "{}/{}/{}/{}",
+                e.field("op"),
+                e.field("src"),
+                e.field("dst"),
+                e.field("iteration"),
+            );
+            let ent = retry_totals.entry(key).or_default();
+            ent.0 += 1;
+            ent.1 += e.num("backoff").unwrap_or(0.0);
+        }
+    }
+    let mut seen_retries = std::collections::HashSet::new();
     for e in &events {
         let line = match e.kind.as_str() {
             "fault.injected" => {
                 let key = format!(
-                    "{}/{}/{}/{}",
+                    "{}/{}/{}/{}/{}",
                     e.str_field("kind").unwrap_or("?"),
+                    e.str_field("scope").unwrap_or("device"),
                     e.field("device"),
                     e.field("from_iter"),
                     e.field("until_iter"),
@@ -210,10 +259,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     _ => e.field("until_iter").to_string(),
                 };
                 format!(
-                    "fault [{}] on device {} (iterations {}..{until})",
+                    "fault [{}] on {} {} (iterations {}..{until})",
                     e.str_field("kind").unwrap_or("?"),
+                    e.str_field("scope").unwrap_or("device"),
                     e.field("device"),
                     e.field("from_iter"),
+                )
+            }
+            "comm.retry" => {
+                let key = format!(
+                    "{}/{}/{}/{}",
+                    e.field("op"),
+                    e.field("src"),
+                    e.field("dst"),
+                    e.field("iteration"),
+                );
+                if !seen_retries.insert(key.clone()) {
+                    continue;
+                }
+                let (count, backoff) = retry_totals.get(&key).copied().unwrap_or((1, 0.0));
+                format!(
+                    "  link retry x{count} on {}->{} (op {}, iteration {}, total backoff {:.1} ms)",
+                    e.field("src"),
+                    e.field("dst"),
+                    e.field("op"),
+                    e.field("iteration"),
+                    backoff * 1e3,
                 )
             }
             "health.degraded" => format!(
@@ -275,6 +346,86 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             session.recovery_log().len(),
         );
     }
+
+    println!("\n--- Link-health / partition timeline ---");
+    let mut any_link = false;
+    for e in &events {
+        let line = match e.kind.as_str() {
+            "fault.link" => format!(
+                "LINK FAULT [{}] on hop {}->{} (iteration {})",
+                e.str_field("kind").unwrap_or("?"),
+                e.field("src"),
+                e.field("dst"),
+                e.field("iteration"),
+            ),
+            "health.link_degraded" => format!(
+                "  DEGRADED link {}->{} running {:.2}x slower than predicted (iteration {})",
+                e.field("src"),
+                e.field("dst"),
+                e.num("slowdown").unwrap_or(f64::NAN),
+                e.field("iteration"),
+            ),
+            "health.link_restored" => format!(
+                "  restored link {}->{} (iteration {})",
+                e.field("src"),
+                e.field("dst"),
+                e.field("iteration"),
+            ),
+            "health.link_failed" => format!(
+                "  FAILED link {}->{} blacklisted (iteration {})",
+                e.field("src"),
+                e.field("dst"),
+                e.field("iteration"),
+            ),
+            "session.partition" => format!(
+                "  PARTITION server {} unreachable; blacklisting its devices (iteration {})",
+                e.field("server"),
+                e.field("iteration"),
+            ),
+            "session.stranded" => format!(
+                "  stranded GPUs dropped: {} (iteration {})",
+                e.field("dropped"),
+                e.field("iteration"),
+            ),
+            "session.unreachable" => format!(
+                "  UNREACHABLE {}->{}: no live route (iteration {})",
+                e.field("src"),
+                e.field("dst"),
+                e.field("iteration"),
+            ),
+            "comm.collective_abort" => format!(
+                "  COLLECTIVE ABORT [{}] with {} participants: {} (iteration {})",
+                e.str_field("kind").unwrap_or("?"),
+                e.field("participants"),
+                e.str_field("error").unwrap_or("?"),
+                e.field("iteration"),
+            ),
+            "session.degraded_mode" => format!(
+                "  DEGRADED MODE [{}] over {} survivors (reason {}, iteration {})",
+                e.str_field("mode").unwrap_or("?"),
+                e.field("survivors"),
+                e.str_field("reason").unwrap_or("?"),
+                e.field("iteration"),
+            ),
+            _ => continue,
+        };
+        any_link = true;
+        println!("[{:>9} us] {line}", e.t_us);
+    }
+    if !any_link {
+        println!("(no link-health events — pass `netchaos[:seed]` as the 4th argument)");
+    } else {
+        let hm = session.health();
+        println!(
+            "link-health summary: {} failed, {} degraded | retried transfers: {}",
+            hm.failed_links().len(),
+            hm.degraded_links().len(),
+            retry_totals.len(),
+        );
+    }
+    // Every lowered plan passed the comm-plan cycle validator (a Deadlock
+    // error would have aborted the session before this line prints).
+    println!("deadlocks: 0");
 
     println!("\n--- Top 10 queue-wait ops (final plan, one iteration) ---");
     let plan = session.current_plan();

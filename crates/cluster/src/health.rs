@@ -7,6 +7,8 @@
 //! history of how each device got into its current state. The training
 //! session owns a [`HealthMap`] and updates it from fresh profiling traces.
 
+use std::collections::BTreeMap;
+
 use crate::device::DeviceId;
 
 /// The observed condition of one device.
@@ -52,6 +54,10 @@ impl DeviceHealth {
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthMap {
     state: Vec<DeviceHealth>,
+    /// Health of directed links, keyed by `(src, dst)` raw ids. Absent
+    /// links are healthy; a `BTreeMap` keeps iteration (and thus telemetry
+    /// and recovery logs) deterministic.
+    links: BTreeMap<(u16, u16), DeviceHealth>,
 }
 
 impl HealthMap {
@@ -59,6 +65,7 @@ impl HealthMap {
     pub fn new(device_count: usize) -> Self {
         HealthMap {
             state: vec![DeviceHealth::Healthy; device_count],
+            links: BTreeMap::new(),
         }
     }
 
@@ -146,6 +153,65 @@ impl HealthMap {
             .count()
     }
 
+    /// The health of the directed `src → dst` link (healthy unless marked).
+    pub fn link_health(&self, src: DeviceId, dst: DeviceId) -> DeviceHealth {
+        self.links
+            .get(&(src.0, dst.0))
+            .copied()
+            .unwrap_or(DeviceHealth::Healthy)
+    }
+
+    /// Marks the `src → dst` link as running `slowdown`× slower than its
+    /// link class predicts. Link failure is sticky, like device failure.
+    pub fn mark_link_degraded(&mut self, src: DeviceId, dst: DeviceId, slowdown: f64) {
+        let e = self
+            .links
+            .entry((src.0, dst.0))
+            .or_insert(DeviceHealth::Healthy);
+        if *e != DeviceHealth::Failed {
+            *e = DeviceHealth::Degraded { slowdown };
+        }
+    }
+
+    /// Marks the `src → dst` link as permanently failed (flapped past the
+    /// retry budget or partitioned).
+    pub fn mark_link_failed(&mut self, src: DeviceId, dst: DeviceId) {
+        self.links.insert((src.0, dst.0), DeviceHealth::Failed);
+    }
+
+    /// Marks the `src → dst` link healthy again. Failure is sticky: a
+    /// failed link cannot be marked healthy.
+    pub fn mark_link_healthy(&mut self, src: DeviceId, dst: DeviceId) {
+        if self.link_health(src, dst) != DeviceHealth::Failed {
+            self.links.remove(&(src.0, dst.0));
+        }
+    }
+
+    /// Whether the directed `src → dst` link is failed.
+    pub fn is_link_failed(&self, src: DeviceId, dst: DeviceId) -> bool {
+        self.link_health(src, dst) == DeviceHealth::Failed
+    }
+
+    /// All failed directed links, in `(src, dst)` id order.
+    pub fn failed_links(&self) -> Vec<(DeviceId, DeviceId)> {
+        self.links
+            .iter()
+            .filter(|(_, h)| **h == DeviceHealth::Failed)
+            .map(|(&(s, d), _)| (DeviceId(s), DeviceId(d)))
+            .collect()
+    }
+
+    /// All degraded directed links with their slowdowns, in id order.
+    pub fn degraded_links(&self) -> Vec<(DeviceId, DeviceId, f64)> {
+        self.links
+            .iter()
+            .filter_map(|(&(s, d), h)| match h {
+                DeviceHealth::Degraded { slowdown } => Some((DeviceId(s), DeviceId(d), *slowdown)),
+                _ => None,
+            })
+            .collect()
+    }
+
     fn ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
         (0..self.state.len() as u16).map(DeviceId)
     }
@@ -175,6 +241,53 @@ mod tests {
         h.mark_healthy(DeviceId(0));
         assert!(h.degraded().is_empty());
         assert_eq!(h.live_count(), 2);
+    }
+
+    #[test]
+    fn link_states_transition_and_failure_is_sticky() {
+        let mut h = HealthMap::new(4);
+        let (a, b) = (DeviceId(0), DeviceId(1));
+        assert_eq!(h.link_health(a, b), DeviceHealth::Healthy);
+        h.mark_link_degraded(a, b, 3.0);
+        assert_eq!(
+            h.link_health(a, b),
+            DeviceHealth::Degraded { slowdown: 3.0 }
+        );
+        assert_eq!(h.degraded_links(), vec![(a, b, 3.0)]);
+        // degraded links can recover
+        h.mark_link_healthy(a, b);
+        assert_eq!(h.link_health(a, b), DeviceHealth::Healthy);
+        assert!(h.degraded_links().is_empty());
+        // failure is sticky, even through degrade/healthy attempts
+        h.mark_link_failed(a, b);
+        h.mark_link_healthy(a, b);
+        h.mark_link_degraded(a, b, 2.0);
+        assert!(h.is_link_failed(a, b));
+        assert_eq!(h.failed_links(), vec![(a, b)]);
+        // directionality: reverse link is independent
+        assert_eq!(h.link_health(b, a), DeviceHealth::Healthy);
+        // device state is untouched by link marks
+        assert_eq!(h.live_count(), 4);
+    }
+
+    #[test]
+    fn link_lists_are_id_ordered() {
+        let mut h = HealthMap::new(4);
+        h.mark_link_failed(DeviceId(3), DeviceId(0));
+        h.mark_link_failed(DeviceId(1), DeviceId(2));
+        h.mark_link_degraded(DeviceId(2), DeviceId(1), 2.0);
+        h.mark_link_degraded(DeviceId(0), DeviceId(3), 5.0);
+        assert_eq!(
+            h.failed_links(),
+            vec![(DeviceId(1), DeviceId(2)), (DeviceId(3), DeviceId(0))]
+        );
+        assert_eq!(
+            h.degraded_links(),
+            vec![
+                (DeviceId(0), DeviceId(3), 5.0),
+                (DeviceId(2), DeviceId(1), 2.0)
+            ]
+        );
     }
 
     #[test]

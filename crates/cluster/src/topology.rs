@@ -132,6 +132,16 @@ pub struct Topology {
     /// id-indexed state (cost-model keys, traces, fault schedules) remains
     /// valid — but planners skip them via [`Topology::gpu_ids`].
     failed: Vec<bool>,
+    /// `link_down[src][dst]`: the directed link has been administratively
+    /// failed (flap past the retry budget, partition). The physical wiring
+    /// ([`Topology::link`]) stays addressable — specs still seed cost-model
+    /// priors — but [`Topology::live_link`] refuses it and
+    /// [`Topology::try_route`] routes around it.
+    link_down: Vec<Vec<bool>>,
+    /// `link_slow[src][dst]`: transfer-time multiplier on the directed link
+    /// (`1.0` when healthy), set by the session when it detects a link
+    /// running slower than its class predicts.
+    link_slow: Vec<Vec<f64>>,
 }
 
 impl Topology {
@@ -255,7 +265,10 @@ impl Topology {
         &self.devices
     }
 
-    /// The link from `src` to `dst`, or `None` when `src == dst`.
+    /// The link from `src` to `dst`, or `None` when `src == dst`. This is
+    /// the *physical wiring* — failed links are still reported here (their
+    /// specs keep seeding cost-model priors); use [`Topology::live_link`]
+    /// for the health-aware view.
     ///
     /// # Panics
     ///
@@ -264,11 +277,91 @@ impl Topology {
         self.links[src.index()][dst.index()].as_ref()
     }
 
+    /// The link from `src` to `dst` if it exists *and* has not been failed
+    /// by [`Topology::fail_link`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn live_link(&self, src: DeviceId, dst: DeviceId) -> Option<&Link> {
+        if self.link_down[src.index()][dst.index()] {
+            return None;
+        }
+        self.link(src, dst)
+    }
+
+    /// Marks the directed `src → dst` link failed: [`Topology::live_link`]
+    /// refuses it and [`Topology::try_route`] routes around it. Call both
+    /// directions to model a dead cable. Device ids and channel keys are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn fail_link(&mut self, src: DeviceId, dst: DeviceId) {
+        self.link_down[src.index()][dst.index()] = true;
+    }
+
+    /// Multiplies transfer times on the directed `src → dst` link by
+    /// `factor` (compounding with previous degradations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or `factor` is not positive.
+    pub fn degrade_link(&mut self, src: DeviceId, dst: DeviceId, factor: f64) {
+        assert!(factor > 0.0, "degrade factor must be positive");
+        self.link_slow[src.index()][dst.index()] *= factor;
+    }
+
+    /// Clears both the failure and degradation marks of the directed
+    /// `src → dst` link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn restore_link(&mut self, src: DeviceId, dst: DeviceId) {
+        self.link_down[src.index()][dst.index()] = false;
+        self.link_slow[src.index()][dst.index()] = 1.0;
+    }
+
+    /// Whether the directed `src → dst` link has been failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn is_link_failed(&self, src: DeviceId, dst: DeviceId) -> bool {
+        self.link_down[src.index()][dst.index()]
+    }
+
+    /// Current transfer-time multiplier of the directed `src → dst` link
+    /// (`1.0` when healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn link_degrade_factor(&self, src: DeviceId, dst: DeviceId) -> f64 {
+        self.link_slow[src.index()][dst.index()]
+    }
+
+    /// All failed directed links, in `(src, dst)` id order.
+    pub fn failed_links(&self) -> Vec<(DeviceId, DeviceId)> {
+        let mut out = Vec::new();
+        for s in self.device_ids() {
+            for d in self.device_ids() {
+                if self.link_down[s.index()][d.index()] {
+                    out.push((s, d));
+                }
+            }
+        }
+        out
+    }
+
     /// Transfer time for `bytes` from `src` to `dst` under the physical
-    /// link model (0 when colocated).
+    /// link model (0 when colocated), stretched by any degradation mark on
+    /// the link.
     pub fn transfer_time(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
         match self.link(src, dst) {
-            Some(l) => l.transfer_time(bytes),
+            Some(l) => l.transfer_time(bytes) * self.link_slow[src.index()][dst.index()],
             None => 0.0,
         }
     }
@@ -296,8 +389,8 @@ impl Topology {
         ))
     }
 
-    /// The physical route a `src → dst` transfer takes, as a list of
-    /// single-link hops.
+    /// The preferred (health-ignoring) route a `src → dst` transfer takes,
+    /// as a list of single-link hops.
     ///
     /// Intra-server transfers are one direct hop. Inter-server transfers
     /// are staged through the hosts' NICs — `src → host(src)` over PCIe,
@@ -305,11 +398,7 @@ impl Topology {
     /// dst` over PCIe — with the first/last stage skipped when the endpoint
     /// is itself a host, and collapsed to a direct hop when a server has no
     /// live host to stage through. Colocated devices have an empty route.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either id is out of range.
-    pub fn route(&self, src: DeviceId, dst: DeviceId) -> Vec<(DeviceId, DeviceId)> {
+    fn preferred_route(&self, src: DeviceId, dst: DeviceId) -> Vec<(DeviceId, DeviceId)> {
         if src == dst {
             return Vec::new();
         }
@@ -337,6 +426,80 @@ impl Topology {
             None => hops.push((cur, dst)),
         }
         hops
+    }
+
+    /// Whether the `a → b` hop is physically wired and not failed.
+    fn hop_live(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.live_link(a, b).is_some()
+    }
+
+    /// The physical route a `src → dst` transfer takes, avoiding failed
+    /// links ([`Topology::fail_link`]), or `None` when every candidate
+    /// staging crosses a dead hop (the pair is partitioned).
+    ///
+    /// Candidates are tried in preference order: the standard staged route
+    /// ([`Topology::route`]), then — cross-server — variants that stage
+    /// through only one of the two hosts, then the direct link. `Some` with
+    /// an empty route means colocated (free transfer), as in `route`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn try_route(&self, src: DeviceId, dst: DeviceId) -> Option<Vec<(DeviceId, DeviceId)>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let preferred = self.preferred_route(src, dst);
+        if preferred.iter().all(|&(a, b)| self.hop_live(a, b)) {
+            return Some(preferred);
+        }
+        let mut candidates: Vec<Vec<(DeviceId, DeviceId)>> = Vec::new();
+        if self.server_of(src) == self.server_of(dst) {
+            // Direct hop is dead: stage through the server's host, if any.
+            if let Some(h) = self.host_of(self.server_of(src)) {
+                if h != src && h != dst {
+                    candidates.push(vec![(src, h), (h, dst)]);
+                }
+            }
+        } else {
+            let egress = if self.is_host(src) {
+                None
+            } else {
+                self.host_of(self.server_of(src))
+            };
+            let ingress = if self.is_host(dst) {
+                None
+            } else {
+                self.host_of(self.server_of(dst))
+            };
+            // Alternate stagings: skip one host at a time, then go direct.
+            if let Some(h) = ingress {
+                candidates.push(vec![(src, h), (h, dst)]);
+            }
+            if let Some(h) = egress {
+                candidates.push(vec![(src, h), (h, dst)]);
+            }
+            candidates.push(vec![(src, dst)]);
+        }
+        candidates
+            .into_iter()
+            .find(|c| *c != preferred && c.iter().all(|&(a, b)| self.hop_live(a, b)))
+    }
+
+    /// The physical route a `src → dst` transfer takes, as a list of
+    /// single-link hops, avoiding failed links when an alternate staging
+    /// survives ([`Topology::try_route`]).
+    ///
+    /// When the pair is fully partitioned this falls back to the
+    /// health-ignoring route so planners can still price a (pessimistic)
+    /// path; callers that must distinguish unreachability use `try_route`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn route(&self, src: DeviceId, dst: DeviceId) -> Vec<(DeviceId, DeviceId)> {
+        self.try_route(src, dst)
+            .unwrap_or_else(|| self.preferred_route(src, dst))
     }
 
     /// Transfer time for `bytes` from `src` to `dst` summed along the
@@ -403,6 +566,14 @@ impl Topology {
                 .collect(),
             server_of: self.server_of[..n].to_vec(),
             failed: self.failed[..n].to_vec(),
+            link_down: self.link_down[..n]
+                .iter()
+                .map(|row| row[..n].to_vec())
+                .collect(),
+            link_slow: self.link_slow[..n]
+                .iter()
+                .map(|row| row[..n].to_vec())
+                .collect(),
         }
     }
 }
@@ -506,6 +677,8 @@ impl TopologyBuilder {
             links,
             server_of: self.servers.clone(),
             failed: vec![false; n],
+            link_down: vec![vec![false; n]; n],
+            link_slow: vec![vec![1.0; n]; n],
         }
     }
 }
@@ -751,6 +924,74 @@ mod tests {
         let mut f = t.clone();
         f.fail_device(DeviceId(1));
         assert!(f.prefix(4).is_failed(DeviceId(1)));
+    }
+
+    #[test]
+    fn failed_link_reroutes_through_alternate_staging() {
+        let mut t = Topology::multi_server(2, 2);
+        let (h0, h1) = (t.host_of(0).unwrap(), t.host_of(1).unwrap());
+        let (g0, g2) = (DeviceId(0), DeviceId(2));
+        let staged = vec![(g0, h0), (h0, h1), (h1, g2)];
+        assert_eq!(t.route(g0, g2), staged);
+        // NIC-pair hop dies: skip the egress host, enter through the
+        // destination host directly
+        t.fail_link(h0, h1);
+        assert_eq!(t.try_route(g0, g2), Some(vec![(g0, h1), (h1, g2)]));
+        // destination ingress dies too: stage through the egress host only
+        t.fail_link(h1, g2);
+        assert_eq!(t.try_route(g0, g2), Some(vec![(g0, h0), (h0, g2)]));
+        // last resort: the raw direct inter-server link
+        t.fail_link(h0, g2);
+        assert_eq!(t.try_route(g0, g2), Some(vec![(g0, g2)]));
+        // full partition: unreachable, but route() still prices the
+        // preferred staging for planners
+        t.fail_link(g0, g2);
+        assert_eq!(t.try_route(g0, g2), None);
+        assert_eq!(t.route(g0, g2), staged);
+        // restore brings the preferred staging back
+        t.restore_link(h0, h1);
+        t.restore_link(h1, g2);
+        assert_eq!(t.try_route(g0, g2), Some(staged));
+    }
+
+    #[test]
+    fn intra_server_link_failure_stages_through_host() {
+        let mut t = Topology::single_server(2);
+        let h = t.host_of(0).unwrap();
+        let (a, b) = (DeviceId(0), DeviceId(1));
+        t.fail_link(a, b);
+        assert!(t.live_link(a, b).is_none());
+        assert!(t.link(a, b).is_some(), "physical wiring stays addressable");
+        assert_eq!(t.try_route(a, b), Some(vec![(a, h), (h, b)]));
+        // reverse direction untouched (directional mask)
+        assert_eq!(t.try_route(b, a), Some(vec![(b, a)]));
+        assert_eq!(t.failed_links(), vec![(a, b)]);
+    }
+
+    #[test]
+    fn degraded_link_stretches_transfer_time() {
+        let mut t = Topology::single_server(2);
+        let (a, b) = (DeviceId(0), DeviceId(1));
+        let base = t.transfer_time(a, b, 1 << 20);
+        t.degrade_link(a, b, 4.0);
+        assert!((t.transfer_time(a, b, 1 << 20) - 4.0 * base).abs() < 1e-12);
+        assert!((t.link_degrade_factor(a, b) - 4.0).abs() < 1e-12);
+        // reverse direction and routing are unaffected
+        assert!((t.transfer_time(b, a, 1 << 20) - base).abs() < 1e-12);
+        assert_eq!(t.try_route(a, b), Some(vec![(a, b)]));
+        t.restore_link(a, b);
+        assert!((t.transfer_time(a, b, 1 << 20) - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_preserves_link_health_masks() {
+        let mut t = Topology::multi_server(2, 2);
+        t.fail_link(DeviceId(0), DeviceId(1));
+        t.degrade_link(DeviceId(1), DeviceId(0), 2.0);
+        let p = t.prefix(4);
+        assert!(p.is_link_failed(DeviceId(0), DeviceId(1)));
+        assert!((p.link_degrade_factor(DeviceId(1), DeviceId(0)) - 2.0).abs() < 1e-12);
+        assert!(!p.is_link_failed(DeviceId(1), DeviceId(0)));
     }
 
     #[test]

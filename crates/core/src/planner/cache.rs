@@ -23,8 +23,10 @@ pub struct Fingerprint {
     /// most planners, the raw training graph for start strategies (which
     /// build their own replication).
     pub graph_hash: u64,
-    /// One bit per failed device (bit `d mod 64`), folded by XOR — any
-    /// blacklist change on clusters up to 64 devices changes the mask.
+    /// One bit per failed device (bit `d mod 64`) XORed with a mixed hash
+    /// per failed *link* — any blacklist change, device or link, on
+    /// clusters up to 64 devices changes the mask. Link failures reroute
+    /// transfers, so a plan computed over the healthy wiring is stale.
     pub failed_mask: u64,
     /// [`CostModels::generation`] at planning time for planners that
     /// consult the cost models; 0 for those that do not, so their cached
@@ -66,11 +68,20 @@ impl Fingerprint {
     }
 }
 
-/// XOR-folded bitmask of the blacklisted devices (bit `d mod 64`).
+/// XOR-folded bitmask of the blacklisted devices (bit `d mod 64`), mixed
+/// with a splitmix64-style hash of every blacklisted directed link so
+/// link-health changes invalidate cached plans too.
 fn failed_mask(topo: &Topology) -> u64 {
-    topo.failed_devices()
+    let devices = topo
+        .failed_devices()
         .iter()
-        .fold(0u64, |m, d| m ^ 1u64.rotate_left(d.0 as u32))
+        .fold(0u64, |m, d| m ^ 1u64.rotate_left(d.0 as u32));
+    topo.failed_links().iter().fold(devices, |m, (s, d)| {
+        let mut z = (((s.0 as u64) << 16) | d.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        m ^ (z ^ (z >> 31))
+    })
 }
 
 /// A bounded FIFO memo of computed plans, keyed by [`Fingerprint`].

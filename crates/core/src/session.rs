@@ -20,6 +20,7 @@ use fastt_cost::CostModels;
 use fastt_graph::Graph;
 use fastt_sim::{FaultSchedule, HardwarePerf, RunTrace, SimConfig, SimError};
 use fastt_telemetry::{jobj, Collector, Value};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -111,9 +112,37 @@ pub enum RecoveryEvent {
         /// Measured-over-predicted duration ratio.
         slowdown: f64,
     },
-    /// A recovery fell back to a start strategy (`"data_parallel"` or
-    /// `"model_parallel"`) because the planner candidate was infeasible or
-    /// slower.
+    /// A link was flagged as running slower than the communication model
+    /// predicts; its cost prior was re-seeded pessimistically.
+    LinkDegraded {
+        /// Source endpoint of the straggling directed hop.
+        src: DeviceId,
+        /// Destination endpoint of the straggling directed hop.
+        dst: DeviceId,
+        /// Measured-over-predicted transfer-time ratio.
+        slowdown: f64,
+    },
+    /// A physical link was blacklisted (flaps past the simulator's retry
+    /// budget, reported as [`fastt_sim::SimError::LinkDown`]).
+    LinkFailed {
+        /// Source endpoint of the dead hop.
+        src: DeviceId,
+        /// Destination endpoint of the dead hop.
+        dst: DeviceId,
+        /// The iteration at which it was observed down.
+        iteration: u64,
+    },
+    /// A server partition was detected; every device it hosts was
+    /// blacklisted (each with its own [`RecoveryEvent::DeviceFailed`]).
+    Partitioned {
+        /// The unreachable server.
+        server: u16,
+        /// The iteration at which the partition timed out.
+        iteration: u64,
+    },
+    /// A recovery fell back to a start strategy (`"data_parallel"`,
+    /// `"data_parallel_allreduce"`, or `"model_parallel"`) because the
+    /// planner candidate was infeasible or slower.
     Fallback {
         /// Which fallback won.
         kind: &'static str,
@@ -500,9 +529,16 @@ impl TrainingSession {
                 }
             };
             match outcome {
-                Ok(trace) => {
+                Ok(mut trace) => {
                     if feed_cost {
                         self.check_health(&trace);
+                        self.check_link_health(&trace);
+                        // Transfers over distrusted links would poison the
+                        // healthy same-class fit; the pessimistic override
+                        // already prices them.
+                        trace
+                            .transfers
+                            .retain(|t| !self.cost.comm.is_distrusted(t.src_dev, t.dst_dev));
                         self.cost.update_from_trace(&self.current.graph, &trace);
                     }
                     self.iteration += 1;
@@ -527,6 +563,19 @@ impl TrainingSession {
                 }
                 Err(SimError::DeviceCrash { device, iteration }) => {
                     self.recover_from_failure(device, iteration)?;
+                }
+                Err(SimError::LinkDown {
+                    src,
+                    dst,
+                    iteration,
+                }) => {
+                    self.recover_from_link_failure(src, dst, iteration)?;
+                }
+                Err(SimError::PartitionTimeout { server, iteration }) => {
+                    self.recover_from_partition(server, iteration)?;
+                }
+                Err(SimError::Unreachable { src, dst }) => {
+                    self.recover_from_unreachable(src, dst)?;
                 }
                 Err(oom @ SimError::Oom { .. }) => {
                     // Under an injected memory-pressure spike, degrade to a
@@ -614,6 +663,85 @@ impl TrainingSession {
         }
     }
 
+    /// Link-level health detection: aggregates each directed physical hop's
+    /// measured transfer time in `trace` against the communication model's
+    /// *pre-update* per-link-class predictions. A hop running
+    /// `degraded_slowdown`× slower than predicted is flagged
+    /// (`health.link_degraded`), marked degraded in the [`HealthMap`] and
+    /// the topology's belief mask, and its cost prior re-seeded
+    /// pessimistically ([`CostModels::distrust_link`]) so planners route
+    /// around it — without the slow samples poisoning the healthy
+    /// same-class fit (they are filtered before ingestion). A distrusted
+    /// hop whose measurements drop back under the *inflated* prediction by
+    /// the same margin is restored.
+    ///
+    /// Only engages when a fault schedule is configured: fault-free
+    /// sessions stay bit-identical to pre-fault builds, and a healthy
+    /// cluster's contention noise never trips the detector.
+    fn check_link_health(&mut self, trace: &RunTrace) {
+        if self.config.faults.is_none() {
+            return;
+        }
+        let mut agg: BTreeMap<(DeviceId, DeviceId), (f64, f64)> = BTreeMap::new();
+        for t in &trace.transfers {
+            if t.src_dev == t.dst_dev {
+                continue;
+            }
+            let Some(p) = self.cost.comm.predict(t.src_dev, t.dst_dev, t.bytes) else {
+                continue;
+            };
+            if !p.is_finite() || p <= 1e-12 {
+                continue;
+            }
+            let e = agg.entry((t.src_dev, t.dst_dev)).or_insert((0.0, 0.0));
+            e.0 += t.duration();
+            e.1 += p;
+        }
+        for ((src, dst), (m, p)) in agg {
+            if self.health.is_link_failed(src, dst) {
+                continue;
+            }
+            let ratio = m / p;
+            let distrusted = self.cost.comm.is_distrusted(src, dst);
+            if !distrusted && ratio >= self.config.degraded_slowdown {
+                self.recovery_log.push(RecoveryEvent::LinkDegraded {
+                    src,
+                    dst,
+                    slowdown: ratio,
+                });
+                if let Some(col) = &self.collector {
+                    col.metrics().inc("health.link_degraded");
+                }
+                self.emit(
+                    "health.link_degraded",
+                    jobj! {
+                        "src" => src.0 as u64,
+                        "dst" => dst.0 as u64,
+                        "iteration" => self.iteration,
+                        "slowdown" => ratio,
+                    },
+                );
+                self.health.mark_link_degraded(src, dst, ratio);
+                self.topo.degrade_link(src, dst, ratio);
+                self.cost.distrust_link(src, dst, ratio);
+            } else if distrusted && ratio <= 1.0 / self.config.degraded_slowdown {
+                // measured far below the pessimistic line: the hop healed
+                self.health.mark_link_healthy(src, dst);
+                self.topo.restore_link(src, dst);
+                self.cost.trust_link(src, dst);
+                self.emit(
+                    "health.link_restored",
+                    jobj! {
+                        "src" => src.0 as u64,
+                        "dst" => dst.0 as u64,
+                        "iteration" => self.iteration,
+                        "slowdown" => ratio,
+                    },
+                );
+            }
+        }
+    }
+
     /// Restores `previous` as the active plan after a measured regression —
     /// unless a device failed while the candidate was being measured, in
     /// which case `previous` may reference blacklisted devices and the
@@ -648,6 +776,189 @@ impl TrainingSession {
         self.replan_and_degrade(iteration, "device_failed")
     }
 
+    /// Re-planning for link death: a hop that flapped past the simulator's
+    /// retry budget is blacklisted in both directions (the session treats a
+    /// persistent flap exactly like a crashed device), GPUs the surviving
+    /// wiring can no longer reach are dropped, and the plan is rebuilt —
+    /// [`Topology::try_route`] steers the new plan's transfers around the
+    /// corpse.
+    fn recover_from_link_failure(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        iteration: u64,
+    ) -> Result<(), FastTError> {
+        self.topo.fail_link(src, dst);
+        self.topo.fail_link(dst, src);
+        self.health.mark_link_failed(src, dst);
+        self.health.mark_link_failed(dst, src);
+        // Routes change when a link dies: rebind so route-composed
+        // predictions price the detour, not the dead hop.
+        self.cost.bind_topology(&self.topo);
+        self.recovery_log.push(RecoveryEvent::LinkFailed {
+            src,
+            dst,
+            iteration,
+        });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.link_failures");
+        }
+        self.emit(
+            "health.link_failed",
+            jobj! {
+                "src" => src.0 as u64,
+                "dst" => dst.0 as u64,
+                "iteration" => iteration,
+            },
+        );
+        self.drop_stranded_gpus(iteration);
+        if self.topo.gpu_count() == 0 {
+            return Err(FastTError::ClusterExhausted);
+        }
+        self.replan_and_degrade(iteration, "link_failed")
+    }
+
+    /// Re-planning for a host partition: from the survivors' point of view
+    /// a partitioned server is indistinguishable from a crashed rack, so
+    /// every device it hosts is blacklisted and the plan is rebuilt over
+    /// the remaining servers.
+    fn recover_from_partition(&mut self, server: u16, iteration: u64) -> Result<(), FastTError> {
+        self.recovery_log
+            .push(RecoveryEvent::Partitioned { server, iteration });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.partitions");
+        }
+        self.emit(
+            "session.partition",
+            jobj! {
+                "server" => server as u64,
+                "iteration" => iteration,
+            },
+        );
+        let victims: Vec<DeviceId> = self
+            .topo
+            .device_ids()
+            .filter(|&d| self.topo.server_of(d) == server && !self.topo.is_failed(d))
+            .collect();
+        for d in victims {
+            self.topo.fail_device(d);
+            self.health.mark_failed(d);
+            self.recovery_log.push(RecoveryEvent::DeviceFailed {
+                device: d,
+                iteration,
+            });
+        }
+        self.cost.bind_topology(&self.topo);
+        if self.topo.gpu_count() == 0 {
+            return Err(FastTError::ClusterExhausted);
+        }
+        self.replan_and_degrade(iteration, "partition")
+    }
+
+    /// Re-planning when no live route exists between two placed devices:
+    /// drops whatever the surviving wiring stranded (keeping the largest
+    /// mutually-reachable GPU component) and re-plans; surfaces
+    /// [`FastTError::ClusterExhausted`] when nothing plannable remains.
+    fn recover_from_unreachable(&mut self, src: DeviceId, dst: DeviceId) -> Result<(), FastTError> {
+        let iteration = self.iteration;
+        self.emit(
+            "session.unreachable",
+            jobj! {
+                "src" => src.0 as u64,
+                "dst" => dst.0 as u64,
+                "iteration" => iteration,
+            },
+        );
+        let dropped = self.drop_stranded_gpus(iteration);
+        if dropped.is_empty() {
+            // The unroutable endpoint is not a stranded GPU (e.g. a host
+            // the plan still stages variables through): blacklist the
+            // destination so the next plan routes around it.
+            let victim = if self.topo.is_failed(dst) { src } else { dst };
+            if self.topo.is_failed(victim) {
+                return Err(FastTError::ClusterExhausted);
+            }
+            self.topo.fail_device(victim);
+            self.health.mark_failed(victim);
+            self.recovery_log.push(RecoveryEvent::DeviceFailed {
+                device: victim,
+                iteration,
+            });
+            self.cost.bind_topology(&self.topo);
+        }
+        if self.topo.gpu_count() == 0 {
+            return Err(FastTError::ClusterExhausted);
+        }
+        self.replan_and_degrade(iteration, "unreachable")
+    }
+
+    /// Blacklists every live GPU outside the largest mutually-reachable
+    /// component (ties go to the component holding the lowest device id) —
+    /// after link failures or partitions, stranded GPUs cannot participate
+    /// in any plan. Returns the devices dropped, in id order.
+    fn drop_stranded_gpus(&mut self, iteration: u64) -> Vec<DeviceId> {
+        let gpus: Vec<DeviceId> = self.topo.gpu_ids().collect();
+        let n = gpus.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut comps = 0usize;
+        for i in 0..n {
+            if comp[i] != usize::MAX {
+                continue;
+            }
+            comp[i] = comps;
+            let mut stack = vec![i];
+            while let Some(u) = stack.pop() {
+                for v in 0..n {
+                    if comp[v] == usize::MAX
+                        && self.topo.try_route(gpus[u], gpus[v]).is_some()
+                        && self.topo.try_route(gpus[v], gpus[u]).is_some()
+                    {
+                        comp[v] = comps;
+                        stack.push(v);
+                    }
+                }
+            }
+            comps += 1;
+        }
+        if comps <= 1 {
+            return Vec::new();
+        }
+        let mut sizes = vec![0usize; comps];
+        for &c in &comp {
+            sizes[c] += 1;
+        }
+        // Largest component wins; ties go to the earliest component, which
+        // holds the lowest GPU id since `gpus` is id-ordered.
+        let keep = (0..comps)
+            .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
+            .unwrap_or(0);
+        let mut dropped = Vec::new();
+        for (i, d) in gpus.iter().enumerate() {
+            if comp[i] != keep {
+                self.topo.fail_device(*d);
+                self.health.mark_failed(*d);
+                self.recovery_log.push(RecoveryEvent::DeviceFailed {
+                    device: *d,
+                    iteration,
+                });
+                dropped.push(*d);
+            }
+        }
+        if !dropped.is_empty() {
+            self.cost.bind_topology(&self.topo);
+            self.emit(
+                "session.stranded",
+                jobj! {
+                    "iteration" => iteration,
+                    "dropped" => Value::arr(
+                        dropped.iter().map(|d| d.0 as u64).collect::<Vec<_>>()
+                    ),
+                },
+            );
+        }
+        dropped
+    }
+
     /// Graceful degradation (tentpole (d)): recomputes a planner candidate
     /// over the current (possibly shrunken) topology, probes it against the
     /// start-strategy fallbacks — data parallelism when it still fits, else
@@ -679,42 +990,51 @@ impl TrainingSession {
             col.metrics().inc("session.replans");
         }
 
-        // Stage 1: probe data parallelism over the survivors first — its
-        // feasibility decides which base graph the main planner plans from,
-        // preferring the replica graph exactly as session construction does
-        // (Sec. 5.2's rule).
+        // Stage 1: probe both data-parallel modes over the survivors first —
+        // the ring all-reduce (shrunk ring over whoever is left) and the
+        // PS funnel. Their feasibility decides which base graph the main
+        // planner plans from, preferring the replica graph exactly as
+        // session construction does (Sec. 5.2's rule).
         let probe = self.probe_config();
-        let dp_portfolio = Portfolio::new().with(Box::new(DataParallelPlanner::default()));
+        let dp_portfolio = Portfolio::new()
+            .with(Box::new(DataParallelPlanner::all_reduce()))
+            .with(Box::new(DataParallelPlanner::default()));
         let mut dp_outcome = self.run_portfolio(&dp_portfolio, Some(probe.clone()));
-        let dp_out = dp_outcome.candidates.pop().expect("portfolio of one");
-        let dp_ok = dp_out.simulated.is_some();
-        self.base_graph = match (&dp_out.plan, dp_ok) {
-            (Some(p), true) => p.graph.clone(),
-            _ => self.training_graph.clone(),
-        };
+        let ps_out = dp_outcome.candidates.pop().expect("portfolio of two");
+        let ar_out = dp_outcome.candidates.pop().expect("portfolio of two");
+        let dp_ok = ar_out.simulated.is_some() || ps_out.simulated.is_some();
+        self.base_graph = [&ar_out, &ps_out]
+            .iter()
+            .find(|c| c.simulated.is_some())
+            .and_then(|c| c.plan.as_ref())
+            .map(|p| p.graph.clone())
+            .unwrap_or_else(|| self.training_graph.clone());
 
         // Stage 2: the fresh planner candidate, plus model parallelism as
-        // the last-resort fallback when DP no longer fits. Arbitration over
-        // the merged set keeps the paper's preference order — re-plan, then
-        // data parallelism, then model parallelism — by strict
-        // lowest-probed-time with ties to the earlier candidate.
+        // the last-resort fallback when DP no longer fits (a single-server
+        // plan in the 1-GPU limit). Arbitration over the merged set keeps
+        // the degradation ladder's preference order — re-plan, then ring
+        // all-reduce over the survivors, then the PS funnel, then model
+        // parallelism — by strict lowest-probed-time with ties to the
+        // earlier candidate.
         let mut portfolio = Portfolio::new().with(self.main_planner());
         if !dp_ok {
             portfolio.push(Box::new(ModelParallelPlanner));
         }
         let mut outcome = self.run_portfolio(&portfolio, Some(probe));
         self.adopt_candidate_cost(&mut outcome);
-        let mut merged: Vec<CandidateOutcome> = Vec::with_capacity(3);
+        let mut merged: Vec<CandidateOutcome> = Vec::with_capacity(4);
         let mut rest = outcome.candidates.drain(..);
         merged.push(rest.next().expect("main candidate"));
-        merged.push(dp_out);
+        merged.push(ar_out);
+        merged.push(ps_out);
         merged.extend(rest);
 
         let mut last_err: Option<FastTError> = None;
         for c in merged.iter_mut() {
             // dp probe failures are expected (that is what mp is for) and
             // were never reported by the pre-portfolio recovery loop
-            if c.planner != "data_parallel" {
+            if !c.planner.starts_with("data_parallel") {
                 if let Some(e) = c.error.take() {
                     last_err = Some(e);
                 }
@@ -745,11 +1065,22 @@ impl TrainingSession {
                     c.simulated.expect("probed time"),
                 )
             }
-            None => return Err(last_err.unwrap_or(FastTError::ClusterExhausted)),
+            None => {
+                // A plan that cannot be routed at all is not a planning
+                // failure to retry — the cluster is out of usable wiring.
+                return Err(match last_err {
+                    Some(FastTError::Sim(SimError::Unreachable { .. })) => {
+                        FastTError::ClusterExhausted
+                    }
+                    Some(e) => e,
+                    None => FastTError::ClusterExhausted,
+                });
+            }
         };
         if kind != "replan" {
             if let Some(col) = &self.collector {
                 col.metrics().inc("session.fallbacks");
+                col.metrics().inc("session.degraded_mode");
             }
             self.emit(
                 "session.fallback",
@@ -758,6 +1089,18 @@ impl TrainingSession {
                     "kind" => kind,
                     "reason" => reason,
                     "measured" => probe_measured,
+                },
+            );
+            // The ladder stepped below a fresh DPOS/OS-DPOS plan: the
+            // session is in a degraded operating mode (shrunk ring, PS
+            // funnel, or single-server fallback).
+            self.emit(
+                "session.degraded_mode",
+                jobj! {
+                    "iteration" => iteration,
+                    "mode" => kind,
+                    "reason" => reason,
+                    "survivors" => survivors as u64,
                 },
             );
             self.recovery_log.push(RecoveryEvent::Fallback { kind });
@@ -1241,6 +1584,52 @@ mod tests {
         let plan = s.current_plan();
         let topo = Topology::single_server(2);
         plan.placement.validate(&plan.graph, &topo).unwrap();
+    }
+
+    #[test]
+    fn unreachable_between_dead_endpoints_is_cluster_exhausted() {
+        // Satellite: when the simulator reports an unroutable pair and both
+        // endpoints are already blacklisted, recovery has nothing left to
+        // cut — the session must surface the typed dead end, not loop.
+        let g = Model::LeNet.training_graph(32);
+        let topo = Topology::single_server(2);
+        let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        s.topo.fail_device(DeviceId(0));
+        s.topo.fail_device(DeviceId(1));
+        let err = s
+            .recover_from_unreachable(DeviceId(0), DeviceId(1))
+            .unwrap_err();
+        assert!(matches!(err, FastTError::ClusterExhausted));
+    }
+
+    #[test]
+    fn stranded_gpus_outside_the_largest_component_are_dropped() {
+        // Sever every directed hop between server 0 and server 1 (hosts
+        // included): the four GPUs split 2/2, and the tie must go to the
+        // component holding the lowest device id.
+        let g = Model::LeNet.training_graph(32);
+        let topo = Topology::multi_server(2, 2);
+        let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
+        let ids: Vec<DeviceId> = s.topo.device_ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                if a != b && s.topo.server_of(a) != s.topo.server_of(b) {
+                    s.topo.fail_link(a, b);
+                }
+            }
+        }
+        let dropped = s.drop_stranded_gpus(0);
+        assert_eq!(dropped, vec![DeviceId(2), DeviceId(3)]);
+        assert!(s.topo.is_failed(DeviceId(2)) && s.topo.is_failed(DeviceId(3)));
+        assert!(!s.topo.is_failed(DeviceId(0)) && !s.topo.is_failed(DeviceId(1)));
+        // each drop is logged so same-seed runs replay identically
+        assert_eq!(
+            s.recovery_log()
+                .iter()
+                .filter(|e| matches!(e, RecoveryEvent::DeviceFailed { .. }))
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@
 use crate::linreg::LinReg;
 use fastt_cluster::{DeviceId, Link, LinkClass, Topology};
 use fastt_sim::RunTrace;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Pessimism factor a distrusted hop's line is scaled by when no explicit
+/// factor is given (see [`CommCostModel::distrust_link`]).
+pub const DEFAULT_DISTRUST_FACTOR: f64 = 8.0;
 
 /// Maximum retained samples per regression key (new data replaces the
 /// oldest, so the model adapts to changing congestion).
@@ -57,6 +61,13 @@ pub struct CommCostModel {
     /// Monotonic counter bumped on every [`CommCostModel::refit`]; cached
     /// plans keyed on an older generation are stale once the lines move.
     generation: u64,
+    /// Pessimistic per-directed-pair override lines installed by
+    /// [`CommCostModel::distrust_link`] when the session marks a link
+    /// degraded or failed. Consulted *before* the class fit, so one sick
+    /// link prices pessimistically without poisoning the healthy same-class
+    /// fit every other link answers from. BTreeMap for deterministic
+    /// iteration in [`CommCostModel::distrusted_pairs`].
+    distrust: BTreeMap<(DeviceId, DeviceId), LinReg>,
 }
 
 impl CommCostModel {
@@ -195,9 +206,13 @@ impl CommCostModel {
             .collect();
     }
 
-    /// The best available line for one physical hop: trained class fit,
-    /// else per-pair fit, else the seeded class prior.
+    /// The best available line for one physical hop: distrust override
+    /// first, then trained class fit, else per-pair fit, else the seeded
+    /// class prior.
     fn hop_line(&self, src: DeviceId, dst: DeviceId) -> Option<&LinReg> {
+        if let Some(l) = self.distrust.get(&(src, dst)) {
+            return Some(l);
+        }
         if let Some(c) = self.class_key(src, dst) {
             if let Some(f) = self.fits.get(&CommKey::Class(c)) {
                 return Some(f);
@@ -221,17 +236,23 @@ impl CommCostModel {
     /// Predicted transfer time for `bytes` from `src` to `dst`.
     ///
     /// Returns 0 for intra-device "transfers". Bound models sum hop
-    /// predictions along the physical route, answering from class fits and
-    /// falling back to the seeded priors for classes never profiled — so a
-    /// bound model always has a (non-zero) opinion about connected pairs.
-    /// Unbound models return `None` for pairs never profiled.
+    /// predictions along the *health-aware* physical route
+    /// ([`Topology::try_route`]), answering from class fits and falling back
+    /// to the seeded priors for classes never profiled — so a bound model
+    /// always has a (non-zero) opinion about connected pairs. A pair the
+    /// topology cannot route around dead links for prices as
+    /// `Some(f64::INFINITY)`, so planners rank any reachable placement above
+    /// one that needs a dead link. Unbound models return `None` for pairs
+    /// never profiled.
     pub fn predict(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> Option<f64> {
         if src == dst {
             return Some(0.0);
         }
         match &self.topo {
             Some(topo) => {
-                let route = topo.route(src, dst);
+                let Some(route) = topo.try_route(src, dst) else {
+                    return Some(f64::INFINITY);
+                };
                 if route.is_empty() {
                     return Some(0.0);
                 }
@@ -313,9 +334,67 @@ impl CommCostModel {
         self.fits.get(&CommKey::Pair(src, dst))
     }
 
-    /// Monotonic refit generation: bumped once per [`CommCostModel::refit`].
+    /// Re-seeds a pessimistic prior for one *directed* hop after a link
+    /// health change: the hop's current best line (class fit, pair fit, or
+    /// prior — whatever [`CommCostModel::predict`] would have used) is
+    /// snapshotted, scaled by `factor`, and installed as a per-pair override
+    /// consulted before the class fit. The healthy same-class fit is
+    /// untouched, so sibling links keep answering from real measurements.
+    ///
+    /// Distrusting an already-distrusted hop compounds (the override is
+    /// scaled again), mirroring [`Topology::degrade_link`]. Advances
+    /// [`CommCostModel::generation`] — cached plans priced with the
+    /// trusting line are stale. Returns `false` (and changes nothing) when
+    /// the model has no line at all for the hop, which only happens unbound
+    /// with no profiled samples.
+    pub fn distrust_link(&mut self, src: DeviceId, dst: DeviceId, factor: f64) -> bool {
+        assert!(factor > 0.0, "distrust factor must be positive");
+        if let Some(l) = self.distrust.get_mut(&(src, dst)) {
+            l.slope *= factor;
+            l.intercept *= factor;
+            self.generation += 1;
+            return true;
+        }
+        let Some(base) = self.hop_line(src, dst).copied() else {
+            return false;
+        };
+        self.distrust.insert(
+            (src, dst),
+            LinReg {
+                slope: base.slope * factor,
+                intercept: base.intercept * factor,
+                n: 0,
+            },
+        );
+        self.generation += 1;
+        true
+    }
+
+    /// Drops the distrust override for a directed hop (the link healed or
+    /// fresh measurements re-earned trust); predictions fall back to the
+    /// fit→prior chain. Advances the generation only when an override was
+    /// actually removed.
+    pub fn trust_link(&mut self, src: DeviceId, dst: DeviceId) {
+        if self.distrust.remove(&(src, dst)).is_some() {
+            self.generation += 1;
+        }
+    }
+
+    /// Whether a directed hop currently prices from a distrust override.
+    pub fn is_distrusted(&self, src: DeviceId, dst: DeviceId) -> bool {
+        self.distrust.contains_key(&(src, dst))
+    }
+
+    /// Every distrusted directed hop, in deterministic id order.
+    pub fn distrusted_pairs(&self) -> Vec<(DeviceId, DeviceId)> {
+        self.distrust.keys().copied().collect()
+    }
+
+    /// Monotonic refit generation: bumped once per [`CommCostModel::refit`]
+    /// and once per installed/compounded/removed distrust override
+    /// ([`CommCostModel::distrust_link`] / [`CommCostModel::trust_link`]).
     /// Binding a topology and seeding priors do not advance it — plan-cache
-    /// fingerprints only move when measurements do.
+    /// fingerprints only move when the model's *answers* do.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -464,6 +543,80 @@ mod tests {
         let p = m.predict(DeviceId(2), DeviceId(3), 8 << 20).unwrap();
         let want = 1e-5 + (8u64 << 20) as f64 / 40.0e9;
         assert!((p - want).abs() / want < 0.05, "got {p}, want {want}");
+    }
+
+    #[test]
+    fn distrust_overrides_one_pair_without_poisoning_class_fit() {
+        let mut m = CommCostModel::new();
+        m.bind_topology(&Topology::single_server(4));
+        // train the NVLink class from the (0,1) edge
+        let truth = |b: u64| 4e-6 + b as f64 / 50.0e9;
+        for mb in [1u64, 4, 16, 64] {
+            let b = mb << 20;
+            m.observe(D0, D1, b, truth(b));
+        }
+        m.refit();
+        let probe = 8u64 << 20;
+        let healthy = m.predict(D0, D1, probe).unwrap();
+
+        // distrust the (2,3) hop: its prediction scales, siblings don't
+        let g = m.generation();
+        assert!(m.distrust_link(DeviceId(2), DeviceId(3), 4.0));
+        assert!(m.generation() > g, "distrust must invalidate cached plans");
+        assert!(m.is_distrusted(DeviceId(2), DeviceId(3)));
+        let sick = m.predict(DeviceId(2), DeviceId(3), probe).unwrap();
+        assert!((sick - 4.0 * healthy).abs() / healthy < 1e-9);
+        // the directed override does not leak to the reverse direction...
+        let reverse = m.predict(DeviceId(3), DeviceId(2), probe).unwrap();
+        assert!((reverse - healthy).abs() < 1e-12);
+        // ...nor to any other same-class pair
+        let sibling = m.predict(D0, D1, probe).unwrap();
+        assert!((sibling - healthy).abs() < 1e-12);
+
+        // compounding mirrors Topology::degrade_link
+        m.distrust_link(DeviceId(2), DeviceId(3), 2.0);
+        let worse = m.predict(DeviceId(2), DeviceId(3), probe).unwrap();
+        assert!((worse - 8.0 * healthy).abs() / healthy < 1e-9);
+
+        // trust restores the class fit and bumps the generation again
+        let g = m.generation();
+        m.trust_link(DeviceId(2), DeviceId(3));
+        assert!(m.generation() > g);
+        assert!(!m.is_distrusted(DeviceId(2), DeviceId(3)));
+        let healed = m.predict(DeviceId(2), DeviceId(3), probe).unwrap();
+        assert!((healed - healthy).abs() < 1e-12);
+        // trusting an un-distrusted pair is generation-neutral
+        let g = m.generation();
+        m.trust_link(D0, D1);
+        assert_eq!(m.generation(), g);
+    }
+
+    #[test]
+    fn unreachable_pair_prices_as_infinite() {
+        let mut m = CommCostModel::new();
+        let mut topo = Topology::multi_server(2, 2);
+        let g0 = DeviceId(0);
+        let g2 = DeviceId(2);
+        let h0 = topo.host_of(0).unwrap();
+        let h1 = topo.host_of(1).unwrap();
+        // sever every live path from g0 to g2, then rebind so the model
+        // prices against the degraded topology
+        topo.fail_link(h0, h1);
+        topo.fail_link(h1, g2);
+        topo.fail_link(h0, g2);
+        topo.fail_link(g0, g2);
+        m.bind_topology(&topo);
+        assert_eq!(m.predict(g0, g2, 1 << 20), Some(f64::INFINITY));
+        // pairs with surviving routes still price finitely
+        let intra = m.predict(g0, DeviceId(1), 1 << 20).unwrap();
+        assert!(intra.is_finite() && intra > 0.0);
+        // and an infinite ring hop poisons the whole collective estimate
+        // (ring ordered so one hop is the unreachable g0→g2 pair)
+        assert_eq!(
+            m.predict_allreduce(&[g0, g2], 1 << 20),
+            Some(f64::INFINITY),
+            "a ring crossing a dead pair must never look attractive"
+        );
     }
 
     #[test]

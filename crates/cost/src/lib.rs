@@ -47,7 +47,7 @@ mod comm;
 mod comp;
 mod linreg;
 
-pub use comm::CommCostModel;
+pub use comm::{CommCostModel, DEFAULT_DISTRUST_FACTOR};
 pub use comp::{canonical_name, CompCostModel};
 pub use linreg::LinReg;
 
@@ -148,6 +148,25 @@ impl CostModels {
                 "comm_samples" => comm_n,
             },
         );
+    }
+
+    /// Re-seeds a pessimistic communication prior for one directed hop after
+    /// a link health change (see [`CommCostModel::distrust_link`]): the
+    /// hop's line is scaled by `factor` via a per-pair override, leaving the
+    /// healthy same-class fit untouched. Advances [`CostModels::generation`].
+    pub fn distrust_link(
+        &mut self,
+        src: fastt_cluster::DeviceId,
+        dst: fastt_cluster::DeviceId,
+        factor: f64,
+    ) -> bool {
+        self.comm.distrust_link(src, dst, factor)
+    }
+
+    /// Drops the distrust override for a directed hop (see
+    /// [`CommCostModel::trust_link`]).
+    pub fn trust_link(&mut self, src: fastt_cluster::DeviceId, dst: fastt_cluster::DeviceId) {
+        self.comm.trust_link(src, dst)
     }
 
     /// Whether every op of `graph` has at least one profiled execution.

@@ -209,6 +209,7 @@ mod tests {
             steps: 0,
             mem_timeline: Vec::new(),
             reexecutions: 0,
+            comm_retries: 0,
         };
         (g, trace)
     }

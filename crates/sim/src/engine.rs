@@ -53,6 +53,17 @@ pub struct SimConfig {
     /// consulted by `FaultKind::ProfileFailure` faults: attempts below the
     /// fault's threshold fail with [`SimError::Transient`].
     pub attempt: u32,
+    /// How many times a transfer retries a hop that a `LinkFlap` fault
+    /// finds down before giving up with [`SimError::LinkDown`]. Only
+    /// consulted when a fault schedule is set.
+    pub comm_retries: u32,
+    /// First retry backoff in simulated seconds; doubles per retry
+    /// (bounded exponential backoff).
+    pub comm_backoff_base: f64,
+    /// Deadline in simulated seconds for one transfer's retry budget: a
+    /// hop that cannot come up within it — a partitioned server, a flap
+    /// whose backoff would overrun it — fails typed instead of hanging.
+    pub transfer_deadline: f64,
 }
 
 impl Default for SimConfig {
@@ -67,6 +78,9 @@ impl Default for SimConfig {
             record_mem_timeline: false,
             faults: None,
             attempt: 0,
+            comm_retries: 4,
+            comm_backoff_base: 5e-4,
+            transfer_deadline: 0.5,
         }
     }
 }
@@ -109,11 +123,24 @@ enum Event {
 /// cost model learns single links from them). Returns the arrival time of
 /// the last hop.
 ///
-/// Fault semantics: each hop is degraded by its own physical link factor;
-/// multi-hop routes are *additionally* degraded by the logical pair's factor
-/// so that scripted `LinkDegrade(src → dst)` faults keep biting after the
-/// route decomposition (a single-hop route applies the factor exactly once,
-/// matching the pre-route engine).
+/// Fault semantics — every network fault is applied **per physical hop**:
+///
+/// * `LinkDegrade(a → b)` matching the hop stretches it; a degradation
+///   scripted against the *logical* pair additionally stretches the
+///   inter-server hop of a staged route (cross-server degradation is an Eth
+///   problem, not a fictional direct link's);
+/// * `NicDegrade` stretches hops entering or leaving the server's NIC;
+/// * `coll_factor` carries the collective-straggler stretch (`1.0` for
+///   plain P2P);
+/// * `LinkFlap` puts the hop through a bounded exponential-backoff retry
+///   loop — retries are counted and, past the budget or the deadline, the
+///   transfer fails typed with [`SimError::LinkDown`];
+/// * a hop crossing into (or out of) a partitioned server can never
+///   complete: the transfer burns its deadline and fails typed with
+///   [`SimError::PartitionTimeout`] instead of hanging;
+/// * a hop over an administratively failed link fails immediately with
+///   [`SimError::LinkDown`] (plans are validated against this, so hitting
+///   it means the link died after lowering).
 #[allow(clippy::too_many_arguments)]
 fn run_route(
     route: &[(DeviceId, DeviceId)],
@@ -122,25 +149,135 @@ fn run_route(
     dst_op: OpId,
     start: f64,
     logical: (DeviceId, DeviceId),
+    coll_factor: f64,
     topo: &Topology,
     config: &SimConfig,
     channels: &mut HashMap<(u32, u32), f64>,
     contention: &mut f64,
     transfers: &mut Vec<TransferRecord>,
-) -> f64 {
-    let logical_factor = match &config.faults {
-        Some(f) if route.len() > 1 => f.link_factor(logical.0, logical.1, config.iteration),
-        _ => 1.0,
-    };
+    comm_retries: &mut u64,
+) -> Result<f64, SimError> {
     let mut cursor = start;
     for &(a, b) in route {
+        let cross_server = topo.server_of(a) != topo.server_of(b);
+        if let Some(faults) = &config.faults {
+            if cross_server {
+                for server in [topo.server_of(a), topo.server_of(b)] {
+                    if faults.is_partitioned(server, config.iteration) {
+                        if config.attempt == 0 {
+                            if let Some(col) = &config.collector {
+                                col.metrics().inc("fault.link");
+                                col.emit(
+                                    "fault.link",
+                                    jobj! {
+                                        "kind" => "partition_timeout",
+                                        "src" => a.0 as u64,
+                                        "dst" => b.0 as u64,
+                                        "server" => server as u64,
+                                        "iteration" => config.iteration,
+                                        "deadline" => config.transfer_deadline,
+                                    },
+                                );
+                            }
+                        }
+                        return Err(SimError::PartitionTimeout {
+                            server,
+                            iteration: config.iteration,
+                        });
+                    }
+                }
+            }
+        }
+        if topo.is_link_failed(a, b) {
+            return Err(SimError::LinkDown {
+                src: a,
+                dst: b,
+                iteration: config.iteration,
+            });
+        }
+        // Flap retry loop: each attempt flips an independent deterministic
+        // coin; down attempts back off exponentially. The budget and the
+        // deadline both bound the loop, so a persistent flap surfaces a
+        // typed error in bounded simulated time.
+        if let Some(faults) = &config.faults {
+            if faults.link_flap_prob(a, b, config.iteration) > 0.0 {
+                let mut wait = 0.0f64;
+                let mut up = false;
+                let mut attempt = 0u32;
+                loop {
+                    if !faults.link_flapped(config.seed, src_op.0, a, b, config.iteration, attempt)
+                    {
+                        up = true;
+                        break;
+                    }
+                    if attempt >= config.comm_retries {
+                        break;
+                    }
+                    let backoff = config.comm_backoff_base * (1u64 << attempt.min(32)) as f64;
+                    if wait + backoff > config.transfer_deadline {
+                        break;
+                    }
+                    wait += backoff;
+                    *comm_retries += 1;
+                    if config.attempt == 0 {
+                        if let Some(col) = &config.collector {
+                            col.metrics().inc("comm.retries");
+                            col.emit(
+                                "comm.retry",
+                                jobj! {
+                                    "op" => src_op.0 as u64,
+                                    "src" => a.0 as u64,
+                                    "dst" => b.0 as u64,
+                                    "retry" => (attempt + 1) as u64,
+                                    "backoff" => backoff,
+                                    "iteration" => config.iteration,
+                                },
+                            );
+                        }
+                    }
+                    attempt += 1;
+                }
+                cursor += wait;
+                if !up {
+                    if config.attempt == 0 {
+                        if let Some(col) = &config.collector {
+                            col.metrics().inc("fault.link");
+                            col.emit(
+                                "fault.link",
+                                jobj! {
+                                    "kind" => "link_down",
+                                    "src" => a.0 as u64,
+                                    "dst" => b.0 as u64,
+                                    "retries" => attempt as u64,
+                                    "iteration" => config.iteration,
+                                },
+                            );
+                        }
+                    }
+                    return Err(SimError::LinkDown {
+                        src: a,
+                        dst: b,
+                        iteration: config.iteration,
+                    });
+                }
+            }
+        }
         let key = topo.channel_key(a, b);
         let free_at = channels.get(&key).copied().unwrap_or(0.0).max(cursor);
         *contention += free_at - cursor;
         let link = topo.link(a, b).expect("route hops are physical links");
-        let mut xfer = link.transfer_time(bytes);
+        let mut xfer = link.transfer_time(bytes) * coll_factor;
         if let Some(faults) = &config.faults {
-            xfer *= faults.link_factor(a, b, config.iteration) * logical_factor;
+            xfer *= faults.link_factor(a, b, config.iteration);
+            if cross_server {
+                xfer *= faults.nic_factor(topo.server_of(a), config.iteration)
+                    * faults.nic_factor(topo.server_of(b), config.iteration);
+                // a degradation scripted against the logical endpoints of a
+                // staged route bites on its inter-server hop
+                if route.len() > 1 {
+                    xfer *= faults.link_factor(logical.0, logical.1, config.iteration);
+                }
+            }
         }
         let hop_end = free_at + xfer;
         channels.insert(key, hop_end);
@@ -163,7 +300,7 @@ fn run_route(
         }
         cursor = hop_end;
     }
-    cursor
+    Ok(cursor)
 }
 
 /// Executes one lowered collective over the channel timelines, starting at
@@ -172,6 +309,14 @@ fn run_route(
 /// its slowest ring hop, and each ring hop expands to its physical route.
 /// Broadcast fans the full tensor from the first participant to every other
 /// concurrently. Returns the completion time.
+///
+/// A scripted `CollectiveStraggler` on any participant drags every ring
+/// hop (the slowest rank paces the ring). A participant pair left without
+/// a live route — a partition mid-ring, a crashed staging host — aborts
+/// the collective *deterministically* with a typed error rather than
+/// simulating a hang: the error propagates out of the event loop within
+/// the transfer deadline semantics of [`run_route`].
+#[allow(clippy::too_many_arguments)]
 fn run_collective(
     step: &CollectiveStep,
     now: f64,
@@ -180,16 +325,29 @@ fn run_collective(
     channels: &mut HashMap<(u32, u32), f64>,
     contention: &mut f64,
     transfers: &mut Vec<TransferRecord>,
-) -> f64 {
+    comm_retries: &mut u64,
+) -> Result<f64, SimError> {
     let n = step.participants.len();
     if n < 2 {
-        return now;
+        return Ok(now);
     }
+    let coll_factor = match &config.faults {
+        Some(f) => step
+            .participants
+            .iter()
+            .map(|&p| f.collective_slowdown(p, config.iteration))
+            .fold(1.0, f64::max),
+        None => 1.0,
+    };
+    let ring_route = |a: DeviceId, b: DeviceId| -> Result<Vec<(DeviceId, DeviceId)>, SimError> {
+        topo.try_route(a, b)
+            .ok_or(SimError::Unreachable { src: a, dst: b })
+    };
     if step.kind == CollectiveKind::Broadcast {
         let root = step.participants[0];
         let mut end = now;
         for &p in &step.participants[1..] {
-            let route = topo.route(root, p);
+            let route = ring_route(root, p)?;
             let t = run_route(
                 &route,
                 step.bytes,
@@ -197,15 +355,17 @@ fn run_collective(
                 step.node,
                 now,
                 (root, p),
+                coll_factor,
                 topo,
                 config,
                 channels,
                 contention,
                 transfers,
-            );
+                comm_retries,
+            )?;
             end = end.max(t);
         }
-        return end;
+        return Ok(end);
     }
     let chunk = step.chunk_bytes();
     let mut t = now;
@@ -215,7 +375,7 @@ fn run_collective(
         for i in 0..n {
             let a = step.participants[i];
             let b = step.participants[(i + 1) % n];
-            let route = topo.route(a, b);
+            let route = ring_route(a, b)?;
             let hop_end = run_route(
                 &route,
                 chunk,
@@ -223,17 +383,19 @@ fn run_collective(
                 step.node,
                 phase_start,
                 (a, b),
+                coll_factor,
                 topo,
                 config,
                 channels,
                 contention,
                 transfers,
-            );
+                comm_retries,
+            )?;
             phase_end = phase_end.max(hop_end);
         }
         t = phase_end;
     }
-    t
+    Ok(t)
 }
 
 /// Simulates one iteration.
@@ -248,7 +410,13 @@ fn run_collective(
 /// * [`SimError::DeviceCrash`] if a scheduled fault crashed a device the
 ///   placement still uses;
 /// * [`SimError::Transient`] if a scheduled profile-failure fault aborts
-///   this attempt (`config.attempt` below the fault's threshold).
+///   this attempt (`config.attempt` below the fault's threshold);
+/// * [`SimError::Unreachable`] if a required transfer has no live route;
+/// * [`SimError::LinkDown`] if a link flap outlasts the retry budget (or a
+///   route references an administratively failed link);
+/// * [`SimError::PartitionTimeout`] if a transfer must cross into a
+///   partitioned server — including a collective ring hop, which aborts
+///   the collective deterministically instead of hanging.
 pub fn simulate(
     graph: &Graph,
     topo: &Topology,
@@ -276,11 +444,25 @@ pub fn simulate(
             if let Some(col) = &config.collector {
                 for f in faults.active(config.iteration) {
                     col.metrics().inc("sim.faults_active");
+                    // Device-scoped faults carry their device id;
+                    // server-scoped ones (partition, NIC) their server id.
+                    let scope = f
+                        .kind
+                        .device()
+                        .map(|d| d.0 as u64)
+                        .or_else(|| f.kind.server().map(|s| s as u64))
+                        .unwrap_or(0);
+                    let scope_kind = if f.kind.device().is_some() {
+                        "device"
+                    } else {
+                        "server"
+                    };
                     col.emit(
                         "fault.injected",
                         jobj! {
                             "kind" => f.kind.label(),
-                            "device" => f.kind.device().0 as u64,
+                            "device" => scope,
+                            "scope" => scope_kind,
                             "iteration" => config.iteration,
                             "from_iter" => f.from_iter,
                             "until_iter" => f.until_iter,
@@ -406,8 +588,11 @@ pub fn simulate(
 
     // The communication plan: every cross-device edge's route and every
     // collective's ring, lowered once up front (see `crate::comm`). The
-    // event loop below only *executes* it.
-    let plan = CommPlan::lower(graph, placement, topo);
+    // event loop below only *executes* it. Lowering is typed-fallible
+    // (blacklisted devices, unreachable pairs) and the validator proves
+    // the plan references only live links and cannot deadlock.
+    let plan = CommPlan::lower(graph, placement, topo)?;
+    plan.validate(topo, config.iteration)?;
     let mut coll_pending: Vec<u32> = plan
         .collectives
         .iter()
@@ -444,6 +629,7 @@ pub fn simulate(
     let mut steps = 0u64;
     let mut mem_timeline: Vec<MemSample> = Vec::new();
     let mut reexecutions = 0u64;
+    let mut comm_retry_count = 0u64;
 
     // Seed ready queues with zero-indegree ops. Under FIFO the seeding order
     // is *hash-shuffled*: TensorFlow's default executor pops initially-ready
@@ -639,12 +825,14 @@ pub fn simulate(
                         send.dsts[0],
                         now,
                         (sd, send.dst_dev),
+                        1.0,
                         topo,
                         config,
                         &mut channels,
                         &mut contention,
                         &mut transfers,
-                    );
+                        &mut comm_retry_count,
+                    )?;
                     if config.attempt == 0 {
                         if let Some(col) = &config.collector {
                             col.emit(
@@ -679,7 +867,7 @@ pub fn simulate(
                     let step = plan
                         .collective(node)
                         .expect("fed node carries a collective step");
-                    let end = run_collective(
+                    let end = match run_collective(
                         step,
                         now,
                         topo,
@@ -687,7 +875,31 @@ pub fn simulate(
                         &mut channels,
                         &mut contention,
                         &mut transfers,
-                    );
+                        &mut comm_retry_count,
+                    ) {
+                        Ok(end) => end,
+                        Err(e) => {
+                            // Deterministic abort: the ring cannot finish
+                            // (partition, dead staging, flap past budget) —
+                            // surface the typed cause instead of hanging.
+                            if config.attempt == 0 {
+                                if let Some(col) = &config.collector {
+                                    col.metrics().inc("comm.collective_aborts");
+                                    col.emit(
+                                        "comm.collective_abort",
+                                        jobj! {
+                                            "node" => node.0 as u64,
+                                            "kind" => step.kind.to_string().as_str(),
+                                            "participants" => step.participants.len() as u64,
+                                            "error" => e.to_string().as_str(),
+                                            "iteration" => config.iteration,
+                                        },
+                                    );
+                                }
+                            }
+                            return Err(e);
+                        }
+                    };
                     collectives_run.push(CollectiveRecord {
                         node,
                         kind: step.kind,
@@ -840,6 +1052,7 @@ pub fn simulate(
         steps,
         mem_timeline,
         reexecutions,
+        comm_retries: comm_retry_count,
     };
     if let Some(col) = &config.collector {
         let m = col.metrics();

@@ -51,6 +51,32 @@ pub enum SimError {
         /// The attempt number that failed (0-based).
         attempt: u32,
     },
+    /// A physical link stayed down past the transfer's retry budget (a
+    /// flap that never came back): the plan must stop routing over it.
+    LinkDown {
+        /// Source device of the dead hop.
+        src: DeviceId,
+        /// Destination device of the dead hop.
+        dst: DeviceId,
+        /// The training iteration at which the link gave out.
+        iteration: u64,
+    },
+    /// A host partition cut every route to a server before the transfer
+    /// deadline: the plan must stop using the partitioned server.
+    PartitionTimeout {
+        /// The unreachable server.
+        server: u16,
+        /// The training iteration at which the partition was observed.
+        iteration: u64,
+    },
+    /// No live route exists between two devices the plan requires to
+    /// communicate (every candidate staging crosses a failed link).
+    Unreachable {
+        /// Source device of the impossible transfer.
+        src: DeviceId,
+        /// Destination device of the impossible transfer.
+        dst: DeviceId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +106,23 @@ impl fmt::Display for SimError {
                 f,
                 "transient failure on {device} (iteration {iteration}, attempt {attempt})"
             ),
+            SimError::LinkDown {
+                src,
+                dst,
+                iteration,
+            } => write!(
+                f,
+                "link {src} -> {dst} down past retry budget (iteration {iteration})"
+            ),
+            SimError::PartitionTimeout { server, iteration } => {
+                write!(
+                    f,
+                    "server {server} partitioned: transfer deadline exceeded (iteration {iteration})"
+                )
+            }
+            SimError::Unreachable { src, dst } => {
+                write!(f, "no live route from {src} to {dst}")
+            }
         }
     }
 }
@@ -102,6 +145,25 @@ impl SimError {
     pub fn crashed_device(&self) -> Option<DeviceId> {
         match self {
             SimError::DeviceCrash { device, .. } => Some(*device),
+            _ => None,
+        }
+    }
+
+    /// The dead or unroutable link, when this is a network failure
+    /// ([`SimError::LinkDown`] or [`SimError::Unreachable`]).
+    pub fn dead_link(&self) -> Option<(DeviceId, DeviceId)> {
+        match self {
+            SimError::LinkDown { src, dst, .. } | SimError::Unreachable { src, dst } => {
+                Some((*src, *dst))
+            }
+            _ => None,
+        }
+    }
+
+    /// The partitioned server, when this is a [`SimError::PartitionTimeout`].
+    pub fn partitioned_server(&self) -> Option<u16> {
+        match self {
+            SimError::PartitionTimeout { server, .. } => Some(*server),
             _ => None,
         }
     }

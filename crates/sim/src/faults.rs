@@ -87,18 +87,71 @@ pub enum FaultKind {
         /// Bytes unavailable to the training job while active.
         reserve_bytes: u64,
     },
+    /// The `src → dst` link flaps: each transfer attempt over the hop
+    /// independently (but deterministically, from the seed) finds the link
+    /// down with probability `prob` and must back off and retry. A
+    /// transfer that exhausts its retry budget surfaces
+    /// [`SimError::LinkDown`](crate::SimError).
+    LinkFlap {
+        /// Source device of the flapping direction.
+        src: DeviceId,
+        /// Destination device.
+        dst: DeviceId,
+        /// Per-attempt probability in `[0, 1]` that the hop is down.
+        prob: f64,
+    },
+    /// The server is cut off from the rest of the cluster (switch failure,
+    /// mis-pushed ACL): every transfer crossing the partition boundary
+    /// times out and surfaces
+    /// [`SimError::PartitionTimeout`](crate::SimError).
+    HostPartition {
+        /// The partitioned server.
+        server: u16,
+    },
+    /// Collective phases involving the device run `slowdown`× slower
+    /// (a slow NCCL rank dragging the whole ring). Plain P2P transfers
+    /// are unaffected. `slowdown > 1`.
+    CollectiveStraggler {
+        /// The slow participant.
+        device: DeviceId,
+        /// Multiplier on collective hop times (e.g. `4.0`).
+        slowdown: f64,
+    },
+    /// Every hop entering or leaving the server's NIC moves `factor`×
+    /// slower (duplex negotiation drop, failing optics). Intra-server
+    /// hops are unaffected. `factor > 1`.
+    NicDegrade {
+        /// The server whose NIC degraded.
+        server: u16,
+        /// Multiplier on inter-server hop times (e.g. `8.0`).
+        factor: f64,
+    },
 }
 
 impl FaultKind {
-    /// The primary device this fault touches (the `src` for link faults).
-    pub fn device(&self) -> DeviceId {
+    /// The primary device this fault touches (the `src` for link faults),
+    /// or `None` for server-scoped faults ([`FaultKind::HostPartition`],
+    /// [`FaultKind::NicDegrade`]).
+    pub fn device(&self) -> Option<DeviceId> {
         match *self {
             FaultKind::Straggler { device, .. }
             | FaultKind::TransientOp { device, .. }
             | FaultKind::ProfileFailure { device, .. }
             | FaultKind::Crash { device }
-            | FaultKind::MemPressure { device, .. } => device,
-            FaultKind::LinkDegrade { src, .. } => src,
+            | FaultKind::MemPressure { device, .. }
+            | FaultKind::CollectiveStraggler { device, .. } => Some(device),
+            FaultKind::LinkDegrade { src, .. } | FaultKind::LinkFlap { src, .. } => Some(src),
+            FaultKind::HostPartition { .. } | FaultKind::NicDegrade { .. } => None,
+        }
+    }
+
+    /// The server this fault is scoped to, for server-scoped faults.
+    pub fn server(&self) -> Option<u16> {
+        match *self {
+            FaultKind::HostPartition { server } | FaultKind::NicDegrade { server, .. } => {
+                Some(server)
+            }
+            _ => None,
         }
     }
 
@@ -111,6 +164,10 @@ impl FaultKind {
             FaultKind::ProfileFailure { .. } => "profile_failure",
             FaultKind::Crash { .. } => "crash",
             FaultKind::MemPressure { .. } => "mem_pressure",
+            FaultKind::LinkFlap { .. } => "link_flap",
+            FaultKind::HostPartition { .. } => "host_partition",
+            FaultKind::CollectiveStraggler { .. } => "collective_straggler",
+            FaultKind::NicDegrade { .. } => "nic_degrade",
         }
     }
 }
@@ -247,6 +304,70 @@ impl FaultSchedule {
         s
     }
 
+    /// A seed-determined *network* chaos scenario over `gpus` devices
+    /// spread across `servers` servers and `iters` iterations: one
+    /// flapping link early on, one collective straggler, one degraded NIC,
+    /// and — when at least two servers exist — a permanent host partition
+    /// from mid-run (the network analogue of [`FaultSchedule::seeded`]'s
+    /// crash). Device ids are drawn from `0..gpus` and server ids from
+    /// `0..servers`, matching the GPU-first id layout of
+    /// `Topology::multi_server`.
+    pub fn seeded_network(seed: u64, gpus: u16, servers: u16, iters: u64) -> Self {
+        assert!(
+            gpus > 0 && servers > 0 && iters > 0,
+            "need devices, servers and iterations"
+        );
+        let pick = |salt: u64, modulo: u64| -> u64 {
+            if modulo == 0 {
+                0
+            } else {
+                splitmix64(seed ^ 0x4E7_F417 ^ splitmix64(salt)) % modulo
+            }
+        };
+        let dev = |salt: u64| DeviceId(pick(salt, gpus as u64) as u16);
+        let span = (iters / 4).max(1);
+        let flap_src = dev(1);
+        let mut flap_dst = dev(2);
+        if flap_dst == flap_src {
+            flap_dst = DeviceId((flap_dst.0 + 1) % gpus);
+        }
+        let mut s = FaultSchedule::none()
+            .with(Fault::windowed(
+                FaultKind::LinkFlap {
+                    src: flap_src,
+                    dst: flap_dst,
+                    prob: 0.2 + pick(3, 30) as f64 / 100.0,
+                },
+                pick(4, iters / 2),
+                pick(4, iters / 2) + span,
+            ))
+            .with(Fault::windowed(
+                FaultKind::CollectiveStraggler {
+                    device: dev(5),
+                    slowdown: 3.0 + pick(6, 40) as f64 / 10.0,
+                },
+                pick(7, iters),
+                pick(7, iters) + span,
+            ))
+            .with(Fault::windowed(
+                FaultKind::NicDegrade {
+                    server: pick(8, servers as u64) as u16,
+                    factor: 4.0 + pick(9, 80) as f64 / 10.0,
+                },
+                pick(10, iters),
+                pick(10, iters) + span,
+            ));
+        if servers >= 2 {
+            s = s.with(Fault::from(
+                FaultKind::HostPartition {
+                    server: pick(11, servers as u64) as u16,
+                },
+                iters / 2 + pick(12, span),
+            ));
+        }
+        s
+    }
+
     /// Whether the schedule injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
@@ -286,6 +407,82 @@ impl FaultSchedule {
                     dst: d,
                     factor,
                 } if s == src && d == dst => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Per-attempt probability that the `src → dst` hop is down at
+    /// `iteration` (max of overlapping flap windows; `0.0` when healthy).
+    pub fn link_flap_prob(&self, src: DeviceId, dst: DeviceId, iteration: u64) -> f64 {
+        self.active(iteration)
+            .filter_map(|f| match f.kind {
+                FaultKind::LinkFlap {
+                    src: s,
+                    dst: d,
+                    prob,
+                } if s == src && d == dst => Some(prob),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Deterministic flap coin: whether transfer attempt `attempt` of
+    /// `op`'s send over the `src → dst` hop finds the link down at
+    /// `iteration`. Each attempt gets an independent coin, so bounded
+    /// retries with backoff usually ride a flap out — and deterministically
+    /// exhaust their budget on persistent flaps.
+    pub fn link_flapped(
+        &self,
+        seed: u64,
+        op_index: u32,
+        src: DeviceId,
+        dst: DeviceId,
+        iteration: u64,
+        attempt: u32,
+    ) -> bool {
+        let prob = self.link_flap_prob(src, dst, iteration);
+        if prob <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(
+            seed ^ 0xF1A9_F1A9
+                ^ splitmix64(op_index as u64)
+                ^ splitmix64(((src.0 as u64) << 16) | dst.0 as u64)
+                ^ splitmix64(iteration.wrapping_mul(0x9E3779B9))
+                ^ splitmix64(0xB0FF ^ attempt as u64),
+        );
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < prob
+    }
+
+    /// Whether `server` is partitioned off the cluster at `iteration`.
+    pub fn is_partitioned(&self, server: u16, iteration: u64) -> bool {
+        self.active(iteration)
+            .any(|f| matches!(f.kind, FaultKind::HostPartition { server: s } if s == server))
+    }
+
+    /// Combined collective-phase slowdown contributed by `device` at
+    /// `iteration` (product of overlapping collective stragglers; `1.0`
+    /// when healthy). Plain P2P transfers are unaffected.
+    pub fn collective_slowdown(&self, device: DeviceId, iteration: u64) -> f64 {
+        self.active(iteration)
+            .filter_map(|f| match f.kind {
+                FaultKind::CollectiveStraggler {
+                    device: d,
+                    slowdown,
+                } if d == device => Some(slowdown),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Combined NIC degradation factor for traffic entering or leaving
+    /// `server` at `iteration` (`1.0` when healthy).
+    pub fn nic_factor(&self, server: u16, iteration: u64) -> f64 {
+        self.active(iteration)
+            .filter_map(|f| match f.kind {
+                FaultKind::NicDegrade { server: s, factor } if s == server => Some(factor),
                 _ => None,
             })
             .product()
@@ -535,6 +732,128 @@ mod tests {
         assert_eq!(s.mem_reserved(D0, 0), 0);
         assert_eq!(s.reexecutions(0, 0, D0, 0), 0);
         assert_eq!(s.profile_fail_attempts(0).count(), 0);
+        assert_eq!(s.link_flap_prob(D0, D1, 0), 0.0);
+        assert!(!s.link_flapped(0, 0, D0, D1, 0, 0));
+        assert!(!s.is_partitioned(0, 0));
+        assert_eq!(s.collective_slowdown(D0, 0), 1.0);
+        assert_eq!(s.nic_factor(0, 0), 1.0);
+    }
+
+    #[test]
+    fn flap_coin_is_directional_deterministic_and_attempt_varying() {
+        let s = FaultSchedule::none().with(Fault::from(
+            FaultKind::LinkFlap {
+                src: D0,
+                dst: D1,
+                prob: 0.5,
+            },
+            0,
+        ));
+        assert_eq!(s.link_flap_prob(D0, D1, 0), 0.5);
+        assert_eq!(s.link_flap_prob(D1, D0, 0), 0.0, "flaps are directional");
+        // deterministic per (seed, op, hop, iteration, attempt)
+        for attempt in 0..8u32 {
+            assert_eq!(
+                s.link_flapped(7, 3, D0, D1, 2, attempt),
+                s.link_flapped(7, 3, D0, D1, 2, attempt)
+            );
+        }
+        // attempts get independent coins: at prob 0.5, eight straight
+        // identical draws across many ops would be a broken hash
+        let mut varies = false;
+        for op in 0..16u32 {
+            let first = s.link_flapped(7, op, D0, D1, 2, 0);
+            if (1..8).any(|a| s.link_flapped(7, op, D0, D1, 2, a) != first) {
+                varies = true;
+                break;
+            }
+        }
+        assert!(varies, "per-attempt coins must be independent");
+        // the reverse direction never flaps
+        assert!(!s.link_flapped(7, 3, D1, D0, 2, 0));
+    }
+
+    #[test]
+    fn partition_and_nic_faults_are_server_scoped() {
+        let s = FaultSchedule::none()
+            .with(Fault::windowed(
+                FaultKind::HostPartition { server: 1 },
+                5,
+                10,
+            ))
+            .with(Fault::from(
+                FaultKind::NicDegrade {
+                    server: 0,
+                    factor: 8.0,
+                },
+                0,
+            ));
+        assert!(!s.is_partitioned(1, 4));
+        assert!(s.is_partitioned(1, 5));
+        assert!(!s.is_partitioned(0, 5));
+        assert_eq!(s.nic_factor(0, 3), 8.0);
+        assert_eq!(s.nic_factor(1, 3), 1.0);
+        // server-scoped kinds expose a server, not a device
+        assert_eq!(FaultKind::HostPartition { server: 1 }.device(), None);
+        assert_eq!(FaultKind::HostPartition { server: 1 }.server(), Some(1));
+        assert_eq!(
+            FaultKind::NicDegrade {
+                server: 0,
+                factor: 2.0
+            }
+            .label(),
+            "nic_degrade"
+        );
+    }
+
+    #[test]
+    fn collective_straggler_does_not_slow_compute() {
+        let s = FaultSchedule::none().with(Fault::from(
+            FaultKind::CollectiveStraggler {
+                device: D0,
+                slowdown: 4.0,
+            },
+            0,
+        ));
+        assert_eq!(s.collective_slowdown(D0, 0), 4.0);
+        assert_eq!(s.collective_slowdown(D1, 0), 1.0);
+        assert_eq!(s.slowdown(D0, 0), 1.0, "compute path unaffected");
+        assert_eq!(s.link_factor(D0, D1, 0), 1.0, "p2p path unaffected");
+    }
+
+    #[test]
+    fn seeded_network_reproducible_and_partition_only_multi_server() {
+        let a = FaultSchedule::seeded_network(9, 4, 2, 40);
+        let b = FaultSchedule::seeded_network(9, 4, 2, 40);
+        let c = FaultSchedule::seeded_network(10, 4, 2, 40);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.faults().len(), 4);
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::HostPartition { .. })));
+        // flap is never a self-loop, and the partition lands mid-run
+        for seed in 0..100u64 {
+            let s = FaultSchedule::seeded_network(seed, 4, 2, 40);
+            for f in s.faults() {
+                match f.kind {
+                    FaultKind::LinkFlap { src, dst, .. } => {
+                        assert_ne!(src, dst, "seed {seed}");
+                        assert!(dst.0 < 4);
+                    }
+                    FaultKind::HostPartition { server } => {
+                        assert!(server < 2);
+                        assert!(f.from_iter >= 20, "seed {seed}");
+                        assert_eq!(f.until_iter, u64::MAX);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // single server: no partition scheduled
+        let single = FaultSchedule::seeded_network(9, 4, 1, 40);
+        assert_eq!(single.faults().len(), 3);
     }
 
     #[test]

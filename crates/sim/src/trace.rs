@@ -132,6 +132,9 @@ pub struct RunTrace {
     /// Op executions repeated because of injected transient faults
     /// (`FaultKind::TransientOp`); always `0` without a fault schedule.
     pub reexecutions: u64,
+    /// Transfer hop attempts repeated because of injected link flaps
+    /// (`FaultKind::LinkFlap`); always `0` without a fault schedule.
+    pub comm_retries: u64,
 }
 
 impl RunTrace {
@@ -380,6 +383,7 @@ mod tests {
             steps: 3,
             mem_timeline: Vec::new(),
             reexecutions: 0,
+            comm_retries: 0,
         }
     }
 

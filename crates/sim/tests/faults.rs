@@ -278,6 +278,272 @@ fn profile_failure_is_inert_on_unused_or_blacklisted_devices() {
     simulate(&g, &dead, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 3)).unwrap();
 }
 
+/// a (D0, server 0) -> b (D2, server 1): one cross-server transfer.
+fn cross_chain() -> (Graph, Topology, Placement) {
+    let mut g = Graph::new();
+    let a = g
+        .add_op(Operation::new("a", OpKind::Input, [1 << 20]))
+        .unwrap();
+    let b = g
+        .add_op(Operation::new("b", OpKind::MatMul, [1 << 20]).with_flops(1 << 30))
+        .unwrap();
+    g.connect_bytes(a, b, 16 << 20).unwrap();
+    let t = Topology::multi_server(2, 2);
+    let mut p = Placement::uniform(g.op_count(), D0);
+    p.set(OpId(1), DeviceId(2));
+    (g, t, p)
+}
+
+#[test]
+fn link_degrade_applies_per_physical_hop_on_staged_routes() {
+    // Degrading the *logical* D0 → D2 pair must stretch only the
+    // inter-server (Eth/NIC) hop of the staged route — not conjure a
+    // fictional direct link, and not triple-stretch all three hops.
+    let (g, t, p) = cross_chain();
+    let (h0, h1) = (t.host_of(0).unwrap(), t.host_of(1).unwrap());
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::LinkDegrade {
+            src: D0,
+            dst: DeviceId(2),
+            factor: 4.0,
+        },
+        0,
+    ));
+    let healthy = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let degraded = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 0)).unwrap();
+    assert_eq!(healthy.transfers.len(), 3, "PCIe → NIC → PCIe staging");
+    let hop = |trace: &fastt_sim::RunTrace, a: DeviceId, b: DeviceId| -> f64 {
+        trace
+            .transfers
+            .iter()
+            .find(|x| x.src_dev == a && x.dst_dev == b)
+            .expect("hop recorded")
+            .duration()
+    };
+    let nic_ratio = hop(&degraded, h0, h1) / hop(&healthy, h0, h1);
+    assert!((nic_ratio - 4.0).abs() < 1e-9, "NIC hop ratio {nic_ratio}");
+    let pcie_out = hop(&degraded, D0, h0) / hop(&healthy, D0, h0);
+    let pcie_in = hop(&degraded, h1, DeviceId(2)) / hop(&healthy, h1, DeviceId(2));
+    assert!(
+        (pcie_out - 1.0).abs() < 1e-9,
+        "egress PCIe stretched {pcie_out}"
+    );
+    assert!(
+        (pcie_in - 1.0).abs() < 1e-9,
+        "ingress PCIe stretched {pcie_in}"
+    );
+    // a fault scripted directly against a physical hop still works
+    let s_hop = FaultSchedule::none().with(Fault::from(
+        FaultKind::LinkDegrade {
+            src: h0,
+            dst: h1,
+            factor: 2.0,
+        },
+        0,
+    ));
+    let hop_deg = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s_hop, 0)).unwrap();
+    let r = hop(&hop_deg, h0, h1) / hop(&healthy, h0, h1);
+    assert!((r - 2.0).abs() < 1e-9, "physical-hop ratio {r}");
+}
+
+#[test]
+fn nic_degrade_stretches_only_inter_server_hops() {
+    let (g, t, p) = cross_chain();
+    let (h0, h1) = (t.host_of(0).unwrap(), t.host_of(1).unwrap());
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::NicDegrade {
+            server: 1,
+            factor: 8.0,
+        },
+        0,
+    ));
+    let healthy = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let degraded = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 0)).unwrap();
+    let hop = |trace: &fastt_sim::RunTrace, a: DeviceId, b: DeviceId| -> f64 {
+        trace
+            .transfers
+            .iter()
+            .find(|x| x.src_dev == a && x.dst_dev == b)
+            .unwrap()
+            .duration()
+    };
+    let nic = hop(&degraded, h0, h1) / hop(&healthy, h0, h1);
+    assert!((nic - 8.0).abs() < 1e-9, "NIC ratio {nic}");
+    let pcie = hop(&degraded, h1, DeviceId(2)) / hop(&healthy, h1, DeviceId(2));
+    assert!(
+        (pcie - 1.0).abs() < 1e-9,
+        "intra-server hop stretched {pcie}"
+    );
+}
+
+#[test]
+fn link_flap_retries_then_fails_typed() {
+    let (g, t, p) = cross_chain();
+    let (h0, h1) = (t.host_of(0).unwrap(), t.host_of(1).unwrap());
+    // prob 1.0: every attempt finds the hop down → budget exhausts
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::LinkFlap {
+            src: h0,
+            dst: h1,
+            prob: 1.0,
+        },
+        0,
+    ));
+    let err = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 0)).unwrap_err();
+    assert_eq!(
+        err,
+        SimError::LinkDown {
+            src: h0,
+            dst: h1,
+            iteration: 0,
+        }
+    );
+    assert_eq!(err.dead_link(), Some((h0, h1)));
+    // a moderate flap rides out on retries: the run completes, slower,
+    // with the retries counted in the trace
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::LinkFlap {
+            src: h0,
+            dst: h1,
+            prob: 0.5,
+        },
+        0,
+    ));
+    let healthy = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let mut retried_total = 0u64;
+    let mut slower_seen = false;
+    for iter in 0..20u64 {
+        match simulate(
+            &g,
+            &t,
+            &p,
+            &hw(),
+            ExecPolicy::Fifo,
+            &with_faults(s.clone(), iter),
+        ) {
+            Ok(trace) => {
+                retried_total += trace.comm_retries;
+                if trace.comm_retries > 0 {
+                    assert!(trace.makespan > healthy.makespan, "backoff must cost time");
+                    slower_seen = true;
+                }
+            }
+            Err(e) => assert!(matches!(e, SimError::LinkDown { .. })),
+        }
+    }
+    assert!(retried_total > 0, "a 50% flap must force some retries");
+    assert!(slower_seen);
+}
+
+#[test]
+fn partition_times_out_typed_and_deterministic() {
+    let (g, t, p) = cross_chain();
+    let s = FaultSchedule::none().with(Fault::from(FaultKind::HostPartition { server: 1 }, 5));
+    // before the partition the cross-server run is fine
+    simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(s.clone(), 4),
+    )
+    .unwrap();
+    let err = simulate(
+        &g,
+        &t,
+        &p,
+        &hw(),
+        ExecPolicy::Fifo,
+        &with_faults(s.clone(), 5),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        SimError::PartitionTimeout {
+            server: 1,
+            iteration: 5,
+        }
+    );
+    assert_eq!(err.partitioned_server(), Some(1));
+    // work confined to the partitioned server itself still runs: the
+    // partition cuts external links, not the server's own fabric
+    let inside = Placement::uniform(g.op_count(), DeviceId(2));
+    simulate(&g, &t, &inside, &hw(), ExecPolicy::Fifo, &with_faults(s, 9)).unwrap();
+}
+
+#[test]
+fn collective_with_partitioned_participant_aborts_within_deadline() {
+    // ring all-reduce across both servers; server 1 partitions mid-ring →
+    // the collective must abort with a typed error, not deadlock or hang
+    let mut g = Graph::new();
+    let g0 = g
+        .add_op(Operation::new("g0", OpKind::EltwiseGrad, [1 << 18]))
+        .unwrap();
+    let g1 = g
+        .add_op(Operation::new("g1", OpKind::EltwiseGrad, [1 << 18]))
+        .unwrap();
+    let agg = g
+        .add_op(
+            Operation::new("agg", OpKind::AggregateGradients, [1 << 18])
+                .with_collective(fastt_graph::CollectiveKind::AllReduce),
+        )
+        .unwrap();
+    g.connect_bytes(g0, agg, 4 << 20).unwrap();
+    g.connect_bytes(g1, agg, 4 << 20).unwrap();
+    let t = Topology::multi_server(2, 2);
+    let mut p = Placement::uniform(g.op_count(), D0);
+    p.set(g1, DeviceId(2));
+    let s = FaultSchedule::none().with(Fault::from(FaultKind::HostPartition { server: 1 }, 3));
+    let err = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 3)).unwrap_err();
+    assert_eq!(
+        err,
+        SimError::PartitionTimeout {
+            server: 1,
+            iteration: 3,
+        },
+        "collective must abort typed, not hang or report Deadlock"
+    );
+}
+
+#[test]
+fn collective_straggler_drags_the_ring_but_not_compute() {
+    let mut g = Graph::new();
+    let g0 = g
+        .add_op(Operation::new("g0", OpKind::EltwiseGrad, [1 << 18]).with_flops(1 << 28))
+        .unwrap();
+    let g1 = g
+        .add_op(Operation::new("g1", OpKind::EltwiseGrad, [1 << 18]).with_flops(1 << 28))
+        .unwrap();
+    let agg = g
+        .add_op(
+            Operation::new("agg", OpKind::AggregateGradients, [1 << 18])
+                .with_collective(fastt_graph::CollectiveKind::AllReduce),
+        )
+        .unwrap();
+    g.connect_bytes(g0, agg, 16 << 20).unwrap();
+    g.connect_bytes(g1, agg, 16 << 20).unwrap();
+    let t = Topology::single_server(2);
+    let mut p = Placement::uniform(g.op_count(), D0);
+    p.set(g1, D1);
+    let s = FaultSchedule::none().with(Fault::from(
+        FaultKind::CollectiveStraggler {
+            device: D1,
+            slowdown: 4.0,
+        },
+        0,
+    ));
+    let healthy = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &cfg()).unwrap();
+    let dragged = simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &with_faults(s, 0)).unwrap();
+    assert_eq!(healthy.collectives.len(), 1);
+    let ratio = dragged.collectives[0].duration() / healthy.collectives[0].duration();
+    assert!((ratio - 4.0).abs() < 1e-9, "ring ratio {ratio}");
+    // compute is untouched: op durations identical
+    for (a, b) in healthy.op_records.iter().zip(dragged.op_records.iter()) {
+        assert!((a.duration() - b.duration()).abs() < 1e-12);
+    }
+}
+
 #[test]
 fn chaos_schedule_is_deterministic_per_seed() {
     let g = chain();
@@ -299,4 +565,29 @@ fn chaos_schedule_is_deterministic_per_seed() {
     assert_eq!(a.op_records, b.op_records);
     assert_eq!(a.transfers, b.transfers);
     assert_eq!(a.reexecutions, b.reexecutions);
+}
+
+#[test]
+fn network_chaos_schedule_is_deterministic_per_seed() {
+    let (g, t, p) = cross_chain();
+    let run = |seed: u64, iter: u64| {
+        let s = FaultSchedule::seeded_network(seed, 4, 2, 40);
+        let c = SimConfig {
+            jitter_pct: 0.05,
+            seed,
+            ..with_faults(s, iter)
+        };
+        simulate(&g, &t, &p, &hw(), ExecPolicy::Fifo, &c)
+    };
+    for iter in [0u64, 6, 13, 21, 35] {
+        match (run(11, iter), run(11, iter)) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.makespan, b.makespan);
+                assert_eq!(a.transfers, b.transfers);
+                assert_eq!(a.comm_retries, b.comm_retries);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "typed errors must be reproducible"),
+            (a, b) => panic!("same seed diverged at iter {iter}: {a:?} vs {b:?}"),
+        }
+    }
 }
