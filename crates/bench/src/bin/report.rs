@@ -538,6 +538,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // ---- Perf: where the strategy-calculation time went (the profile
+    // tree accumulated by the instrumented planner/simulator hot paths)
+    // and whether the declared latency SLOs held.
+    println!("\n--- Perf: profile tree ---");
+    if collector.profiler().is_empty() {
+        println!("(no profiled phases — planners never ran with this collector)");
+    } else {
+        print!("{}", collector.profiler().render());
+        let hot = collector.profiler().hotspots(5);
+        println!("top self-time hotspots:");
+        for h in &hot {
+            println!(
+                "  {:<44} {:>10} self  x{}",
+                h.path,
+                fastt_telemetry::fmt_secs(h.self_secs),
+                h.calls
+            );
+        }
+    }
+    println!("\n--- Perf: SLO verdicts ---");
+    for v in fastt_telemetry::evaluate_slos(&fastt::default_slos(), collector.metrics()) {
+        println!("{}", v.render());
+    }
+
     println!("\n--- Metrics registry ---");
     println!("{}", collector.metrics().to_json());
 

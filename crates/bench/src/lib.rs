@@ -315,3 +315,4 @@ mod tests {
 }
 
 pub mod experiments;
+pub mod perf;

@@ -187,10 +187,13 @@ fn dpos_impl(
     if let Some(col) = col {
         col.metrics().inc("dpos.runs");
     }
+    let _place_phase = col.map(|c| c.phase("dpos.place"));
     let n = graph.op_count();
     let n_dev = topo.device_count();
+    let rank_phase = col.map(|c| c.phase("rank"));
     let ranks = upward_ranks(graph, cost);
     let cp = critical_path(graph, &ranks);
+    drop(rank_phase);
     let mut on_cp = vec![false; n];
     for &o in &cp {
         on_cp[o.index()] = true;
@@ -417,7 +420,10 @@ fn dpos_impl(
             }
         };
 
-        // Min-EFT selection with idle-slot insertion.
+        // Min-EFT selection with idle-slot insertion. The phase covers the
+        // whole candidate scan, including each device's idle-gap search
+        // (`earliest_slot`) and predecessor-transfer timing (`ready_time`).
+        let _scan_phase = col.map(|c| c.phase("eft_scan"));
         let mut best_d = candidates[0];
         let mut best_est = f64::INFINITY;
         let mut best_eft = f64::INFINITY;
@@ -440,6 +446,7 @@ fn dpos_impl(
                 best_d = d;
             }
         }
+        drop(_scan_phase);
         if let Some(col) = col {
             col.metrics().inc("dpos.ops_placed");
             col.emit(
@@ -454,6 +461,7 @@ fn dpos_impl(
             );
         }
 
+        let _commit_phase = col.map(|c| c.phase("commit"));
         commit_transfers(o, best_d, &ft, &placement, &mut chan, &mut xfer_done);
         let w = cost.comp.get(name, best_d).unwrap_or(0.0);
         timelines[best_d.index()].reserve(best_est, w);

@@ -66,9 +66,10 @@ pub use error::FastTError;
 pub use os_dpos::{dpos_plan, os_dpos, OsDposOptions};
 pub use pipeline::pipeline_plan;
 pub use planner::{
-    CandidateOutcome, DataParallelPlanner, DposPlanner, Fingerprint, ModelParallelPlanner,
-    OrderOnlyPlanner, OsDposPlanner, PipelinePlanner, PlanCache, Planner, PlannerKind,
-    PlanningContext, Portfolio, PortfolioInputs, PortfolioOutcome,
+    default_slos, CandidateOutcome, DataParallelPlanner, DposPlanner, Fingerprint,
+    ModelParallelPlanner, OrderOnlyPlanner, OsDposPlanner, PipelinePlanner, PlanCache, Planner,
+    PlannerKind, PlanningContext, Portfolio, PortfolioInputs, PortfolioOutcome,
+    PLANNER_LATENCY_P95_TARGET,
 };
 pub use profiling::bootstrap_cost_models;
 pub use rank::{critical_path, critical_path_placed, upward_ranks};

@@ -130,6 +130,10 @@ pub(crate) fn os_dpos_opt(
         }
 
         // Try every (dimension, count) candidate and keep the best estimate.
+        // The phase covers this op's whole enumeration, including the inner
+        // DPOS re-runs (which stay untraced and unprofiled individually to
+        // bound volume — their time accrues to `split_enum`).
+        let _enum_phase = col.map(|c| c.phase("split_enum"));
         let mut best: Option<(Graph, crate::dpos::Schedule, SplitDecision)> = None;
         for &dim in kind.split_dims() {
             for &n in &opts.split_counts {

@@ -53,6 +53,35 @@ pub use portfolio::{CandidateOutcome, Portfolio, PortfolioInputs, PortfolioOutco
 
 use crate::error::FastTError;
 use crate::strategy::Plan;
+use fastt_telemetry::Slo;
+
+/// Default p95 target for the `planner.latency` SLO, in seconds. Strategy
+/// calculation is a serving-path cost (ROADMAP item 1, after Baechi): a
+/// re-plan that takes longer than this delays recovery and fleet admission.
+pub const PLANNER_LATENCY_P95_TARGET: f64 = 0.25;
+
+/// The declared SLO set the report binary and `perfbench` grade against:
+/// aggregate `planner.latency` p95 plus the per-planner series for the two
+/// white-box algorithms (warn band 2× per [`Slo::p95`]).
+pub fn default_slos() -> Vec<Slo> {
+    vec![
+        Slo::p95(
+            "planner.latency.p95",
+            "planner.latency",
+            PLANNER_LATENCY_P95_TARGET,
+        ),
+        Slo::p95(
+            "planner.latency.dpos.p95",
+            "planner.latency.dpos",
+            PLANNER_LATENCY_P95_TARGET,
+        ),
+        Slo::p95(
+            "planner.latency.os_dpos.p95",
+            "planner.latency.os_dpos",
+            PLANNER_LATENCY_P95_TARGET,
+        ),
+    ]
+}
 
 /// What family a planner belongs to — reported in `planner.*` telemetry and
 /// used by the cache to pick the fingerprint's graph component (start

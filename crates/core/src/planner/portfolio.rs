@@ -8,7 +8,7 @@ use fastt_cluster::{DeviceId, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::Graph;
 use fastt_sim::{HardwarePerf, SimConfig};
-use fastt_telemetry::{jobj, Collector};
+use fastt_telemetry::{jobj, Collector, FINE_BUCKETS};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -170,13 +170,16 @@ impl Portfolio {
     ) -> PortfolioOutcome {
         let n = self.planners.len();
         let col = inputs.collector.clone();
+        let _portfolio_phase = col.as_deref().map(|c| c.phase("portfolio"));
 
         // Cache pass (main thread, planner order — deterministic).
+        let _cache_phase = col.as_deref().map(|c| c.phase("cache_pass"));
         let mut fingerprints: Vec<Option<Fingerprint>> = Vec::with_capacity(n);
         let mut cached_plans: Vec<Option<Plan>> = Vec::with_capacity(n);
         for p in &self.planners {
             let (fp, hit) = match cache.as_deref_mut() {
                 Some(c) if p.cacheable() => {
+                    let lookup_t0 = Instant::now();
                     let fp = Fingerprint::compute(
                         p.as_ref(),
                         inputs.graph,
@@ -185,6 +188,13 @@ impl Portfolio {
                         inputs.cost,
                     );
                     let hit = c.get(&fp);
+                    if let Some(col) = &col {
+                        col.metrics().observe_with(
+                            "planner.cache_lookup",
+                            lookup_t0.elapsed().as_secs_f64(),
+                            &FINE_BUCKETS,
+                        );
+                    }
                     if let Some(col) = &col {
                         let kind = if hit.is_some() {
                             col.metrics().inc("planner.cache_hits");
@@ -210,6 +220,7 @@ impl Portfolio {
             fingerprints.push(fp);
             cached_plans.push(hit);
         }
+        drop(_cache_phase);
 
         // Planning pass: uncached planners run concurrently, one scoped
         // thread each (a single job runs inline — no thread overhead).
@@ -230,6 +241,9 @@ impl Portfolio {
                 dp_ps: inputs.dp_ps,
                 evals_used: 0,
             };
+            let pcol = ctx.collector.clone();
+            let _plan_phase = pcol.as_deref().map(|c| c.phase("plan"));
+            let _name_phase = pcol.as_deref().map(|c| c.phase(self.planners[i].name()));
             let t0 = Instant::now();
             let res = self.planners[i].plan(&mut ctx);
             (res, ctx.evals_used, t0.elapsed().as_secs_f64(), ctx.cost)
@@ -268,6 +282,18 @@ impl Portfolio {
                     cost: None,
                 },
                 (None, Some((res, evals, secs, cost))) => {
+                    if let Some(col) = &col {
+                        // Aggregate and per-planner latency (ROADMAP item-1
+                        // SLO input); fine buckets — small-graph placements
+                        // land sub-microsecond.
+                        col.metrics()
+                            .observe_with("planner.latency", secs, &FINE_BUCKETS);
+                        col.metrics().observe_with(
+                            &format!("planner.latency.{}", p.name()),
+                            secs,
+                            &FINE_BUCKETS,
+                        );
+                    }
                     let (plan, error) = match res {
                         Ok(plan) => (Some(plan), None),
                         Err(e) => (None, Some(e)),
@@ -287,6 +313,7 @@ impl Portfolio {
                 (None, None) => unreachable!("every planner is cached or ran"),
             };
             if let (Some(plan), Some(probe)) = (&out.plan, &inputs.probe) {
+                let _probe_phase = col.as_deref().map(|c| c.phase("probe"));
                 match plan.simulate(inputs.topo, inputs.hw, probe) {
                     Ok(t) => out.simulated = Some(t.makespan),
                     Err(e) => out.error = Some(e.into()),

@@ -25,7 +25,7 @@ mod nlp;
 mod stack;
 
 pub use cnn::{alexnet, inception_v3, lenet, resnet200, vgg19};
-pub use nlp::{bert_large, gnmt4, rnnlm, transformer, ATTN_SEQ_LEN, SEQ_LEN};
+pub use nlp::{bert_large, gnmt4, rnnlm, stacked_transformer, transformer, ATTN_SEQ_LEN, SEQ_LEN};
 pub use stack::{Cursor, LayerStack};
 
 use fastt_graph::{build_training_graph, Graph};

@@ -280,6 +280,39 @@ pub fn transformer(batch: u64) -> Graph {
     s.finish_with_loss("loss")
 }
 
+/// A Transformer encoder stack of configurable depth, for scaling studies:
+/// `layers` encoder layers at d_model 512, 8 heads, d_ff 2048, vocab 8k.
+/// The perf benchmarks use this to grow the op count toward the 100k-op
+/// regime the ROADMAP targets (each encoder layer contributes a few dozen
+/// forward ops; the training graph roughly triples that), keeping every
+/// other structural property of [`transformer`] — attention fan-out,
+/// residual joins, shared embedding — intact. `batch` counts tokens, as in
+/// [`transformer`].
+///
+/// # Panics
+///
+/// Panics if `batch < ATTN_SEQ_LEN` or `layers == 0`.
+pub fn stacked_transformer(batch: u64, layers: u32) -> Graph {
+    const D: u64 = 512;
+    const HEADS: u64 = 8;
+    const FF: u64 = 2048;
+    const VOCAB: u64 = 8_000;
+    assert!(layers > 0, "stacked transformer needs at least one layer");
+    let seqs = batch / ATTN_SEQ_LEN;
+    assert!(
+        seqs > 0,
+        "stacked transformer batch must be at least {ATTN_SEQ_LEN} tokens"
+    );
+    let mut s = LayerStack::new("ids", [seqs, ATTN_SEQ_LEN]);
+    s.embedding("embedding", VOCAB, D);
+    for l in 0..layers {
+        mha_block(&mut s, &format!("layer{l}/self"), HEADS, None);
+        ffn_block(&mut s, &format!("layer{l}"), FF, OpKind::Relu);
+    }
+    s.fc("logits", VOCAB).softmax("prob");
+    s.finish_with_loss("loss")
+}
+
 /// BERT-large: 24 encoder layers, d_model 1024, 16 heads, d_ff 4096,
 /// vocab 30k, sequence length [`ATTN_SEQ_LEN`] (the paper's setting),
 /// with a masked-LM head. `batch` counts sequences (the paper's Table 1
@@ -364,6 +397,22 @@ mod tests {
         let attn = g.by_name("attn_t0").unwrap();
         // preds: decoder state + SEQ_LEN encoder outputs + weights
         assert_eq!(g.preds(attn).count() as u64, 1 + SEQ_LEN + 1);
+    }
+
+    #[test]
+    fn stacked_transformer_depth_scales_op_count() {
+        let g4 = stacked_transformer(64, 4);
+        let g16 = stacked_transformer(64, 16);
+        g4.validate().unwrap();
+        g16.validate().unwrap();
+        let (n4, n16) = (g4.op_count(), g16.op_count());
+        assert!(
+            n16 > 3 * n4,
+            "op count must scale with depth: {n4} vs {n16}"
+        );
+        // and the training graph stays buildable
+        let t = build_training_graph(&g4).unwrap();
+        assert!(t.op_count() > n4);
     }
 
     #[test]

@@ -591,8 +591,20 @@ pub fn simulate(
     // event loop below only *executes* it. Lowering is typed-fallible
     // (blacklisted devices, unreachable pairs) and the validator proves
     // the plan references only live links and cannot deadlock.
-    let plan = CommPlan::lower(graph, placement, topo)?;
-    plan.validate(topo, config.iteration)?;
+    let plan = {
+        let _lower_phase = config.collector.as_deref().map(|c| c.phase("sim.lower"));
+        let t0 = std::time::Instant::now();
+        let plan = CommPlan::lower(graph, placement, topo)?;
+        plan.validate(topo, config.iteration)?;
+        if let Some(col) = &config.collector {
+            col.metrics().observe_with(
+                "sim.lower_secs",
+                t0.elapsed().as_secs_f64(),
+                &fastt_telemetry::FINE_BUCKETS,
+            );
+        }
+        plan
+    };
     let mut coll_pending: Vec<u32> = plan
         .collectives
         .iter()
@@ -755,6 +767,10 @@ pub fn simulate(
         )?;
     }
 
+    let _loop_phase = config
+        .collector
+        .as_deref()
+        .map(|c| c.phase("sim.event_loop"));
     let mut makespan = 0.0f64;
     while let Some(Reverse((OrderedF64(now), _, idx))) = events.pop() {
         steps += 1;

@@ -36,12 +36,16 @@ pub mod json;
 
 mod event;
 mod metrics;
+mod profile;
 mod sink;
+mod slo;
 
 pub use event::Event;
 pub use json::Value;
-pub use metrics::{Histogram, MetricValue, Registry, DEFAULT_BUCKETS};
+pub use metrics::{Histogram, MetricValue, Registry, DEFAULT_BUCKETS, FINE_BUCKETS};
+pub use profile::{fmt_secs, PhaseGuard, ProfileEntry, Profiler, PATH_SEPARATOR};
 pub use sink::{parse_jsonl, JsonlSink, MemorySink, NullSink, Sink};
+pub use slo::{evaluate_slos, Slo, SloGrade, SloVerdict};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -57,6 +61,7 @@ pub struct Collector {
     seq: AtomicU64,
     sinks: Vec<Box<dyn Sink>>,
     metrics: Registry,
+    profiler: Profiler,
 }
 
 impl std::fmt::Debug for Collector {
@@ -83,6 +88,7 @@ impl Collector {
             seq: AtomicU64::new(0),
             sinks: Vec::new(),
             metrics: Registry::new(),
+            profiler: Profiler::new(),
         }
     }
 
@@ -114,6 +120,19 @@ impl Collector {
     /// The metrics registry.
     pub fn metrics(&self) -> &Registry {
         &self.metrics
+    }
+
+    /// The per-run profile tree accumulated by [`Collector::phase`].
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Opens a nested profiling phase (see [`Profiler::enter`]): the
+    /// returned guard rolls the phase's wall-clock time into the profile
+    /// tree on drop. Unlike [`Collector::span`] this emits no event and
+    /// touches no histogram — it is meant for hot loops.
+    pub fn phase(&self, name: &str) -> PhaseGuard<'_> {
+        self.profiler.enter(name)
     }
 
     /// Flushes every sink.

@@ -9,6 +9,14 @@ use std::sync::Mutex;
 /// to 100 s — wide enough for op durations and strategy-calculation spans.
 pub const DEFAULT_BUCKETS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
 
+/// Fine-grained bucket bounds (seconds) starting at 10 ns, for latencies
+/// that land sub-microsecond — small-graph planner placements collapse
+/// into the first [`DEFAULT_BUCKETS`] bucket otherwise. Used for
+/// `planner.latency` and the other profiling histograms.
+pub const FINE_BUCKETS: [f64; 11] = [
+    1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+];
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(u64),
@@ -133,6 +141,17 @@ impl Registry {
         self.observe_with(name, v, &DEFAULT_BUCKETS);
     }
 
+    /// Pre-registers the histogram `name` with caller-supplied bucket
+    /// bounds, so later [`Registry::observe`] calls land in the declared
+    /// buckets instead of [`DEFAULT_BUCKETS`]. An existing histogram keeps
+    /// its bounds and counts.
+    pub fn declare_histogram(&self, name: &str, bounds: &[f64]) {
+        let mut m = self.inner.lock().expect("registry lock");
+        if !matches!(m.get(name), Some(Metric::Histogram(_))) {
+            m.insert(name.to_string(), Metric::Histogram(Histogram::new(bounds)));
+        }
+    }
+
     /// Records `v` into the histogram `name`, creating it with the given
     /// bucket bounds if absent (bounds of an existing histogram are kept).
     pub fn observe_with(&self, name: &str, v: f64, bounds: &[f64]) {
@@ -236,6 +255,28 @@ mod tests {
         assert!(h.mean() > 0.0);
         assert_eq!(h.quantile_bound(0.5), 1e-3);
         assert_eq!(h.quantile_bound(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn declared_bounds_survive_plain_observe() {
+        let r = Registry::new();
+        r.declare_histogram("lat", &FINE_BUCKETS);
+        r.observe("lat", 5e-8); // sub-µs: first DEFAULT bucket, second FINE bucket
+        let Some(MetricValue::Histogram(h)) = r.get("lat") else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.bounds, FINE_BUCKETS.to_vec());
+        assert_eq!(
+            h.counts[1], 1,
+            "lands in the ≤1e-7 bucket, not a 1 µs floor"
+        );
+        // redeclaring keeps bounds and counts
+        r.declare_histogram("lat", &DEFAULT_BUCKETS);
+        let Some(MetricValue::Histogram(h)) = r.get("lat") else {
+            panic!("expected histogram");
+        };
+        assert_eq!(h.count, 1);
+        assert_eq!(h.bounds.len(), FINE_BUCKETS.len());
     }
 
     #[test]

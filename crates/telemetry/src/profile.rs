@@ -1,0 +1,399 @@
+//! Self-timing profiling hooks: nested phase timers that roll up into a
+//! per-run profile tree.
+//!
+//! A [`Profiler`] accumulates wall-clock spans keyed by *phase path* — the
+//! chain of enclosing phase names, e.g. `plan > dpos.place > eft_scan`.
+//! Instrumented code brackets a region with [`Profiler::enter`] (or the
+//! [`crate::Collector::phase`] convenience) and the returned [`PhaseGuard`]
+//! records the elapsed time into the tree on drop. Nesting is tracked per
+//! thread, so concurrent planner threads each build their own subtree and
+//! identical paths merge into one node.
+//!
+//! The tree is cheap to keep hot: entering a phase is one mutex lock and a
+//! small child scan, and code paths that have no collector attached skip
+//! profiling entirely.
+//!
+//! # Examples
+//!
+//! ```
+//! use fastt_telemetry::Profiler;
+//!
+//! let prof = Profiler::new();
+//! {
+//!     let _plan = prof.enter("plan");
+//!     let _place = prof.enter("dpos.place");
+//!     let _scan = prof.enter("eft_scan");
+//! }
+//! let tree = prof.snapshot();
+//! assert_eq!(tree[0].path, "plan");
+//! assert_eq!(tree[2].path, "plan > dpos.place > eft_scan");
+//! assert_eq!(tree[2].depth, 2);
+//! ```
+
+use crate::json::Value;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Separator used when rendering a phase path (`plan > dpos.place`).
+pub const PATH_SEPARATOR: &str = " > ";
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    children: Vec<usize>,
+    calls: u64,
+    total_secs: f64,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerInner {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    /// Per-thread stack of currently open phases (node indices).
+    stacks: HashMap<ThreadId, Vec<usize>>,
+}
+
+impl ProfilerInner {
+    fn node_for(&mut self, parent: Option<usize>, name: &str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            children: Vec::new(),
+            calls: 0,
+            total_secs: 0.0,
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+}
+
+/// Thread-safe accumulator of nested phase timings; see the module docs.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    inner: Mutex<ProfilerInner>,
+}
+
+/// One node of the profile tree, flattened for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    /// Full path from the root, joined with [`PATH_SEPARATOR`].
+    pub path: String,
+    /// The phase's own name (last path component).
+    pub name: String,
+    /// Nesting depth (roots are 0).
+    pub depth: usize,
+    /// Completed enter/drop cycles.
+    pub calls: u64,
+    /// Total wall-clock seconds across all calls (children included).
+    pub total_secs: f64,
+    /// Seconds spent in this phase excluding profiled children.
+    pub self_secs: f64,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a phase named `name` nested under the calling thread's
+    /// innermost open phase (or as a root). The returned guard closes the
+    /// phase and accumulates its wall-clock time on drop.
+    pub fn enter(&self, name: &str) -> PhaseGuard<'_> {
+        let node = {
+            let mut inner = self.inner.lock().expect("profiler lock");
+            let tid = std::thread::current().id();
+            let parent = inner.stacks.get(&tid).and_then(|s| s.last().copied());
+            let node = inner.node_for(parent, name);
+            inner.stacks.entry(tid).or_default().push(node);
+            node
+        };
+        PhaseGuard {
+            prof: self,
+            node,
+            start: Instant::now(),
+        }
+    }
+
+    /// True when no phase has ever been opened.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("profiler lock").nodes.is_empty()
+    }
+
+    /// Discards every recorded phase (open guards keep working; their
+    /// nodes are re-created on the next enter).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("profiler lock");
+        inner.nodes.clear();
+        inner.roots.clear();
+        inner.stacks.clear();
+    }
+
+    /// The profile tree flattened depth-first, siblings sorted by name so
+    /// the shape is independent of thread interleaving.
+    pub fn snapshot(&self) -> Vec<ProfileEntry> {
+        let inner = self.inner.lock().expect("profiler lock");
+        let mut out = Vec::new();
+        let mut roots = inner.roots.clone();
+        roots.sort_by(|&a, &b| inner.nodes[a].name.cmp(&inner.nodes[b].name));
+        for r in roots {
+            flatten(&inner, r, "", 0, &mut out);
+        }
+        out
+    }
+
+    /// The `n` phases with the largest *self* time (total minus profiled
+    /// children), most expensive first.
+    pub fn hotspots(&self, n: usize) -> Vec<ProfileEntry> {
+        let mut all = self.snapshot();
+        all.sort_by(|a, b| {
+            b.self_secs
+                .partial_cmp(&a.self_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// The profile tree as a JSON array of `{path, depth, calls,
+    /// total_secs, self_secs}` objects, depth-first.
+    pub fn to_json(&self) -> Value {
+        Value::Arr(
+            self.snapshot()
+                .into_iter()
+                .map(|e| {
+                    Value::obj([
+                        ("path", Value::from(e.path)),
+                        ("depth", Value::from(e.depth as u64)),
+                        ("calls", Value::from(e.calls)),
+                        ("total_secs", Value::from(e.total_secs)),
+                        ("self_secs", Value::from(e.self_secs)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Plain-text rendering of the tree (indentation = nesting), for the
+    /// report binary's `perf` section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.snapshot() {
+            let indent = "  ".repeat(e.depth);
+            out.push_str(&format!(
+                "{indent}{:<width$} {:>10}  {:>10} self  x{}\n",
+                e.name,
+                fmt_secs(e.total_secs),
+                fmt_secs(e.self_secs),
+                e.calls,
+                width = 32usize.saturating_sub(indent.len()),
+            ));
+        }
+        out
+    }
+}
+
+fn flatten(
+    inner: &ProfilerInner,
+    idx: usize,
+    prefix: &str,
+    depth: usize,
+    out: &mut Vec<ProfileEntry>,
+) {
+    let node = &inner.nodes[idx];
+    // Skip phases that never completed a call (still open when snapshotted).
+    let path = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix}{PATH_SEPARATOR}{}", node.name)
+    };
+    let child_total: f64 = node
+        .children
+        .iter()
+        .map(|&c| inner.nodes[c].total_secs)
+        .sum();
+    out.push(ProfileEntry {
+        path: path.clone(),
+        name: node.name.clone(),
+        depth,
+        calls: node.calls,
+        total_secs: node.total_secs,
+        self_secs: (node.total_secs - child_total).max(0.0),
+    });
+    let mut kids = node.children.clone();
+    kids.sort_by(|&a, &b| inner.nodes[a].name.cmp(&inner.nodes[b].name));
+    for c in kids {
+        flatten(inner, c, &path, depth + 1, out);
+    }
+}
+
+/// Human formatting for small durations (`1.23ms`, `456µs`, `7.8s`).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.1}µs", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+/// Guard returned by [`Profiler::enter`]; records the phase's wall-clock
+/// time when dropped. Must be dropped on the thread that opened it (Rust
+/// scope-based drop order makes this the natural usage).
+pub struct PhaseGuard<'a> {
+    prof: &'a Profiler,
+    node: usize,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let secs = self.start.elapsed().as_secs_f64();
+        let mut inner = self.prof.inner.lock().expect("profiler lock");
+        let tid = std::thread::current().id();
+        if let Some(stack) = inner.stacks.get_mut(&tid) {
+            // Pop through any phases leaked by out-of-order drops.
+            while let Some(top) = stack.pop() {
+                if top == self.node {
+                    break;
+                }
+            }
+            if stack.is_empty() {
+                inner.stacks.remove(&tid);
+            }
+        }
+        if let Some(n) = inner.nodes.get_mut(self.node) {
+            n.calls += 1;
+            n.total_secs += secs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_phases_roll_up_into_expected_tree() {
+        let p = Profiler::new();
+        {
+            let _plan = p.enter("plan");
+            {
+                let _place = p.enter("dpos.place");
+                let _scan = p.enter("eft_scan");
+            }
+            {
+                let _place = p.enter("dpos.place");
+                let _commit = p.enter("commit");
+            }
+        }
+        let tree = p.snapshot();
+        let paths: Vec<&str> = tree.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "plan",
+                "plan > dpos.place",
+                "plan > dpos.place > commit",
+                "plan > dpos.place > eft_scan",
+            ]
+        );
+        assert_eq!(tree[0].calls, 1);
+        assert_eq!(tree[1].calls, 2, "same path merges into one node");
+        assert_eq!(tree[1].depth, 1);
+        // parent totals dominate child totals; self excludes children
+        assert!(tree[0].total_secs >= tree[1].total_secs);
+        assert!(tree[1].self_secs <= tree[1].total_secs);
+    }
+
+    #[test]
+    fn threads_build_independent_stacks_that_merge_by_path() {
+        let p = std::sync::Arc::new(Profiler::new());
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                let _a = p.enter("plan");
+                let _b = p.enter("work");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let tree = p.snapshot();
+        assert_eq!(tree.len(), 2, "identical paths merge across threads");
+        assert_eq!(tree[0].path, "plan");
+        assert_eq!(tree[0].calls, 3);
+        assert_eq!(tree[1].path, "plan > work");
+        assert_eq!(tree[1].calls, 3);
+    }
+
+    #[test]
+    fn hotspots_rank_by_self_time() {
+        let p = Profiler::new();
+        {
+            let _outer = p.enter("outer");
+            {
+                let _inner = p.enter("inner");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        let hot = p.hotspots(1);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].path, "outer > inner");
+    }
+
+    #[test]
+    fn json_and_render_cover_every_node() {
+        let p = Profiler::new();
+        {
+            let _a = p.enter("a");
+            let _b = p.enter("b");
+        }
+        let json = p.to_json().to_string();
+        let v = Value::parse(&json).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        assert_eq!(v[0]["path"].as_str(), Some("a"));
+        assert_eq!(v[1]["path"].as_str(), Some("a > b"));
+        let text = p.render();
+        assert!(text.contains("a"));
+        assert!(text.contains("  b"));
+    }
+
+    #[test]
+    fn clear_resets_and_empty_reports() {
+        let p = Profiler::new();
+        assert!(p.is_empty());
+        {
+            let _a = p.enter("a");
+        }
+        assert!(!p.is_empty());
+        p.clear();
+        assert!(p.is_empty());
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn fmt_secs_scales_units() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.5µs");
+        assert_eq!(fmt_secs(2.5e-8), "25ns");
+    }
+}

@@ -87,6 +87,77 @@ fn pre_train_emits_every_lifecycle_kind() {
 }
 
 #[test]
+fn pre_train_builds_profile_tree_and_per_planner_latency() {
+    let (mut s, _sink, col) = session_with_sink(Model::LeNet, 32);
+    s.pre_train().unwrap();
+
+    // The instrumented hot paths rolled up into a profile tree: the
+    // portfolio fan-out on the main thread, each planner's plan phase
+    // (with DPOS's inner phases nested under it) on its worker thread.
+    let paths: Vec<String> = col
+        .profiler()
+        .snapshot()
+        .into_iter()
+        .map(|e| e.path)
+        .collect();
+    assert!(
+        paths.iter().any(|p| p == "portfolio"),
+        "portfolio phase missing: {paths:?}"
+    );
+    assert!(
+        paths.iter().any(|p| p == "portfolio > cache_pass"),
+        "cache_pass phase missing: {paths:?}"
+    );
+    assert!(
+        paths
+            .iter()
+            .any(|p| p.starts_with("plan > ") && p.ends_with("dpos.place > eft_scan")),
+        "nested DPOS phases missing: {paths:?}"
+    );
+    assert!(
+        paths.iter().any(|p| p.contains("sim.event_loop")),
+        "simulator phases missing: {paths:?}"
+    );
+
+    // planner.latency is recorded both in aggregate and per planner name,
+    // in fine (sub-µs-capable) buckets.
+    let Some(MetricValue::Histogram(agg)) = col.metrics().get("planner.latency") else {
+        panic!("planner.latency histogram missing");
+    };
+    assert!(agg.count > 0);
+    assert_eq!(agg.bounds[0], 1e-8, "fine buckets start at 10ns");
+    let per: Vec<(String, u64)> = col
+        .metrics()
+        .snapshot()
+        .into_iter()
+        .filter_map(|(k, v)| match v {
+            MetricValue::Histogram(h) if k.starts_with("planner.latency.") => Some((k, h.count)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !per.is_empty(),
+        "per-planner latency series missing: {:?}",
+        col.metrics()
+            .snapshot()
+            .iter()
+            .map(|(k, _)| k)
+            .collect::<Vec<_>>()
+    );
+    let total: u64 = per.iter().map(|(_, c)| c).sum();
+    assert_eq!(
+        total, agg.count,
+        "per-planner series partition the aggregate"
+    );
+
+    // The ROADMAP planner.latency SLO is gradeable from this registry.
+    let verdicts = fastt_telemetry::evaluate_slos(&fastt::default_slos(), col.metrics());
+    assert!(verdicts
+        .iter()
+        .any(|v| v.slo == "planner.latency.p95" && v.grade != fastt_telemetry::SloGrade::NoData));
+}
+
+#[test]
 fn dpos_place_events_record_considered_devices() {
     let (mut s, sink, _col) = session_with_sink(Model::LeNet, 32);
     s.pre_train().unwrap();
