@@ -13,6 +13,8 @@
 //! cargo run --release -p fastt-bench --bin report -- alexnet 4 /tmp/fastt-report chaos:21
 //! # network chaos (link flaps, partitions, stragglers, NIC degradation):
 //! cargo run --release -p fastt-bench --bin report -- alexnet 2x2 /tmp/fastt-report netchaos:21
+//! # elastic churn (spot revocations, arrivals, hot-adds + promotion ladder):
+//! cargo run --release -p fastt-bench --bin report -- lenet 2x2 /tmp/fastt-report elastic:21
 //! ```
 
 use fastt::search::{CemPlanner, GdpPlanner, McmcPlanner, RandomPlanner, ReinforcePlanner};
@@ -34,34 +36,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outdir = PathBuf::from(args.next().unwrap_or_else(|| "report-out".into()));
     std::fs::create_dir_all(&outdir)?;
 
-    // Optional 4th arg `chaos[:seed]` or `netchaos[:seed]`: inject a seeded
-    // fault scenario and run the normal-training stage so the recovery
-    // machinery has something to do. `chaos` scripts device faults
-    // (straggler, degraded link, transient ops, memory pressure, one
-    // mid-run crash); `netchaos` scripts network faults (link flaps, a host
-    // partition, a collective straggler, NIC degradation).
-    let (chaos_seed, net_chaos): (Option<u64>, bool) = match args.next() {
-        Some(s) if s == "chaos" => (Some(21), false),
-        Some(s) if s == "netchaos" => (Some(21), true),
+    // Optional 4th arg `chaos[:seed]`, `netchaos[:seed]`, or
+    // `elastic[:seed]`: inject a seeded fault scenario and run the
+    // normal-training stage so the recovery machinery has something to do.
+    // `chaos` scripts device faults (straggler, degraded link, transient
+    // ops, memory pressure, one mid-run crash); `netchaos` scripts network
+    // faults (link flaps, a host partition, a collective straggler, NIC
+    // degradation); `elastic` scripts cluster churn (spot revocations with
+    // notice windows, device arrivals, a hot-added server) so the capacity
+    // oscillates and the promotion ladder engages.
+    let (chaos_seed, chaos_mode): (Option<u64>, &str) = match args.next() {
+        Some(s) if s == "chaos" => (Some(21), "chaos"),
+        Some(s) if s == "netchaos" => (Some(21), "netchaos"),
+        Some(s) if s == "elastic" => (Some(21), "elastic"),
         Some(s) => {
-            let (prefix, net) = match s.strip_prefix("netchaos:") {
-                Some(n) => (n, true),
-                None => match s.strip_prefix("chaos:") {
-                    Some(n) => (n, false),
-                    None => {
-                        return Err(format!(
-                            "unknown argument `{s}` (expected `chaos[:seed]` or `netchaos[:seed]`)"
-                        )
-                        .into())
-                    }
-                },
+            let (prefix, mode) = if let Some(n) = s.strip_prefix("netchaos:") {
+                (n, "netchaos")
+            } else if let Some(n) = s.strip_prefix("chaos:") {
+                (n, "chaos")
+            } else if let Some(n) = s.strip_prefix("elastic:") {
+                (n, "elastic")
+            } else {
+                return Err(format!(
+                    "unknown argument `{s}` (expected `chaos[:seed]`, `netchaos[:seed]`, \
+                     or `elastic[:seed]`)"
+                )
+                .into());
             };
             let seed = prefix
                 .parse()
                 .map_err(|_| format!("chaos seed must be an integer, got `{prefix}`"))?;
-            (Some(seed), net)
+            (Some(seed), mode)
         }
-        None => (None, false),
+        None => (None, ""),
     };
 
     let needle = model_arg.to_lowercase();
@@ -81,10 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SessionConfig {
         dp_ps: dp_ps_for(model),
         faults: chaos_seed.map(|s| {
-            Arc::new(if net_chaos {
-                FaultSchedule::seeded_network(s, gpus, servers, 40)
-            } else {
-                FaultSchedule::seeded(s, gpus, 60, gpus >= 2)
+            Arc::new(match chaos_mode {
+                "netchaos" => FaultSchedule::seeded_network(s, gpus, servers, 40),
+                "elastic" => FaultSchedule::seeded_churn(s, gpus, servers, 60),
+                _ => FaultSchedule::seeded(s, gpus, 60, gpus >= 2),
             })
         }),
         ..SessionConfig::default()
@@ -97,8 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     session.attach_collector(collector.clone());
     let report = session.pre_train()?;
     if chaos_seed.is_some() {
-        // run into the fault windows so the recovery timeline has content
-        session.train_normal(40, 5)?;
+        // run into the fault windows so the recovery timeline has content;
+        // the churn schedule spans more iterations than the chaos ones
+        session.train_normal(if chaos_mode == "elastic" { 60 } else { 40 }, 5)?;
     }
     collector.flush();
 
@@ -427,6 +435,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // error would have aborted the session before this line prints).
     println!("deadlocks: 0");
 
+    elasticity_section(&events);
+
     println!("\n--- Top 10 queue-wait ops (final plan, one iteration) ---");
     let plan = session.current_plan();
     let trace = plan.simulate(&topo, &HardwarePerf::new(), &SimConfig::default())?;
@@ -582,6 +592,163 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Millisecond rendering of a seconds field (NaN when absent).
 fn ms(e: &Event, field: &str) -> f64 {
     e.num(field).map(|v| v * 1e3).unwrap_or(f64::NAN)
+}
+
+/// Cluster-capacity / elasticity timeline: the scripted lifecycle events
+/// (revocations, arrivals, hot-adds), the session's drain → quarantine →
+/// restore → promote trajectory, and the live-GPU count against the
+/// simulated per-iteration time whenever capacity moved.
+fn elasticity_section(events: &[Event]) {
+    println!("\n--- Cluster-capacity / elasticity timeline ---");
+    // the engine re-emits a revocation's `fault.lifecycle` on every
+    // iteration of its notice window: dedupe to ONE line per
+    // (kind, device, at_iter) with a repeat count, not one per sighting
+    let mut lifecycle_totals: std::collections::HashMap<String, u64> =
+        std::collections::HashMap::new();
+    for e in events {
+        if e.kind == "fault.lifecycle" {
+            let key = format!(
+                "{}/{}/{}",
+                e.str_field("kind").unwrap_or("?"),
+                e.field("device"),
+                e.field("at_iter"),
+            );
+            *lifecycle_totals.entry(key).or_default() += 1;
+        }
+    }
+    let mut seen_lifecycle = std::collections::HashSet::new();
+    let mut any_elastic = false;
+    for e in events {
+        let line = match e.kind.as_str() {
+            "fault.lifecycle" => {
+                let key = format!(
+                    "{}/{}/{}",
+                    e.str_field("kind").unwrap_or("?"),
+                    e.field("device"),
+                    e.field("at_iter"),
+                );
+                if !seen_lifecycle.insert(key.clone()) {
+                    continue;
+                }
+                let n = lifecycle_totals.get(&key).copied().unwrap_or(1);
+                format!(
+                    "lifecycle [{}] device {} (at iter {}, deadline {}){}",
+                    e.str_field("kind").unwrap_or("?"),
+                    e.field("device"),
+                    e.field("at_iter"),
+                    e.field("deadline"),
+                    if n > 1 {
+                        format!(" x{n}")
+                    } else {
+                        String::new()
+                    },
+                )
+            }
+            "session.revocation_notice" => format!(
+                "  REVOCATION NOTICE device {} dies at iteration {} (noticed at {})",
+                e.field("device"),
+                e.field("deadline"),
+                e.field("iteration"),
+            ),
+            "session.drained" => format!(
+                "  DRAINED device {} ahead of deadline {} (iteration {})",
+                e.field("device"),
+                e.field("deadline"),
+                e.field("iteration"),
+            ),
+            "session.quarantine" => format!(
+                "  QUARANTINED device {} until iteration {} (readmitted at {})",
+                e.field("device"),
+                e.field("until"),
+                e.field("iteration"),
+            ),
+            "session.scaled_up" => format!(
+                "  SCALED UP to {} GPUs: device {} restored (iteration {})",
+                e.field("gpus"),
+                e.field("device"),
+                e.field("iteration"),
+            ),
+            "session.link_restored" => format!(
+                "  link {}->{} restored (iteration {})",
+                e.field("src"),
+                e.field("dst"),
+                e.field("iteration"),
+            ),
+            "session.promoted" => format!(
+                "  PROMOTED [{}] to rung [{}] over {} survivors: \
+                 {:.3} -> {:.3} ms/replica (iteration {})",
+                e.str_field("kind").unwrap_or("?"),
+                e.str_field("rung").unwrap_or("?"),
+                e.field("survivors"),
+                ms(e, "incumbent"),
+                ms(e, "candidate"),
+                e.field("iteration"),
+            ),
+            "session.promotion_held" => format!(
+                "  promotion HELD: candidate {:.3} vs incumbent {:.3} ms/replica \
+                 within margin (iteration {})",
+                ms(e, "candidate"),
+                ms(e, "incumbent"),
+                e.field("iteration"),
+            ),
+            _ => continue,
+        };
+        any_elastic = true;
+        println!("[{:>9} us] {line}", e.t_us);
+    }
+    if !any_elastic {
+        println!("(no capacity changes — pass `elastic[:seed]` as the 4th argument)");
+        return;
+    }
+    // Capacity timeline: the live-GPU count every time it moved, against
+    // the last simulated per-iteration time observed at that point.
+    let mut last_makespan: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    for e in events {
+        if e.kind == "sim.iteration" {
+            if let (Some(i), Some(m)) = (e.num("iteration"), e.num("makespan")) {
+                last_makespan.insert(i as u64, m);
+            }
+        }
+    }
+    let mut timeline: Vec<(u64, u64)> = Vec::new();
+    for e in events {
+        let (iter, gpus) = match e.kind.as_str() {
+            "session.replan" => (e.num("iteration"), e.num("survivors")),
+            "session.scaled_up" => (e.num("iteration"), e.num("gpus")),
+            _ => continue,
+        };
+        if let (Some(i), Some(g)) = (iter, gpus) {
+            if timeline
+                .last()
+                .map(|&(_, lg)| lg != g as u64)
+                .unwrap_or(true)
+            {
+                timeline.push((i as u64, g as u64));
+            }
+        }
+    }
+    println!("capacity timeline (live GPUs vs simulated iteration time):");
+    println!(
+        "| {:>9} | {:>4} | {:>9} |",
+        "iteration", "GPUs", "iter (ms)"
+    );
+    for (i, g) in &timeline {
+        match last_makespan.range(..=*i).next_back() {
+            Some((_, m)) => println!("| {:>9} | {:>4} | {:>9.3} |", i, g, m * 1e3),
+            None => println!("| {:>9} | {:>4} | {:>9} |", i, g, "-"),
+        }
+    }
+    let count = |k: &str| events.iter().filter(|e| e.kind == k).count();
+    // every promoted/held decision ran a full re-plan over the enlarged
+    // survivor set — that is the scale-up re-plan count CI gates on
+    println!(
+        "scale-up replans: {} | drains: {} | quarantines: {} | scale-ups: {} | promotions: {}",
+        count("session.promoted") + count("session.promotion_held"),
+        count("session.drained"),
+        count("session.quarantine"),
+        count("session.scaled_up"),
+        count("session.promoted"),
+    );
 }
 
 /// `N` → one server with N GPUs; `SxG` → S servers of G GPUs each. Returns

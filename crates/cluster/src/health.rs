@@ -21,6 +21,12 @@ pub enum DeviceHealth {
         /// Observed-over-predicted duration ratio (> 1).
         slowdown: f64,
     },
+    /// Re-admitted after a failure but not yet trusted: the only state
+    /// reachable from [`DeviceHealth::Failed`] (via [`HealthMap::readmit`]),
+    /// and one that cannot jump straight to [`DeviceHealth::Healthy`] — it
+    /// must pass through a [`DeviceHealth::Degraded`] probation first, so a
+    /// flapping device never bounces directly back into full trust.
+    Quarantined,
     /// Blacklisted: crashed, preempted, or beyond the retry budget.
     Failed,
 }
@@ -31,6 +37,7 @@ impl DeviceHealth {
         match self {
             DeviceHealth::Healthy => "healthy",
             DeviceHealth::Degraded { .. } => "degraded",
+            DeviceHealth::Quarantined => "quarantined",
             DeviceHealth::Failed => "failed",
         }
     }
@@ -89,19 +96,27 @@ impl HealthMap {
     }
 
     /// Marks `d` healthy again (a straggler window ended).
-    /// Failure is sticky: a failed device cannot be marked healthy.
+    ///
+    /// Failure is sticky: a failed device cannot be marked healthy. A
+    /// quarantined device cannot either — one clean signal right after a
+    /// re-admission is not enough; it must first graduate to
+    /// [`DeviceHealth::Degraded`] probation via [`HealthMap::mark_degraded`].
     ///
     /// # Panics
     ///
     /// Panics if `d` is out of range.
     pub fn mark_healthy(&mut self, d: DeviceId) {
-        if self.state[d.index()] != DeviceHealth::Failed {
+        if matches!(
+            self.state[d.index()],
+            DeviceHealth::Healthy | DeviceHealth::Degraded { .. }
+        ) {
             self.state[d.index()] = DeviceHealth::Healthy;
         }
     }
 
     /// Marks `d` as a straggler running `slowdown`× slower than predicted.
-    /// Failure is sticky: a failed device stays failed.
+    /// Failure is sticky: a failed device stays failed. This is also how a
+    /// quarantined device exits quarantine into probation.
     ///
     /// # Panics
     ///
@@ -109,6 +124,33 @@ impl HealthMap {
     pub fn mark_degraded(&mut self, d: DeviceId, slowdown: f64) {
         if self.state[d.index()] != DeviceHealth::Failed {
             self.state[d.index()] = DeviceHealth::Degraded { slowdown };
+        }
+    }
+
+    /// Deliberately re-admits a failed device into
+    /// [`DeviceHealth::Quarantined`] — the **only** way out of
+    /// [`DeviceHealth::Failed`]. The full re-admission ladder is
+    /// `Failed → Quarantined → Degraded → Healthy`; a device that merely
+    /// flaps (no explicit re-admission) stays failed forever. No-op unless
+    /// `d` is currently failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn readmit(&mut self, d: DeviceId) {
+        if self.state[d.index()] == DeviceHealth::Failed {
+            self.state[d.index()] = DeviceHealth::Quarantined;
+        }
+    }
+
+    /// Grows the map to track `device_count` devices (new slots start
+    /// healthy). No-op if the map already tracks that many; the map never
+    /// shrinks, mirroring [`Topology::device_count`]'s stable-id contract.
+    ///
+    /// [`Topology::device_count`]: crate::Topology::device_count
+    pub fn grow(&mut self, device_count: usize) {
+        if device_count > self.state.len() {
+            self.state.resize(device_count, DeviceHealth::Healthy);
         }
     }
 
@@ -179,11 +221,24 @@ impl HealthMap {
         self.links.insert((src.0, dst.0), DeviceHealth::Failed);
     }
 
-    /// Marks the `src → dst` link healthy again. Failure is sticky: a
-    /// failed link cannot be marked healthy.
+    /// Marks the `src → dst` link healthy again. Failure is sticky (a
+    /// failed link cannot be marked healthy) and quarantine must pass
+    /// through a degraded probation first, exactly as for devices.
     pub fn mark_link_healthy(&mut self, src: DeviceId, dst: DeviceId) {
-        if self.link_health(src, dst) != DeviceHealth::Failed {
+        if matches!(
+            self.link_health(src, dst),
+            DeviceHealth::Healthy | DeviceHealth::Degraded { .. }
+        ) {
             self.links.remove(&(src.0, dst.0));
+        }
+    }
+
+    /// Deliberately re-admits a failed `src → dst` link into
+    /// [`DeviceHealth::Quarantined`] — the only way out of link failure,
+    /// mirroring [`HealthMap::readmit`]. No-op unless the link is failed.
+    pub fn readmit_link(&mut self, src: DeviceId, dst: DeviceId) {
+        if self.is_link_failed(src, dst) {
+            self.links.insert((src.0, dst.0), DeviceHealth::Quarantined);
         }
     }
 
@@ -300,5 +355,73 @@ mod tests {
         assert!(h.is_failed(DeviceId(1)), "failed devices never come back");
         assert_eq!(h.failed(), vec![DeviceId(1)]);
         assert_eq!(h.live_count(), 1);
+    }
+
+    #[test]
+    fn flapping_device_is_never_auto_readmitted() {
+        // Regression: the ONLY way out of Failed is an explicit readmit().
+        // A device that flaps — fails, then looks fine on the next health
+        // sweep — must stay blacklisted no matter how many healthy or
+        // degraded signals arrive.
+        let mut h = HealthMap::new(2);
+        let d = DeviceId(0);
+        h.mark_failed(d);
+        for _ in 0..10 {
+            h.mark_healthy(d);
+            h.mark_degraded(d, 1.0);
+        }
+        assert!(h.is_failed(d), "flaps must not un-stick Failed");
+        // deliberate re-admission enters quarantine, not trust
+        h.readmit(d);
+        assert_eq!(h.health(d), DeviceHealth::Quarantined);
+        assert_eq!(h.health(d).label(), "quarantined");
+        assert_eq!(h.live_count(), 2, "quarantined counts as live");
+        // a single clean signal cannot skip probation...
+        h.mark_healthy(d);
+        assert_eq!(h.health(d), DeviceHealth::Quarantined);
+        // ...the ladder is quarantine → degraded probation → healthy
+        h.mark_degraded(d, 1.0);
+        assert_eq!(h.health(d), DeviceHealth::Degraded { slowdown: 1.0 });
+        h.mark_healthy(d);
+        assert_eq!(h.health(d), DeviceHealth::Healthy);
+        // readmit on a non-failed device is a no-op
+        h.readmit(d);
+        assert_eq!(h.health(d), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn link_readmission_mirrors_the_device_ladder() {
+        let mut h = HealthMap::new(2);
+        let (a, b) = (DeviceId(0), DeviceId(1));
+        h.mark_link_failed(a, b);
+        h.mark_link_healthy(a, b);
+        assert!(h.is_link_failed(a, b), "link failure stays sticky");
+        h.readmit_link(a, b);
+        assert_eq!(h.link_health(a, b), DeviceHealth::Quarantined);
+        assert!(!h.is_link_failed(a, b));
+        h.mark_link_healthy(a, b);
+        assert_eq!(
+            h.link_health(a, b),
+            DeviceHealth::Quarantined,
+            "quarantined links need degraded probation first"
+        );
+        h.mark_link_degraded(a, b, 1.0);
+        h.mark_link_healthy(a, b);
+        assert_eq!(h.link_health(a, b), DeviceHealth::Healthy);
+        // direction independence and no-op on healthy links
+        h.readmit_link(b, a);
+        assert_eq!(h.link_health(b, a), DeviceHealth::Healthy);
+    }
+
+    #[test]
+    fn grow_adds_healthy_slots_and_never_shrinks() {
+        let mut h = HealthMap::new(2);
+        h.mark_failed(DeviceId(1));
+        h.grow(4);
+        assert_eq!(h.len(), 4);
+        assert!(h.is_failed(DeviceId(1)), "existing state survives growth");
+        assert_eq!(h.health(DeviceId(3)), DeviceHealth::Healthy);
+        h.grow(1);
+        assert_eq!(h.len(), 4, "the map never shrinks");
     }
 }

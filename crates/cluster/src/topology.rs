@@ -142,6 +142,14 @@ pub struct Topology {
     /// (`1.0` when healthy), set by the session when it detects a link
     /// running slower than its class predicts.
     link_slow: Vec<Vec<f64>>,
+    /// Default link classes used to wire *hot-added* devices
+    /// ([`Topology::add_device`] / [`Topology::add_server`]), captured from
+    /// the builder: intra-server, inter-server, and host↔GPU PCIe. `None`
+    /// on hand-wired topologies built without class defaults, in which
+    /// case grown devices get no links of that class.
+    intra: Option<Link>,
+    inter: Option<Link>,
+    host_pcie: Option<Link>,
 }
 
 impl Topology {
@@ -217,6 +225,78 @@ impl Topology {
     /// Panics if `d` is out of range.
     pub fn fail_device(&mut self, d: DeviceId) {
         self.failed[d.index()] = true;
+    }
+
+    /// Clears the blacklist mark on `d`: the device re-enters
+    /// [`Topology::gpu_ids`] under its original id and placements may
+    /// target it again. The inverse of [`Topology::fail_device`]; link
+    /// health is separate ([`Topology::restore_link`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn restore_device(&mut self, d: DeviceId) {
+        self.failed[d.index()] = false;
+    }
+
+    /// Hot-adds `device` on `server`, wiring it to every existing device
+    /// with the topology's default link classes (intra-server, inter-server,
+    /// host↔GPU PCIe — the same rules [`TopologyBuilder::build`] applies).
+    /// Existing ids are untouched; the new device gets the next id, so
+    /// id-indexed state (cost-model keys, fault schedules, health maps)
+    /// stays valid.
+    pub fn add_device(&mut self, device: Device, server: u16) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u16);
+        let new_is_host = device.is_host;
+        self.devices.push(device);
+        self.server_of.push(server);
+        self.failed.push(false);
+        let n = self.devices.len();
+        let wires: Vec<Option<Link>> = (0..n - 1)
+            .map(|other| {
+                let same = self.server_of[other] == server;
+                let host_pair = self.devices[other].is_host || new_is_host;
+                if !same {
+                    self.inter
+                } else if host_pair {
+                    self.host_pcie.or(self.intra)
+                } else {
+                    self.intra
+                }
+            })
+            .collect();
+        for (row, &l) in self.links.iter_mut().zip(&wires) {
+            row.push(l);
+        }
+        let mut new_row = wires;
+        new_row.push(None); // diagonal
+        self.links.push(new_row);
+        for row in self.link_down.iter_mut() {
+            row.push(false);
+        }
+        self.link_down.push(vec![false; n]);
+        for row in self.link_slow.iter_mut() {
+            row.push(1.0);
+        }
+        self.link_slow.push(vec![1.0; n]);
+        id
+    }
+
+    /// Hot-adds a whole server: `gpus` V100s plus one CPU host, on a fresh
+    /// server id one past the current maximum. Returns the new GPU ids (the
+    /// host is discoverable via [`Topology::host_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus == 0`.
+    pub fn add_server(&mut self, gpus: u16) -> Vec<DeviceId> {
+        assert!(gpus > 0, "a server needs at least one GPU");
+        let server = self.server_of.iter().copied().max().map_or(0, |s| s + 1);
+        let ids = (0..gpus)
+            .map(|g| self.add_device(Device::v100(format!("srv{server}/gpu{g}")), server))
+            .collect();
+        self.add_device(Device::host(format!("srv{server}/cpu")), server);
+        ids
     }
 
     /// Whether `d` has been blacklisted.
@@ -574,6 +654,9 @@ impl Topology {
                 .iter()
                 .map(|row| row[..n].to_vec())
                 .collect(),
+            intra: self.intra,
+            inter: self.inter,
+            host_pcie: self.host_pcie,
         }
     }
 }
@@ -679,6 +762,9 @@ impl TopologyBuilder {
             failed: vec![false; n],
             link_down: vec![vec![false; n]; n],
             link_slow: vec![vec![1.0; n]; n],
+            intra: self.intra,
+            inter: self.inter,
+            host_pcie: self.host_pcie,
         }
     }
 }
@@ -992,6 +1078,79 @@ mod tests {
         assert!(p.is_link_failed(DeviceId(0), DeviceId(1)));
         assert!((p.link_degrade_factor(DeviceId(1), DeviceId(0)) - 2.0).abs() < 1e-12);
         assert!(!p.is_link_failed(DeviceId(1), DeviceId(0)));
+    }
+
+    #[test]
+    fn restore_device_reverses_blacklist_under_the_same_id() {
+        let mut t = Topology::single_server(4);
+        t.fail_device(DeviceId(2));
+        assert_eq!(t.gpu_count(), 3);
+        t.restore_device(DeviceId(2));
+        assert_eq!(t.gpu_count(), 4);
+        assert!(!t.is_failed(DeviceId(2)));
+        let ids: Vec<DeviceId> = t.gpu_ids().collect();
+        assert_eq!(
+            ids,
+            vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)],
+            "restored devices reappear under their original id"
+        );
+        // restoring a healthy device is a no-op
+        t.restore_device(DeviceId(0));
+        assert_eq!(t.gpu_count(), 4);
+    }
+
+    #[test]
+    fn add_device_wires_default_links_and_keeps_ids_stable() {
+        let mut t = Topology::multi_server(2, 2); // gpus 0-3, hosts 4-5
+        let before: Vec<DeviceId> = t.gpu_ids().collect();
+        let nic = t.channel_key(DeviceId(0), DeviceId(2));
+        let d = t.add_device(Device::v100("srv1/gpu2"), 1);
+        assert_eq!(d, DeviceId(6), "new device gets the next id");
+        assert_eq!(t.server_of(d), 1);
+        assert_eq!(t.gpu_count(), 5);
+        // existing ids and channel keys are untouched
+        assert!(before.iter().all(|&g| !t.is_failed(g)));
+        assert_eq!(t.channel_key(DeviceId(0), DeviceId(2)), nic);
+        // same-server GPU peer: NVLink; to its host: PCIe; across: RDMA
+        assert_eq!(t.link_class(d, DeviceId(2)), Some(LinkClass::NvLink));
+        assert_eq!(
+            t.link_class(d, t.host_of(1).unwrap()),
+            Some(LinkClass::Pcie)
+        );
+        assert_eq!(t.link_class(d, DeviceId(0)), Some(LinkClass::Rdma));
+        assert_eq!(t.link(d, d), None, "no self-link");
+        // routing picks the new device up immediately, staged via hosts
+        let (h1, h0) = (t.host_of(1).unwrap(), t.host_of(0).unwrap());
+        assert_eq!(
+            t.route(d, DeviceId(0)),
+            vec![(d, h1), (h1, h0), (h0, DeviceId(0))]
+        );
+    }
+
+    #[test]
+    fn add_server_appends_a_fresh_server_with_host() {
+        let mut t = Topology::multi_server(2, 2);
+        let added = t.add_server(2);
+        assert_eq!(added, vec![DeviceId(6), DeviceId(7)]);
+        assert_eq!(t.server_of(DeviceId(6)), 2, "fresh server id");
+        let h2 = t.host_of(2).expect("hot-added server has a host");
+        assert!(t.is_host(h2));
+        assert_eq!(t.gpu_count(), 6);
+        assert_eq!(t.device_count(), 9);
+        // new GPUs are fully wired: NVLink among themselves, PCIe to their
+        // host, inter-server fabric to the old servers
+        assert_eq!(
+            t.link_class(DeviceId(6), DeviceId(7)),
+            Some(LinkClass::NvLink)
+        );
+        assert_eq!(t.link_class(DeviceId(6), h2), Some(LinkClass::Pcie));
+        assert_eq!(
+            t.link_class(DeviceId(6), DeviceId(0)),
+            Some(LinkClass::Rdma)
+        );
+        // growth survives prefix(): the defaults are part of the topology
+        let mut p = t.prefix(9);
+        assert_eq!(p.add_server(1).len(), 1);
     }
 
     #[test]

@@ -23,10 +23,12 @@ pub struct Fingerprint {
     /// most planners, the raw training graph for start strategies (which
     /// build their own replication).
     pub graph_hash: u64,
-    /// One bit per failed device (bit `d mod 64`) XORed with a mixed hash
-    /// per failed *link* — any blacklist change, device or link, on
-    /// clusters up to 64 devices changes the mask. Link failures reroute
-    /// transfers, so a plan computed over the healthy wiring is stale.
+    /// Capacity-and-blacklist mask (see `failed_mask`): a hash of the
+    /// live device set folded with one bit per failed device and a mixed
+    /// hash per failed *link*. Any capacity change — failure, restore, or
+    /// hot-add — changes the mask: link failures reroute transfers and
+    /// restored devices enlarge the plannable set, so a plan computed over
+    /// either the healthy or the shrunk wiring is stale on the other.
     pub failed_mask: u64,
     /// [`CostModels::generation`] at planning time for planners that
     /// consult the cost models; 0 for those that do not, so their cached
@@ -68,19 +70,34 @@ impl Fingerprint {
     }
 }
 
-/// XOR-folded bitmask of the blacklisted devices (bit `d mod 64`), mixed
-/// with a splitmix64-style hash of every blacklisted directed link so
-/// link-health changes invalidate cached plans too.
+/// splitmix64-style mixer for mask components.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// XOR-folded capacity mask: one bit per blacklisted device (bit `d mod
+/// 64`), a splitmix64-style hash per blacklisted directed link, and a
+/// mixed hash of the *live capacity* — total device count plus the live
+/// GPU set. The capacity term makes the mask symmetric: a restored device
+/// or a hot-added server changes it just as a failure does, so a plan
+/// cached over the shrunk cluster is never served after scale-up (and
+/// vice versa), including live-set changes on clusters past 64 devices
+/// where the per-device bits alias.
 fn failed_mask(topo: &Topology) -> u64 {
+    let capacity = topo
+        .gpu_ids()
+        .fold(mix(0xE1A5_71C0 ^ topo.device_count() as u64), |m, d| {
+            m ^ mix(0xD0D0_0000 | d.0 as u64)
+        });
     let devices = topo
         .failed_devices()
         .iter()
-        .fold(0u64, |m, d| m ^ 1u64.rotate_left(d.0 as u32));
+        .fold(capacity, |m, d| m ^ 1u64.rotate_left(d.0 as u32));
     topo.failed_links().iter().fold(devices, |m, (s, d)| {
-        let mut z = (((s.0 as u64) << 16) | d.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        m ^ (z ^ (z >> 31))
+        m ^ mix(((s.0 as u64) << 16) | d.0 as u64)
     })
 }
 
@@ -230,5 +247,53 @@ mod tests {
         assert_ne!(m0, m1);
         t.fail_device(fastt_cluster::DeviceId(0));
         assert_ne!(m1, failed_mask(&t));
+    }
+
+    #[test]
+    fn failed_mask_invalidates_symmetrically_on_restore_and_growth() {
+        // Regression: a plan cached while the cluster was shrunk must never
+        // be served after capacity returns. The mask has to move in BOTH
+        // directions — on failure and on restore/hot-add alike.
+        let mut t = Topology::multi_server(2, 2);
+        let healthy = failed_mask(&t);
+        t.fail_device(fastt_cluster::DeviceId(1));
+        let shrunk = failed_mask(&t);
+        assert_ne!(healthy, shrunk);
+        // restore: back to exactly the healthy fingerprint (same live set
+        // ⇒ same key ⇒ pre-failure cached plans are reusable again)...
+        t.restore_device(fastt_cluster::DeviceId(1));
+        assert_eq!(failed_mask(&t), healthy);
+        // ...and never the shrunk one
+        assert_ne!(failed_mask(&t), shrunk);
+        // hot-adding a server grows the live set: new fingerprint again
+        t.add_server(2);
+        let grown = failed_mask(&t);
+        assert_ne!(grown, healthy);
+        assert_ne!(grown, shrunk);
+    }
+
+    #[test]
+    fn stale_shrunk_cluster_plan_is_not_served_after_scale_up() {
+        // End-to-end cache behaviour: cache a plan under the shrunk
+        // fingerprint, scale back up, and check the lookup misses.
+        let mut t = Topology::single_server(4);
+        t.fail_device(fastt_cluster::DeviceId(3));
+        let shrunk_fp = fp(7);
+        let shrunk_fp = Fingerprint {
+            failed_mask: failed_mask(&t),
+            ..shrunk_fp
+        };
+        let mut c = PlanCache::new(8);
+        c.insert(shrunk_fp.clone(), plan());
+        assert!(c.get(&shrunk_fp).is_some());
+        t.restore_device(fastt_cluster::DeviceId(3));
+        let grown_fp = Fingerprint {
+            failed_mask: failed_mask(&t),
+            ..shrunk_fp
+        };
+        assert!(
+            c.get(&grown_fp).is_none(),
+            "the shrunk-cluster plan must not survive scale-up"
+        );
     }
 }

@@ -18,7 +18,7 @@ use crate::strategy::Plan;
 use fastt_cluster::{DeviceHealth, DeviceId, HealthMap, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::Graph;
-use fastt_sim::{FaultSchedule, HardwarePerf, RunTrace, SimConfig, SimError};
+use fastt_sim::{FaultSchedule, HardwarePerf, LifecycleKind, RunTrace, SimConfig, SimError};
 use fastt_telemetry::{jobj, Collector, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -62,6 +62,17 @@ pub struct SessionConfig {
     /// Measured-over-predicted per-device duration ratio above which a
     /// device is flagged as degraded (`health.degraded`).
     pub degraded_slowdown: f64,
+    /// Iterations a re-admitted device spends in quarantine before it
+    /// rejoins the plannable capacity. Re-admission is explicit: a device
+    /// that dies again mid-quarantine is dropped and a fresh arrival must
+    /// restart the ladder — flapping devices are never auto-readmitted.
+    pub quarantine_iters: u64,
+    /// Minimum iterations between promotion attempts after capacity
+    /// growth (hysteresis: keeps spot churn from thrashing plans).
+    pub promote_cooldown_iters: u64,
+    /// Relative per-replica improvement a growth candidate must show over
+    /// the incumbent before it is promoted (hysteresis margin).
+    pub promote_margin: f64,
 }
 
 impl Default for SessionConfig {
@@ -79,6 +90,49 @@ impl Default for SessionConfig {
             max_transient_retries: 4,
             retry_backoff_base: 0.05,
             degraded_slowdown: 1.5,
+            quarantine_iters: 2,
+            promote_cooldown_iters: 3,
+            promote_margin: 0.02,
+        }
+    }
+}
+
+/// Where the session currently sits on the degradation/promotion ladder,
+/// ordered worst to best: greedy model parallelism at the bottom, then
+/// the parameter-server data-parallel funnel, then ring all-reduce data
+/// parallelism over the survivors, then a fresh DPOS/OS-DPOS plan at the
+/// top. Failure recovery can step the session down the ladder; the
+/// promotion path climbs back up when revoked capacity returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderRung {
+    /// Greedy model parallelism — the last-resort fallback.
+    Mp,
+    /// Parameter-server data parallelism (the funnel).
+    PsDp,
+    /// Ring all-reduce data parallelism over the survivors.
+    RingDp,
+    /// A fresh DPOS/OS-DPOS plan — the top rung.
+    Replanned,
+}
+
+impl LadderRung {
+    /// The rung a replan/fallback kind string lands on.
+    fn of_kind(kind: &str) -> LadderRung {
+        match kind {
+            "data_parallel_allreduce" => LadderRung::RingDp,
+            "data_parallel" => LadderRung::PsDp,
+            "model_parallel" => LadderRung::Mp,
+            _ => LadderRung::Replanned,
+        }
+    }
+
+    /// Stable label used in telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LadderRung::Mp => "model_parallel",
+            LadderRung::PsDp => "ps_data_parallel",
+            LadderRung::RingDp => "ring_data_parallel",
+            LadderRung::Replanned => "replanned",
         }
     }
 }
@@ -159,6 +213,52 @@ pub enum RecoveryEvent {
         /// The iteration at which training resumed.
         iteration: u64,
     },
+    /// A spot-revocation notice was received: the device dies at
+    /// `deadline` unless it is drained first.
+    RevocationNotice {
+        /// The device being revoked.
+        device: DeviceId,
+        /// The iteration the notice was observed.
+        iteration: u64,
+        /// The iteration the device dies.
+        deadline: u64,
+    },
+    /// A device under revocation notice was proactively drained:
+    /// blacklisted and re-planned around *before* death, so the deadline
+    /// passes without any crash recovery (or retries) for it.
+    Drained {
+        /// The drained device.
+        device: DeviceId,
+        /// The iteration the drain happened.
+        iteration: u64,
+    },
+    /// A previously failed device re-announced itself and entered
+    /// quarantine (explicit re-admission — a flapping device is never
+    /// auto-readmitted by a health signal alone).
+    Readmitted {
+        /// The quarantined device.
+        device: DeviceId,
+        /// The iteration re-admission was granted.
+        iteration: u64,
+    },
+    /// A device finished quarantine (or arrived with a hot-added server)
+    /// and rejoined the plannable capacity on probation.
+    Restored {
+        /// The restored device.
+        device: DeviceId,
+        /// The iteration it rejoined.
+        iteration: u64,
+    },
+    /// Growth re-planning beat the incumbent by the hysteresis margin:
+    /// the session adopted the new plan and climbed the ladder.
+    Promoted {
+        /// Live GPUs at promotion time.
+        survivors: usize,
+        /// `"replan"` or the winning start-strategy kind.
+        kind: &'static str,
+        /// The iteration the promotion took effect.
+        iteration: u64,
+    },
 }
 
 /// What happened during pre-training (feeds the paper's Table 4 timing and
@@ -209,6 +309,34 @@ pub struct TrainingSession {
     /// Fingerprint-keyed memo of computed plans, shared by every portfolio
     /// evaluation the session runs (see [`PlanCache`]).
     cache: PlanCache,
+    /// Which scripted lifecycle events have already been applied (indexed
+    /// like the fault schedule's lifecycle list).
+    lifecycle_processed: Vec<bool>,
+    /// Readmitted devices waiting out quarantine: (restore-at, id).
+    pending_restores: Vec<(u64, DeviceId)>,
+    /// Capacity grew since the last promotion attempt.
+    pending_promotion: bool,
+    /// Iteration of the last promotion attempt (the cooldown anchor).
+    last_promotion_attempt: Option<u64>,
+    /// Current rung on the degradation/promotion ladder.
+    rung: LadderRung,
+}
+
+/// How many data-parallel replicas a plan's graph encodes. DP graphs name
+/// replica ops `repN/...`, so per-iteration work scales with the replica
+/// count and raw makespans are only comparable *per replica* (see
+/// [`TrainingSession::try_promote`]); non-replicated plans count as one.
+fn replicas_of(plan: &Plan) -> usize {
+    plan.graph
+        .op_ids()
+        .filter_map(|id| {
+            let name = &plan.graph.op_ref(id).name;
+            let rest = name.strip_prefix("rep")?;
+            rest[..rest.find('/')?].parse::<usize>().ok()
+        })
+        .max()
+        .map(|n| n + 1)
+        .unwrap_or(1)
 }
 
 /// Whether a profiling error is specific to the plan being measured (so a
@@ -293,6 +421,16 @@ impl TrainingSession {
         // both are exactly the winning start plan's graph.
         let base_graph = start.graph.clone();
         let health = HealthMap::new(topo.device_count());
+        let lifecycle_processed = config
+            .faults
+            .as_ref()
+            .map(|f| vec![false; f.lifecycle().len()])
+            .unwrap_or_default();
+        let rung = if started_dp {
+            LadderRung::PsDp
+        } else {
+            LadderRung::Mp
+        };
         Ok(TrainingSession {
             base_graph,
             training_graph: training_graph.clone(),
@@ -308,6 +446,11 @@ impl TrainingSession {
             recovery_log: Vec::new(),
             collector: None,
             cache: PlanCache::default(),
+            lifecycle_processed,
+            pending_restores: Vec::new(),
+            pending_promotion: false,
+            last_promotion_attempt: None,
+            rung,
         })
     }
 
@@ -376,6 +519,11 @@ impl TrainingSession {
     /// Training iterations executed so far (profiled and unprofiled).
     pub fn iterations_run(&self) -> u64 {
         self.iteration
+    }
+
+    /// The session's current rung on the degradation/promotion ladder.
+    pub fn ladder_rung(&self) -> LadderRung {
+        self.rung
     }
 
     /// The simulation parameters for the current iteration. `attempt` only
@@ -495,6 +643,7 @@ impl TrainingSession {
     /// On success the iteration counter advances and (when `feed_cost`) the
     /// trace is fed to the cost models.
     fn run_iteration(&mut self, feed_cost: bool) -> Result<f64, FastTError> {
+        self.process_lifecycle()?;
         let mut pressure_replans = 0u32;
         loop {
             let mut attempt = 0u32;
@@ -959,12 +1108,372 @@ impl TrainingSession {
         dropped
     }
 
+    /// Applies every scripted lifecycle event that has come due — spot
+    /// revocations (drained proactively when the notice window allows),
+    /// device and host arrivals, link restores — then finishes any
+    /// quarantines whose probation expired, then attempts a promotion when
+    /// capacity grew. Called at the top of every iteration; a session
+    /// without a fault schedule is untouched (bit-identical to pre-elastic
+    /// builds).
+    fn process_lifecycle(&mut self) -> Result<(), FastTError> {
+        let Some(faults) = self.config.faults.clone() else {
+            return Ok(());
+        };
+        let iteration = self.iteration;
+        let events = faults.lifecycle();
+        if self.lifecycle_processed.len() < events.len() {
+            self.lifecycle_processed.resize(events.len(), false);
+        }
+        let mut due: Vec<usize> = (0..events.len())
+            .filter(|&i| !self.lifecycle_processed[i] && events[i].at_iter <= iteration)
+            .collect();
+        due.sort_by_key(|&i| (events[i].at_iter, i));
+        for i in due {
+            self.lifecycle_processed[i] = true;
+            match events[i].kind {
+                LifecycleKind::SpotRevocation { device, .. } => {
+                    self.handle_revocation(device, events[i].deadline())?;
+                }
+                LifecycleKind::DeviceArrival { device }
+                | LifecycleKind::DeviceRestore { device } => {
+                    self.handle_arrival(device);
+                }
+                LifecycleKind::HostArrival { gpus } => {
+                    self.handle_host_arrival(gpus);
+                }
+                LifecycleKind::LinkRestore { src, dst } => {
+                    self.handle_link_restore(src, dst);
+                }
+            }
+        }
+        let mut ready: Vec<(u64, DeviceId)> = Vec::new();
+        self.pending_restores.retain(|&(at, d)| {
+            if at <= iteration {
+                ready.push((at, d));
+                false
+            } else {
+                true
+            }
+        });
+        ready.sort();
+        for (_, d) in ready {
+            if self.finish_quarantine(d, &faults) {
+                self.pending_promotion = true;
+            }
+        }
+        if self.pending_promotion {
+            self.try_promote()?;
+        }
+        Ok(())
+    }
+
+    /// A spot-revocation notice: log it, and when the notice window leaves
+    /// room, drain the device *now* — blacklist it and re-plan over the
+    /// survivors so the deadline passes without a crash (and without a
+    /// single retry for that device). Zero-notice revocations take the
+    /// ordinary crash-recovery path instead.
+    fn handle_revocation(&mut self, device: DeviceId, deadline: u64) -> Result<(), FastTError> {
+        let iteration = self.iteration;
+        self.recovery_log.push(RecoveryEvent::RevocationNotice {
+            device,
+            iteration,
+            deadline,
+        });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.revocation_notices");
+        }
+        self.emit(
+            "session.revocation_notice",
+            jobj! {
+                "device" => device.0 as u64,
+                "iteration" => iteration,
+                "deadline" => deadline,
+            },
+        );
+        if deadline <= iteration || self.topo.is_failed(device) {
+            return Ok(());
+        }
+        self.topo.fail_device(device);
+        self.health.mark_failed(device);
+        self.cost.bind_topology(&self.topo);
+        self.recovery_log
+            .push(RecoveryEvent::Drained { device, iteration });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.drains");
+        }
+        self.emit(
+            "session.drained",
+            jobj! {
+                "device" => device.0 as u64,
+                "iteration" => iteration,
+                "deadline" => deadline,
+            },
+        );
+        if self.topo.gpu_count() == 0 {
+            return Err(FastTError::ClusterExhausted);
+        }
+        self.replan_and_degrade(iteration, "revocation_drain")
+    }
+
+    /// A device (re-)announced itself. Re-admission is explicit: the
+    /// device enters quarantine (`Failed` → `Quarantined` in the
+    /// [`HealthMap`]) and only rejoins the plannable capacity after
+    /// `quarantine_iters` iterations of probation.
+    fn handle_arrival(&mut self, device: DeviceId) {
+        let iteration = self.iteration;
+        if device.index() >= self.topo.device_count() || !self.topo.is_failed(device) {
+            return; // unknown id, or already live: nothing to readmit
+        }
+        self.health.readmit(device);
+        self.recovery_log
+            .push(RecoveryEvent::Readmitted { device, iteration });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.quarantines");
+        }
+        self.emit(
+            "session.quarantine",
+            jobj! {
+                "device" => device.0 as u64,
+                "iteration" => iteration,
+                "until" => iteration + self.config.quarantine_iters,
+            },
+        );
+        self.pending_restores
+            .push((iteration + self.config.quarantine_iters, device));
+    }
+
+    /// Ends a device's quarantine. Unless it died again or its server is
+    /// partitioned mid-probation (in which case the re-admission is
+    /// dropped and a fresh arrival must restart the path), the device
+    /// rejoins the topology on probation (`Degraded`); the ordinary
+    /// health sweep promotes it to `Healthy` once measurements normalize.
+    /// Returns whether capacity actually grew.
+    fn finish_quarantine(&mut self, device: DeviceId, faults: &FaultSchedule) -> bool {
+        let iteration = self.iteration;
+        if !matches!(self.health.health(device), DeviceHealth::Quarantined)
+            || faults.crashed(device, iteration)
+            || faults.is_partitioned(self.topo.server_of(device), iteration)
+        {
+            return false;
+        }
+        self.topo.restore_device(device);
+        self.health.mark_degraded(device, 1.0);
+        self.cost.bind_topology(&self.topo);
+        self.recovery_log
+            .push(RecoveryEvent::Restored { device, iteration });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.scale_ups");
+        }
+        self.emit(
+            "session.scaled_up",
+            jobj! {
+                "device" => device.0 as u64,
+                "iteration" => iteration,
+                "gpus" => self.topo.gpu_count() as u64,
+            },
+        );
+        true
+    }
+
+    /// A whole new server hot-added: fresh GPUs and a host join under
+    /// stable new ids, healthy from the start — they have no failure
+    /// history to quarantine.
+    fn handle_host_arrival(&mut self, gpus: u16) {
+        let iteration = self.iteration;
+        let new_ids = self.topo.add_server(gpus);
+        self.health.grow(self.topo.device_count());
+        self.cost.bind_topology(&self.topo);
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.scale_ups");
+        }
+        for d in new_ids {
+            self.recovery_log.push(RecoveryEvent::Restored {
+                device: d,
+                iteration,
+            });
+            self.emit(
+                "session.scaled_up",
+                jobj! {
+                    "device" => d.0 as u64,
+                    "iteration" => iteration,
+                    "gpus" => self.topo.gpu_count() as u64,
+                },
+            );
+        }
+        self.pending_promotion = true;
+    }
+
+    /// A physical link came back: clear both directions of the blacklist,
+    /// re-admit the hop in the health map, and re-trust its cost prior so
+    /// planners route over it again.
+    fn handle_link_restore(&mut self, src: DeviceId, dst: DeviceId) {
+        let iteration = self.iteration;
+        for (a, b) in [(src, dst), (dst, src)] {
+            self.topo.restore_link(a, b);
+            self.health.readmit_link(a, b);
+            self.cost.trust_link(a, b);
+        }
+        self.cost.bind_topology(&self.topo);
+        self.emit(
+            "session.link_restored",
+            jobj! {
+                "src" => src.0 as u64,
+                "dst" => dst.0 as u64,
+                "iteration" => iteration,
+            },
+        );
+        self.pending_promotion = true;
+    }
+
+    /// The promotion ladder (the growth mirror of
+    /// [`Self::replan_and_degrade`]): re-plan over the enlarged survivor
+    /// set and adopt the winner only when its probed **per-replica** time
+    /// beats the incumbent's by the hysteresis margin. Per replica,
+    /// because the session replicates the training graph once per live
+    /// GPU — a plan over more GPUs does proportionally more work per
+    /// iteration, so raw makespans are not comparable across replica
+    /// counts. Hysteresis (a cooldown between attempts plus a minimum
+    /// improvement) keeps spot churn from thrashing plans. Promotion is
+    /// opportunistic: a planning dead end holds the incumbent instead of
+    /// failing the iteration.
+    fn try_promote(&mut self) -> Result<(), FastTError> {
+        let iteration = self.iteration;
+        if let Some(last) = self.last_promotion_attempt {
+            if iteration < last + self.config.promote_cooldown_iters {
+                return Ok(()); // still cooling down; the attempt stays pending
+            }
+        }
+        self.pending_promotion = false;
+        self.last_promotion_attempt = Some(iteration);
+        let probe = self.probe_config();
+        let incumbent_raw = self
+            .current
+            .simulate(&self.topo, &self.hw, &probe)
+            .map(|t| t.makespan)
+            .unwrap_or(f64::INFINITY);
+        let incumbent = incumbent_raw / replicas_of(&self.current) as f64;
+        let survivors = self.topo.gpu_count();
+        let (mut merged, _) = self.plan_candidates_over_survivors(probe);
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (i, c) in merged.iter().enumerate() {
+            let (Some(m), Some(p)) = (c.simulated, c.plan.as_ref()) else {
+                continue;
+            };
+            let score = m / replicas_of(p) as f64;
+            if best.is_none_or(|(_, s, _)| score < s) {
+                best = Some((i, score, m));
+            }
+        }
+        let adopt =
+            best.filter(|&(_, score, _)| score < incumbent * (1.0 - self.config.promote_margin));
+        let Some((i, score, raw)) = adopt else {
+            if let Some(col) = &self.collector {
+                col.metrics().inc("session.promotions_held");
+            }
+            self.emit(
+                "session.promotion_held",
+                jobj! {
+                    "iteration" => iteration,
+                    "survivors" => survivors as u64,
+                    "incumbent" => incumbent,
+                    "candidate" => best.map(|(_, s, _)| s).unwrap_or(f64::INFINITY),
+                    "margin" => self.config.promote_margin,
+                },
+            );
+            return Ok(());
+        };
+        let c = &mut merged[i];
+        let kind = match c.kind {
+            PlannerKind::StartStrategy => c.planner,
+            _ => "replan",
+        };
+        self.rung = LadderRung::of_kind(kind);
+        self.current = c.plan.take().expect("probed plan");
+        self.measured = raw;
+        self.recovery_log.push(RecoveryEvent::Promoted {
+            survivors,
+            kind,
+            iteration,
+        });
+        if let Some(col) = &self.collector {
+            col.metrics().inc("session.promotions");
+        }
+        self.emit(
+            "session.promoted",
+            jobj! {
+                "iteration" => iteration,
+                "kind" => kind,
+                "rung" => self.rung.label(),
+                "survivors" => survivors as u64,
+                "incumbent" => incumbent,
+                "candidate" => score,
+            },
+        );
+        Ok(())
+    }
+
+    /// Plans the full candidate ladder over the current survivor set.
+    /// Stage 1 probes both data-parallel modes — the ring all-reduce over
+    /// whoever is live and the PS funnel — whose feasibility picks the
+    /// base graph exactly as session construction does (Sec. 5.2's rule).
+    /// Stage 2 adds the fresh DPOS/OS-DPOS candidate, plus model
+    /// parallelism as the last resort when DP no longer fits. Returns the
+    /// merged candidates in ladder-preference order (re-plan, ring, PS,
+    /// MP) along with the last non-DP planning error.
+    fn plan_candidates_over_survivors(
+        &mut self,
+        probe: SimConfig,
+    ) -> (Vec<CandidateOutcome>, Option<FastTError>) {
+        let dp_portfolio = Portfolio::new()
+            .with(Box::new(DataParallelPlanner::all_reduce()))
+            .with(Box::new(DataParallelPlanner::default()));
+        let mut dp_outcome = self.run_portfolio(&dp_portfolio, Some(probe.clone()));
+        let ps_out = dp_outcome.candidates.pop().expect("portfolio of two");
+        let ar_out = dp_outcome.candidates.pop().expect("portfolio of two");
+        let dp_ok = ar_out.simulated.is_some() || ps_out.simulated.is_some();
+        self.base_graph = [&ar_out, &ps_out]
+            .iter()
+            .find(|c| c.simulated.is_some())
+            .and_then(|c| c.plan.as_ref())
+            .map(|p| p.graph.clone())
+            .unwrap_or_else(|| self.training_graph.clone());
+
+        let mut portfolio = Portfolio::new().with(self.main_planner());
+        if !dp_ok {
+            portfolio.push(Box::new(ModelParallelPlanner));
+        }
+        let mut outcome = self.run_portfolio(&portfolio, Some(probe));
+        self.adopt_candidate_cost(&mut outcome);
+        let mut merged: Vec<CandidateOutcome> = Vec::with_capacity(4);
+        let mut rest = outcome.candidates.drain(..);
+        merged.push(rest.next().expect("main candidate"));
+        merged.push(ar_out);
+        merged.push(ps_out);
+        merged.extend(rest);
+
+        let mut last_err: Option<FastTError> = None;
+        for c in merged.iter_mut() {
+            // dp probe failures are expected (that is what mp is for) and
+            // were never reported by the pre-portfolio recovery loop
+            if !c.planner.starts_with("data_parallel") {
+                if let Some(e) = c.error.take() {
+                    last_err = Some(e);
+                }
+            }
+        }
+        (merged, last_err)
+    }
+
     /// Graceful degradation (tentpole (d)): recomputes a planner candidate
     /// over the current (possibly shrunken) topology, probes it against the
     /// start-strategy fallbacks — data parallelism when it still fits, else
     /// model parallelism (a single-device plan in the 1-GPU limit) — and
     /// adopts whichever *measures* fastest; choosing a fallback over the
-    /// candidate is the rollback the tentpole requires.
+    /// candidate is the rollback the tentpole requires. Arbitration over
+    /// the merged set keeps the ladder's preference order — re-plan, then
+    /// ring all-reduce over the survivors, then the PS funnel, then model
+    /// parallelism — by strict lowest-probed-time with ties to the earlier
+    /// candidate.
     fn replan_and_degrade(
         &mut self,
         iteration: u64,
@@ -990,56 +1499,8 @@ impl TrainingSession {
             col.metrics().inc("session.replans");
         }
 
-        // Stage 1: probe both data-parallel modes over the survivors first —
-        // the ring all-reduce (shrunk ring over whoever is left) and the
-        // PS funnel. Their feasibility decides which base graph the main
-        // planner plans from, preferring the replica graph exactly as
-        // session construction does (Sec. 5.2's rule).
         let probe = self.probe_config();
-        let dp_portfolio = Portfolio::new()
-            .with(Box::new(DataParallelPlanner::all_reduce()))
-            .with(Box::new(DataParallelPlanner::default()));
-        let mut dp_outcome = self.run_portfolio(&dp_portfolio, Some(probe.clone()));
-        let ps_out = dp_outcome.candidates.pop().expect("portfolio of two");
-        let ar_out = dp_outcome.candidates.pop().expect("portfolio of two");
-        let dp_ok = ar_out.simulated.is_some() || ps_out.simulated.is_some();
-        self.base_graph = [&ar_out, &ps_out]
-            .iter()
-            .find(|c| c.simulated.is_some())
-            .and_then(|c| c.plan.as_ref())
-            .map(|p| p.graph.clone())
-            .unwrap_or_else(|| self.training_graph.clone());
-
-        // Stage 2: the fresh planner candidate, plus model parallelism as
-        // the last-resort fallback when DP no longer fits (a single-server
-        // plan in the 1-GPU limit). Arbitration over the merged set keeps
-        // the degradation ladder's preference order — re-plan, then ring
-        // all-reduce over the survivors, then the PS funnel, then model
-        // parallelism — by strict lowest-probed-time with ties to the
-        // earlier candidate.
-        let mut portfolio = Portfolio::new().with(self.main_planner());
-        if !dp_ok {
-            portfolio.push(Box::new(ModelParallelPlanner));
-        }
-        let mut outcome = self.run_portfolio(&portfolio, Some(probe));
-        self.adopt_candidate_cost(&mut outcome);
-        let mut merged: Vec<CandidateOutcome> = Vec::with_capacity(4);
-        let mut rest = outcome.candidates.drain(..);
-        merged.push(rest.next().expect("main candidate"));
-        merged.push(ar_out);
-        merged.push(ps_out);
-        merged.extend(rest);
-
-        let mut last_err: Option<FastTError> = None;
-        for c in merged.iter_mut() {
-            // dp probe failures are expected (that is what mp is for) and
-            // were never reported by the pre-portfolio recovery loop
-            if !c.planner.starts_with("data_parallel") {
-                if let Some(e) = c.error.take() {
-                    last_err = Some(e);
-                }
-            }
-        }
+        let (mut merged, last_err) = self.plan_candidates_over_survivors(probe);
         let mut best: Option<usize> = None;
         for (i, c) in merged.iter().enumerate() {
             if let Some(m) = c.simulated {
@@ -1107,6 +1568,7 @@ impl TrainingSession {
         }
         self.recovery_log
             .push(RecoveryEvent::Replanned { survivors, kind });
+        self.rung = LadderRung::of_kind(kind);
         self.current = plan;
         self.measured = probe_measured;
         if let Some(col) = &self.collector {
@@ -1261,6 +1723,7 @@ impl TrainingSession {
                         match self.profile(self.config.profile_iters) {
                             Ok(m) if m <= prev_measured => {
                                 self.measured = m;
+                                self.rung = LadderRung::Replanned;
                                 self.emit(
                                     "session.activation",
                                     jobj! {
@@ -1397,6 +1860,9 @@ impl TrainingSession {
                         self.measured = new_measured;
                         report.activations += 1;
                         activated = true;
+                        if kind == "redeploy" {
+                            self.rung = LadderRung::Replanned;
+                        }
                         if let Some(col) = &self.collector {
                             col.metrics().inc("session.activations");
                         }

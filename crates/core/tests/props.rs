@@ -143,6 +143,35 @@ proptest! {
         let e4 = dpos(&g, &t4, &cost, &hw).est_finish;
         prop_assert!(e4 <= e2 + 1e-9, "4 GPUs ({e4}) worse than 2 ({e2})");
     }
+
+    /// Simulated iteration time is monotone in cluster capacity — the
+    /// elastic promotion ladder's invariant. Two parts: (1) idle capacity
+    /// is free — a GPU-only plan that does not use the added devices
+    /// simulates identically on the grown cluster (its devices keep their
+    /// ids and wiring); (2) plan arbitration takes a min over candidates
+    /// and the carried-over plan is always a candidate in principle, so
+    /// the best simulated time over the grown cluster never regresses.
+    #[test]
+    fn simulated_time_is_monotone_in_capacity((g, cost, _) in arb_instance()) {
+        use fastt_sim::SimConfig;
+        let hw = HardwarePerf::new();
+        let cfg = SimConfig { jitter_pct: 0.0, ..SimConfig::default() };
+        let t2 = Topology::single_server(2);
+        let t4 = Topology::single_server(4);
+        let small_plan = fastt::dpos_plan(&g, &t2, &cost, &hw);
+        let small = small_plan.simulate(&t2, &hw, &cfg).unwrap().makespan;
+        let carried = small_plan.simulate(&t4, &hw, &cfg).unwrap().makespan;
+        prop_assert!(
+            (carried - small).abs() <= 1e-9 * small.max(1.0),
+            "idle devices changed an unrelated plan's time: {carried} vs {small}"
+        );
+        let big_plan = fastt::dpos_plan(&g, &t4, &cost, &hw);
+        let big = big_plan.simulate(&t4, &hw, &cfg).unwrap().makespan;
+        prop_assert!(
+            big.min(carried) <= small + 1e-9,
+            "capacity growth regressed the best simulated time: {big} vs {small}"
+        );
+    }
 }
 
 #[test]

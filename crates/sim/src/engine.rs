@@ -469,6 +469,35 @@ pub fn simulate(
                         },
                     );
                 }
+                // Cluster-lifecycle events: arrivals/restores surface on
+                // their effective iteration; a revocation surfaces on every
+                // iteration of its notice window (the provider keeps
+                // shouting until the deadline), so mid-iteration re-plans
+                // and long notices produce repeats — the report dedupes
+                // them into one `xN` line.
+                for ev in faults.lifecycle() {
+                    let visible = match ev.kind {
+                        crate::LifecycleKind::SpotRevocation { .. } => {
+                            ev.at_iter <= config.iteration
+                                && config.iteration < ev.deadline().max(ev.at_iter + 1)
+                        }
+                        _ => ev.at_iter == config.iteration,
+                    };
+                    if !visible {
+                        continue;
+                    }
+                    col.metrics().inc("fault.lifecycle");
+                    col.emit(
+                        "fault.lifecycle",
+                        jobj! {
+                            "kind" => ev.kind.label(),
+                            "device" => ev.kind.device().map(|d| d.0 as u64).unwrap_or(0),
+                            "iteration" => config.iteration,
+                            "at_iter" => ev.at_iter,
+                            "deadline" => ev.deadline(),
+                        },
+                    );
+                }
             }
         }
         let mut used = vec![false; n_dev];

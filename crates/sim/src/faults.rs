@@ -172,6 +172,114 @@ impl FaultKind {
     }
 }
 
+/// A cluster-lifecycle event: capacity arriving, returning, or leaving
+/// with advance notice.
+///
+/// Fault kinds in [`FaultKind`] only ever *shrink* the usable cluster;
+/// lifecycle events are the growth side — spot instances coming back, a
+/// repaired host re-racked, a revocation notice landing before the
+/// preemption. The engine treats them as part of the same deterministic
+/// script: [`FaultSchedule::crashed`] is revival-aware, so a device that
+/// died (via [`FaultKind::Crash`] or a [`LifecycleKind::SpotRevocation`]
+/// deadline) and later sees a [`LifecycleKind::DeviceArrival`] /
+/// [`LifecycleKind::DeviceRestore`] simulates alive again.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleKind {
+    /// A (possibly previously revoked) device joins the cluster. For an
+    /// existing blacklisted id this is a re-admission signal; the session
+    /// quarantines it before placing work back on it.
+    DeviceArrival {
+        /// The arriving device.
+        device: DeviceId,
+    },
+    /// A whole new server (with `gpus` GPUs plus its host CPU) is hot-added
+    /// to the cluster.
+    HostArrival {
+        /// GPUs on the arriving server.
+        gpus: u16,
+    },
+    /// A spot/preemption notice: the provider announces at `at_iter` that
+    /// the device will be reclaimed `notice_iters` iterations later. The
+    /// device actually dies at `at_iter + notice_iters` (the deadline); a
+    /// zero-notice revocation is an immediate crash.
+    SpotRevocation {
+        /// The device being reclaimed.
+        device: DeviceId,
+        /// Iterations of advance warning before the device dies.
+        notice_iters: u64,
+    },
+    /// A repaired device comes back (same semantics as
+    /// [`LifecycleKind::DeviceArrival`]; kept distinct so traces can tell
+    /// "repair finished" from "new spot capacity").
+    DeviceRestore {
+        /// The repaired device.
+        device: DeviceId,
+    },
+    /// A repaired link comes back; the session restores the `src → dst`
+    /// hop (and its reverse) into the routing tables.
+    LinkRestore {
+        /// Source device of the repaired direction.
+        src: DeviceId,
+        /// Destination device.
+        dst: DeviceId,
+    },
+}
+
+impl LifecycleKind {
+    /// The primary device this event touches (the `src` for link events),
+    /// or `None` for server-scoped events ([`LifecycleKind::HostArrival`]).
+    pub fn device(&self) -> Option<DeviceId> {
+        match *self {
+            LifecycleKind::DeviceArrival { device }
+            | LifecycleKind::SpotRevocation { device, .. }
+            | LifecycleKind::DeviceRestore { device } => Some(device),
+            LifecycleKind::LinkRestore { src, .. } => Some(src),
+            LifecycleKind::HostArrival { .. } => None,
+        }
+    }
+
+    /// Short machine-readable label for telemetry (`fault.lifecycle`
+    /// events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LifecycleKind::DeviceArrival { .. } => "device_arrival",
+            LifecycleKind::HostArrival { .. } => "host_arrival",
+            LifecycleKind::SpotRevocation { .. } => "spot_revocation",
+            LifecycleKind::DeviceRestore { .. } => "device_restore",
+            LifecycleKind::LinkRestore { .. } => "link_restore",
+        }
+    }
+}
+
+/// One scheduled lifecycle event, taking effect at `at_iter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleEvent {
+    /// What happens.
+    pub kind: LifecycleKind,
+    /// Training iteration the event takes effect (for
+    /// [`LifecycleKind::SpotRevocation`], the iteration the *notice*
+    /// lands; the device dies `notice_iters` later).
+    pub at_iter: u64,
+}
+
+impl LifecycleEvent {
+    /// An event taking effect at `at_iter`.
+    pub fn at(kind: LifecycleKind, at_iter: u64) -> Self {
+        LifecycleEvent { kind, at_iter }
+    }
+
+    /// For revocations, the iteration the device actually dies; for every
+    /// other kind, `at_iter` itself.
+    pub fn deadline(&self) -> u64 {
+        match self.kind {
+            LifecycleKind::SpotRevocation { notice_iters, .. } => {
+                self.at_iter.saturating_add(notice_iters)
+            }
+            _ => self.at_iter,
+        }
+    }
+}
+
 /// One scheduled fault: a kind active over `[from_iter, until_iter)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fault {
@@ -217,6 +325,7 @@ impl Fault {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSchedule {
     faults: Vec<Fault>,
+    lifecycle: Vec<LifecycleEvent>,
 }
 
 impl FaultSchedule {
@@ -227,12 +336,21 @@ impl FaultSchedule {
 
     /// A schedule from an explicit fault list.
     pub fn new(faults: Vec<Fault>) -> Self {
-        FaultSchedule { faults }
+        FaultSchedule {
+            faults,
+            lifecycle: Vec::new(),
+        }
     }
 
     /// Builder-style: appends one fault.
     pub fn with(mut self, fault: Fault) -> Self {
         self.faults.push(fault);
+        self
+    }
+
+    /// Builder-style: appends one cluster-lifecycle event.
+    pub fn with_lifecycle(mut self, event: LifecycleEvent) -> Self {
+        self.lifecycle.push(event);
         self
     }
 
@@ -368,14 +486,101 @@ impl FaultSchedule {
         s
     }
 
+    /// A seed-determined *elastic churn* scenario over `gpus` devices on
+    /// `servers` servers and `iters` iterations, interleaving revocations
+    /// and arrivals so cluster capacity oscillates:
+    ///
+    /// 1. a **noticed** spot revocation early on (2–4 iterations of
+    ///    warning, so the session can drain proactively), with the same
+    ///    device arriving back a few iterations after the deadline;
+    /// 2. when the run is long enough, a **zero-notice** revocation of a
+    ///    different device late in the run (exercising the crash-recovery
+    ///    path), followed by its repair ([`LifecycleKind::DeviceRestore`]);
+    /// 3. with at least two servers and a long enough run, one mid-run
+    ///    [`LifecycleKind::HostArrival`] hot-adding a whole server.
+    ///
+    /// Purely lifecycle events — compose with [`FaultSchedule::seeded`] or
+    /// [`FaultSchedule::seeded_network`] for mixed chaos. Device ids are
+    /// drawn from `0..gpus`, matching `Topology::multi_server`'s GPU-first
+    /// id layout.
+    pub fn seeded_churn(seed: u64, gpus: u16, servers: u16, iters: u64) -> Self {
+        assert!(
+            gpus >= 2 && servers > 0 && iters >= 24,
+            "churn needs >= 2 devices and >= 24 iterations to oscillate"
+        );
+        let pick = |salt: u64, modulo: u64| -> u64 {
+            if modulo == 0 {
+                0
+            } else {
+                splitmix64(seed ^ 0xC1_5C1E ^ splitmix64(salt)) % modulo
+            }
+        };
+        let dev_a = DeviceId(pick(1, gpus as u64) as u16);
+        let mut dev_b = DeviceId(pick(2, gpus as u64) as u16);
+        if dev_b == dev_a {
+            dev_b = DeviceId((dev_b.0 + 1) % gpus);
+        }
+        // wave 1: a noticed revocation with the capacity returning shortly
+        // after the deadline — guarantees at least one drain → scale-up →
+        // promotion opportunity per run
+        let notice1 = 2 + pick(3, 3);
+        let t1 = iters / 6 + pick(4, iters / 6);
+        let back1 = t1 + notice1 + 2 + pick(5, 3);
+        let mut s = FaultSchedule::none()
+            .with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::SpotRevocation {
+                    device: dev_a,
+                    notice_iters: notice1,
+                },
+                t1,
+            ))
+            .with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::DeviceArrival { device: dev_a },
+                back1,
+            ));
+        // wave 2: a zero-notice revocation (immediate crash) plus repair,
+        // late enough that wave 1's promotion has settled
+        let t2 = (back1 + 8).max(2 * iters / 3) + pick(6, (iters / 8).max(1));
+        let back2 = t2 + 2 + pick(7, 3);
+        if back2 + 2 < iters {
+            s = s
+                .with_lifecycle(LifecycleEvent::at(
+                    LifecycleKind::SpotRevocation {
+                        device: dev_b,
+                        notice_iters: 0,
+                    },
+                    t2,
+                ))
+                .with_lifecycle(LifecycleEvent::at(
+                    LifecycleKind::DeviceRestore { device: dev_b },
+                    back2,
+                ));
+        }
+        // optional hot-add: a whole server mid-run, between the waves
+        if servers >= 2 && iters >= 48 {
+            s = s.with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::HostArrival {
+                    gpus: (gpus / servers).max(1),
+                },
+                iters / 2 + pick(8, (iters / 8).max(1)),
+            ));
+        }
+        s
+    }
+
     /// Whether the schedule injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.lifecycle.is_empty()
     }
 
     /// All scheduled faults.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
+    }
+
+    /// All scheduled cluster-lifecycle events, in schedule order.
+    pub fn lifecycle(&self) -> &[LifecycleEvent] {
+        &self.lifecycle
     }
 
     /// Faults active at `iteration`.
@@ -488,10 +693,46 @@ impl FaultSchedule {
             .product()
     }
 
-    /// Whether `device` has crashed as of `iteration`.
+    /// The most recent revival of `device` at or before `iteration`: a
+    /// [`LifecycleKind::DeviceArrival`] or [`LifecycleKind::DeviceRestore`]
+    /// event, if any.
+    fn revival_iter(&self, device: DeviceId, iteration: u64) -> Option<u64> {
+        self.lifecycle
+            .iter()
+            .filter(|e| {
+                e.at_iter <= iteration
+                    && matches!(
+                        e.kind,
+                        LifecycleKind::DeviceArrival { device: d }
+                        | LifecycleKind::DeviceRestore { device: d } if d == device
+                    )
+            })
+            .map(|e| e.at_iter)
+            .max()
+    }
+
+    /// Whether `device` is dead as of `iteration`.
+    ///
+    /// Deaths come from [`FaultKind::Crash`] windows and from
+    /// [`LifecycleKind::SpotRevocation`] deadlines; a later
+    /// [`LifecycleKind::DeviceArrival`] / [`LifecycleKind::DeviceRestore`]
+    /// revives the device. A revival must land **strictly after** the
+    /// death to count (at the same iteration, the death wins — the
+    /// replacement capacity is not usable until the next iteration).
     pub fn crashed(&self, device: DeviceId, iteration: u64) -> bool {
-        self.active(iteration)
-            .any(|f| matches!(f.kind, FaultKind::Crash { device: d } if d == device))
+        let revival = self.revival_iter(device, iteration);
+        // dead by `death` unless revived strictly after it
+        let dead_since = |death: u64| revival.is_none_or(|r| r <= death);
+        self.active(iteration).any(|f| {
+            matches!(f.kind, FaultKind::Crash { device: d } if d == device)
+                && dead_since(f.from_iter)
+        }) || self.lifecycle.iter().any(|e| {
+            matches!(
+                e.kind,
+                LifecycleKind::SpotRevocation { device: d, .. } if d == device
+            ) && e.deadline() <= iteration
+                && dead_since(e.deadline())
+        })
     }
 
     /// Bytes of `device` memory pinned by pressure spikes at `iteration`.
@@ -854,6 +1095,132 @@ mod tests {
         // single server: no partition scheduled
         let single = FaultSchedule::seeded_network(9, 4, 1, 40);
         assert_eq!(single.faults().len(), 3);
+    }
+
+    #[test]
+    fn revocation_kills_at_deadline_and_arrival_revives() {
+        let s = FaultSchedule::none()
+            .with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::SpotRevocation {
+                    device: D1,
+                    notice_iters: 3,
+                },
+                5,
+            ))
+            .with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::DeviceArrival { device: D1 },
+                12,
+            ));
+        // alive through the whole notice window, dead at the deadline
+        assert!(!s.crashed(D1, 5));
+        assert!(!s.crashed(D1, 7));
+        assert!(s.crashed(D1, 8));
+        assert!(s.crashed(D1, 11));
+        // revived by the arrival, and stays revived
+        assert!(!s.crashed(D1, 12));
+        assert!(!s.crashed(D1, 1_000_000));
+        // other devices untouched
+        assert!(!s.crashed(D0, 8));
+    }
+
+    #[test]
+    fn restore_revives_a_crash_and_recrash_wins_over_stale_revival() {
+        let s = FaultSchedule::none()
+            .with(Fault::from(FaultKind::Crash { device: D0 }, 4))
+            .with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::DeviceRestore { device: D0 },
+                9,
+            ))
+            .with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::SpotRevocation {
+                    device: D0,
+                    notice_iters: 0,
+                },
+                15,
+            ));
+        assert!(s.crashed(D0, 4));
+        assert!(s.crashed(D0, 8));
+        assert!(!s.crashed(D0, 9), "restore revives the crash");
+        assert!(!s.crashed(D0, 14));
+        assert!(s.crashed(D0, 15), "a later death beats an older revival");
+        assert_eq!(s.first_crashed([D0, D1], 15), Some(D0));
+    }
+
+    #[test]
+    fn same_iteration_death_beats_revival() {
+        let s = FaultSchedule::none()
+            .with(Fault::from(FaultKind::Crash { device: D0 }, 6))
+            .with_lifecycle(LifecycleEvent::at(
+                LifecycleKind::DeviceArrival { device: D0 },
+                6,
+            ));
+        assert!(s.crashed(D0, 6), "ties resolve to dead");
+        assert!(s.crashed(D0, 7), "and stay dead without a later revival");
+    }
+
+    #[test]
+    fn lifecycle_events_mark_schedule_non_empty() {
+        let s = FaultSchedule::none().with_lifecycle(LifecycleEvent::at(
+            LifecycleKind::HostArrival { gpus: 2 },
+            3,
+        ));
+        assert!(!s.is_empty());
+        assert!(s.faults().is_empty());
+        assert_eq!(s.lifecycle().len(), 1);
+        assert_eq!(s.lifecycle()[0].kind.label(), "host_arrival");
+        assert_eq!(s.lifecycle()[0].kind.device(), None);
+        assert_eq!(
+            LifecycleKind::LinkRestore { src: D1, dst: D0 }.device(),
+            Some(D1)
+        );
+    }
+
+    #[test]
+    fn seeded_churn_reproducible_oscillating_and_in_range() {
+        let a = FaultSchedule::seeded_churn(9, 4, 2, 60);
+        let b = FaultSchedule::seeded_churn(9, 4, 2, 60);
+        let c = FaultSchedule::seeded_churn(10, 4, 2, 60);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for seed in 0..100u64 {
+            let s = FaultSchedule::seeded_churn(seed, 4, 2, 60);
+            assert!(s.faults().is_empty(), "churn is lifecycle-only");
+            let mut noticed_revocations = 0;
+            let mut arrivals = 0;
+            for e in s.lifecycle() {
+                match e.kind {
+                    LifecycleKind::SpotRevocation {
+                        device,
+                        notice_iters,
+                    } => {
+                        assert!(device.0 < 4, "seed {seed}");
+                        if notice_iters > 0 {
+                            assert!((2..=4).contains(&notice_iters), "seed {seed}");
+                            noticed_revocations += 1;
+                        }
+                        assert!(e.deadline() < 60, "seed {seed}: death inside the run");
+                    }
+                    LifecycleKind::DeviceArrival { device }
+                    | LifecycleKind::DeviceRestore { device } => {
+                        assert!(device.0 < 4, "seed {seed}");
+                        arrivals += 1;
+                        // the matching death precedes the return
+                        assert!(
+                            s.crashed(device, e.at_iter.saturating_sub(1)),
+                            "seed {seed}: arrival at {} without a prior death",
+                            e.at_iter
+                        );
+                        assert!(!s.crashed(device, e.at_iter), "seed {seed}");
+                    }
+                    LifecycleKind::HostArrival { gpus } => assert!(gpus >= 1, "seed {seed}"),
+                    LifecycleKind::LinkRestore { .. } => {}
+                }
+            }
+            assert!(
+                noticed_revocations >= 1 && arrivals >= 1,
+                "seed {seed}: capacity must oscillate (lose *and* regain)"
+            );
+        }
     }
 
     #[test]

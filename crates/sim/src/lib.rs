@@ -57,7 +57,7 @@ mod trace;
 pub use comm::{CollectiveStep, CommPlan, OpComm, P2pSend};
 pub use engine::{simulate, SimConfig};
 pub use error::SimError;
-pub use faults::{Fault, FaultKind, FaultSchedule};
+pub use faults::{Fault, FaultKind, FaultSchedule, LifecycleEvent, LifecycleKind};
 pub use hardware::{is_transient, HardwarePerf, LAUNCH_OVERHEAD, OPTIMIZER_RESIDENT_FACTOR};
 pub use placement::Placement;
 pub use queue::ExecPolicy;
