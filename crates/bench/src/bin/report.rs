@@ -15,6 +15,8 @@
 //! cargo run --release -p fastt-bench --bin report -- alexnet 2x2 /tmp/fastt-report netchaos:21
 //! # elastic churn (spot revocations, arrivals, hot-adds + promotion ladder):
 //! cargo run --release -p fastt-bench --bin report -- lenet 2x2 /tmp/fastt-report elastic:21
+//! # multi-tenant fleet (seeded job arrivals, preemption, shared plan cache):
+//! cargo run --release -p fastt-bench --bin report -- lenet 2x4 /tmp/fastt-report fleet:21
 //! ```
 
 use fastt::search::{CemPlanner, GdpPlanner, McmcPlanner, RandomPlanner, ReinforcePlanner};
@@ -49,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(s) if s == "chaos" => (Some(21), "chaos"),
         Some(s) if s == "netchaos" => (Some(21), "netchaos"),
         Some(s) if s == "elastic" => (Some(21), "elastic"),
+        Some(s) if s == "fleet" => (Some(21), "fleet"),
         Some(s) => {
             let (prefix, mode) = if let Some(n) = s.strip_prefix("netchaos:") {
                 (n, "netchaos")
@@ -56,10 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (n, "chaos")
             } else if let Some(n) = s.strip_prefix("elastic:") {
                 (n, "elastic")
+            } else if let Some(n) = s.strip_prefix("fleet:") {
+                (n, "fleet")
             } else {
                 return Err(format!(
                     "unknown argument `{s}` (expected `chaos[:seed]`, `netchaos[:seed]`, \
-                     or `elastic[:seed]`)"
+                     `elastic[:seed]`, or `fleet[:seed]`)"
                 )
                 .into());
             };
@@ -76,6 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .find(|m| m.name().to_lowercase().contains(&needle))
         .ok_or_else(|| format!("unknown model `{model_arg}`"))?;
+
+    if chaos_mode == "fleet" {
+        return fleet_report(model, topo, &topo_label, &outdir, chaos_seed.unwrap_or(21));
+    }
 
     let batch = per_replica_batch(model, model.paper_batch(), gpus as u32);
     let graph = model.training_graph(batch);
@@ -173,10 +182,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for e in &events {
         let line = match e.kind.as_str() {
             "planner.cache_hit" => format!(
-                "  cache HIT  [{}] (graph {:016x}, failed mask {:x}, cost gen {})",
+                "  cache HIT  [{}] (graph {:016x}, shape {:016x}, cost gen {})",
                 e.str_field("planner").unwrap_or("?"),
                 e.num("graph_hash").unwrap_or(0.0) as u64,
-                e.num("failed_mask").unwrap_or(0.0) as u64,
+                e.num("capacity_mask").unwrap_or(0.0) as u64,
                 e.field("cost_generation"),
             ),
             "planner.candidate" => {
@@ -493,6 +502,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             collector: None,
             enable_order: true,
             dp_ps: None,
+            cache_salt: 0,
             probe: Some(SimConfig::default()),
         },
         None,
@@ -592,6 +602,144 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Millisecond rendering of a seconds field (NaN when absent).
 fn ms(e: &Event, field: &str) -> f64 {
     e.num(field).map(|v| v * 1e3).unwrap_or(f64::NAN)
+}
+
+/// `fleet[:seed]` mode: a multi-tenant run of the seeded arrival workload
+/// through [`fastt::fleet::ClusterManager`] on one shared topology, reported as a
+/// cluster-level post-mortem — admission/preemption timeline, utilization,
+/// per-job queue-wait and iteration-time timelines, shared plan-cache
+/// stats, and the fleet + planner SLO verdicts.
+fn fleet_report(
+    model: fastt_models::Model,
+    topo: Topology,
+    topo_label: &str,
+    outdir: &std::path::Path,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use fastt::fleet::{fleet_slos, seeded_workload, ClusterManager, FleetEvent};
+
+    let gpus = topo.gpu_count() as u32;
+    let total = topo.gpu_count();
+    let name = model.name().to_lowercase();
+    // Two templates of the same model at different per-replica batches:
+    // the workload's twin jobs share the first, so the fleet exercises the
+    // shared-cache admission path; the second adds shape diversity.
+    let big = per_replica_batch(model, model.paper_batch(), gpus);
+    let small = (big / 2).max(model.min_batch());
+    let templates = vec![
+        (format!("{name}{big}"), model.training_graph(big)),
+        (format!("{name}{small}"), model.training_graph(small)),
+    ];
+
+    let jsonl_path = outdir.join(format!("fleet-{topo_label}-seed{seed}.events.jsonl"));
+    let collector = Arc::new(Collector::new().with_sink(JsonlSink::create(&jsonl_path)?));
+    let mut fleet =
+        ClusterManager::new(topo, HardwarePerf::new(), seed).with_collector(collector.clone());
+    let workload = seeded_workload(seed, &templates, total);
+    let n_jobs = workload.len();
+    for spec in workload {
+        fleet.submit(spec);
+    }
+    let report = fleet.run()?;
+    collector.flush();
+
+    println!("=== FastT fleet post-mortem: {n_jobs} jobs on {topo_label} (seed {seed}) ===");
+    println!(
+        "{} scheduling events over {} ticks | max concurrent jobs: {} | preemptions: {}",
+        report.events.len(),
+        report.ticks,
+        report.max_concurrent,
+        report.preemptions,
+    );
+
+    // The deterministic decision log: byte-identical across same-seed
+    // runs, so CI can diff it. Saved next to the JSONL stream.
+    println!("\n--- Fleet decision log ---");
+    print!("{}", report.event_log());
+    let log_path = outdir.join(format!("fleet-{topo_label}-seed{seed}.log"));
+    std::fs::write(&log_path, report.event_log())?;
+
+    println!("\n--- Cluster utilization timeline ---");
+    if report.utilization.is_empty() {
+        println!("(empty — no ticks ran)");
+    }
+    for (t, busy, total) in &report.utilization {
+        let width = 24usize;
+        let filled = (busy * width) / total.max(&1);
+        let bar: String = (0..width)
+            .map(|i| if i < filled { '#' } else { '-' })
+            .collect();
+        println!("t={t:03} [{bar}] {busy}/{total}");
+    }
+    println!(
+        "utilization samples: {} | mean utilization: {:.1}%",
+        report.utilization.len(),
+        report.mean_utilization() * 100.0
+    );
+
+    println!("\n--- Per-job outcomes ---");
+    println!(
+        "| {:<14} | {:>4} | {:>5} | {:>12} | {:>6} | {:>8} | {:>8} |",
+        "Job", "Wait", "Iters", "Mean iter", "Cached", "Preempts", "Deadline"
+    );
+    for j in &report.jobs {
+        println!(
+            "| {:<14} | {:>4} | {:>5} | {:>9.3} ms | {:>6} | {:>8} | {:>8} |",
+            j.name,
+            j.queue_wait,
+            j.iters_run,
+            j.mean_iter_time * 1e3,
+            j.cached_start,
+            j.preemptions,
+            if j.deadline_met { "met" } else { "MISSED" },
+        );
+    }
+
+    println!("\n--- Per-job iteration-time timelines (ms) ---");
+    for j in &report.jobs {
+        let series: Vec<String> = j
+            .iter_times
+            .iter()
+            .map(|t| format!("{:.3}", t * 1e3))
+            .collect();
+        println!("{:<14} {}", j.name, series.join(" "));
+    }
+
+    println!("\n--- Shared plan cache ---");
+    println!(
+        "hits: {} | misses: {} | resident plans: {}",
+        report.cache_hits, report.cache_misses, report.cache_len
+    );
+    let cached_admissions = report.jobs.iter().filter(|j| j.cached_start).count();
+    println!("admissions served from a sibling's plan: {cached_admissions}");
+
+    // Deadlock-freedom: preemptions and grants never wedged the scheduler,
+    // and every survivor's plan passed the comm-plan cycle validator (a
+    // Deadlock error would have aborted `run()` above).
+    let rejected = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, FleetEvent::Rejected { .. }))
+        .count();
+    println!(
+        "\njobs departed: {} | rejected: {}",
+        report.jobs.len(),
+        rejected
+    );
+    println!("deadlocks: {}", report.deadlocks);
+
+    println!("\n--- Perf: SLO verdicts ---");
+    let mut slos = fastt::default_slos();
+    slos.extend(fleet_slos());
+    for v in fastt_telemetry::evaluate_slos(&slos, collector.metrics()) {
+        println!("{}", v.render());
+    }
+
+    println!("\n--- Metrics registry ---");
+    println!("{}", collector.metrics().to_json());
+    println!("\nfleet log     : {}", log_path.display());
+    println!("event stream  : {}", jsonl_path.display());
+    Ok(())
 }
 
 /// Cluster-capacity / elasticity timeline: the scripted lifecycle events

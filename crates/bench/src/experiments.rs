@@ -586,6 +586,7 @@ pub mod fig3 {
                         collector: None,
                         enable_order: true,
                         dp_ps: None,
+                        cache_salt: 0,
                         probe: None,
                     },
                     None,
@@ -626,6 +627,7 @@ pub mod fig3 {
                             collector: None,
                             enable_order: true,
                             dp_ps: None,
+                            cache_salt: 0,
                             probe: None,
                         },
                         None,

@@ -218,7 +218,7 @@ fn run_portfolio_cell(
         portfolio = portfolio.with(Box::new(OsDposPlanner::default()));
     }
     portfolio = portfolio.with(Box::<DataParallelPlanner>::default());
-    let mut cache = PlanCache::new(16);
+    let cache = PlanCache::new(16);
     // The probe carries the cell's collector so the simulator's own phases
     // (`sim.lower`, `sim.event_loop`) nest under `portfolio > probe`.
     let probe = (graph.op_count() <= PROBE_OP_LIMIT).then(|| SimConfig {
@@ -239,10 +239,11 @@ fn run_portfolio_cell(
             collector: Some(col.clone()),
             enable_order: true,
             dp_ps: None,
+            cache_salt: 0,
             probe: probe.clone(),
         };
         let t0 = Instant::now();
-        let outcome = portfolio.evaluate(&inputs, Some(&mut cache));
+        let outcome = portfolio.evaluate(&inputs, Some(&cache));
         samples.push(t0.elapsed().as_secs_f64());
         evals += outcome
             .candidates

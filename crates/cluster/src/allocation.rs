@@ -1,0 +1,452 @@
+//! Allocations: stable-id subset views of one shared [`Topology`].
+//!
+//! A fleet scheduler carves a big shared cluster into per-job slices. An
+//! [`Allocation`] is such a slice: it keeps the *global* device ids (so
+//! cost-model keys, traces, and fault schedules stay valid across jobs) but
+//! masks every non-member GPU — and the hosts of uninvolved servers — as
+//! failed in its private topology view, so planners, routing, and health
+//! tracking are automatically scoped to the slice.
+//!
+//! Two allocations with the same *shape* (same live device signatures, same
+//! link matrix in canonical coordinates) are interchangeable for planning
+//! even when they cover different physical ids; [`Topology::shape_hash`]
+//! captures exactly that equivalence, which is what lets a shared plan
+//! cache serve job N+1 instantly when job N already planned the same model
+//! on a same-shaped slice.
+
+use crate::device::DeviceId;
+use crate::health::HealthMap;
+use crate::topology::Topology;
+
+/// Identifier of one allocation within a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AllocationId(pub u32);
+
+impl std::fmt::Display for AllocationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "alloc:{}", self.0)
+    }
+}
+
+/// splitmix64-style mixer (same scheme the plan-cache fingerprints use).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Topology {
+    /// The live devices in *canonical order*: grouped by server, servers
+    /// sorted richest-first by their live-device signature (GPU count,
+    /// then per-device capacity), devices within a server GPUs-first by
+    /// capacity. Raw ids only break exact signature ties, so the order —
+    /// and anything hashed over it — is independent of *which* physical
+    /// ids an allocation happens to cover.
+    pub fn canonical_live_devices(&self) -> Vec<DeviceId> {
+        let mut by_server: std::collections::BTreeMap<u16, Vec<DeviceId>> =
+            std::collections::BTreeMap::new();
+        for d in self.device_ids() {
+            if !self.is_failed(d) {
+                by_server.entry(self.server_of(d)).or_default().push(d);
+            }
+        }
+        type Sig = Vec<(bool, u64, u64, u64)>;
+        let mut servers: Vec<(Sig, u16, Vec<DeviceId>)> = Vec::new();
+        for (sid, mut devs) in by_server {
+            devs.sort_by_key(|&d| {
+                let dev = self.device(d);
+                (dev.is_host, dev.mem_bytes, d.0)
+            });
+            let sig: Sig = devs
+                .iter()
+                .map(|&d| {
+                    let dev = self.device(d);
+                    (
+                        dev.is_host,
+                        dev.mem_bytes,
+                        dev.peak_flops.to_bits(),
+                        dev.mem_bandwidth.to_bits(),
+                    )
+                })
+                .collect();
+            servers.push((sig, sid, devs));
+        }
+        servers.sort_by(|a, b| {
+            let gpus = |s: &Sig| s.iter().filter(|d| !d.0).count();
+            gpus(&b.0)
+                .cmp(&gpus(&a.0))
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        servers.into_iter().flat_map(|(_, _, devs)| devs).collect()
+    }
+
+    /// Position-independent hash of the topology's live *shape*: per-device
+    /// capacity signatures plus the full live-pair link matrix (specs,
+    /// failure and degradation marks, server co-location), all in the
+    /// canonical coordinates of [`Topology::canonical_live_devices`].
+    ///
+    /// Device ids and names do **not** participate, so two allocations of
+    /// the same shape carved from different physical ids hash equal, while
+    /// any capacity change — a failure, restore, hot-add, link fault, or
+    /// NIC degradation — moves the hash. Used as the plan-cache capacity
+    /// mask, which is what makes cached plans shareable across jobs.
+    pub fn shape_hash(&self) -> u64 {
+        let canon = self.canonical_live_devices();
+        let mut h = mix(0x5A17_E000 ^ canon.len() as u64);
+        for (i, &d) in canon.iter().enumerate() {
+            let dev = self.device(d);
+            let mut v = mix(((i as u64) << 1) | dev.is_host as u64);
+            v ^= mix(dev.mem_bytes);
+            v ^= mix(dev.peak_flops.to_bits());
+            v ^= mix(dev.mem_bandwidth.to_bits());
+            h ^= mix(v.wrapping_add(i as u64));
+        }
+        for (i, &a) in canon.iter().enumerate() {
+            for (j, &b) in canon.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let pair = ((i as u64) << 32) | j as u64;
+                let mut v = mix(pair);
+                match self.link(a, b) {
+                    Some(l) => {
+                        v ^= mix(l.latency.to_bits());
+                        v ^= mix(l.bandwidth.to_bits());
+                    }
+                    None => v ^= mix(0xDEAD),
+                }
+                if self.is_link_failed(a, b) {
+                    v ^= mix(0xF1A6);
+                }
+                let slow = self.link_degrade_factor(a, b);
+                if slow != 1.0 {
+                    v ^= mix(slow.to_bits());
+                }
+                if self.server_of(a) == self.server_of(b) {
+                    v ^= mix(0x5A3E);
+                }
+                h ^= mix(v ^ pair);
+            }
+        }
+        h
+    }
+}
+
+/// One job's slice of a shared cluster: a private [`Topology`] view with
+/// every non-member device masked as failed, plus a per-slice [`HealthMap`].
+///
+/// Global device ids are preserved — an allocation over GPUs `{4, 5}` still
+/// addresses them as 4 and 5 — so id-indexed state interoperates with the
+/// shared cluster, but [`Topology::gpu_ids`] on the view yields only the
+/// members, which scopes planning, routing, and validation to the slice.
+///
+/// # Examples
+///
+/// ```
+/// use fastt_cluster::{Allocation, AllocationId, DeviceId, Topology};
+///
+/// let shared = Topology::multi_server(2, 4);
+/// let a = Allocation::new(AllocationId(0), &shared, &[DeviceId(4), DeviceId(5)]);
+/// assert_eq!(a.topo().gpu_count(), 2);
+/// // same shape as the twin slice on the other server
+/// let b = Allocation::new(AllocationId(1), &shared, &[DeviceId(0), DeviceId(1)]);
+/// assert_eq!(a.shape_hash(), b.shape_hash());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    id: AllocationId,
+    members: Vec<DeviceId>,
+    view: Topology,
+    health: HealthMap,
+}
+
+impl Allocation {
+    /// Carves an allocation of `gpus` out of `shared`. The view keeps the
+    /// hosts of every involved server (routing still stages through them)
+    /// and masks everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is empty, contains a host, a failed device, or an
+    /// out-of-range id.
+    pub fn new(id: AllocationId, shared: &Topology, gpus: &[DeviceId]) -> Self {
+        assert!(!gpus.is_empty(), "allocation needs at least one GPU");
+        let mut members: Vec<DeviceId> = gpus.to_vec();
+        members.sort();
+        members.dedup();
+        for &d in &members {
+            assert!(
+                d.index() < shared.device_count(),
+                "allocation member {d} out of range"
+            );
+            assert!(!shared.is_host(d), "allocation member {d} is a host");
+            assert!(!shared.is_failed(d), "allocation member {d} is failed");
+        }
+        let servers: std::collections::BTreeSet<u16> =
+            members.iter().map(|&d| shared.server_of(d)).collect();
+        let mut view = shared.clone();
+        for d in shared.device_ids() {
+            let keep = members.contains(&d)
+                || (shared.is_host(d) && servers.contains(&shared.server_of(d)));
+            if !keep && !shared.is_failed(d) {
+                view.fail_device(d);
+            }
+        }
+        let health = HealthMap::new(view.device_count());
+        Allocation {
+            id,
+            members,
+            view,
+            health,
+        }
+    }
+
+    /// The trivial allocation covering all of `shared` — what a single-job
+    /// session uses, preserving the pre-fleet behaviour exactly.
+    pub fn whole(shared: &Topology) -> Self {
+        let members: Vec<DeviceId> = shared.gpu_ids().collect();
+        let health = HealthMap::new(shared.device_count());
+        Allocation {
+            id: AllocationId(0),
+            members,
+            view: shared.clone(),
+            health,
+        }
+    }
+
+    /// This allocation's id.
+    pub fn id(&self) -> AllocationId {
+        self.id
+    }
+
+    /// The granted GPU members, in id order. This is the *ownership* set;
+    /// the live capacity (members minus recovery blacklists) is what
+    /// [`Topology::gpu_ids`] on [`Allocation::topo`] reports.
+    pub fn members(&self) -> &[DeviceId] {
+        &self.members
+    }
+
+    /// Whether `d` is a granted member.
+    pub fn contains(&self, d: DeviceId) -> bool {
+        self.members.contains(&d)
+    }
+
+    /// The scoped topology view.
+    pub fn topo(&self) -> &Topology {
+        &self.view
+    }
+
+    /// Mutable access to the scoped view (recovery blacklists, link marks).
+    pub fn topo_mut(&mut self) -> &mut Topology {
+        &mut self.view
+    }
+
+    /// The per-slice health map.
+    pub fn health(&self) -> &HealthMap {
+        &self.health
+    }
+
+    /// Mutable access to the per-slice health map.
+    pub fn health_mut(&mut self) -> &mut HealthMap {
+        &mut self.health
+    }
+
+    /// Grants `d` to this allocation: it joins the member set and is
+    /// unmasked in the view (along with its server's host, which may have
+    /// been masked while the server was uninvolved). Health bookkeeping is
+    /// the caller's (the session runs the readmission ladder).
+    pub fn grant(&mut self, d: DeviceId) {
+        if !self.members.contains(&d) {
+            self.members.push(d);
+            self.members.sort();
+        }
+        self.view.restore_device(d);
+        let server = self.view.server_of(d);
+        for h in self.view.device_ids().collect::<Vec<_>>() {
+            if self.view.is_host(h) && self.view.server_of(h) == server {
+                self.view.restore_device(h);
+            }
+        }
+        self.health.grow(self.view.device_count());
+    }
+
+    /// Revokes `d` from this allocation: it leaves the member set, is
+    /// masked as failed in the view and the health map, and — when it was
+    /// the last member on its server — the server's host is masked too, so
+    /// revocation returns the view to exactly the shape a fresh allocation
+    /// over the surviving members would have. Returns whether `d` was a
+    /// member.
+    pub fn revoke(&mut self, d: DeviceId) -> bool {
+        let was = self.members.contains(&d);
+        self.members.retain(|&m| m != d);
+        self.view.fail_device(d);
+        self.health.mark_failed(d);
+        let server = self.view.server_of(d);
+        if !self
+            .members
+            .iter()
+            .any(|&m| self.view.server_of(m) == server)
+        {
+            for h in self.view.device_ids().collect::<Vec<_>>() {
+                if self.view.is_host(h) && self.view.server_of(h) == server {
+                    self.view.fail_device(h);
+                }
+            }
+        }
+        was
+    }
+
+    /// Number of live GPUs in the view.
+    pub fn gpu_count(&self) -> usize {
+        self.view.gpu_count()
+    }
+
+    /// The shape hash of the scoped view ([`Topology::shape_hash`]).
+    pub fn shape_hash(&self) -> u64 {
+        self.view.shape_hash()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::topology::TopologyBuilder;
+
+    #[test]
+    fn allocation_masks_everything_outside_the_slice() {
+        let shared = Topology::multi_server(2, 4);
+        let a = Allocation::new(AllocationId(3), &shared, &[DeviceId(1), DeviceId(2)]);
+        assert_eq!(a.id(), AllocationId(3));
+        assert_eq!(a.members(), &[DeviceId(1), DeviceId(2)]);
+        assert!(a.contains(DeviceId(1)) && !a.contains(DeviceId(0)));
+        // only the members are plannable, under their global ids
+        let ids: Vec<DeviceId> = a.topo().gpu_ids().collect();
+        assert_eq!(ids, vec![DeviceId(1), DeviceId(2)]);
+        // the involved server's host survives (routing stages through it),
+        // the other server's host does not
+        assert!(a.topo().host_of(0).is_some());
+        assert_eq!(a.topo().host_of(1), None);
+        // the shared topology is untouched
+        assert_eq!(shared.gpu_count(), 8);
+    }
+
+    #[test]
+    fn same_shape_different_ids_hash_equal() {
+        let shared = Topology::multi_server(2, 4);
+        let a = Allocation::new(AllocationId(0), &shared, &[DeviceId(0), DeviceId(1)]);
+        let b = Allocation::new(AllocationId(1), &shared, &[DeviceId(4), DeviceId(5)]);
+        let c = Allocation::new(AllocationId(2), &shared, &[DeviceId(2), DeviceId(3)]);
+        assert_eq!(a.shape_hash(), b.shape_hash());
+        assert_eq!(a.shape_hash(), c.shape_hash());
+        // a cross-server slice is a different shape than an intra-server one
+        let x = Allocation::new(AllocationId(3), &shared, &[DeviceId(0), DeviceId(4)]);
+        assert_ne!(a.shape_hash(), x.shape_hash());
+        // and so is a bigger slice
+        let big = Allocation::new(
+            AllocationId(4),
+            &shared,
+            &[DeviceId(0), DeviceId(1), DeviceId(2)],
+        );
+        assert_ne!(a.shape_hash(), big.shape_hash());
+    }
+
+    #[test]
+    fn shape_hash_sees_capacity_and_link_health() {
+        let mut t = Topology::single_server(4);
+        let healthy = t.shape_hash();
+        t.fail_device(DeviceId(2));
+        let shrunk = t.shape_hash();
+        assert_ne!(healthy, shrunk);
+        // restore returns to exactly the healthy shape — pre-failure cached
+        // plans become reusable again
+        t.restore_device(DeviceId(2));
+        assert_eq!(t.shape_hash(), healthy);
+        // failing a *different* device of the same signature is the SAME
+        // shape: a plan over 3 interchangeable V100s is reusable either way
+        t.fail_device(DeviceId(1));
+        assert_eq!(t.shape_hash(), shrunk);
+        t.restore_device(DeviceId(1));
+        // link faults and degradations move the shape
+        t.fail_link(DeviceId(0), DeviceId(1));
+        let broken = t.shape_hash();
+        assert_ne!(healthy, broken);
+        t.restore_link(DeviceId(0), DeviceId(1));
+        assert_eq!(t.shape_hash(), healthy);
+        t.degrade_link(DeviceId(0), DeviceId(1), 4.0);
+        assert_ne!(t.shape_hash(), healthy);
+        // hot-adds grow the shape
+        t.restore_link(DeviceId(0), DeviceId(1));
+        t.add_server(2);
+        assert_ne!(t.shape_hash(), healthy);
+    }
+
+    #[test]
+    fn shape_hash_ignores_names_but_not_capacity() {
+        let mut a = TopologyBuilder::new();
+        a.add_device(Device::v100("alpha"), 0);
+        a.add_device(Device::v100("beta"), 0);
+        a.connect_intra_server(crate::Link::nvlink());
+        let mut b = TopologyBuilder::new();
+        b.add_device(Device::v100("gamma"), 7);
+        b.add_device(Device::v100("delta"), 7);
+        b.connect_intra_server(crate::Link::nvlink());
+        assert_eq!(a.build().shape_hash(), b.build().shape_hash());
+        // a memory-capacity difference is a different shape
+        let mut c = TopologyBuilder::new();
+        c.add_device(Device::v100("gamma").with_mem_bytes(1 << 30), 7);
+        c.add_device(Device::v100("delta"), 7);
+        c.connect_intra_server(crate::Link::nvlink());
+        assert_ne!(a.build().shape_hash(), c.build().shape_hash());
+    }
+
+    #[test]
+    fn canonical_order_is_position_independent() {
+        let shared = Topology::multi_server(2, 2);
+        let a = Allocation::new(AllocationId(0), &shared, &[DeviceId(0), DeviceId(1)]);
+        let b = Allocation::new(AllocationId(1), &shared, &[DeviceId(2), DeviceId(3)]);
+        let ca = a.topo().canonical_live_devices();
+        let cb = b.topo().canonical_live_devices();
+        assert_eq!(ca.len(), cb.len());
+        // positions line up: i-th canonical device of one slice corresponds
+        // to the i-th of the other (GPUs first, then the host)
+        assert_eq!(ca.len(), 3);
+        assert!(!a.topo().is_host(ca[0]) && !a.topo().is_host(ca[1]));
+        assert!(a.topo().is_host(ca[2]) && b.topo().is_host(cb[2]));
+    }
+
+    #[test]
+    fn grant_and_revoke_roundtrip_the_shape() {
+        let shared = Topology::multi_server(2, 2);
+        let mut a = Allocation::new(AllocationId(0), &shared, &[DeviceId(0), DeviceId(1)]);
+        let before = a.shape_hash();
+        // grant a GPU on the other server: its host is unmasked too
+        a.grant(DeviceId(2));
+        assert!(a.contains(DeviceId(2)));
+        assert_eq!(a.gpu_count(), 3);
+        assert!(a.topo().host_of(1).is_some());
+        assert_ne!(a.shape_hash(), before);
+        // revoking the last member of a server re-masks its host, so the
+        // shape returns to exactly the pre-grant allocation's
+        assert!(a.revoke(DeviceId(2)));
+        assert_eq!(a.gpu_count(), 2);
+        assert_eq!(a.topo().host_of(1), None);
+        assert_eq!(a.shape_hash(), before);
+        assert!(!a.revoke(DeviceId(2)), "double revoke is reported");
+        // a fresh allocation over the surviving members has the same shape
+        let fresh = Allocation::new(AllocationId(1), &shared, &[DeviceId(0), DeviceId(1)]);
+        assert_eq!(a.shape_hash(), fresh.shape_hash());
+    }
+
+    #[test]
+    fn whole_covers_the_shared_cluster_unmasked() {
+        let shared = Topology::multi_server(2, 2);
+        let a = Allocation::whole(&shared);
+        assert_eq!(a.members().len(), 4);
+        assert_eq!(a.gpu_count(), 4);
+        assert_eq!(a.topo().device_count(), shared.device_count());
+        assert!(a.topo().host_of(0).is_some() && a.topo().host_of(1).is_some());
+    }
+}

@@ -31,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod allocation;
 mod device;
 mod health;
 mod topology;
 
+pub use allocation::{Allocation, AllocationId};
 pub use device::{Device, DeviceId};
 pub use health::{DeviceHealth, HealthMap};
 pub use topology::{Link, LinkClass, Topology, TopologyBuilder};

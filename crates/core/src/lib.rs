@@ -51,6 +51,7 @@
 
 mod dpos;
 mod error;
+pub mod fleet;
 mod os_dpos;
 mod pipeline;
 pub mod planner;
@@ -63,12 +64,15 @@ mod timeline;
 
 pub use dpos::{dpos, dpos_with, schedule_for_placement, DposFlags, Schedule};
 pub use error::FastTError;
+pub use fleet::{
+    fleet_slos, seeded_workload, ClusterManager, FleetEvent, FleetReport, JobSpec, JobStats,
+};
 pub use os_dpos::{dpos_plan, os_dpos, OsDposOptions};
 pub use pipeline::pipeline_plan;
 pub use planner::{
     default_slos, CandidateOutcome, DataParallelPlanner, DposPlanner, Fingerprint,
-    ModelParallelPlanner, OrderOnlyPlanner, OsDposPlanner, PipelinePlanner, PlanCache, Planner,
-    PlannerKind, PlanningContext, Portfolio, PortfolioInputs, PortfolioOutcome,
+    FingerprintContext, ModelParallelPlanner, OrderOnlyPlanner, OsDposPlanner, PipelinePlanner,
+    PlanCache, Planner, PlannerKind, PlanningContext, Portfolio, PortfolioInputs, PortfolioOutcome,
     PLANNER_LATENCY_P95_TARGET,
 };
 pub use profiling::bootstrap_cost_models;

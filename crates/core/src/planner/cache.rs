@@ -1,20 +1,34 @@
-//! Fingerprint-keyed plan memoization.
+//! Fingerprint-keyed plan memoization, shareable across jobs.
 //!
 //! A plan only depends on (a) the structure of the graph being planned,
-//! (b) which devices are dead, (c) — for cost-model-driven planners — the
-//! state of the adaptive cost models, and (d) the planner's own parameters.
-//! The [`Fingerprint`] captures exactly those four, so fault recovery and
-//! drift re-profiling can reuse still-valid candidates: re-planning after a
-//! memory-pressure spike on an unchanged cluster is a cache hit, while a
-//! blacklisted device or a cost-model refit changes the fingerprint and
-//! forces a fresh computation.
+//! (b) the *shape* of the live cluster slice, (c) — for cost-model-driven
+//! planners — the state of the adaptive cost models, (d) the planning
+//! context (parameter-server pinning, order enforcement), and (e) the
+//! planner's own parameters. The [`Fingerprint`] captures exactly those
+//! five, so fault recovery, drift re-profiling, *and other jobs* can reuse
+//! still-valid candidates: re-planning after a memory-pressure spike on an
+//! unchanged cluster is a cache hit, a second job arriving with the same
+//! model on a same-shaped allocation is a cache hit, while a blacklisted
+//! device or a cost-model refit changes the fingerprint and forces a fresh
+//! computation.
+//!
+//! Shareability rests on two mechanisms. First, the capacity mask is
+//! [`Topology::shape_hash`] — position-independent, so an allocation over
+//! GPUs `{4, 5}` fingerprints identically to one over `{0, 1}` of the same
+//! shape. Second, plans are *stored in canonical coordinates*
+//! ([`Topology::canonical_live_devices`]): insertion maps each placement
+//! device to its canonical slot, lookup maps slots back to the caller's
+//! live devices — so a plan computed by job N on one slice deploys
+//! correctly on job N+1's differently-numbered twin.
 
 use super::{Planner, PlannerKind};
 use crate::strategy::Plan;
-use fastt_cluster::Topology;
+use fastt_cluster::{DeviceId, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::Graph;
+use fastt_sim::Placement;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
 
 /// Cache key for one (planner, planning inputs) combination.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -23,21 +37,43 @@ pub struct Fingerprint {
     /// most planners, the raw training graph for start strategies (which
     /// build their own replication).
     pub graph_hash: u64,
-    /// Capacity-and-blacklist mask (see `failed_mask`): a hash of the
-    /// live device set folded with one bit per failed device and a mixed
-    /// hash per failed *link*. Any capacity change — failure, restore, or
-    /// hot-add — changes the mask: link failures reroute transfers and
-    /// restored devices enlarge the plannable set, so a plan computed over
-    /// either the healthy or the shrunk wiring is stale on the other.
-    pub failed_mask: u64,
+    /// [`Topology::shape_hash`] of the live slice: per-device capacity
+    /// signatures plus the canonical link matrix with its failure and
+    /// degradation marks. Any capacity change — failure, restore, hot-add,
+    /// link fault — changes the mask, while two same-shaped allocations
+    /// over *different* physical ids share it (that is what makes the
+    /// cache shareable across jobs).
+    pub capacity_mask: u64,
     /// [`CostModels::generation`] at planning time for planners that
     /// consult the cost models; 0 for those that do not, so their cached
     /// plans survive refits.
     pub cost_generation: u64,
+    /// Hash of the planning context ([`FingerprintContext`]): the pinned
+    /// parameter server (in canonical coordinates), order enforcement, and
+    /// — once the cost models have diverged from their shared priors — the
+    /// session's cache salt, so two jobs whose *fitted* models merely
+    /// reached the same generation count never collide.
+    pub context: u64,
     /// [`Planner::name`] — two planners never share a slot.
     pub planner: &'static str,
     /// [`Planner::fingerprint_extra`]: tuning parameters and RNG seeds.
     pub extra: u64,
+}
+
+/// Session-side planning context folded into [`Fingerprint::context`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FingerprintContext {
+    /// Pinned data-parallel parameter server, if any.
+    pub dp_ps: Option<DeviceId>,
+    /// Whether planners may emit an enforced execution order.
+    pub enable_order: bool,
+    /// Per-session salt separating *fitted* cost-model states across jobs
+    /// sharing one cache. Only applied for cost-model-driven planners once
+    /// `CostModels::generation() > 0`: generation-0 models are pure priors,
+    /// content-identical for every fresh session, so their plans may be
+    /// shared salt-free — which is exactly the "job N+1 gets an instant
+    /// hit" admission path.
+    pub cache_salt: u64,
 }
 
 impl Fingerprint {
@@ -51,26 +87,40 @@ impl Fingerprint {
         raw: Option<&Graph>,
         topo: &Topology,
         cost: &CostModels,
+        ctx: &FingerprintContext,
     ) -> Fingerprint {
         let graph_hash = match (planner.kind(), raw) {
             (PlannerKind::StartStrategy, Some(r)) => r.structure_hash(),
             _ => graph.structure_hash(),
         };
+        let uses_cost = planner.uses_cost_models();
+        let mut context = mix(0xC0DE ^ ctx.enable_order as u64);
+        // the PS device in canonical coordinates: slot + 1, 0 when unset
+        // or dead (planners ignore a dead PS, so the plan is PS-free)
+        let ps_slot = match ctx.dp_ps {
+            Some(d) if !topo.is_failed(d) => topo
+                .canonical_live_devices()
+                .iter()
+                .position(|&c| c == d)
+                .map_or(0, |i| i as u64 + 1),
+            _ => 0,
+        };
+        context ^= mix(0xD9_0000 ^ ps_slot);
+        if uses_cost && cost.generation() > 0 {
+            context ^= mix(ctx.cache_salt);
+        }
         Fingerprint {
             graph_hash,
-            failed_mask: failed_mask(topo),
-            cost_generation: if planner.uses_cost_models() {
-                cost.generation()
-            } else {
-                0
-            },
+            capacity_mask: topo.shape_hash(),
+            cost_generation: if uses_cost { cost.generation() } else { 0 },
+            context,
             planner: planner.name(),
             extra: planner.fingerprint_extra(),
         }
     }
 }
 
-/// splitmix64-style mixer for mask components.
+/// splitmix64-style mixer for context components.
 fn mix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -78,40 +128,27 @@ fn mix(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// XOR-folded capacity mask: one bit per blacklisted device (bit `d mod
-/// 64`), a splitmix64-style hash per blacklisted directed link, and a
-/// mixed hash of the *live capacity* — total device count plus the live
-/// GPU set. The capacity term makes the mask symmetric: a restored device
-/// or a hot-added server changes it just as a failure does, so a plan
-/// cached over the shrunk cluster is never served after scale-up (and
-/// vice versa), including live-set changes on clusters past 64 devices
-/// where the per-device bits alias.
-fn failed_mask(topo: &Topology) -> u64 {
-    let capacity = topo
-        .gpu_ids()
-        .fold(mix(0xE1A5_71C0 ^ topo.device_count() as u64), |m, d| {
-            m ^ mix(0xD0D0_0000 | d.0 as u64)
-        });
-    let devices = topo
-        .failed_devices()
-        .iter()
-        .fold(capacity, |m, d| m ^ 1u64.rotate_left(d.0 as u32));
-    topo.failed_links().iter().fold(devices, |m, (s, d)| {
-        m ^ mix(((s.0 as u64) << 16) | d.0 as u64)
-    })
-}
-
-/// A bounded FIFO memo of computed plans, keyed by [`Fingerprint`].
-///
-/// Hit/miss counters survive [`PlanCache::clear`] so a session can report
-/// cumulative reuse.
-#[derive(Debug)]
-pub struct PlanCache {
+#[derive(Debug, Default)]
+struct Inner {
     map: HashMap<Fingerprint, Plan>,
     order: VecDeque<Fingerprint>,
     cap: usize,
     hits: u64,
     misses: u64,
+}
+
+/// A bounded FIFO memo of computed plans, keyed by [`Fingerprint`] and
+/// stored in canonical device coordinates.
+///
+/// Interior-mutable (`&self` lookups and inserts behind a [`Mutex`]), so
+/// one `Arc<PlanCache>` can be shared by every session in a fleet;
+/// concurrent racers on the same fingerprint stay deterministic — both
+/// store byte-identical plans, last write wins harmlessly. Hit/miss
+/// counters survive [`PlanCache::clear`] so a session can report
+/// cumulative reuse.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
 }
 
 impl Default for PlanCache {
@@ -124,35 +161,70 @@ impl PlanCache {
     /// Creates a cache holding at most `cap` plans (at least one).
     pub fn new(cap: usize) -> Self {
         PlanCache {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            cap: cap.max(1),
-            hits: 0,
-            misses: 0,
+            inner: Mutex::new(Inner {
+                cap: cap.max(1),
+                ..Inner::default()
+            }),
         }
     }
 
-    /// Looks up a plan, counting the hit or miss.
-    pub fn get(&mut self, fp: &Fingerprint) -> Option<Plan> {
-        match self.map.get(fp) {
+    /// Looks up a plan, counting the hit or miss. `topo` is the caller's
+    /// live slice: the stored canonical-coordinate placement is remapped
+    /// onto its canonical device order, so a plan cached by a job on a
+    /// twin slice deploys on this one. A stored slot outside the slice
+    /// (possible only across a shape-hash collision) is counted a miss
+    /// rather than served broken.
+    pub fn get(&self, fp: &Fingerprint, topo: &Topology) -> Option<Plan> {
+        let canon = topo.canonical_live_devices();
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let remapped = inner.map.get(fp).and_then(|p| {
+            let devs: Option<Vec<DeviceId>> = p
+                .placement
+                .iter()
+                .map(|(_, slot)| canon.get(slot.index()).copied())
+                .collect();
+            devs.map(|d| {
+                let mut plan = p.clone();
+                plan.placement = Placement::new(d);
+                plan
+            })
+        });
+        match remapped {
             Some(p) => {
-                self.hits += 1;
-                Some(p.clone())
+                inner.hits += 1;
+                Some(p)
             }
             None => {
-                self.misses += 1;
+                inner.misses += 1;
                 None
             }
         }
     }
 
-    /// Stores a plan, evicting the oldest entry when full.
-    pub fn insert(&mut self, fp: Fingerprint, plan: Plan) {
-        if self.map.insert(fp.clone(), plan).is_none() {
-            self.order.push_back(fp);
-            while self.order.len() > self.cap {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
+    /// Stores a plan, evicting the oldest entry when full. The placement
+    /// is translated into canonical slot coordinates first; a plan placing
+    /// on a device outside `topo`'s live set cannot be canonicalized and
+    /// is silently skipped (never cached) rather than stored corrupt.
+    pub fn insert(&self, fp: Fingerprint, plan: &Plan, topo: &Topology) {
+        let canon = topo.canonical_live_devices();
+        let mut slot = vec![None; topo.device_count()];
+        for (i, d) in canon.iter().enumerate() {
+            slot[d.index()] = Some(DeviceId(i as u16));
+        }
+        let devs: Option<Vec<DeviceId>> = plan
+            .placement
+            .iter()
+            .map(|(_, d)| slot.get(d.index()).copied().flatten())
+            .collect();
+        let Some(devs) = devs else { return };
+        let mut canonical = plan.clone();
+        canonical.placement = Placement::new(devs);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if inner.map.insert(fp.clone(), canonical).is_none() {
+            inner.order.push_back(fp);
+            while inner.order.len() > inner.cap {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
                 }
             }
         }
@@ -160,67 +232,73 @@ impl PlanCache {
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.inner.lock().expect("plan cache poisoned").map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// Cumulative lookup hits.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.inner.lock().expect("plan cache poisoned").hits
     }
 
     /// Cumulative lookup misses.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.inner.lock().expect("plan cache poisoned").misses
     }
 
     /// Drops every cached plan (counters are kept).
-    pub fn clear(&mut self) {
-        self.map.clear();
-        self.order.clear();
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fastt_sim::Placement;
 
     fn fp(n: u64) -> Fingerprint {
         Fingerprint {
             graph_hash: n,
-            failed_mask: 0,
+            capacity_mask: 0,
             cost_generation: 0,
+            context: 0,
             planner: "test",
             extra: 0,
         }
     }
 
-    fn plan() -> Plan {
+    fn plan_on(devs: Vec<DeviceId>) -> Plan {
         Plan {
             graph: Graph::new(),
             splits: Vec::new(),
-            placement: Placement::uniform(0, fastt_cluster::DeviceId(0)),
+            placement: Placement::new(devs),
             order: None,
             est_finish: 1.0,
         }
     }
 
+    fn plan() -> Plan {
+        plan_on(Vec::new())
+    }
+
     #[test]
     fn fifo_eviction_and_counters() {
-        let mut c = PlanCache::new(2);
-        assert!(c.get(&fp(1)).is_none());
-        c.insert(fp(1), plan());
-        c.insert(fp(2), plan());
-        assert!(c.get(&fp(1)).is_some());
-        c.insert(fp(3), plan()); // evicts fp(1), the oldest
+        let t = Topology::single_server(2);
+        let c = PlanCache::new(2);
+        assert!(c.get(&fp(1), &t).is_none());
+        c.insert(fp(1), &plan(), &t);
+        c.insert(fp(2), &plan(), &t);
+        assert!(c.get(&fp(1), &t).is_some());
+        c.insert(fp(3), &plan(), &t); // evicts fp(1), the oldest
         assert_eq!(c.len(), 2);
-        assert!(c.get(&fp(1)).is_none());
-        assert!(c.get(&fp(3)).is_some());
+        assert!(c.get(&fp(1), &t).is_none());
+        assert!(c.get(&fp(3), &t).is_some());
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 2);
         c.clear();
@@ -230,44 +308,45 @@ mod tests {
 
     #[test]
     fn reinsert_does_not_duplicate_eviction_slot() {
-        let mut c = PlanCache::new(2);
-        c.insert(fp(1), plan());
-        c.insert(fp(1), plan());
-        c.insert(fp(2), plan());
+        let t = Topology::single_server(2);
+        let c = PlanCache::new(2);
+        c.insert(fp(1), &plan(), &t);
+        c.insert(fp(1), &plan(), &t);
+        c.insert(fp(2), &plan(), &t);
         assert_eq!(c.len(), 2);
-        assert!(c.get(&fp(1)).is_some());
+        assert!(c.get(&fp(1), &t).is_some());
     }
 
     #[test]
-    fn failed_mask_reflects_blacklist() {
+    fn capacity_mask_reflects_blacklist() {
         let mut t = Topology::single_server(4);
-        let m0 = failed_mask(&t);
-        t.fail_device(fastt_cluster::DeviceId(2));
-        let m1 = failed_mask(&t);
+        let m0 = t.shape_hash();
+        t.fail_device(DeviceId(2));
+        let m1 = t.shape_hash();
         assert_ne!(m0, m1);
-        t.fail_device(fastt_cluster::DeviceId(0));
-        assert_ne!(m1, failed_mask(&t));
+        t.fail_device(DeviceId(0));
+        assert_ne!(m1, t.shape_hash());
     }
 
     #[test]
-    fn failed_mask_invalidates_symmetrically_on_restore_and_growth() {
+    fn capacity_mask_invalidates_symmetrically_on_restore_and_growth() {
         // Regression: a plan cached while the cluster was shrunk must never
         // be served after capacity returns. The mask has to move in BOTH
         // directions — on failure and on restore/hot-add alike.
         let mut t = Topology::multi_server(2, 2);
-        let healthy = failed_mask(&t);
-        t.fail_device(fastt_cluster::DeviceId(1));
-        let shrunk = failed_mask(&t);
+        let healthy = t.shape_hash();
+        t.fail_device(DeviceId(1));
+        let shrunk = t.shape_hash();
         assert_ne!(healthy, shrunk);
-        // restore: back to exactly the healthy fingerprint (same live set
+        // restore: back to exactly the healthy fingerprint (same live shape
         // ⇒ same key ⇒ pre-failure cached plans are reusable again)...
-        t.restore_device(fastt_cluster::DeviceId(1));
-        assert_eq!(failed_mask(&t), healthy);
+        t.restore_device(DeviceId(1));
+        assert_eq!(t.shape_hash(), healthy);
         // ...and never the shrunk one
-        assert_ne!(failed_mask(&t), shrunk);
-        // hot-adding a server grows the live set: new fingerprint again
+        assert_ne!(t.shape_hash(), shrunk);
+        // hot-adding a server grows the live shape: new fingerprint again
         t.add_server(2);
-        let grown = failed_mask(&t);
+        let grown = t.shape_hash();
         assert_ne!(grown, healthy);
         assert_ne!(grown, shrunk);
     }
@@ -277,23 +356,90 @@ mod tests {
         // End-to-end cache behaviour: cache a plan under the shrunk
         // fingerprint, scale back up, and check the lookup misses.
         let mut t = Topology::single_server(4);
-        t.fail_device(fastt_cluster::DeviceId(3));
-        let shrunk_fp = fp(7);
+        t.fail_device(DeviceId(3));
         let shrunk_fp = Fingerprint {
-            failed_mask: failed_mask(&t),
-            ..shrunk_fp
+            capacity_mask: t.shape_hash(),
+            ..fp(7)
         };
-        let mut c = PlanCache::new(8);
-        c.insert(shrunk_fp.clone(), plan());
-        assert!(c.get(&shrunk_fp).is_some());
-        t.restore_device(fastt_cluster::DeviceId(3));
+        let c = PlanCache::new(8);
+        c.insert(shrunk_fp.clone(), &plan(), &t);
+        assert!(c.get(&shrunk_fp, &t).is_some());
+        t.restore_device(DeviceId(3));
         let grown_fp = Fingerprint {
-            failed_mask: failed_mask(&t),
+            capacity_mask: t.shape_hash(),
             ..shrunk_fp
         };
         assert!(
-            c.get(&grown_fp).is_none(),
+            c.get(&grown_fp, &t).is_none(),
             "the shrunk-cluster plan must not survive scale-up"
         );
+    }
+
+    #[test]
+    fn plans_remap_across_twin_slices() {
+        // Cache a plan from an allocation over GPUs {0,1}; read it back
+        // through the twin allocation over {2,3}. The placement must come
+        // out on the *caller's* devices.
+        use fastt_cluster::{Allocation, AllocationId};
+        let shared = Topology::single_server(4);
+        let a = Allocation::new(AllocationId(0), &shared, &[DeviceId(0), DeviceId(1)]);
+        let b = Allocation::new(AllocationId(1), &shared, &[DeviceId(2), DeviceId(3)]);
+        let key = Fingerprint {
+            capacity_mask: a.shape_hash(),
+            ..fp(9)
+        };
+        assert_eq!(key.capacity_mask, b.shape_hash(), "twin slices share keys");
+        let c = PlanCache::new(8);
+        c.insert(
+            key.clone(),
+            &plan_on(vec![DeviceId(0), DeviceId(1), DeviceId(0)]),
+            a.topo(),
+        );
+        let out = c.get(&key, b.topo()).expect("twin hit");
+        let devs: Vec<DeviceId> = out.placement.iter().map(|(_, d)| d).collect();
+        assert_eq!(devs, vec![DeviceId(2), DeviceId(3), DeviceId(2)]);
+        // and reading through the original slice returns the original ids
+        let back = c.get(&key, a.topo()).expect("self hit");
+        let devs: Vec<DeviceId> = back.placement.iter().map(|(_, d)| d).collect();
+        assert_eq!(devs, vec![DeviceId(0), DeviceId(1), DeviceId(0)]);
+    }
+
+    #[test]
+    fn unmappable_insert_is_skipped_and_bad_slot_is_a_miss() {
+        let t = Topology::single_server(2);
+        let c = PlanCache::new(8);
+        // a plan placing on a device outside the live set cannot be
+        // canonicalized — never cached
+        c.insert(fp(1), &plan_on(vec![DeviceId(7)]), &t);
+        assert!(c.is_empty());
+        // a stored slot beyond the caller's slice (shape-collision guard)
+        // reads back as a miss, not a broken plan
+        let big = Topology::single_server(4);
+        c.insert(fp(2), &plan_on(vec![DeviceId(3)]), &big);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&fp(2), &t).is_none());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn shared_cache_is_usable_through_arc_from_threads() {
+        use std::sync::Arc;
+        let t = Topology::single_server(2);
+        let c = Arc::new(PlanCache::new(8));
+        let key = fp(5);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let key = key.clone();
+                let t = &t;
+                s.spawn(move || {
+                    if c.get(&key, t).is_none() {
+                        c.insert(key.clone(), &plan_on(vec![DeviceId(0)]), t);
+                    }
+                    assert!(c.get(&key, t).is_some());
+                });
+            }
+        });
+        assert_eq!(c.len(), 1, "racers converge on one deterministic entry");
     }
 }

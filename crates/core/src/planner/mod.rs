@@ -11,9 +11,11 @@
 //!   own cost-model clone and a shared telemetry collector) and arbitrates
 //!   by simulated iteration time;
 //! * [`PlanCache`] — memoizes plans under a [`Fingerprint`] of the graph
-//!   structure, the failed-device mask, and the cost-model generation
-//!   counter, so drift re-profiling and fault recovery reuse still-valid
-//!   candidates instead of recomputing from scratch.
+//!   structure, the live-slice capacity mask (a position-independent shape
+//!   hash), the cost-model generation counter, and the planning context,
+//!   so drift re-profiling, fault recovery, *and sibling jobs sharing the
+//!   cache* reuse still-valid candidates instead of recomputing from
+//!   scratch.
 //!
 //! The [`crate::TrainingSession`] routes *all* candidate generation,
 //! recovery fallback probing, and arbitration through this layer; the old
@@ -47,7 +49,7 @@ pub use builtin::{
     DataParallelPlanner, DposPlanner, ModelParallelPlanner, OrderOnlyPlanner, OsDposPlanner,
     PipelinePlanner,
 };
-pub use cache::{Fingerprint, PlanCache};
+pub use cache::{Fingerprint, FingerprintContext, PlanCache};
 pub use context::PlanningContext;
 pub use portfolio::{CandidateOutcome, Portfolio, PortfolioInputs, PortfolioOutcome};
 

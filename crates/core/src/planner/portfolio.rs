@@ -1,6 +1,6 @@
 //! Concurrent candidate evaluation with cache-aware arbitration.
 
-use super::cache::{Fingerprint, PlanCache};
+use super::cache::{Fingerprint, FingerprintContext, PlanCache};
 use super::{Planner, PlannerKind, PlanningContext};
 use crate::error::FastTError;
 use crate::strategy::Plan;
@@ -36,6 +36,10 @@ pub struct PortfolioInputs<'a> {
     pub enable_order: bool,
     /// Pinned data-parallel parameter server.
     pub dp_ps: Option<DeviceId>,
+    /// Per-session salt separating fitted cost-model states in a cache
+    /// shared across jobs (see [`FingerprintContext::cache_salt`]); 0 for
+    /// session-local caches.
+    pub cache_salt: u64,
     /// When `Some`, every candidate plan (fresh or cached) is probed with
     /// one simulated iteration under this configuration and arbitration
     /// uses the *simulated* time; when `None`, arbitration falls back to
@@ -166,7 +170,7 @@ impl Portfolio {
     pub fn evaluate(
         &self,
         inputs: &PortfolioInputs<'_>,
-        mut cache: Option<&mut PlanCache>,
+        cache: Option<&PlanCache>,
     ) -> PortfolioOutcome {
         let n = self.planners.len();
         let col = inputs.collector.clone();
@@ -176,8 +180,13 @@ impl Portfolio {
         let _cache_phase = col.as_deref().map(|c| c.phase("cache_pass"));
         let mut fingerprints: Vec<Option<Fingerprint>> = Vec::with_capacity(n);
         let mut cached_plans: Vec<Option<Plan>> = Vec::with_capacity(n);
+        let fp_ctx = FingerprintContext {
+            dp_ps: inputs.dp_ps,
+            enable_order: inputs.enable_order,
+            cache_salt: inputs.cache_salt,
+        };
         for p in &self.planners {
-            let (fp, hit) = match cache.as_deref_mut() {
+            let (fp, hit) = match cache {
                 Some(c) if p.cacheable() => {
                     let lookup_t0 = Instant::now();
                     let fp = Fingerprint::compute(
@@ -186,8 +195,9 @@ impl Portfolio {
                         inputs.raw,
                         inputs.topo,
                         inputs.cost,
+                        &fp_ctx,
                     );
-                    let hit = c.get(&fp);
+                    let hit = c.get(&fp, inputs.topo);
                     if let Some(col) = &col {
                         col.metrics().observe_with(
                             "planner.cache_lookup",
@@ -208,7 +218,7 @@ impl Portfolio {
                             jobj! {
                                 "planner" => p.name(),
                                 "graph_hash" => fp.graph_hash,
-                                "failed_mask" => fp.failed_mask,
+                                "capacity_mask" => fp.capacity_mask,
                                 "cost_generation" => fp.cost_generation,
                             },
                         );
@@ -319,13 +329,10 @@ impl Portfolio {
                     Err(e) => out.error = Some(e.into()),
                 }
             }
-            if let (Some(c), Some(fp), Some(plan), false) = (
-                cache.as_deref_mut(),
-                fingerprints[i].take(),
-                out.plan.as_ref(),
-                out.cached,
-            ) {
-                c.insert(fp, plan.clone());
+            if let (Some(c), Some(fp), Some(plan), false) =
+                (cache, fingerprints[i].take(), out.plan.as_ref(), out.cached)
+            {
+                c.insert(fp, plan, inputs.topo);
             }
             candidates.push(out);
         }

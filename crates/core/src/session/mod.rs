@@ -7,18 +7,30 @@
 //! estimate beats the current measured time, and **rolling back** when the
 //! measured per-iteration time under the new strategy is worse than before.
 //! Pre-training ends when the cost models stabilize.
+//!
+//! A session does not own the cluster: it owns an [`Allocation`] — a
+//! scoped view of a (possibly shared) topology — plus an [`Arc`]-shared
+//! [`PlanCache`], so a fleet manager can run many sessions over one
+//! physical cluster ([`TrainingSession::with_allocation`]) while
+//! single-job sessions keep the classic whole-cluster behaviour
+//! ([`TrainingSession::new`]). The workflow is split across submodules:
+//! this file holds the profile → recompute → activate/rollback loop,
+//! `recovery` the failure ladder, and `elastic` the capacity lifecycle
+//! (spot churn, quarantine, promotion, fleet grants and preemptions).
+
+mod elastic;
+mod recovery;
 
 use crate::error::FastTError;
 use crate::planner::{
-    CandidateOutcome, DataParallelPlanner, DposPlanner, ModelParallelPlanner, OrderOnlyPlanner,
-    OsDposPlanner, PlanCache, Planner, PlannerKind, PlanningContext, Portfolio, PortfolioInputs,
-    PortfolioOutcome,
+    DataParallelPlanner, DposPlanner, ModelParallelPlanner, OrderOnlyPlanner, OsDposPlanner,
+    PlanCache, Planner, PlannerKind, PlanningContext, Portfolio, PortfolioInputs, PortfolioOutcome,
 };
 use crate::strategy::Plan;
-use fastt_cluster::{DeviceHealth, DeviceId, HealthMap, Topology};
+use fastt_cluster::{Allocation, DeviceHealth, DeviceId, HealthMap, Topology};
 use fastt_cost::CostModels;
 use fastt_graph::Graph;
-use fastt_sim::{FaultSchedule, HardwarePerf, LifecycleKind, RunTrace, SimConfig, SimError};
+use fastt_sim::{FaultSchedule, HardwarePerf, RunTrace, SimConfig, SimError};
 use fastt_telemetry::{jobj, Collector, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -73,6 +85,14 @@ pub struct SessionConfig {
     /// Relative per-replica improvement a growth candidate must show over
     /// the incumbent before it is promoted (hysteresis margin).
     pub promote_margin: f64,
+    /// Salt folded into plan-cache fingerprints once the session's cost
+    /// models have been fitted (generation > 0). Jobs sharing one
+    /// [`PlanCache`] must use distinct salts so their independently
+    /// fitted models never serve each other stale plans; generation-0
+    /// plans (computed from content-identical priors) are shared
+    /// salt-free, which is what makes admission an instant cache hit for
+    /// a repeat model + allocation shape. 0 for session-local caches.
+    pub cache_salt: u64,
 }
 
 impl Default for SessionConfig {
@@ -93,6 +113,7 @@ impl Default for SessionConfig {
             quarantine_iters: 2,
             promote_cooldown_iters: 3,
             promote_margin: 0.02,
+            cache_salt: 0,
         }
     }
 }
@@ -223,9 +244,10 @@ pub enum RecoveryEvent {
         /// The iteration the device dies.
         deadline: u64,
     },
-    /// A device under revocation notice was proactively drained:
-    /// blacklisted and re-planned around *before* death, so the deadline
-    /// passes without any crash recovery (or retries) for it.
+    /// A device under revocation notice — or preempted by the fleet
+    /// manager — was proactively drained: blacklisted and re-planned
+    /// around *before* death, so the deadline passes without any crash
+    /// recovery (or retries) for it.
     Drained {
         /// The drained device.
         device: DeviceId,
@@ -241,8 +263,9 @@ pub enum RecoveryEvent {
         /// The iteration re-admission was granted.
         iteration: u64,
     },
-    /// A device finished quarantine (or arrived with a hot-added server)
-    /// and rejoined the plannable capacity on probation.
+    /// A device finished quarantine (or arrived with a hot-added server,
+    /// or was granted by the fleet manager) and rejoined the plannable
+    /// capacity.
     Restored {
         /// The restored device.
         device: DeviceId,
@@ -293,7 +316,10 @@ pub struct TrainingSession {
     training_graph: Graph,
     /// Whether the start strategy was data parallelism.
     started_dp: bool,
-    topo: Topology,
+    /// The session's slice of the cluster: a scoped topology view plus the
+    /// per-slice health map. A single-job session owns the whole cluster
+    /// via [`Allocation::whole`]; fleet jobs get carved slices.
+    alloc: Allocation,
     hw: HardwarePerf,
     config: SessionConfig,
     /// The adaptive cost models, learned from profiled iterations.
@@ -301,14 +327,14 @@ pub struct TrainingSession {
     current: Plan,
     measured: f64,
     iteration: u64,
-    /// Observed per-device health, inferred from profiled traces.
-    health: HealthMap,
     /// Every resilience decision taken, in order (see [`RecoveryEvent`]).
     recovery_log: Vec<RecoveryEvent>,
     collector: Option<Arc<Collector>>,
     /// Fingerprint-keyed memo of computed plans, shared by every portfolio
-    /// evaluation the session runs (see [`PlanCache`]).
-    cache: PlanCache,
+    /// evaluation the session runs — and, under a fleet manager, shared
+    /// *across sessions* ([`PlanCache`] is interior-mutable behind the
+    /// [`Arc`]).
+    cache: Arc<PlanCache>,
     /// Which scripted lifecycle events have already been applied (indexed
     /// like the fault schedule's lifecycle list).
     lifecycle_processed: Vec<bool>,
@@ -354,6 +380,9 @@ impl TrainingSession {
     /// memory; otherwise fall back to greedy model parallelism on the raw
     /// graph (Sec. 4 / Sec. 5.2).
     ///
+    /// Equivalent to [`TrainingSession::with_allocation`] over
+    /// [`Allocation::whole`] with a private plan cache.
+    ///
     /// # Errors
     ///
     /// Returns [`FastTError::NoFeasibleStart`] when neither start strategy
@@ -364,15 +393,47 @@ impl TrainingSession {
         hw: HardwarePerf,
         config: SessionConfig,
     ) -> Result<Self, FastTError> {
+        let alloc = Allocation::whole(&topo);
+        Self::with_allocation(
+            training_graph,
+            alloc,
+            hw,
+            config,
+            Arc::new(PlanCache::default()),
+            None,
+        )
+    }
+
+    /// Creates a session scoped to an [`Allocation`] — the fleet entry
+    /// point: the session plans, routes, and recovers strictly inside the
+    /// slice, and memoizes plans in `cache`, which a fleet manager shares
+    /// across jobs (an admission whose model + allocation shape was
+    /// already planned by a sibling is an instant cache hit). A collector
+    /// passed here traces the admission portfolio itself (`planner.*`
+    /// events and the `planner.latency` series), which a collector
+    /// attached after construction cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FastTError::NoFeasibleStart`] when neither start strategy
+    /// fits in the slice's device memory.
+    pub fn with_allocation(
+        training_graph: &Graph,
+        alloc: Allocation,
+        hw: HardwarePerf,
+        config: SessionConfig,
+        cache: Arc<PlanCache>,
+        collector: Option<Arc<Collector>>,
+    ) -> Result<Self, FastTError> {
         // Both start strategies are planned and probed as one portfolio
         // (concurrently), but selection is *first-feasible*, not
         // fastest-probe: the paper always starts data-parallel when the
         // replicated model fits, regardless of which probe looks quicker.
-        // Bind the communication model to the cluster up front: per-link-class
+        // Bind the communication model to the slice up front: per-link-class
         // fits composed along physical routes, with link-spec priors so that
         // never-profiled links cost something pessimistic instead of zero.
         let mut cost = CostModels::new();
-        cost.bind_topology(&topo);
+        cost.bind_topology(alloc.topo());
         let portfolio = Portfolio::new()
             .with(Box::new(DataParallelPlanner::default()))
             .with(Box::new(ModelParallelPlanner));
@@ -380,15 +441,16 @@ impl TrainingSession {
             graph: training_graph,
             raw: Some(training_graph),
             current: None,
-            topo: &topo,
+            topo: alloc.topo(),
             hw: &hw,
             cost: &cost,
-            collector: None,
+            collector: collector.clone(),
             enable_order: config.enable_order,
             dp_ps: config.dp_ps,
+            cache_salt: config.cache_salt,
             probe: Some(SimConfig::default()),
         };
-        let mut outcome = portfolio.evaluate(&inputs, None);
+        let mut outcome = portfolio.evaluate(&inputs, Some(&cache));
         let mut mp_out = outcome.candidates.pop().expect("portfolio of two");
         let mut dp_out = outcome.candidates.pop().expect("portfolio of two");
         let (start, started_dp) = if dp_out.simulated.is_some() {
@@ -420,7 +482,6 @@ impl TrainingSession {
         // replica graph when DP fits, else from the raw training graph —
         // both are exactly the winning start plan's graph.
         let base_graph = start.graph.clone();
-        let health = HealthMap::new(topo.device_count());
         let lifecycle_processed = config
             .faults
             .as_ref()
@@ -431,27 +492,30 @@ impl TrainingSession {
         } else {
             LadderRung::Mp
         };
-        Ok(TrainingSession {
+        let mut session = TrainingSession {
             base_graph,
             training_graph: training_graph.clone(),
             started_dp,
-            topo,
+            alloc,
             hw,
             config,
             cost,
             current: start,
             measured: f64::INFINITY,
             iteration: 0,
-            health,
             recovery_log: Vec::new(),
             collector: None,
-            cache: PlanCache::default(),
+            cache,
             lifecycle_processed,
             pending_restores: Vec::new(),
             pending_promotion: false,
             last_promotion_attempt: None,
             rung,
-        })
+        };
+        if let Some(col) = collector {
+            session.attach_collector(col);
+        }
+        Ok(session)
     }
 
     /// Attaches a telemetry collector to the whole session: lifecycle
@@ -463,8 +527,8 @@ impl TrainingSession {
         collector.emit(
             "session.start",
             jobj! {
-                "devices" => self.topo.device_count() as u64,
-                "gpus" => self.topo.gpu_count() as u64,
+                "devices" => self.alloc.topo().device_count() as u64,
+                "gpus" => self.alloc.topo().gpu_count() as u64,
                 "ops" => self.base_graph.op_count() as u64,
                 "started_dp" => self.started_dp,
                 "est_finish" => self.current.est_finish,
@@ -500,14 +564,21 @@ impl TrainingSession {
         self.measured
     }
 
-    /// The (possibly shrunken) topology the session is training on.
+    /// The (possibly shrunken) topology view the session is training on —
+    /// scoped to the session's allocation.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        self.alloc.topo()
     }
 
-    /// Observed per-device health, inferred from profiled traces.
+    /// The session's allocation: granted members plus the scoped view.
+    pub fn allocation(&self) -> &Allocation {
+        &self.alloc
+    }
+
+    /// Observed per-device health, inferred from profiled traces (scoped
+    /// to the session's slice).
     pub fn health(&self) -> &HealthMap {
-        &self.health
+        self.alloc.health()
     }
 
     /// Every resilience decision taken so far, in order. Deterministic:
@@ -563,12 +634,12 @@ impl TrainingSession {
             return;
         }
         let probe = self.probe_config();
-        let ordered = match plan.simulate(&self.topo, &self.hw, &probe) {
+        let ordered = match plan.simulate(self.alloc.topo(), &self.hw, &probe) {
             Ok(t) => t.makespan,
             Err(_) => return, // infeasibility is the activation loop's call
         };
         let order = plan.order.take();
-        match plan.simulate(&self.topo, &self.hw, &probe) {
+        match plan.simulate(self.alloc.topo(), &self.hw, &probe) {
             Ok(t) if t.makespan < ordered => {
                 if let Some(col) = &self.collector {
                     col.metrics().inc("session.orders_dropped");
@@ -597,26 +668,23 @@ impl TrainingSession {
     }
 
     /// Evaluates `portfolio` against the session's state (base graph, raw
-    /// graph, current plan, live topology, cost models, collector) through
-    /// the session's [`PlanCache`].
-    fn run_portfolio(
-        &mut self,
-        portfolio: &Portfolio,
-        probe: Option<SimConfig>,
-    ) -> PortfolioOutcome {
+    /// graph, current plan, live topology view, cost models, collector)
+    /// through the session's shared [`PlanCache`].
+    fn run_portfolio(&self, portfolio: &Portfolio, probe: Option<SimConfig>) -> PortfolioOutcome {
         let inputs = PortfolioInputs {
             graph: &self.base_graph,
             raw: Some(&self.training_graph),
             current: Some(&self.current),
-            topo: &self.topo,
+            topo: self.alloc.topo(),
             hw: &self.hw,
             cost: &self.cost,
             collector: self.collector.clone(),
             enable_order: self.config.enable_order,
             dp_ps: self.config.dp_ps,
+            cache_salt: self.config.cache_salt,
             probe,
         };
-        portfolio.evaluate(&inputs, Some(&mut self.cache))
+        portfolio.evaluate(&inputs, Some(&self.cache))
     }
 
     /// Adopts the cost-model clone mutated by the portfolio's *main*
@@ -631,7 +699,9 @@ impl TrainingSession {
         }
     }
 
-    /// The session's plan cache (hit/miss counters included).
+    /// The session's plan cache (hit/miss counters included). Under a
+    /// fleet manager this is the *shared* cache, so the counters aggregate
+    /// across sibling jobs.
     pub fn plan_cache(&self) -> &PlanCache {
         &self.cache
     }
@@ -649,7 +719,7 @@ impl TrainingSession {
             let mut attempt = 0u32;
             let outcome = loop {
                 let cfg = self.sim_config(attempt);
-                match self.current.simulate(&self.topo, &self.hw, &cfg) {
+                match self.current.simulate(self.alloc.topo(), &self.hw, &cfg) {
                     Err(SimError::Transient {
                         device, iteration, ..
                     }) if attempt < self.config.max_transient_retries => {
@@ -759,7 +829,7 @@ impl TrainingSession {
     /// ratio normalizes (the adaptive models absorb persistent slowdowns,
     /// so the flag marks the transition, not the steady state).
     fn check_health(&mut self, trace: &RunTrace) {
-        let n = self.topo.device_count();
+        let n = self.alloc.topo().device_count();
         let mut measured = vec![0.0f64; n];
         let mut predicted = vec![0.0f64; n];
         for r in &trace.op_records {
@@ -772,13 +842,14 @@ impl TrainingSession {
                 predicted[r.device.index()] += p;
             }
         }
-        for d in self.topo.gpu_ids().collect::<Vec<_>>() {
+        for d in self.alloc.topo().gpu_ids().collect::<Vec<_>>() {
             let (m, p) = (measured[d.index()], predicted[d.index()]);
             if p <= 1e-12 {
                 continue;
             }
             let ratio = m / p;
-            let was_degraded = matches!(self.health.health(d), DeviceHealth::Degraded { .. });
+            let was_degraded =
+                matches!(self.alloc.health().health(d), DeviceHealth::Degraded { .. });
             if ratio >= self.config.degraded_slowdown {
                 if !was_degraded {
                     self.recovery_log.push(RecoveryEvent::Degraded {
@@ -797,9 +868,9 @@ impl TrainingSession {
                         },
                     );
                 }
-                self.health.mark_degraded(d, ratio);
+                self.alloc.health_mut().mark_degraded(d, ratio);
             } else if was_degraded {
-                self.health.mark_healthy(d);
+                self.alloc.health_mut().mark_healthy(d);
                 self.emit(
                     "health.restored",
                     jobj! {
@@ -847,7 +918,7 @@ impl TrainingSession {
             e.1 += p;
         }
         for ((src, dst), (m, p)) in agg {
-            if self.health.is_link_failed(src, dst) {
+            if self.alloc.health().is_link_failed(src, dst) {
                 continue;
             }
             let ratio = m / p;
@@ -870,13 +941,13 @@ impl TrainingSession {
                         "slowdown" => ratio,
                     },
                 );
-                self.health.mark_link_degraded(src, dst, ratio);
-                self.topo.degrade_link(src, dst, ratio);
+                self.alloc.health_mut().mark_link_degraded(src, dst, ratio);
+                self.alloc.topo_mut().degrade_link(src, dst, ratio);
                 self.cost.distrust_link(src, dst, ratio);
             } else if distrusted && ratio <= 1.0 / self.config.degraded_slowdown {
                 // measured far below the pessimistic line: the hop healed
-                self.health.mark_link_healthy(src, dst);
-                self.topo.restore_link(src, dst);
+                self.alloc.health_mut().mark_link_healthy(src, dst);
+                self.alloc.topo_mut().restore_link(src, dst);
                 self.cost.trust_link(src, dst);
                 self.emit(
                     "health.link_restored",
@@ -889,703 +960,6 @@ impl TrainingSession {
                 );
             }
         }
-    }
-
-    /// Restores `previous` as the active plan after a measured regression —
-    /// unless a device failed while the candidate was being measured, in
-    /// which case `previous` may reference blacklisted devices and the
-    /// recovery plan installed by [`Self::replan_and_degrade`] stays active.
-    fn roll_back_to(&mut self, previous: Plan) {
-        let stale = previous
-            .placement
-            .devices_used()
-            .iter()
-            .any(|d| self.topo.is_failed(*d));
-        if !stale {
-            self.current = previous;
-        }
-    }
-
-    /// Re-planning (tentpole (b)): blacklists `device`, then rebuilds the
-    /// plan over the surviving topology.
-    fn recover_from_failure(&mut self, device: DeviceId, iteration: u64) -> Result<(), FastTError> {
-        self.topo.fail_device(device);
-        // Routes change when a device (especially a host) dies: rebind so
-        // route-composed predictions stop staging through the corpse.
-        self.cost.bind_topology(&self.topo);
-        self.health.mark_failed(device);
-        self.recovery_log
-            .push(RecoveryEvent::DeviceFailed { device, iteration });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.device_failures");
-        }
-        if self.topo.gpu_count() == 0 {
-            return Err(FastTError::ClusterExhausted);
-        }
-        self.replan_and_degrade(iteration, "device_failed")
-    }
-
-    /// Re-planning for link death: a hop that flapped past the simulator's
-    /// retry budget is blacklisted in both directions (the session treats a
-    /// persistent flap exactly like a crashed device), GPUs the surviving
-    /// wiring can no longer reach are dropped, and the plan is rebuilt —
-    /// [`Topology::try_route`] steers the new plan's transfers around the
-    /// corpse.
-    fn recover_from_link_failure(
-        &mut self,
-        src: DeviceId,
-        dst: DeviceId,
-        iteration: u64,
-    ) -> Result<(), FastTError> {
-        self.topo.fail_link(src, dst);
-        self.topo.fail_link(dst, src);
-        self.health.mark_link_failed(src, dst);
-        self.health.mark_link_failed(dst, src);
-        // Routes change when a link dies: rebind so route-composed
-        // predictions price the detour, not the dead hop.
-        self.cost.bind_topology(&self.topo);
-        self.recovery_log.push(RecoveryEvent::LinkFailed {
-            src,
-            dst,
-            iteration,
-        });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.link_failures");
-        }
-        self.emit(
-            "health.link_failed",
-            jobj! {
-                "src" => src.0 as u64,
-                "dst" => dst.0 as u64,
-                "iteration" => iteration,
-            },
-        );
-        self.drop_stranded_gpus(iteration);
-        if self.topo.gpu_count() == 0 {
-            return Err(FastTError::ClusterExhausted);
-        }
-        self.replan_and_degrade(iteration, "link_failed")
-    }
-
-    /// Re-planning for a host partition: from the survivors' point of view
-    /// a partitioned server is indistinguishable from a crashed rack, so
-    /// every device it hosts is blacklisted and the plan is rebuilt over
-    /// the remaining servers.
-    fn recover_from_partition(&mut self, server: u16, iteration: u64) -> Result<(), FastTError> {
-        self.recovery_log
-            .push(RecoveryEvent::Partitioned { server, iteration });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.partitions");
-        }
-        self.emit(
-            "session.partition",
-            jobj! {
-                "server" => server as u64,
-                "iteration" => iteration,
-            },
-        );
-        let victims: Vec<DeviceId> = self
-            .topo
-            .device_ids()
-            .filter(|&d| self.topo.server_of(d) == server && !self.topo.is_failed(d))
-            .collect();
-        for d in victims {
-            self.topo.fail_device(d);
-            self.health.mark_failed(d);
-            self.recovery_log.push(RecoveryEvent::DeviceFailed {
-                device: d,
-                iteration,
-            });
-        }
-        self.cost.bind_topology(&self.topo);
-        if self.topo.gpu_count() == 0 {
-            return Err(FastTError::ClusterExhausted);
-        }
-        self.replan_and_degrade(iteration, "partition")
-    }
-
-    /// Re-planning when no live route exists between two placed devices:
-    /// drops whatever the surviving wiring stranded (keeping the largest
-    /// mutually-reachable GPU component) and re-plans; surfaces
-    /// [`FastTError::ClusterExhausted`] when nothing plannable remains.
-    fn recover_from_unreachable(&mut self, src: DeviceId, dst: DeviceId) -> Result<(), FastTError> {
-        let iteration = self.iteration;
-        self.emit(
-            "session.unreachable",
-            jobj! {
-                "src" => src.0 as u64,
-                "dst" => dst.0 as u64,
-                "iteration" => iteration,
-            },
-        );
-        let dropped = self.drop_stranded_gpus(iteration);
-        if dropped.is_empty() {
-            // The unroutable endpoint is not a stranded GPU (e.g. a host
-            // the plan still stages variables through): blacklist the
-            // destination so the next plan routes around it.
-            let victim = if self.topo.is_failed(dst) { src } else { dst };
-            if self.topo.is_failed(victim) {
-                return Err(FastTError::ClusterExhausted);
-            }
-            self.topo.fail_device(victim);
-            self.health.mark_failed(victim);
-            self.recovery_log.push(RecoveryEvent::DeviceFailed {
-                device: victim,
-                iteration,
-            });
-            self.cost.bind_topology(&self.topo);
-        }
-        if self.topo.gpu_count() == 0 {
-            return Err(FastTError::ClusterExhausted);
-        }
-        self.replan_and_degrade(iteration, "unreachable")
-    }
-
-    /// Blacklists every live GPU outside the largest mutually-reachable
-    /// component (ties go to the component holding the lowest device id) —
-    /// after link failures or partitions, stranded GPUs cannot participate
-    /// in any plan. Returns the devices dropped, in id order.
-    fn drop_stranded_gpus(&mut self, iteration: u64) -> Vec<DeviceId> {
-        let gpus: Vec<DeviceId> = self.topo.gpu_ids().collect();
-        let n = gpus.len();
-        let mut comp = vec![usize::MAX; n];
-        let mut comps = 0usize;
-        for i in 0..n {
-            if comp[i] != usize::MAX {
-                continue;
-            }
-            comp[i] = comps;
-            let mut stack = vec![i];
-            while let Some(u) = stack.pop() {
-                for v in 0..n {
-                    if comp[v] == usize::MAX
-                        && self.topo.try_route(gpus[u], gpus[v]).is_some()
-                        && self.topo.try_route(gpus[v], gpus[u]).is_some()
-                    {
-                        comp[v] = comps;
-                        stack.push(v);
-                    }
-                }
-            }
-            comps += 1;
-        }
-        if comps <= 1 {
-            return Vec::new();
-        }
-        let mut sizes = vec![0usize; comps];
-        for &c in &comp {
-            sizes[c] += 1;
-        }
-        // Largest component wins; ties go to the earliest component, which
-        // holds the lowest GPU id since `gpus` is id-ordered.
-        let keep = (0..comps)
-            .max_by_key(|&c| (sizes[c], std::cmp::Reverse(c)))
-            .unwrap_or(0);
-        let mut dropped = Vec::new();
-        for (i, d) in gpus.iter().enumerate() {
-            if comp[i] != keep {
-                self.topo.fail_device(*d);
-                self.health.mark_failed(*d);
-                self.recovery_log.push(RecoveryEvent::DeviceFailed {
-                    device: *d,
-                    iteration,
-                });
-                dropped.push(*d);
-            }
-        }
-        if !dropped.is_empty() {
-            self.cost.bind_topology(&self.topo);
-            self.emit(
-                "session.stranded",
-                jobj! {
-                    "iteration" => iteration,
-                    "dropped" => Value::arr(
-                        dropped.iter().map(|d| d.0 as u64).collect::<Vec<_>>()
-                    ),
-                },
-            );
-        }
-        dropped
-    }
-
-    /// Applies every scripted lifecycle event that has come due — spot
-    /// revocations (drained proactively when the notice window allows),
-    /// device and host arrivals, link restores — then finishes any
-    /// quarantines whose probation expired, then attempts a promotion when
-    /// capacity grew. Called at the top of every iteration; a session
-    /// without a fault schedule is untouched (bit-identical to pre-elastic
-    /// builds).
-    fn process_lifecycle(&mut self) -> Result<(), FastTError> {
-        let Some(faults) = self.config.faults.clone() else {
-            return Ok(());
-        };
-        let iteration = self.iteration;
-        let events = faults.lifecycle();
-        if self.lifecycle_processed.len() < events.len() {
-            self.lifecycle_processed.resize(events.len(), false);
-        }
-        let mut due: Vec<usize> = (0..events.len())
-            .filter(|&i| !self.lifecycle_processed[i] && events[i].at_iter <= iteration)
-            .collect();
-        due.sort_by_key(|&i| (events[i].at_iter, i));
-        for i in due {
-            self.lifecycle_processed[i] = true;
-            match events[i].kind {
-                LifecycleKind::SpotRevocation { device, .. } => {
-                    self.handle_revocation(device, events[i].deadline())?;
-                }
-                LifecycleKind::DeviceArrival { device }
-                | LifecycleKind::DeviceRestore { device } => {
-                    self.handle_arrival(device);
-                }
-                LifecycleKind::HostArrival { gpus } => {
-                    self.handle_host_arrival(gpus);
-                }
-                LifecycleKind::LinkRestore { src, dst } => {
-                    self.handle_link_restore(src, dst);
-                }
-            }
-        }
-        let mut ready: Vec<(u64, DeviceId)> = Vec::new();
-        self.pending_restores.retain(|&(at, d)| {
-            if at <= iteration {
-                ready.push((at, d));
-                false
-            } else {
-                true
-            }
-        });
-        ready.sort();
-        for (_, d) in ready {
-            if self.finish_quarantine(d, &faults) {
-                self.pending_promotion = true;
-            }
-        }
-        if self.pending_promotion {
-            self.try_promote()?;
-        }
-        Ok(())
-    }
-
-    /// A spot-revocation notice: log it, and when the notice window leaves
-    /// room, drain the device *now* — blacklist it and re-plan over the
-    /// survivors so the deadline passes without a crash (and without a
-    /// single retry for that device). Zero-notice revocations take the
-    /// ordinary crash-recovery path instead.
-    fn handle_revocation(&mut self, device: DeviceId, deadline: u64) -> Result<(), FastTError> {
-        let iteration = self.iteration;
-        self.recovery_log.push(RecoveryEvent::RevocationNotice {
-            device,
-            iteration,
-            deadline,
-        });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.revocation_notices");
-        }
-        self.emit(
-            "session.revocation_notice",
-            jobj! {
-                "device" => device.0 as u64,
-                "iteration" => iteration,
-                "deadline" => deadline,
-            },
-        );
-        if deadline <= iteration || self.topo.is_failed(device) {
-            return Ok(());
-        }
-        self.topo.fail_device(device);
-        self.health.mark_failed(device);
-        self.cost.bind_topology(&self.topo);
-        self.recovery_log
-            .push(RecoveryEvent::Drained { device, iteration });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.drains");
-        }
-        self.emit(
-            "session.drained",
-            jobj! {
-                "device" => device.0 as u64,
-                "iteration" => iteration,
-                "deadline" => deadline,
-            },
-        );
-        if self.topo.gpu_count() == 0 {
-            return Err(FastTError::ClusterExhausted);
-        }
-        self.replan_and_degrade(iteration, "revocation_drain")
-    }
-
-    /// A device (re-)announced itself. Re-admission is explicit: the
-    /// device enters quarantine (`Failed` → `Quarantined` in the
-    /// [`HealthMap`]) and only rejoins the plannable capacity after
-    /// `quarantine_iters` iterations of probation.
-    fn handle_arrival(&mut self, device: DeviceId) {
-        let iteration = self.iteration;
-        if device.index() >= self.topo.device_count() || !self.topo.is_failed(device) {
-            return; // unknown id, or already live: nothing to readmit
-        }
-        self.health.readmit(device);
-        self.recovery_log
-            .push(RecoveryEvent::Readmitted { device, iteration });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.quarantines");
-        }
-        self.emit(
-            "session.quarantine",
-            jobj! {
-                "device" => device.0 as u64,
-                "iteration" => iteration,
-                "until" => iteration + self.config.quarantine_iters,
-            },
-        );
-        self.pending_restores
-            .push((iteration + self.config.quarantine_iters, device));
-    }
-
-    /// Ends a device's quarantine. Unless it died again or its server is
-    /// partitioned mid-probation (in which case the re-admission is
-    /// dropped and a fresh arrival must restart the path), the device
-    /// rejoins the topology on probation (`Degraded`); the ordinary
-    /// health sweep promotes it to `Healthy` once measurements normalize.
-    /// Returns whether capacity actually grew.
-    fn finish_quarantine(&mut self, device: DeviceId, faults: &FaultSchedule) -> bool {
-        let iteration = self.iteration;
-        if !matches!(self.health.health(device), DeviceHealth::Quarantined)
-            || faults.crashed(device, iteration)
-            || faults.is_partitioned(self.topo.server_of(device), iteration)
-        {
-            return false;
-        }
-        self.topo.restore_device(device);
-        self.health.mark_degraded(device, 1.0);
-        self.cost.bind_topology(&self.topo);
-        self.recovery_log
-            .push(RecoveryEvent::Restored { device, iteration });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.scale_ups");
-        }
-        self.emit(
-            "session.scaled_up",
-            jobj! {
-                "device" => device.0 as u64,
-                "iteration" => iteration,
-                "gpus" => self.topo.gpu_count() as u64,
-            },
-        );
-        true
-    }
-
-    /// A whole new server hot-added: fresh GPUs and a host join under
-    /// stable new ids, healthy from the start — they have no failure
-    /// history to quarantine.
-    fn handle_host_arrival(&mut self, gpus: u16) {
-        let iteration = self.iteration;
-        let new_ids = self.topo.add_server(gpus);
-        self.health.grow(self.topo.device_count());
-        self.cost.bind_topology(&self.topo);
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.scale_ups");
-        }
-        for d in new_ids {
-            self.recovery_log.push(RecoveryEvent::Restored {
-                device: d,
-                iteration,
-            });
-            self.emit(
-                "session.scaled_up",
-                jobj! {
-                    "device" => d.0 as u64,
-                    "iteration" => iteration,
-                    "gpus" => self.topo.gpu_count() as u64,
-                },
-            );
-        }
-        self.pending_promotion = true;
-    }
-
-    /// A physical link came back: clear both directions of the blacklist,
-    /// re-admit the hop in the health map, and re-trust its cost prior so
-    /// planners route over it again.
-    fn handle_link_restore(&mut self, src: DeviceId, dst: DeviceId) {
-        let iteration = self.iteration;
-        for (a, b) in [(src, dst), (dst, src)] {
-            self.topo.restore_link(a, b);
-            self.health.readmit_link(a, b);
-            self.cost.trust_link(a, b);
-        }
-        self.cost.bind_topology(&self.topo);
-        self.emit(
-            "session.link_restored",
-            jobj! {
-                "src" => src.0 as u64,
-                "dst" => dst.0 as u64,
-                "iteration" => iteration,
-            },
-        );
-        self.pending_promotion = true;
-    }
-
-    /// The promotion ladder (the growth mirror of
-    /// [`Self::replan_and_degrade`]): re-plan over the enlarged survivor
-    /// set and adopt the winner only when its probed **per-replica** time
-    /// beats the incumbent's by the hysteresis margin. Per replica,
-    /// because the session replicates the training graph once per live
-    /// GPU — a plan over more GPUs does proportionally more work per
-    /// iteration, so raw makespans are not comparable across replica
-    /// counts. Hysteresis (a cooldown between attempts plus a minimum
-    /// improvement) keeps spot churn from thrashing plans. Promotion is
-    /// opportunistic: a planning dead end holds the incumbent instead of
-    /// failing the iteration.
-    fn try_promote(&mut self) -> Result<(), FastTError> {
-        let iteration = self.iteration;
-        if let Some(last) = self.last_promotion_attempt {
-            if iteration < last + self.config.promote_cooldown_iters {
-                return Ok(()); // still cooling down; the attempt stays pending
-            }
-        }
-        self.pending_promotion = false;
-        self.last_promotion_attempt = Some(iteration);
-        let probe = self.probe_config();
-        let incumbent_raw = self
-            .current
-            .simulate(&self.topo, &self.hw, &probe)
-            .map(|t| t.makespan)
-            .unwrap_or(f64::INFINITY);
-        let incumbent = incumbent_raw / replicas_of(&self.current) as f64;
-        let survivors = self.topo.gpu_count();
-        let (mut merged, _) = self.plan_candidates_over_survivors(probe);
-        let mut best: Option<(usize, f64, f64)> = None;
-        for (i, c) in merged.iter().enumerate() {
-            let (Some(m), Some(p)) = (c.simulated, c.plan.as_ref()) else {
-                continue;
-            };
-            let score = m / replicas_of(p) as f64;
-            if best.is_none_or(|(_, s, _)| score < s) {
-                best = Some((i, score, m));
-            }
-        }
-        let adopt =
-            best.filter(|&(_, score, _)| score < incumbent * (1.0 - self.config.promote_margin));
-        let Some((i, score, raw)) = adopt else {
-            if let Some(col) = &self.collector {
-                col.metrics().inc("session.promotions_held");
-            }
-            self.emit(
-                "session.promotion_held",
-                jobj! {
-                    "iteration" => iteration,
-                    "survivors" => survivors as u64,
-                    "incumbent" => incumbent,
-                    "candidate" => best.map(|(_, s, _)| s).unwrap_or(f64::INFINITY),
-                    "margin" => self.config.promote_margin,
-                },
-            );
-            return Ok(());
-        };
-        let c = &mut merged[i];
-        let kind = match c.kind {
-            PlannerKind::StartStrategy => c.planner,
-            _ => "replan",
-        };
-        self.rung = LadderRung::of_kind(kind);
-        self.current = c.plan.take().expect("probed plan");
-        self.measured = raw;
-        self.recovery_log.push(RecoveryEvent::Promoted {
-            survivors,
-            kind,
-            iteration,
-        });
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.promotions");
-        }
-        self.emit(
-            "session.promoted",
-            jobj! {
-                "iteration" => iteration,
-                "kind" => kind,
-                "rung" => self.rung.label(),
-                "survivors" => survivors as u64,
-                "incumbent" => incumbent,
-                "candidate" => score,
-            },
-        );
-        Ok(())
-    }
-
-    /// Plans the full candidate ladder over the current survivor set.
-    /// Stage 1 probes both data-parallel modes — the ring all-reduce over
-    /// whoever is live and the PS funnel — whose feasibility picks the
-    /// base graph exactly as session construction does (Sec. 5.2's rule).
-    /// Stage 2 adds the fresh DPOS/OS-DPOS candidate, plus model
-    /// parallelism as the last resort when DP no longer fits. Returns the
-    /// merged candidates in ladder-preference order (re-plan, ring, PS,
-    /// MP) along with the last non-DP planning error.
-    fn plan_candidates_over_survivors(
-        &mut self,
-        probe: SimConfig,
-    ) -> (Vec<CandidateOutcome>, Option<FastTError>) {
-        let dp_portfolio = Portfolio::new()
-            .with(Box::new(DataParallelPlanner::all_reduce()))
-            .with(Box::new(DataParallelPlanner::default()));
-        let mut dp_outcome = self.run_portfolio(&dp_portfolio, Some(probe.clone()));
-        let ps_out = dp_outcome.candidates.pop().expect("portfolio of two");
-        let ar_out = dp_outcome.candidates.pop().expect("portfolio of two");
-        let dp_ok = ar_out.simulated.is_some() || ps_out.simulated.is_some();
-        self.base_graph = [&ar_out, &ps_out]
-            .iter()
-            .find(|c| c.simulated.is_some())
-            .and_then(|c| c.plan.as_ref())
-            .map(|p| p.graph.clone())
-            .unwrap_or_else(|| self.training_graph.clone());
-
-        let mut portfolio = Portfolio::new().with(self.main_planner());
-        if !dp_ok {
-            portfolio.push(Box::new(ModelParallelPlanner));
-        }
-        let mut outcome = self.run_portfolio(&portfolio, Some(probe));
-        self.adopt_candidate_cost(&mut outcome);
-        let mut merged: Vec<CandidateOutcome> = Vec::with_capacity(4);
-        let mut rest = outcome.candidates.drain(..);
-        merged.push(rest.next().expect("main candidate"));
-        merged.push(ar_out);
-        merged.push(ps_out);
-        merged.extend(rest);
-
-        let mut last_err: Option<FastTError> = None;
-        for c in merged.iter_mut() {
-            // dp probe failures are expected (that is what mp is for) and
-            // were never reported by the pre-portfolio recovery loop
-            if !c.planner.starts_with("data_parallel") {
-                if let Some(e) = c.error.take() {
-                    last_err = Some(e);
-                }
-            }
-        }
-        (merged, last_err)
-    }
-
-    /// Graceful degradation (tentpole (d)): recomputes a planner candidate
-    /// over the current (possibly shrunken) topology, probes it against the
-    /// start-strategy fallbacks — data parallelism when it still fits, else
-    /// model parallelism (a single-device plan in the 1-GPU limit) — and
-    /// adopts whichever *measures* fastest; choosing a fallback over the
-    /// candidate is the rollback the tentpole requires. Arbitration over
-    /// the merged set keeps the ladder's preference order — re-plan, then
-    /// ring all-reduce over the survivors, then the PS funnel, then model
-    /// parallelism — by strict lowest-probed-time with ties to the earlier
-    /// candidate.
-    fn replan_and_degrade(
-        &mut self,
-        iteration: u64,
-        reason: &'static str,
-    ) -> Result<(), FastTError> {
-        let survivors = self.topo.gpu_count();
-        self.emit(
-            "session.replan",
-            jobj! {
-                "iteration" => iteration,
-                "reason" => reason,
-                "survivors" => survivors as u64,
-                "failed" => Value::arr(
-                    self.topo
-                        .failed_devices()
-                        .iter()
-                        .map(|d| d.0 as u64)
-                        .collect::<Vec<_>>()
-                ),
-            },
-        );
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.replans");
-        }
-
-        let probe = self.probe_config();
-        let (mut merged, last_err) = self.plan_candidates_over_survivors(probe);
-        let mut best: Option<usize> = None;
-        for (i, c) in merged.iter().enumerate() {
-            if let Some(m) = c.simulated {
-                let better = match best {
-                    Some(b) => m < merged[b].simulated.unwrap_or(f64::INFINITY),
-                    None => true,
-                };
-                if better {
-                    best = Some(i);
-                }
-            }
-        }
-        let (plan, kind, probe_measured) = match best {
-            Some(i) => {
-                let c = &mut merged[i];
-                let kind = match c.kind {
-                    PlannerKind::StartStrategy => c.planner,
-                    _ => "replan",
-                };
-                (
-                    c.plan.take().expect("probed plan"),
-                    kind,
-                    c.simulated.expect("probed time"),
-                )
-            }
-            None => {
-                // A plan that cannot be routed at all is not a planning
-                // failure to retry — the cluster is out of usable wiring.
-                return Err(match last_err {
-                    Some(FastTError::Sim(SimError::Unreachable { .. })) => {
-                        FastTError::ClusterExhausted
-                    }
-                    Some(e) => e,
-                    None => FastTError::ClusterExhausted,
-                });
-            }
-        };
-        if kind != "replan" {
-            if let Some(col) = &self.collector {
-                col.metrics().inc("session.fallbacks");
-                col.metrics().inc("session.degraded_mode");
-            }
-            self.emit(
-                "session.fallback",
-                jobj! {
-                    "iteration" => iteration,
-                    "kind" => kind,
-                    "reason" => reason,
-                    "measured" => probe_measured,
-                },
-            );
-            // The ladder stepped below a fresh DPOS/OS-DPOS plan: the
-            // session is in a degraded operating mode (shrunk ring, PS
-            // funnel, or single-server fallback).
-            self.emit(
-                "session.degraded_mode",
-                jobj! {
-                    "iteration" => iteration,
-                    "mode" => kind,
-                    "reason" => reason,
-                    "survivors" => survivors as u64,
-                },
-            );
-            self.recovery_log.push(RecoveryEvent::Fallback { kind });
-        }
-        self.recovery_log
-            .push(RecoveryEvent::Replanned { survivors, kind });
-        self.rung = LadderRung::of_kind(kind);
-        self.current = plan;
-        self.measured = probe_measured;
-        if let Some(col) = &self.collector {
-            col.metrics().inc("session.recoveries");
-        }
-        self.emit(
-            "session.recovered",
-            jobj! {
-                "iteration" => iteration,
-                "kind" => kind,
-                "survivors" => survivors as u64,
-                "measured" => probe_measured,
-            },
-        );
-        self.recovery_log
-            .push(RecoveryEvent::Recovered { iteration });
-        Ok(())
     }
 
     /// Runs `iters` simulated training iterations of the current plan,
@@ -1641,9 +1015,13 @@ impl TrainingSession {
         if !self.config.enable_order {
             return None;
         }
-        let mut ctx =
-            PlanningContext::new(&self.base_graph, &self.topo, &self.hw, self.cost.clone())
-                .with_current(&self.current);
+        let mut ctx = PlanningContext::new(
+            &self.base_graph,
+            self.alloc.topo(),
+            &self.hw,
+            self.cost.clone(),
+        )
+        .with_current(&self.current);
         OrderOnlyPlanner.plan(&mut ctx).ok()
     }
 
@@ -1952,6 +1330,7 @@ impl TrainingSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastt_cluster::AllocationId;
     use fastt_models::Model;
 
     fn quick_config() -> SessionConfig {
@@ -2060,8 +1439,8 @@ mod tests {
         let g = Model::LeNet.training_graph(32);
         let topo = Topology::single_server(2);
         let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
-        s.topo.fail_device(DeviceId(0));
-        s.topo.fail_device(DeviceId(1));
+        s.alloc.topo_mut().fail_device(DeviceId(0));
+        s.alloc.topo_mut().fail_device(DeviceId(1));
         let err = s
             .recover_from_unreachable(DeviceId(0), DeviceId(1))
             .unwrap_err();
@@ -2076,18 +1455,18 @@ mod tests {
         let g = Model::LeNet.training_graph(32);
         let topo = Topology::multi_server(2, 2);
         let mut s = TrainingSession::new(&g, topo, HardwarePerf::new(), quick_config()).unwrap();
-        let ids: Vec<DeviceId> = s.topo.device_ids().collect();
+        let ids: Vec<DeviceId> = s.alloc.topo().device_ids().collect();
         for &a in &ids {
             for &b in &ids {
-                if a != b && s.topo.server_of(a) != s.topo.server_of(b) {
-                    s.topo.fail_link(a, b);
+                if a != b && s.alloc.topo().server_of(a) != s.alloc.topo().server_of(b) {
+                    s.alloc.topo_mut().fail_link(a, b);
                 }
             }
         }
         let dropped = s.drop_stranded_gpus(0);
         assert_eq!(dropped, vec![DeviceId(2), DeviceId(3)]);
-        assert!(s.topo.is_failed(DeviceId(2)) && s.topo.is_failed(DeviceId(3)));
-        assert!(!s.topo.is_failed(DeviceId(0)) && !s.topo.is_failed(DeviceId(1)));
+        assert!(s.alloc.topo().is_failed(DeviceId(2)) && s.alloc.topo().is_failed(DeviceId(3)));
+        assert!(!s.alloc.topo().is_failed(DeviceId(0)) && !s.alloc.topo().is_failed(DeviceId(1)));
         // each drop is logged so same-seed runs replay identically
         assert_eq!(
             s.recovery_log()
@@ -2106,5 +1485,69 @@ mod tests {
         let report = s.pre_train().unwrap();
         assert!(report.strategy_calc_secs > 0.0);
         assert_eq!(report.history.len() as u32, report.rounds + 1);
+    }
+
+    #[test]
+    fn allocation_scoped_session_plans_inside_the_slice() {
+        // A session over a carved slice must place every op on a member GPU
+        // (or an involved server's host) — never on a sibling job's device.
+        let g = Model::LeNet.training_graph(32);
+        let shared = Topology::multi_server(2, 2);
+        let alloc = Allocation::new(AllocationId(7), &shared, &[DeviceId(2), DeviceId(3)]);
+        let mut s = TrainingSession::with_allocation(
+            &g,
+            alloc,
+            HardwarePerf::new(),
+            quick_config(),
+            Arc::new(PlanCache::default()),
+            None,
+        )
+        .unwrap();
+        s.profile(1).unwrap();
+        let plan = s.current_plan();
+        for d in plan.placement.devices_used() {
+            assert!(
+                s.allocation().contains(d) || s.topology().is_host(d),
+                "placed on non-member {d}"
+            );
+        }
+        plan.placement.validate(&plan.graph, s.topology()).unwrap();
+    }
+
+    #[test]
+    fn release_and_grant_walk_the_allocation() {
+        // Fleet preemption then re-grant: the survivor keeps a valid plan
+        // confined to the shrunken slice, and the grant restores capacity.
+        let g = Model::LeNet.training_graph(32);
+        let shared = Topology::multi_server(2, 2);
+        let alloc = Allocation::new(
+            AllocationId(1),
+            &shared,
+            &[DeviceId(0), DeviceId(1), DeviceId(2)],
+        );
+        let mut s = TrainingSession::with_allocation(
+            &g,
+            alloc,
+            HardwarePerf::new(),
+            quick_config(),
+            Arc::new(PlanCache::default()),
+            None,
+        )
+        .unwrap();
+        s.profile(1).unwrap();
+        s.release_devices(&[DeviceId(2)]).unwrap();
+        assert_eq!(s.allocation().gpu_count(), 2);
+        assert!(!s.allocation().contains(DeviceId(2)));
+        let plan = s.current_plan().clone();
+        plan.placement.validate(&plan.graph, s.topology()).unwrap();
+        assert!(!plan.placement.devices_used().contains(&DeviceId(2)));
+        assert!(s
+            .recovery_log()
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Drained { device, .. } if *device == DeviceId(2))));
+        s.grant_devices(&[DeviceId(2)]).unwrap();
+        assert_eq!(s.allocation().gpu_count(), 3);
+        assert!(s.allocation().contains(DeviceId(2)));
+        s.profile(1).unwrap();
     }
 }

@@ -119,7 +119,16 @@ pub fn data_parallel_plan(rep: &ReplicatedGraph, topo: &Topology) -> Plan {
     use fastt_graph::ReplicationMode;
     let first_gpu = topo.gpu_ids().next().unwrap_or(DeviceId(0));
     let ps = if rep.replicas > 1 && rep.mode == ReplicationMode::ParameterServer {
-        topo.host_of(0).unwrap_or(first_gpu)
+        // The PS host is resolved relative to the live GPUs, not server 0:
+        // an allocation view whose slice lives on another server must plan
+        // the same shape as its server-0 twin, or the plan cache's
+        // shape-keyed sharing would disagree with fresh planning.
+        topo.host_of(topo.server_of(first_gpu))
+            .or_else(|| {
+                topo.device_ids()
+                    .find(|&d| topo.is_host(d) && !topo.is_failed(d))
+            })
+            .unwrap_or(first_gpu)
     } else {
         first_gpu
     };

@@ -1,0 +1,341 @@
+//! Multi-tenant fleet integration: the ClusterManager scheduling a seeded
+//! arrival workload over one shared topology, allocation-scoped sessions
+//! racing on the shared plan cache, and preemption leaving every survivor
+//! with a valid plan on disjoint devices.
+
+use fastt::fleet::{seeded_workload, ClusterManager, FleetEvent, JobSpec};
+use fastt::{SessionConfig, TrainingSession};
+use fastt_cluster::{Allocation, AllocationId, DeviceId, Topology};
+use fastt_models::Model;
+use fastt_sim::HardwarePerf;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn templates() -> Vec<(String, fastt_graph::Graph)> {
+    vec![
+        ("lenet32".to_string(), Model::LeNet.training_graph(32)),
+        ("lenet16".to_string(), Model::LeNet.training_graph(16)),
+    ]
+}
+
+fn run_fleet(seed: u64) -> fastt::FleetReport {
+    let topo = Topology::multi_server(2, 4);
+    let mut fleet = ClusterManager::new(topo, HardwarePerf::new(), seed);
+    for spec in seeded_workload(seed, &templates(), 8) {
+        fleet.submit(spec);
+    }
+    fleet.run().unwrap()
+}
+
+#[test]
+fn seeded_fleet_overlaps_three_jobs_on_one_topology() {
+    let report = run_fleet(21);
+    assert!(
+        report.max_concurrent >= 3,
+        "want >=3 overlapping jobs, got {}",
+        report.max_concurrent
+    );
+    assert_eq!(report.deadlocks, 0);
+    assert_eq!(report.jobs.len(), 5, "every submitted job departs");
+    assert!(report.preemptions >= 1, "burst job must preempt");
+    assert!(!report.utilization.is_empty());
+    // The workload is shaped so the cluster saturates at the burst.
+    assert!(
+        report
+            .utilization
+            .iter()
+            .any(|(_, busy, total)| busy == total),
+        "the burst should fill the cluster"
+    );
+}
+
+#[test]
+fn same_seed_fleet_logs_are_byte_identical() {
+    let a = run_fleet(21).event_log();
+    let b = run_fleet(21).event_log();
+    assert_eq!(a, b, "same-seed fleet runs must render identical logs");
+    let c = run_fleet(22).event_log();
+    assert_ne!(a, c, "different seeds must perturb the schedule");
+}
+
+/// Pinned: a job arriving with a model + allocation shape a sibling
+/// already planned is served from the shared cache with zero planner
+/// evaluations — the admission portfolio only performs lookups.
+#[test]
+fn twin_job_admission_is_a_pure_cache_hit() {
+    let shared = Topology::multi_server(2, 4);
+    let graph = Model::LeNet.training_graph(32);
+    let cache = Arc::new(fastt::PlanCache::default());
+    let config = |salt: u64| SessionConfig {
+        profile_iters: 1,
+        max_rounds: 2,
+        cache_salt: salt,
+        ..SessionConfig::default()
+    };
+
+    // Job 1 on server 0's first two GPUs: populates the cache.
+    let alloc1 = Allocation::new(AllocationId(0), &shared, &[DeviceId(1), DeviceId(2)]);
+    let s1 = TrainingSession::with_allocation(
+        &graph,
+        alloc1,
+        HardwarePerf::new(),
+        config(11),
+        cache.clone(),
+        None,
+    )
+    .unwrap();
+    let hits_after_first = cache.hits();
+    let misses_after_first = cache.misses();
+    assert!(misses_after_first > 0, "first admission must plan for real");
+
+    // Job 2 on server 1's first two GPUs: same model, same allocation
+    // shape (twin slice), different raw device ids.
+    let alloc2 = Allocation::new(AllocationId(1), &shared, &[DeviceId(6), DeviceId(7)]);
+    let s2 = TrainingSession::with_allocation(
+        &graph,
+        alloc2,
+        HardwarePerf::new(),
+        config(22),
+        cache.clone(),
+        None,
+    )
+    .unwrap();
+    assert!(
+        cache.hits() > hits_after_first,
+        "twin admission must hit the shared cache"
+    );
+    assert_eq!(
+        cache.misses(),
+        misses_after_first,
+        "twin admission must not evaluate any planner (zero cache misses)"
+    );
+    // The cached plan was remapped onto job 2's devices: same shape,
+    // disjoint placement, both valid on their own slices.
+    assert_eq!(s1.started_data_parallel(), s2.started_data_parallel());
+    let p1 = s1.current_plan();
+    let p2 = s2.current_plan();
+    p1.placement.validate(&p1.graph, s1.topology()).unwrap();
+    p2.placement.validate(&p2.graph, s2.topology()).unwrap();
+    let d1: BTreeSet<DeviceId> = p1
+        .graph
+        .iter_ops()
+        .map(|(id, _)| p1.placement.device_of(id))
+        .collect();
+    let d2: BTreeSet<DeviceId> = p2
+        .graph
+        .iter_ops()
+        .map(|(id, _)| p2.placement.device_of(id))
+        .collect();
+    assert!(d1.is_disjoint(&d2), "twin plans must not share devices");
+}
+
+/// Pinned: two identical jobs racing on the shared cache from separate
+/// threads stay deterministic — whichever wins the insert, both end up
+/// with the same plan, and the cache records exactly one planning pass.
+#[test]
+fn racing_twin_jobs_on_the_shared_cache_stay_deterministic() {
+    let shared = Topology::multi_server(2, 4);
+    let graph = Model::LeNet.training_graph(32);
+
+    // Serial reference: what a lone job plans on a twin slice.
+    let reference = TrainingSession::with_allocation(
+        &graph,
+        Allocation::new(AllocationId(9), &shared, &[DeviceId(1), DeviceId(2)]),
+        HardwarePerf::new(),
+        SessionConfig {
+            profile_iters: 1,
+            max_rounds: 2,
+            ..SessionConfig::default()
+        },
+        Arc::new(fastt::PlanCache::default()),
+        None,
+    )
+    .unwrap();
+
+    for round in 0..4u64 {
+        let cache = Arc::new(fastt::PlanCache::default());
+        let slices = [
+            vec![DeviceId(1), DeviceId(2)],
+            vec![DeviceId(6), DeviceId(7)],
+        ];
+        let mut handles = Vec::new();
+        for (i, gpus) in slices.iter().enumerate() {
+            let shared = shared.clone();
+            let graph = graph.clone();
+            let gpus = gpus.clone();
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                let alloc = Allocation::new(AllocationId(i as u32), &shared, &gpus);
+                let config = SessionConfig {
+                    profile_iters: 1,
+                    max_rounds: 2,
+                    cache_salt: (round + 1) * 100 + i as u64,
+                    ..SessionConfig::default()
+                };
+                TrainingSession::with_allocation(
+                    &graph,
+                    alloc,
+                    HardwarePerf::new(),
+                    config,
+                    cache,
+                    None,
+                )
+                .unwrap()
+            }));
+        }
+        let sessions: Vec<TrainingSession> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // An op's placement in slice-local coordinates: its device's slot
+        // in the allocation's member list (hosts map to a sentinel). Twin
+        // slices must agree exactly in these coordinates.
+        let canonical = |s: &TrainingSession| -> Vec<usize> {
+            let p = s.current_plan();
+            let members = s.allocation().members();
+            p.graph
+                .iter_ops()
+                .map(|(id, _)| {
+                    let d = p.placement.device_of(id);
+                    members.iter().position(|m| *m == d).unwrap_or(usize::MAX)
+                })
+                .collect()
+        };
+        let want = canonical(&reference);
+        for s in &sessions {
+            // Both racers land on the reference outcome regardless of who
+            // won the insert.
+            assert_eq!(s.started_data_parallel(), reference.started_data_parallel());
+            assert_eq!(
+                canonical(s),
+                want,
+                "racer diverged from the serial reference plan"
+            );
+            let p = s.current_plan();
+            p.placement.validate(&p.graph, s.topology()).unwrap();
+        }
+    }
+}
+
+/// Preempting a job never deadlocks or strands devices: after the burst
+/// job finishes, every shrunken survivor is regrown, all jobs depart, and
+/// no device is double-booked along the way.
+#[test]
+fn preemption_then_regrowth_strands_nothing() {
+    let report = run_fleet(5);
+    assert_eq!(report.deadlocks, 0);
+    assert_eq!(report.jobs.len(), 5);
+    let preempts = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, FleetEvent::Preempted { .. }))
+        .count();
+    let grows = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, FleetEvent::Expanded { .. }))
+        .count();
+    assert!(preempts >= 1, "burst must preempt");
+    assert!(grows >= 1, "freed capacity must flow back to survivors");
+    // The run drains completely: final utilization sample is zero busy.
+    let (_, busy, _) = report.utilization.last().unwrap();
+    assert_eq!(*busy, 0, "all devices must return to the pool");
+    // Victims kept running: every preempted job still finished its
+    // iteration budget.
+    for j in &report.jobs {
+        assert!(j.iters_run > 0, "job {} never ran", j.name);
+    }
+}
+
+/// Per-job collectors: fleet telemetry interleaves into one stream with
+/// job labels, and the planner.latency series (the admission-path SLO
+/// input) is populated.
+#[test]
+fn fleet_telemetry_labels_jobs_and_feeds_the_admission_slo() {
+    use fastt_telemetry::{Collector, MemorySink};
+
+    let sink = Arc::new(MemorySink::new(65536));
+    let collector = Arc::new(Collector::new().with_sink(sink.clone()));
+    let topo = Topology::multi_server(2, 4);
+    let mut fleet =
+        ClusterManager::new(topo, HardwarePerf::new(), 21).with_collector(collector.clone());
+    for spec in seeded_workload(21, &templates(), 8) {
+        fleet.submit(spec);
+    }
+    let report = fleet.run().unwrap();
+    assert_eq!(report.deadlocks, 0);
+
+    let events = sink.events();
+    let labeled = events
+        .iter()
+        .filter(|e| e.kind.starts_with("session.") && e.field("job").as_str().is_some())
+        .count();
+    assert!(
+        labeled > 0,
+        "session telemetry must carry the per-job label"
+    );
+    let job_names: BTreeSet<String> = events
+        .iter()
+        .filter_map(|e| e.field("job").as_str().map(str::to_string))
+        .collect();
+    assert!(
+        job_names.len() >= 3,
+        "at least the three overlapping jobs must label events, got {job_names:?}"
+    );
+    // The admission portfolio fed the planner.latency histogram the SLO
+    // grades.
+    match collector.metrics().get("planner.latency") {
+        Some(fastt_telemetry::MetricValue::Histogram(h)) => assert!(h.count > 0),
+        other => panic!("planner.latency missing: {other:?}"),
+    }
+    // And the fleet SLOs all evaluate against the same registry.
+    let verdicts = fastt_telemetry::evaluate_slos(&fastt::fleet::fleet_slos(), collector.metrics());
+    assert_eq!(verdicts.len(), 2);
+}
+
+/// A fleet job's spec floor is respected: preemption never shrinks a
+/// victim below `min_gpus`.
+#[test]
+fn preemption_respects_min_gpu_floors() {
+    let topo = Topology::multi_server(2, 4);
+    let g = Model::LeNet.training_graph(32);
+    let mut fleet = ClusterManager::new(topo, HardwarePerf::new(), 13);
+    fleet.submit(JobSpec {
+        name: "protected".into(),
+        graph: g.clone(),
+        arrival: 0,
+        iters: 10,
+        gpus: 4,
+        min_gpus: 3,
+        priority: 1,
+        deadline: None,
+    });
+    fleet.submit(JobSpec {
+        name: "greedy-hi".into(),
+        graph: g,
+        arrival: 2,
+        iters: 3,
+        gpus: 8,
+        min_gpus: 1,
+        priority: 9,
+        deadline: None,
+    });
+    let report = fleet.run().unwrap();
+    assert_eq!(report.deadlocks, 0);
+    // The high-priority job can never assemble 8 GPUs (the floor holds 3
+    // back), so it must wait for the protected job to finish rather than
+    // shrink it below its floor.
+    let protected_losses: usize = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            FleetEvent::Preempted {
+                victim, devices, ..
+            } if victim == "protected" => Some(devices.len()),
+            _ => None,
+        })
+        .sum();
+    assert!(
+        protected_losses <= 1,
+        "protected job lost {protected_losses} GPUs, floor allows at most 1"
+    );
+    assert_eq!(report.jobs.len(), 2, "both jobs still depart");
+}

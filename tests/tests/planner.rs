@@ -36,6 +36,7 @@ fn inputs<'a>(
         collector: None,
         enable_order: true,
         dp_ps: None,
+        cache_salt: 0,
         probe: None,
     }
 }
@@ -49,15 +50,15 @@ fn cache_hits_on_unchanged_fingerprint_and_misses_on_blacklist_or_refit() {
     // a fresh identical run must land on the same fingerprint
     let mut cost = bootstrap_cost_models(&graph, &topo, &hw);
     let portfolio = Portfolio::new().with(Box::new(DposPlanner));
-    let mut cache = PlanCache::default();
+    let cache = PlanCache::default();
 
-    let first = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&mut cache));
+    let first = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&cache));
     assert!(!first.candidates[0].cached);
     assert_eq!(cache.misses(), 1);
     let first_plan = first.into_winning_plan().unwrap();
 
     // identical inputs: served from the cache, bit-identical plan
-    let second = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&mut cache));
+    let second = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&cache));
     assert!(second.candidates[0].cached);
     assert_eq!(cache.hits(), 1);
     let second_plan = second.into_winning_plan().unwrap();
@@ -66,7 +67,7 @@ fn cache_hits_on_unchanged_fingerprint_and_misses_on_blacklist_or_refit() {
 
     // blacklisting a device changes the failed mask: miss
     topo.fail_device(DeviceId(3));
-    let after_fail = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&mut cache));
+    let after_fail = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&cache));
     assert!(
         !after_fail.candidates[0].cached,
         "a blacklisted device must invalidate the cached plan"
@@ -83,7 +84,7 @@ fn cache_hits_on_unchanged_fingerprint_and_misses_on_blacklist_or_refit() {
     }
     cost.comm.refit();
     assert!(cost.generation() > gen_before);
-    let after_refit = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&mut cache));
+    let after_refit = portfolio.evaluate(&inputs(&graph, &topo, &hw, &cost), Some(&cache));
     assert!(
         !after_refit.candidates[0].cached,
         "a cost-model refit must invalidate the cached plan"
@@ -283,13 +284,13 @@ fn cached_plans_are_probed_before_deployment() {
     let hw = HardwarePerf::new();
     let cost = bootstrap_cost_models(&graph, &topo, &hw);
     let portfolio = Portfolio::new().with(Box::new(DposPlanner));
-    let mut cache = PlanCache::default();
+    let cache = PlanCache::default();
 
     let mut with_probe = inputs(&graph, &topo, &hw, &cost);
     with_probe.probe = Some(SimConfig::default());
-    let first = portfolio.evaluate(&with_probe, Some(&mut cache));
+    let first = portfolio.evaluate(&with_probe, Some(&cache));
     assert!(first.candidates[0].simulated.is_some());
-    let second = portfolio.evaluate(&with_probe, Some(&mut cache));
+    let second = portfolio.evaluate(&with_probe, Some(&cache));
     assert!(second.candidates[0].cached);
     assert!(
         second.candidates[0].simulated.is_some(),
