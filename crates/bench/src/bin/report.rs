@@ -231,6 +231,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.plan_cache().misses(),
         session.plan_cache().len(),
     );
+    println!(
+        "region sub-plans: {} hits / {} misses",
+        session.plan_cache().region_hits(),
+        session.plan_cache().region_misses(),
+    );
+
+    println!("\n--- Hierarchical decomposition ---");
+    let hier: Vec<&Event> = events.iter().filter(|e| e.kind == "hier.plan").collect();
+    if hier.is_empty() {
+        println!("(the hierarchical planner never completed a plan this run)");
+    }
+    for e in &hier {
+        let ops = e.num("ops").unwrap_or(0.0);
+        let regions = e.num("regions").unwrap_or(0.0);
+        println!(
+            "[{:>9} us] {} ops -> {} regions ({:.1}x collapse, {} rounds) | \
+             decompose {:.3} ms, across {:.3} ms, within {:.3} ms | \
+             {} region-cache hits | est {:.3} ms",
+            e.t_us,
+            ops,
+            regions,
+            if regions > 0.0 { ops / regions } else { 0.0 },
+            e.field("rounds"),
+            ms(e, "decompose_secs"),
+            ms(e, "across_secs"),
+            ms(e, "within_secs"),
+            e.field("region_cache_hits"),
+            ms(e, "est_finish"),
+        );
+    }
 
     println!("\n--- Fault / recovery timeline ---");
     let mut any_fault = false;

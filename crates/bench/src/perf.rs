@@ -19,15 +19,15 @@
 //! runners).
 
 use fastt::{
-    default_slos, DataParallelPlanner, DposPlanner, OsDposPlanner, PlanCache, Planner,
-    PlanningContext, Portfolio, PortfolioInputs,
+    default_slos, DataParallelPlanner, DposPlanner, HierarchicalPlanner, OsDposPlanner, PlanCache,
+    Planner, PlanningContext, Portfolio, PortfolioInputs,
 };
 use fastt_cluster::Topology;
 use fastt_cost::CostModels;
 use fastt_graph::{build_training_graph, Graph};
 use fastt_models::{stacked_transformer, Model};
 use fastt_sim::{HardwarePerf, SimConfig};
-use fastt_telemetry::{evaluate_slos, Collector, Value};
+use fastt_telemetry::{evaluate_slos, Collector, MetricValue, Value};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -159,6 +159,14 @@ struct CellResult {
     cache_hit_rate: f64,
     collector: Arc<Collector>,
     slos: Option<Value>,
+    /// One seeded simulated iteration of the *last* repeat's plan, run
+    /// outside the timed region — what lets the trajectory compare planner
+    /// wall-clock at equal-or-better plan quality (NaN above the probe
+    /// op limit).
+    probed_makespan: f64,
+    /// Planner-specific cell fields (the hierarchical cells report their
+    /// decomposition shape and within/across time split here).
+    extras: Vec<(String, Value)>,
 }
 
 /// One single-planner cell: `repeats` fresh plans on a shared collector.
@@ -169,10 +177,17 @@ fn run_planner_cell(
     hw: &HardwarePerf,
     cost: &CostModels,
     repeats: usize,
+    seed: u64,
 ) -> CellResult {
     let col = Arc::new(Collector::new());
     let mut samples = Vec::with_capacity(repeats);
     let mut evals = 0u64;
+    let mut last_plan = None;
+    // Region-granular sub-plan store for planners that use one — every
+    // session hands its planners a shared PlanCache, so the cell measures
+    // the planner as deployed (repeat 1 populates, later repeats reuse;
+    // repeated layers hit even within one pass).
+    let region_cache = PlanCache::new(256);
     for _ in 0..repeats {
         let mut ctx = PlanningContext {
             graph,
@@ -184,6 +199,8 @@ fn run_planner_cell(
             collector: Some(col.clone()),
             enable_order: true,
             dp_ps: None,
+            region_cache: Some(&region_cache),
+            cache_salt: 0,
             evals_used: 0,
         };
         let t0 = Instant::now();
@@ -191,6 +208,37 @@ fn run_planner_cell(
         samples.push(t0.elapsed().as_secs_f64());
         evals += ctx.evals_used as u64;
         assert!(res.is_ok(), "planner {} failed: {res:?}", planner.name());
+        last_plan = res.ok();
+    }
+    let probed_makespan = match &last_plan {
+        Some(plan) if graph.op_count() <= PROBE_OP_LIMIT => plan
+            .simulate(
+                topo,
+                hw,
+                &SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
+            .map(|t| t.makespan)
+            .unwrap_or(f64::NAN),
+        _ => f64::NAN,
+    };
+    // Planners that decompose report their shape as gauges on the cell's
+    // collector; surface them as trajectory-diffable cell fields.
+    let mut extras = Vec::new();
+    let m = col.metrics();
+    for (gauge, field) in [
+        ("hier.regions", "region_count"),
+        ("hier.rounds", "collapse_rounds"),
+        ("hier.residual", "residual_regions"),
+        ("hier.decompose_secs", "decompose_secs"),
+        ("hier.across_secs", "across_secs"),
+        ("hier.within_secs", "within_secs"),
+    ] {
+        if let Some(MetricValue::Gauge(v)) = m.get(gauge) {
+            extras.push((field.to_string(), Value::from(v)));
+        }
     }
     CellResult {
         samples,
@@ -198,6 +246,8 @@ fn run_planner_cell(
         cache_hit_rate: f64::NAN,
         collector: col,
         slos: None,
+        probed_makespan,
+        extras,
     }
 }
 
@@ -218,7 +268,11 @@ fn run_portfolio_cell(
         portfolio = portfolio.with(Box::new(OsDposPlanner::default()));
     }
     portfolio = portfolio.with(Box::<DataParallelPlanner>::default());
-    let cache = PlanCache::new(16);
+    portfolio = portfolio.with(Box::<HierarchicalPlanner>::default());
+    // Sized so the hierarchical planner's per-region sub-plan entries
+    // (which share this store) never evict the whole-plan entries between
+    // repeats.
+    let cache = PlanCache::new(128);
     // The probe carries the cell's collector so the simulator's own phases
     // (`sim.lower`, `sim.event_loop`) nest under `portfolio > probe`.
     let probe = (graph.op_count() <= PROBE_OP_LIMIT).then(|| SimConfig {
@@ -253,6 +307,14 @@ fn run_portfolio_cell(
     }
     let lookups = cache.hits() + cache.misses();
     let verdicts = evaluate_slos(&default_slos(), col.metrics());
+    let region_lookups = cache.region_hits() + cache.region_misses();
+    let mut extras = Vec::new();
+    if region_lookups > 0 {
+        extras.push((
+            "region_cache_hit_rate".to_string(),
+            Value::from(cache.region_hits() as f64 / region_lookups as f64),
+        ));
+    }
     CellResult {
         samples,
         evals,
@@ -263,6 +325,8 @@ fn run_portfolio_cell(
         },
         collector: col,
         slos: Some(Value::Arr(verdicts.iter().map(|v| v.to_json()).collect())),
+        probed_makespan: f64::NAN,
+        extras,
     }
 }
 
@@ -287,9 +351,11 @@ pub fn run_matrix(cfg: &PerfConfig) -> Value {
                     graph.op_count()
                 );
             }
+            planners.push(Box::<HierarchicalPlanner>::default());
             for p in &planners {
                 eprintln!("perfbench:   {graph_label}/{}/{topo_label}", p.name());
-                let r = run_planner_cell(p.as_ref(), graph, &topo, &hw, &cost, cfg.repeats);
+                let r =
+                    run_planner_cell(p.as_ref(), graph, &topo, &hw, &cost, cfg.repeats, cfg.seed);
                 cells.push(cell_json(graph_label, graph, p.name(), topo_label, cfg, r));
             }
             eprintln!("perfbench:   {graph_label}/portfolio/{topo_label}");
@@ -336,8 +402,13 @@ fn cell_json(
         ("p95_secs".to_string(), Value::from(quantile(&sorted, 0.95))),
         ("evals".to_string(), Value::from(r.evals)),
         ("cache_hit_rate".to_string(), Value::from(r.cache_hit_rate)),
+        (
+            "probed_makespan_secs".to_string(),
+            Value::from(r.probed_makespan),
+        ),
         ("hotspots".to_string(), hotspots_json(&r.collector)),
     ];
+    fields.extend(r.extras);
     if let Some(slos) = r.slos {
         fields.push(("slos".to_string(), slos));
     }
@@ -348,12 +419,15 @@ fn cell_json(
 /// removed: same-seed runs must produce identical fingerprints (pinned by
 /// a test), which is what makes trajectory diffs trustworthy.
 pub fn structural_fingerprint(doc: &Value) -> Value {
-    const VOLATILE: [&str; 5] = [
+    const VOLATILE: [&str; 8] = [
         "median_secs",
         "p95_secs",
         "hotspots",
         "slos",
         "generated_unix",
+        "decompose_secs",
+        "across_secs",
+        "within_secs",
     ];
     match doc {
         Value::Obj(fields) => Value::Obj(

@@ -41,8 +41,18 @@ fn bench_document_has_the_gated_schema() {
     let doc = run_matrix(&tiny());
     assert_eq!(doc["schema"].as_str(), Some(SCHEMA));
     let cells = doc["cells"].as_array().unwrap();
-    // 3 planner rows (dpos, os_dpos, portfolio) × 1 graph × 1 topo
-    assert_eq!(cells.len(), 3);
+    // 4 planner rows (dpos, os_dpos, hierarchical, portfolio) × 1 graph
+    // × 1 topo
+    assert_eq!(cells.len(), 4);
+    // The hierarchical cell reports its decomposition shape.
+    let hier = cells
+        .iter()
+        .find(|c| c["planner"].as_str() == Some("hierarchical"))
+        .unwrap();
+    assert!(hier["region_count"].as_f64().unwrap() >= 1.0);
+    assert!(hier["collapse_rounds"].as_f64().unwrap() >= 1.0);
+    assert!(hier["decompose_secs"].as_f64().unwrap() >= 0.0);
+    assert!(hier["probed_makespan_secs"].as_f64().unwrap() > 0.0);
     for c in cells {
         for key in ["graph", "planner", "topo"] {
             assert!(c[key].as_str().is_some(), "cell missing {key}");

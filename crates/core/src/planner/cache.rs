@@ -58,6 +58,14 @@ pub struct Fingerprint {
     pub planner: &'static str,
     /// [`Planner::fingerprint_extra`]: tuning parameters and RNG seeds.
     pub extra: u64,
+    /// For region-aware planners ([`Planner::uses_regions`]): the
+    /// decomposition's order-canonical hash
+    /// ([`fastt_graph::RegionTree::canonical_hash`]), folded in alongside
+    /// the id-sensitive `graph_hash` so models sharing substructure are
+    /// observable at the fingerprint layer; 0 for flat planners. Region
+    /// *sub-plan* entries reuse this struct with the per-region hash as
+    /// both graph and region component (see [`PlanCache::get_region`]).
+    pub region_hash: u64,
 }
 
 /// Session-side planning context folded into [`Fingerprint::context`].
@@ -109,6 +117,13 @@ impl Fingerprint {
         if uses_cost && cost.generation() > 0 {
             context ^= mix(ctx.cache_salt);
         }
+        let region_hash = if planner.uses_regions() {
+            super::hierarchical::region_tree_for(graph)
+                .0
+                .canonical_hash()
+        } else {
+            0
+        };
         Fingerprint {
             graph_hash,
             capacity_mask: topo.shape_hash(),
@@ -116,12 +131,13 @@ impl Fingerprint {
             context,
             planner: planner.name(),
             extra: planner.fingerprint_extra(),
+            region_hash,
         }
     }
 }
 
 /// splitmix64-style mixer for context components.
-fn mix(x: u64) -> u64 {
+pub(crate) fn mix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -135,6 +151,8 @@ struct Inner {
     cap: usize,
     hits: u64,
     misses: u64,
+    region_hits: u64,
+    region_misses: u64,
 }
 
 /// A bounded FIFO memo of computed plans, keyed by [`Fingerprint`] and
@@ -175,6 +193,20 @@ impl PlanCache {
     /// (possible only across a shape-hash collision) is counted a miss
     /// rather than served broken.
     pub fn get(&self, fp: &Fingerprint, topo: &Topology) -> Option<Plan> {
+        self.lookup(fp, topo, false)
+    }
+
+    /// Looks up a *region sub-plan* (stored by a region-aware planner's
+    /// within-region pass). Same canonical-coordinate remapping as
+    /// [`PlanCache::get`], but counted under the separate
+    /// [`PlanCache::region_hits`] / [`PlanCache::region_misses`] pair so
+    /// whole-plan admission accounting (the pinned fleet-twin invariant)
+    /// is unaffected by region traffic.
+    pub fn get_region(&self, fp: &Fingerprint, topo: &Topology) -> Option<Plan> {
+        self.lookup(fp, topo, true)
+    }
+
+    fn lookup(&self, fp: &Fingerprint, topo: &Topology, region: bool) -> Option<Plan> {
         let canon = topo.canonical_live_devices();
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         let remapped = inner.map.get(fp).and_then(|p| {
@@ -191,11 +223,19 @@ impl PlanCache {
         });
         match remapped {
             Some(p) => {
-                inner.hits += 1;
+                if region {
+                    inner.region_hits += 1;
+                } else {
+                    inner.hits += 1;
+                }
                 Some(p)
             }
             None => {
-                inner.misses += 1;
+                if region {
+                    inner.region_misses += 1;
+                } else {
+                    inner.misses += 1;
+                }
                 None
             }
         }
@@ -206,6 +246,16 @@ impl PlanCache {
     /// on a device outside `topo`'s live set cannot be canonicalized and
     /// is silently skipped (never cached) rather than stored corrupt.
     pub fn insert(&self, fp: Fingerprint, plan: &Plan, topo: &Topology) {
+        self.store(fp, plan, topo);
+    }
+
+    /// Stores a region sub-plan (see [`PlanCache::get_region`]); shares
+    /// the bounded FIFO store with whole plans.
+    pub fn insert_region(&self, fp: Fingerprint, plan: &Plan, topo: &Topology) {
+        self.store(fp, plan, topo);
+    }
+
+    fn store(&self, fp: Fingerprint, plan: &Plan, topo: &Topology) {
         let canon = topo.canonical_live_devices();
         let mut slot = vec![None; topo.device_count()];
         for (i, d) in canon.iter().enumerate() {
@@ -250,6 +300,21 @@ impl PlanCache {
         self.inner.lock().expect("plan cache poisoned").misses
     }
 
+    /// Cumulative region sub-plan hits (counted separately from
+    /// [`PlanCache::hits`]).
+    pub fn region_hits(&self) -> u64 {
+        self.inner.lock().expect("plan cache poisoned").region_hits
+    }
+
+    /// Cumulative region sub-plan misses (counted separately from
+    /// [`PlanCache::misses`]).
+    pub fn region_misses(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .region_misses
+    }
+
     /// Drops every cached plan (counters are kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
@@ -270,6 +335,7 @@ mod tests {
             context: 0,
             planner: "test",
             extra: 0,
+            region_hash: 0,
         }
     }
 

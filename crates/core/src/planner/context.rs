@@ -1,5 +1,6 @@
 //! The bundle of inputs every planner plans from.
 
+use crate::planner::PlanCache;
 use crate::strategy::Plan;
 use fastt_cluster::{DeviceId, Topology};
 use fastt_cost::CostModels;
@@ -45,6 +46,15 @@ pub struct PlanningContext<'a> {
     /// Pinned parameter-server device for data-parallel plans (`None`
     /// follows TF-slim's host-PS convention).
     pub dp_ps: Option<DeviceId>,
+    /// The plan cache backing region-granular sub-plan reuse, for planners
+    /// that report [`Planner::uses_regions`](crate::planner::Planner::uses_regions).
+    /// `None` plans without sub-plan memoization.
+    pub region_cache: Option<&'a PlanCache>,
+    /// Per-session cache salt (see
+    /// [`FingerprintContext::cache_salt`](crate::planner::FingerprintContext));
+    /// folded into region sub-plan fingerprints once the cost models have
+    /// diverged from their shared priors.
+    pub cache_salt: u64,
     /// Out-parameter: simulated-iteration evaluations consumed by a
     /// black-box searcher (the cost the paper's Fig. 3 argues about).
     /// White-box planners leave it at 0.
@@ -70,6 +80,8 @@ impl<'a> PlanningContext<'a> {
             collector: None,
             enable_order: true,
             dp_ps: None,
+            region_cache: None,
+            cache_salt: 0,
             evals_used: 0,
         }
     }
@@ -101,6 +113,14 @@ impl<'a> PlanningContext<'a> {
     /// Pins the data-parallel parameter server.
     pub fn with_dp_ps(mut self, ps: Option<DeviceId>) -> Self {
         self.dp_ps = ps;
+        self
+    }
+
+    /// Attaches a plan cache for region-granular sub-plan reuse, with the
+    /// session's cache salt.
+    pub fn with_region_cache(mut self, cache: &'a PlanCache, salt: u64) -> Self {
+        self.region_cache = Some(cache);
+        self.cache_salt = salt;
         self
     }
 

@@ -43,6 +43,7 @@
 mod builtin;
 mod cache;
 mod context;
+mod hierarchical;
 mod portfolio;
 
 pub use builtin::{
@@ -51,6 +52,7 @@ pub use builtin::{
 };
 pub use cache::{Fingerprint, FingerprintContext, PlanCache};
 pub use context::PlanningContext;
+pub use hierarchical::{region_tree_for, HierarchicalPlanner};
 pub use portfolio::{CandidateOutcome, Portfolio, PortfolioInputs, PortfolioOutcome};
 
 use crate::error::FastTError;
@@ -80,6 +82,11 @@ pub fn default_slos() -> Vec<Slo> {
         Slo::p95(
             "planner.latency.os_dpos.p95",
             "planner.latency.os_dpos",
+            PLANNER_LATENCY_P95_TARGET,
+        ),
+        Slo::p95(
+            "planner.latency.hierarchical.p95",
+            "planner.latency.hierarchical",
             PLANNER_LATENCY_P95_TARGET,
         ),
     ]
@@ -154,6 +161,15 @@ pub trait Planner: Send + Sync {
     /// not share a cache slot).
     fn fingerprint_extra(&self) -> u64 {
         0
+    }
+
+    /// Whether the planner plans over a structural decomposition. When
+    /// `true`, the cache fingerprint additionally folds in the region
+    /// tree's order-canonical hash ([`fastt_graph::RegionTree::canonical_hash`])
+    /// and the planner may consult the cache's region-granular sub-plan
+    /// store through [`PlanningContext::region_cache`].
+    fn uses_regions(&self) -> bool {
+        false
     }
 
     /// Computes a plan for the context.

@@ -249,6 +249,8 @@ impl Portfolio {
                 collector: inputs.collector.clone(),
                 enable_order: inputs.enable_order,
                 dp_ps: inputs.dp_ps,
+                region_cache: cache,
+                cache_salt: inputs.cache_salt,
                 evals_used: 0,
             };
             let pcol = ctx.collector.clone();

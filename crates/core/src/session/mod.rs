@@ -23,8 +23,9 @@ mod recovery;
 
 use crate::error::FastTError;
 use crate::planner::{
-    DataParallelPlanner, DposPlanner, ModelParallelPlanner, OrderOnlyPlanner, OsDposPlanner,
-    PlanCache, Planner, PlannerKind, PlanningContext, Portfolio, PortfolioInputs, PortfolioOutcome,
+    DataParallelPlanner, DposPlanner, HierarchicalPlanner, ModelParallelPlanner, OrderOnlyPlanner,
+    OsDposPlanner, PlanCache, Planner, PlannerKind, PlanningContext, Portfolio, PortfolioInputs,
+    PortfolioOutcome,
 };
 use crate::strategy::Plan;
 use fastt_cluster::{Allocation, DeviceHealth, DeviceId, HealthMap, Topology};
@@ -436,7 +437,12 @@ impl TrainingSession {
         cost.bind_topology(alloc.topo());
         let portfolio = Portfolio::new()
             .with(Box::new(DataParallelPlanner::default()))
-            .with(Box::new(ModelParallelPlanner));
+            .with(Box::new(ModelParallelPlanner))
+            // Raced alongside the start strategies: populates the shared
+            // cache (whole-plan + region sub-plans) at admission and serves
+            // as a region-granular packing fallback when both classical
+            // start strategies are infeasible.
+            .with(Box::new(HierarchicalPlanner::default()));
         let inputs = PortfolioInputs {
             graph: training_graph,
             raw: Some(training_graph),
@@ -451,18 +457,24 @@ impl TrainingSession {
             probe: Some(SimConfig::default()),
         };
         let mut outcome = portfolio.evaluate(&inputs, Some(&cache));
-        let mut mp_out = outcome.candidates.pop().expect("portfolio of two");
-        let mut dp_out = outcome.candidates.pop().expect("portfolio of two");
+        let mut hier_out = outcome.candidates.pop().expect("portfolio of three");
+        let mut mp_out = outcome.candidates.pop().expect("portfolio of three");
+        let mut dp_out = outcome.candidates.pop().expect("portfolio of three");
         let (start, started_dp) = if dp_out.simulated.is_some() {
             (dp_out.plan.take().expect("probed plan"), true)
         } else {
             // DP infeasible: only an OOM (the replicated model not fitting
             // in device memory) falls back to model parallelism; any other
-            // failure propagates.
+            // failure propagates. When MP's probe also failed, a feasible
+            // hierarchical plan is the last resort — its region-granular
+            // packing can fit models the layer-cut heuristic cannot — and
+            // counts as a non-DP start for ladder purposes.
             match dp_out.error.take() {
                 Some(FastTError::Sim(dp_err @ SimError::Oom { .. })) => {
                     if mp_out.simulated.is_some() {
                         (mp_out.plan.take().expect("probed plan"), false)
+                    } else if hier_out.simulated.is_some() {
+                        (hier_out.plan.take().expect("probed plan"), false)
                     } else {
                         return Err(match mp_out.error.take() {
                             Some(FastTError::Sim(mp_err)) => FastTError::NoFeasibleStart {
@@ -1185,6 +1197,11 @@ impl TrainingSession {
             // paper's ordering lever, Fig. 2); tried best-estimate first.
             let t0 = Instant::now();
             let mut portfolio = Portfolio::new().with(self.main_planner());
+            // The hierarchical planner races the flat calculator every
+            // round: on deep stacked models its quotient-graph pass is far
+            // cheaper, and the est-sorted activation loop below keeps
+            // whichever estimate wins honest against measurement.
+            portfolio.push(Box::new(HierarchicalPlanner::default()));
             if self.config.enable_order {
                 portfolio.push(Box::new(OrderOnlyPlanner));
             }

@@ -5,7 +5,8 @@
 use super::{LadderRung, RecoveryEvent, TrainingSession};
 use crate::error::FastTError;
 use crate::planner::{
-    CandidateOutcome, DataParallelPlanner, ModelParallelPlanner, PlannerKind, Portfolio,
+    CandidateOutcome, DataParallelPlanner, HierarchicalPlanner, ModelParallelPlanner, PlannerKind,
+    Portfolio,
 };
 use crate::strategy::Plan;
 use fastt_cluster::DeviceId;
@@ -401,6 +402,11 @@ impl TrainingSession {
             .unwrap_or_else(|| self.training_graph.clone());
 
         let mut portfolio = Portfolio::new().with(self.main_planner());
+        // The hierarchical planner re-plans over survivors too: its region
+        // tree is structure-keyed, so after a failure it reuses the
+        // decomposition (and any cached region sub-plans) and only re-runs
+        // the cheap quotient pass over the shrunken topology.
+        portfolio.push(Box::new(HierarchicalPlanner::default()));
         if !dp_ok {
             portfolio.push(Box::new(ModelParallelPlanner));
         }

@@ -172,6 +172,36 @@ proptest! {
             "capacity growth regressed the best simulated time: {big} vs {small}"
         );
     }
+
+    /// The hierarchical planner's expanded placement always passes the
+    /// checker the flat planners are held to — GPU-only devices, valid ids,
+    /// colocation groups kept together — and never exceeds any device's
+    /// memory capacity on instances whose working set trivially fits.
+    #[test]
+    fn hierarchical_placement_validates_and_fits_memory((g, cost, gpus) in arb_instance()) {
+        use fastt::{HierarchicalPlanner, Planner, PlanningContext};
+        let topo = Topology::single_server(gpus);
+        let hw = HardwarePerf::new();
+        let mut ctx = PlanningContext::new(&g, &topo, &hw, cost);
+        let plan = HierarchicalPlanner::default().plan(&mut ctx).unwrap();
+        plan.placement.validate(&plan.graph, &topo).unwrap();
+        for (op, d) in plan.placement.iter() {
+            prop_assert!(!topo.is_host(d), "{op} on host");
+        }
+        // per-device planning bytes within capacity (these instances are
+        // far below a single device's memory, so best-effort repair must
+        // always succeed)
+        let mut used = std::collections::HashMap::new();
+        for (op, d) in plan.placement.iter() {
+            *used.entry(d).or_insert(0u64) += hw.planning_bytes(plan.graph.op_ref(op));
+        }
+        for (d, bytes) in used {
+            prop_assert!(
+                bytes <= topo.device(d).mem_bytes,
+                "device {d} over capacity: {bytes} bytes"
+            );
+        }
+    }
 }
 
 #[test]

@@ -55,8 +55,9 @@ pub use error::GraphError;
 pub use graph::{Edge, EdgeId, Graph, GraphStats};
 pub use op::{CollectiveKind, OpId, OpKind, Operation, SplitDim};
 pub use rewrite::{
-    break_cycles, replicate, replicate_grouped, replicate_with, split_operation,
-    strongly_connected_components, ReplicaRole, ReplicatedGraph, ReplicationMode, SplitDecision,
-    SplitResult, UnrolledGraph,
+    break_cycles, decompose, decompose_with, replicate, replicate_grouped, replicate_with,
+    split_operation, strongly_connected_components, DecomposeOptions, Region, RegionId, RegionKind,
+    RegionTree, ReplicaRole, ReplicatedGraph, ReplicationMode, SplitDecision, SplitResult,
+    UnrolledGraph,
 };
 pub use shape::{TensorShape, BYTES_PER_ELEM};

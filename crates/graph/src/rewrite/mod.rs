@@ -8,10 +8,14 @@
 //!   single operation into `n` sub-operations along a parallelizable
 //!   dimension, inserting `Split`/`Concat` plumbing nodes.
 
+mod decompose;
 mod replicate;
 mod split;
 mod unroll;
 
+pub use decompose::{
+    decompose, decompose_with, DecomposeOptions, Region, RegionId, RegionKind, RegionTree,
+};
 pub use replicate::{
     replicate, replicate_grouped, replicate_with, ReplicaRole, ReplicatedGraph, ReplicationMode,
 };

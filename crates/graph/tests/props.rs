@@ -5,9 +5,10 @@
 //! Property-based tests for the graph substrate.
 
 use fastt_graph::{
-    build_training_graph, replicate, split_operation, Graph, OpKind, Operation, SplitDim,
+    build_training_graph, decompose, replicate, split_operation, Graph, OpKind, Operation, SplitDim,
 };
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 /// Builds a random layered forward network: `layers` MatMul stages, each with
 /// its own variable, ending in a Loss. Batch and width are powers of two so
@@ -145,6 +146,63 @@ proptest! {
             }
         }
         prop_assert!(res.graph.topo_order().is_ok());
+    }
+
+    /// Structural decomposition is a lossless partition: every op lands in
+    /// exactly one region, and every edge is recoverable — either internal
+    /// to one region or listed as a boundary edge, with the quotient edges
+    /// exactly the region-level projection of the boundary set. Expanding
+    /// the region tree back to (ops, edges) loses nothing.
+    #[test]
+    fn decompose_expand_round_trip(layers in 1usize..8, bp in 0u32..4, wp in 2u32..6) {
+        let fwd = layered_forward(layers, 1u64 << bp, 1u64 << wp);
+        let t = build_training_graph(&fwd).unwrap();
+        let tree = decompose(&t);
+
+        // ops: exactly-one-region coverage, and region_of agrees with the
+        // per-region op lists
+        let mut covered = vec![0u32; t.op_count()];
+        for (id, r) in tree.regions() {
+            for &op in &r.ops {
+                covered[op.index()] += 1;
+                prop_assert_eq!(tree.region_of(op), id);
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+
+        // edges: internal ∪ boundary == all edges, disjointly
+        let boundary: HashSet<(u32, u32)> = tree
+            .boundary_edges()
+            .iter()
+            .map(|&(s, d, _)| (s.0, d.0))
+            .collect();
+        let mut quotient_proj: HashSet<(u32, u32)> = HashSet::new();
+        for e in t.iter_edges() {
+            let (rs, rd) = (tree.region_of(e.src), tree.region_of(e.dst));
+            if rs == rd {
+                prop_assert!(
+                    !boundary.contains(&(e.src.0, e.dst.0)),
+                    "internal edge {}->{} listed as boundary", e.src, e.dst
+                );
+            } else {
+                prop_assert!(
+                    boundary.contains(&(e.src.0, e.dst.0)),
+                    "cross-region edge {}->{} missing from boundary", e.src, e.dst
+                );
+                quotient_proj.insert((rs.0, rd.0));
+            }
+        }
+        prop_assert_eq!(boundary.len(), t.iter_edges().filter(|e| {
+            tree.region_of(e.src) != tree.region_of(e.dst)
+        }).count());
+
+        // quotient edges are exactly the projected cross-region edges
+        let quotient: HashSet<(u32, u32)> = tree
+            .quotient_edges()
+            .iter()
+            .map(|&(s, d, _)| (s.0, d.0))
+            .collect();
+        prop_assert_eq!(quotient, quotient_proj);
     }
 
     /// Topological order returned by the graph is always a valid linear

@@ -129,6 +129,63 @@ fn twin_job_admission_is_a_pure_cache_hit() {
     assert!(d1.is_disjoint(&d2), "twin plans must not share devices");
 }
 
+/// Depth-sibling admission over the shared cache: a job whose model repeats
+/// the same layer block as an admitted sibling but at a different depth
+/// cannot reuse the whole plan (different graph fingerprint), yet the
+/// hierarchical planner serves its repeated regions from the sibling's
+/// region sub-plans — recorded on the separate region counters, so the
+/// pinned twin-admission zero-miss invariant above is unaffected.
+#[test]
+fn depth_sibling_admission_reuses_region_sub_plans() {
+    use fastt_graph::build_training_graph;
+    use fastt_models::stacked_transformer;
+
+    let shared = Topology::multi_server(2, 4);
+    let g4 = build_training_graph(&stacked_transformer(64, 4)).unwrap();
+    let g6 = build_training_graph(&stacked_transformer(64, 6)).unwrap();
+    let cache = Arc::new(fastt::PlanCache::new(512));
+    let config = || SessionConfig {
+        profile_iters: 1,
+        max_rounds: 2,
+        ..SessionConfig::default()
+    };
+
+    let alloc1 = Allocation::new(AllocationId(0), &shared, &[DeviceId(1), DeviceId(2)]);
+    let _s1 = TrainingSession::with_allocation(
+        &g4,
+        alloc1,
+        HardwarePerf::new(),
+        config(),
+        cache.clone(),
+        None,
+    )
+    .unwrap();
+    assert!(
+        cache.region_misses() > 0,
+        "first admission must record region sub-plans"
+    );
+    let region_hits_after_first = cache.region_hits();
+
+    // Same layer block, two layers deeper, on the other server's slice.
+    let alloc2 = Allocation::new(AllocationId(1), &shared, &[DeviceId(6), DeviceId(7)]);
+    let _s2 = TrainingSession::with_allocation(
+        &g6,
+        alloc2,
+        HardwarePerf::new(),
+        config(),
+        cache.clone(),
+        None,
+    )
+    .unwrap();
+    assert!(
+        cache.region_hits() > region_hits_after_first,
+        "depth-sibling admission must reuse the sibling's region sub-plans \
+         (region hits {} -> {})",
+        region_hits_after_first,
+        cache.region_hits(),
+    );
+}
+
 /// Pinned: two identical jobs racing on the shared cache from separate
 /// threads stay deterministic — whichever wins the insert, both end up
 /// with the same plan, and the cache records exactly one planning pass.
