@@ -279,6 +279,11 @@ impl Topology {
             row.push(1.0);
         }
         self.link_slow.push(vec![1.0; n]);
+        debug_assert_eq!(
+            self.validate(),
+            Ok(()),
+            "add_device broke topology invariants"
+        );
         id
     }
 
@@ -636,9 +641,97 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if `n == 0` or `n > self.device_count()`.
+    /// Structural self-check over every id-indexed table: the link,
+    /// link-health and link-degrade matrices must be square and sized to
+    /// the device list, diagonals must be empty (no self-links) and
+    /// healthy, degrade factors must be positive and finite, and each
+    /// server may host at most one CPU host (a second host would be
+    /// silently shadowed by [`Topology::host_of`]). These are exactly the
+    /// invariants the hot-add path ([`Topology::add_device`] /
+    /// [`Topology::add_server`]), the restore path and [`Topology::prefix`]
+    /// slicing must preserve; debug builds assert it after every growing
+    /// mutation, and the fuzzer calls it as an oracle on every scenario's
+    /// final topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.devices.len();
+        if n == 0 {
+            return Err("topology has no devices".into());
+        }
+        if self.server_of.len() != n {
+            return Err(format!(
+                "server_of len {} != {n} devices",
+                self.server_of.len()
+            ));
+        }
+        if self.failed.len() != n {
+            return Err(format!("failed len {} != {n} devices", self.failed.len()));
+        }
+        for (label, rows) in [
+            ("links", self.links.len()),
+            ("link_down", self.link_down.len()),
+            ("link_slow", self.link_slow.len()),
+        ] {
+            if rows != n {
+                return Err(format!("{label} has {rows} rows for {n} devices"));
+            }
+        }
+        for i in 0..n {
+            if self.links[i].len() != n {
+                return Err(format!("links row {i} has {} cols", self.links[i].len()));
+            }
+            if self.link_down[i].len() != n {
+                return Err(format!(
+                    "link_down row {i} has {} cols",
+                    self.link_down[i].len()
+                ));
+            }
+            if self.link_slow[i].len() != n {
+                return Err(format!(
+                    "link_slow row {i} has {} cols",
+                    self.link_slow[i].len()
+                ));
+            }
+            if self.links[i][i].is_some() {
+                return Err(format!("device {i} has a self-link"));
+            }
+            if self.link_down[i][i] {
+                return Err(format!("device {i} marks its own diagonal link down"));
+            }
+            if self.link_slow[i][i] != 1.0 {
+                return Err(format!(
+                    "device {i} degrades its own diagonal link ({})",
+                    self.link_slow[i][i]
+                ));
+            }
+            for (j, &f) in self.link_slow[i].iter().enumerate() {
+                if !f.is_finite() || f <= 0.0 {
+                    return Err(format!("link {i}->{j} has degrade factor {f}"));
+                }
+            }
+        }
+        let mut host_of_server = std::collections::BTreeMap::new();
+        for (i, dev) in self.devices.iter().enumerate() {
+            if dev.is_host {
+                if let Some(prev) = host_of_server.insert(self.server_of[i], i) {
+                    return Err(format!(
+                        "server {} has two hosts (devices {prev} and {i})",
+                        self.server_of[i]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the sub-topology spanning the first `n` devices, with all
+    /// link state (down/degraded) carried over.
     pub fn prefix(&self, n: usize) -> Topology {
         assert!(n > 0 && n <= self.device_count());
-        Topology {
+        let t = Topology {
             devices: self.devices[..n].to_vec(),
             links: self.links[..n]
                 .iter()
@@ -657,7 +750,9 @@ impl Topology {
             intra: self.intra,
             inter: self.inter,
             host_pcie: self.host_pcie,
-        }
+        };
+        debug_assert_eq!(t.validate(), Ok(()), "prefix broke topology invariants");
+        t
     }
 }
 
@@ -719,6 +814,12 @@ impl TopologyBuilder {
     }
 
     /// Overrides the link for one specific ordered pair.
+    ///
+    /// # Panics
+    ///
+    /// [`TopologyBuilder::build`] panics if `src == dst`: a self-link
+    /// would be a silent no-op for placement (colocated transfers are
+    /// free) yet would corrupt the topology's no-self-link invariant.
     pub fn connect(&mut self, src: DeviceId, dst: DeviceId, link: Link) -> &mut Self {
         self.links.push((src, dst, link));
         self
@@ -753,9 +854,12 @@ impl TopologyBuilder {
             }
         }
         for &(s, d, l) in &self.links {
+            // Surfaced by Topology::validate: an unguarded s == d override
+            // used to wire a silent self-link into the matrix.
+            assert!(s != d, "cannot override the self-link of device {s}");
             links[s.index()][d.index()] = Some(l);
         }
-        Topology {
+        let t = Topology {
             devices: self.devices.clone(),
             links,
             server_of: self.servers.clone(),
@@ -765,7 +869,9 @@ impl TopologyBuilder {
             intra: self.intra,
             inter: self.inter,
             host_pcie: self.host_pcie,
-        }
+        };
+        debug_assert_eq!(t.validate(), Ok(()), "builder broke topology invariants");
+        t
     }
 }
 
@@ -1170,5 +1276,48 @@ mod tests {
         assert_eq!(t.link(a, c).unwrap().bandwidth, Link::pcie().bandwidth);
         // reverse direction keeps the default
         assert_eq!(t.link(c, a).unwrap().bandwidth, Link::nvlink().bandwidth);
+    }
+
+    #[test]
+    fn validate_holds_through_growth_restore_and_slicing() {
+        let mut t = Topology::multi_server(2, 2);
+        assert_eq!(t.validate(), Ok(()));
+        let d = t.add_device(Device::v100("hot"), 1);
+        t.add_server(2);
+        t.fail_device(d);
+        t.restore_device(d);
+        t.fail_link(DeviceId(0), DeviceId(1));
+        t.degrade_link(DeviceId(1), DeviceId(0), 3.5);
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.prefix(4).validate(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn builder_rejects_self_link_override() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_device(Device::v100("a"), 0);
+        b.add_device(Device::v100("b"), 0);
+        b.connect(a, a, Link::pcie());
+        b.build();
+    }
+
+    #[test]
+    fn validate_reports_double_host_and_bad_matrices() {
+        let good = Topology::single_server(2);
+        let mut two_hosts = good.clone();
+        two_hosts.devices.push(Device::host("h2"));
+        two_hosts.server_of.push(0);
+        two_hosts.failed.push(false);
+        assert!(two_hosts.validate().unwrap_err().contains("rows"));
+        let mut ragged = good.clone();
+        ragged.link_down[0].push(true);
+        assert!(ragged.validate().unwrap_err().contains("cols"));
+        let mut selfish = good.clone();
+        selfish.links[1][1] = Some(Link::pcie());
+        assert!(selfish.validate().unwrap_err().contains("self-link"));
+        let mut twin = good;
+        twin.devices[0] = Device::host("h2"); // second host beside the real one
+        assert!(twin.validate().unwrap_err().contains("two hosts"));
     }
 }

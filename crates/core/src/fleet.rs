@@ -37,6 +37,7 @@ use crate::planner::PlanCache;
 use crate::session::{SessionConfig, TrainingSession};
 use fastt_cluster::{Allocation, AllocationId, DeviceId, Topology};
 use fastt_graph::Graph;
+use fastt_sim::seed::{domains as seed_domains, SeedStream};
 use fastt_sim::HardwarePerf;
 use fastt_telemetry::{jobj, Collector, Slo};
 use std::collections::BTreeSet;
@@ -534,9 +535,7 @@ impl ClusterManager {
         let config = SessionConfig {
             profile_iters: 1,
             max_rounds: 2,
-            seed: self
-                .seed
-                .wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            seed: SeedStream::new(self.seed).indexed(index as u64),
             cache_salt: job_cache_salt(&spec.name),
             ..SessionConfig::default()
         };
@@ -962,13 +961,8 @@ pub fn seeded_workload(
 ) -> Vec<JobSpec> {
     assert!(!templates.is_empty(), "need at least one model template");
     assert!(total_gpus >= 4, "fleet workload needs at least 4 GPUs");
-    let mut state = seed ^ 0x5ee3_f1ee_7c0f_fee5;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6_364_136_223_846_793_005)
-            .wrapping_add(1_442_695_040_888_963_407);
-        state >> 33
-    };
+    let mut stream = SeedStream::domain(seed, seed_domains::FLEET_WORKLOAD);
+    let mut next = move || stream.next();
     let pick = |r: u64| (r % templates.len() as u64) as usize;
     let twin_tpl = pick(next());
     let third_tpl = pick(next());

@@ -102,7 +102,7 @@ impl Default for CemPlanner {
             rounds: 10,
             pop: 10,
             elite_frac: 0.25,
-            seed: 13,
+            seed: fastt_sim::seed::planner_roots::CEM,
         }
     }
 }

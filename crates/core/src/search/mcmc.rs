@@ -93,7 +93,7 @@ impl Default for McmcPlanner {
         McmcPlanner {
             evals: 400,
             temp: 0.03,
-            seed: 17,
+            seed: fastt_sim::seed::planner_roots::MCMC,
             start_from_current: true,
         }
     }

@@ -52,7 +52,7 @@ impl Default for RandomPlanner {
     fn default() -> Self {
         RandomPlanner {
             evals: 64,
-            seed: 19,
+            seed: fastt_sim::seed::planner_roots::RANDOM,
         }
     }
 }

@@ -114,7 +114,7 @@ impl Default for ReinforcePlanner {
         ReinforcePlanner {
             rounds: 12,
             batch: 8,
-            seed: 11,
+            seed: fastt_sim::seed::planner_roots::REINFORCE,
         }
     }
 }

@@ -1,0 +1,201 @@
+//! CLI driver for `fastt-fuzz`.
+//!
+//! ```text
+//! fastt-fuzz --seed 0 --count 200              sweep 200 generated scenarios
+//! fastt-fuzz --replay fuzz/corpus/foo.fuzz     re-check one scenario file
+//! fastt-fuzz --corpus fuzz/corpus              re-check every *.fuzz in a dir
+//! fastt-fuzz --sabotage placement --out DIR    break an invariant on purpose,
+//!                                              minimize, and write the repro
+//! ```
+//!
+//! Exit status is non-zero iff any invariant violation was found.
+
+use fastt_fuzz::oracle::{check, Sabotage, FAMILIES};
+use fastt_fuzz::{minimize, replay, Scenario};
+use fastt_telemetry::Collector;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    count: u64,
+    sabotage: Sabotage,
+    replay: Option<PathBuf>,
+    corpus: Option<PathBuf>,
+    out: Option<PathBuf>,
+    minimize_budget: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 0,
+        count: 50,
+        sabotage: Sabotage::None,
+        replay: None,
+        corpus: None,
+        out: None,
+        minimize_budget: 200,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--count" => args.count = value()?.parse().map_err(|e| format!("--count: {e}"))?,
+            "--sabotage" => args.sabotage = Sabotage::parse(&value()?)?,
+            "--replay" => args.replay = Some(PathBuf::from(value()?)),
+            "--corpus" => args.corpus = Some(PathBuf::from(value()?)),
+            "--out" => args.out = Some(PathBuf::from(value()?)),
+            "--minimize-budget" => {
+                args.minimize_budget = value()?
+                    .parse()
+                    .map_err(|e| format!("--minimize-budget: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Checks one scenario; on violation, minimizes and (when `out` is set)
+/// writes the reproducer. Returns the number of violations.
+fn run_one(
+    label: &str,
+    sc: &Scenario,
+    sabotage: Sabotage,
+    out: Option<&Path>,
+    budget: usize,
+    collector: &Collector,
+    by_family: &mut BTreeMap<&'static str, u64>,
+) -> usize {
+    let violations = check(sc, sabotage, Some(collector));
+    for v in &violations {
+        *by_family.entry(v.family).or_insert(0) += 1;
+        eprintln!("VIOLATION [{label}] {}: {}", v.family, v.detail);
+    }
+    if let Some(first) = violations.first() {
+        let min = minimize(sc, sabotage, first.family, budget);
+        let text = replay::to_text(&min.scenario);
+        eprintln!(
+            "minimized [{label}] {} after {} oracle runs: {} forward ops, {} faults, {} lifecycle, {} jobs",
+            min.family,
+            min.checks,
+            min.scenario.graph.forward_op_count(),
+            min.scenario.faults.len(),
+            min.scenario.lifecycle.len(),
+            min.scenario.jobs.len(),
+        );
+        if let Some(dir) = out {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("{}-{label}.fuzz", min.family.replace('_', "-")));
+            match std::fs::write(&path, &text) {
+                Ok(()) => eprintln!("reproducer written to {}", path.display()),
+                Err(e) => eprintln!("failed to write reproducer: {e}"),
+            }
+        } else {
+            eprintln!("--- reproducer ---\n{text}------------------");
+        }
+    }
+    violations.len()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fastt-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let collector = Collector::new();
+    let mut by_family: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut total_violations = 0usize;
+    let mut scenarios = 0u64;
+
+    if let Some(path) = &args.replay {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| replay::parse(&t))
+        {
+            Ok(sc) => {
+                scenarios += 1;
+                total_violations += run_one(
+                    &path.display().to_string(),
+                    &sc,
+                    args.sabotage,
+                    args.out.as_deref(),
+                    args.minimize_budget,
+                    &collector,
+                    &mut by_family,
+                );
+            }
+            Err(e) => {
+                eprintln!("fastt-fuzz: cannot replay {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else if let Some(dir) = &args.corpus {
+        let mut files: Vec<PathBuf> = match std::fs::read_dir(dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "fuzz"))
+                .collect(),
+            Err(e) => {
+                eprintln!("fastt-fuzz: cannot read corpus {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        };
+        files.sort();
+        for path in files {
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|t| replay::parse(&t))
+            {
+                Ok(sc) => {
+                    scenarios += 1;
+                    total_violations += run_one(
+                        &path.display().to_string(),
+                        &sc,
+                        args.sabotage,
+                        args.out.as_deref(),
+                        args.minimize_budget,
+                        &collector,
+                        &mut by_family,
+                    );
+                }
+                Err(e) => {
+                    eprintln!("fastt-fuzz: skipping {}: {e}", path.display());
+                    total_violations += 1;
+                }
+            }
+        }
+    } else {
+        for i in 0..args.count {
+            let sc = Scenario::generate(args.seed, i);
+            scenarios += 1;
+            total_violations += run_one(
+                &format!("seed{}-idx{i}", args.seed),
+                &sc,
+                args.sabotage,
+                args.out.as_deref(),
+                args.minimize_budget,
+                &collector,
+                &mut by_family,
+            );
+        }
+    }
+
+    println!("fastt-fuzz: {scenarios} scenarios checked, {total_violations} violations");
+    for family in FAMILIES {
+        println!(
+            "  {family}: {}",
+            by_family.get(family).copied().unwrap_or(0)
+        );
+    }
+    if total_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,174 @@
+//! Delta-debugging minimizer: shrinks a violating [`Scenario`] along
+//! every generation axis until no single reduction preserves the
+//! violation.
+//!
+//! The reduction moves mirror the generator's axes exactly — drop a
+//! graph layer, simplify a layer to a dense stub, remove a fault or
+//! lifecycle event, drop a fleet job, shrink the topology by a GPU or a
+//! server, halve the iteration budget or the batch — so every
+//! intermediate candidate is a scenario the generator could have
+//! produced, and the final reproducer replays through the ordinary
+//! [`crate::replay`] path with nothing special-cased.
+//!
+//! Greedy fixpoint search: each pass tries every single-step reduction
+//! in a fixed order and keeps the first one under which the *same
+//! invariant family* still fires (a reduction that flips the failure to
+//! a different family is rejected — it would minimize to a different
+//! bug). Passes repeat until none applies. The oracle is deterministic,
+//! so the minimizer is too: the same violating scenario always shrinks
+//! to the same reproducer.
+
+use crate::oracle::{check, Sabotage};
+use crate::scenario::{LayerSpec, Scenario};
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The smallest scenario found that still violates the family.
+    pub scenario: Scenario,
+    /// The invariant family the reproducer violates.
+    pub family: &'static str,
+    /// Oracle invocations spent shrinking.
+    pub checks: usize,
+}
+
+/// Every single-step reduction of `sc`, most aggressive first.
+fn reductions(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if !sc.jobs.is_empty() {
+        let mut c = sc.clone();
+        c.jobs.clear();
+        out.push(c);
+        for i in 0..sc.jobs.len() {
+            let mut c = sc.clone();
+            c.jobs.remove(i);
+            out.push(c);
+        }
+    }
+    for i in 0..sc.faults.len() {
+        let mut c = sc.clone();
+        c.faults.remove(i);
+        out.push(c);
+    }
+    for i in 0..sc.lifecycle.len() {
+        let mut c = sc.clone();
+        c.lifecycle.remove(i);
+        out.push(c);
+    }
+    if sc.graph.layers.len() > 1 {
+        for i in 0..sc.graph.layers.len() {
+            let mut c = sc.clone();
+            c.graph.layers.remove(i);
+            out.push(c);
+        }
+    }
+    for (i, l) in sc.graph.layers.iter().enumerate() {
+        if !matches!(l, LayerSpec::Dense { width: 8 }) {
+            let mut c = sc.clone();
+            c.graph.layers[i] = LayerSpec::Dense { width: 8 };
+            out.push(c);
+        }
+    }
+    if sc.graph.conv_prefix > 0 {
+        let mut c = sc.clone();
+        c.graph.conv_prefix -= 1;
+        out.push(c);
+    }
+    if sc.topo.servers > 1 {
+        let mut c = sc.clone();
+        c.topo.servers -= 1;
+        out.push(c);
+    }
+    if sc.topo.gpus > 1 {
+        let mut c = sc.clone();
+        c.topo.gpus -= 1;
+        out.push(c);
+    }
+    if sc.iters > 4 {
+        let mut c = sc.clone();
+        c.iters = (sc.iters / 2).max(4);
+        out.push(c);
+    }
+    if sc.graph.batch > 2 {
+        let mut c = sc.clone();
+        c.graph.batch = (sc.graph.batch / 2).max(2);
+        out.push(c);
+    }
+    for c in &mut out {
+        c.sanitize();
+    }
+    out
+}
+
+/// Shrinks `sc` — already known to violate `family` under `sabotage` —
+/// to a locally minimal reproducer. `budget` caps oracle invocations
+/// (each one is a full scenario run); the best candidate so far is
+/// returned when it runs out.
+pub fn minimize(
+    sc: &Scenario,
+    sabotage: Sabotage,
+    family: &'static str,
+    budget: usize,
+) -> Minimized {
+    let still_fails = |c: &Scenario| check(c, sabotage, None).iter().any(|v| v.family == family);
+    let mut best = sc.clone();
+    let mut checks = 0usize;
+    'passes: loop {
+        for cand in reductions(&best) {
+            if checks >= budget {
+                break 'passes;
+            }
+            checks += 1;
+            if still_fails(&cand) {
+                best = cand;
+                continue 'passes; // restart the pass from the smaller scenario
+            }
+        }
+        break; // full pass with no keepable reduction: locally minimal
+    }
+    Minimized {
+        scenario: best,
+        family,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::PLACEMENT_VALIDITY;
+
+    #[test]
+    fn minimizes_sabotaged_scenario_to_tiny_reproducer() {
+        // Find a generated scenario the placement sabotage fires on.
+        let sc = (0..8)
+            .map(|i| Scenario::generate(7, i))
+            .find(|sc| {
+                check(sc, Sabotage::Placement, None)
+                    .iter()
+                    .any(|v| v.family == PLACEMENT_VALIDITY)
+            })
+            .expect("placement sabotage should fire on some generated scenario");
+        let min = minimize(&sc, Sabotage::Placement, PLACEMENT_VALIDITY, 200);
+        assert!(
+            min.scenario.faults.len() <= 3,
+            "faults: {:?}",
+            min.scenario.faults
+        );
+        assert!(
+            min.scenario.graph.forward_op_count() <= 8,
+            "forward ops: {}",
+            min.scenario.graph.forward_op_count()
+        );
+        // Determinism: minimizing again lands on the same reproducer.
+        let again = minimize(&sc, Sabotage::Placement, PLACEMENT_VALIDITY, 200);
+        assert_eq!(
+            crate::replay::to_text(&min.scenario),
+            crate::replay::to_text(&again.scenario)
+        );
+        // And the reproducer still fails.
+        assert!(check(&min.scenario, Sabotage::Placement, None)
+            .iter()
+            .any(|v| v.family == PLACEMENT_VALIDITY));
+    }
+}

@@ -1,0 +1,375 @@
+//! Self-contained replay files: a line-oriented text codec for
+//! [`Scenario`] that round-trips exactly (all fields are integers), so a
+//! minimized reproducer committed to `fuzz/corpus/` replays the same
+//! scenario forever, with no external parser dependencies.
+//!
+//! Format (`#` starts a comment, order of `fault`/`lifecycle`/`job` lines
+//! is significant, everything else is one `key = value` per line):
+//!
+//! ```text
+//! # fastt-fuzz scenario v1
+//! seed = 1234
+//! iters = 20
+//! batch = 4
+//! conv_prefix = 1
+//! layers = dense:32 fan:16x2 block norm
+//! topo = 2x2 nvlink
+//! planner = hierarchical
+//! fault = straggler dev=1 factor_x10=35 from=4 to=9
+//! lifecycle = spot dev=2 at=6 notice=3
+//! job = arrival=0 iters=8 gpus=2 min=1 prio=3
+//! ```
+
+use crate::scenario::{
+    FaultSpec, FuzzJob, GraphSpec, LayerSpec, LifecycleSpec, LinkProfile, PlannerChoice, Scenario,
+    TopoSpec,
+};
+use std::fmt::Write as _;
+
+/// Serializes a scenario to the replay text format.
+pub fn to_text(sc: &Scenario) -> String {
+    let mut out = String::from("# fastt-fuzz scenario v1\n");
+    let _ = writeln!(out, "seed = {}", sc.seed);
+    let _ = writeln!(out, "iters = {}", sc.iters);
+    let _ = writeln!(out, "batch = {}", sc.graph.batch);
+    let _ = writeln!(out, "conv_prefix = {}", sc.graph.conv_prefix);
+    let layers: Vec<String> = sc
+        .graph
+        .layers
+        .iter()
+        .map(|l| match l {
+            LayerSpec::Dense { width } => format!("dense:{width}"),
+            LayerSpec::Fan { width, branches } => format!("fan:{width}x{branches}"),
+            LayerSpec::Block => "block".to_string(),
+            LayerSpec::Norm => "norm".to_string(),
+        })
+        .collect();
+    let _ = writeln!(out, "layers = {}", layers.join(" "));
+    let _ = writeln!(
+        out,
+        "topo = {}x{} {}",
+        sc.topo.servers,
+        sc.topo.gpus,
+        sc.topo.links.as_str()
+    );
+    let _ = writeln!(out, "planner = {}", sc.planner.as_str());
+    for f in &sc.faults {
+        let line = match *f {
+            FaultSpec::Straggler {
+                dev,
+                factor_x10,
+                from,
+                to,
+            } => format!("straggler dev={dev} factor_x10={factor_x10} from={from} to={to}"),
+            FaultSpec::LinkDegrade {
+                src,
+                dst,
+                factor_x10,
+                from,
+                to,
+            } => format!(
+                "link_degrade src={src} dst={dst} factor_x10={factor_x10} from={from} to={to}"
+            ),
+            FaultSpec::Transient {
+                dev,
+                prob_pct,
+                from,
+                to,
+            } => format!("transient dev={dev} prob_pct={prob_pct} from={from} to={to}"),
+            FaultSpec::ProfileFail { dev, attempts } => {
+                format!("profile_fail dev={dev} attempts={attempts}")
+            }
+            FaultSpec::Crash { dev, at } => format!("crash dev={dev} at={at}"),
+            FaultSpec::MemPressure {
+                dev,
+                reserve_mib,
+                from,
+                to,
+            } => format!("mem_pressure dev={dev} reserve_mib={reserve_mib} from={from} to={to}"),
+            FaultSpec::LinkFlap {
+                src,
+                dst,
+                prob_pct,
+                from,
+                to,
+            } => format!("link_flap src={src} dst={dst} prob_pct={prob_pct} from={from} to={to}"),
+            FaultSpec::Partition { server, at } => format!("partition server={server} at={at}"),
+            FaultSpec::CollectiveStraggler {
+                dev,
+                factor_x10,
+                from,
+                to,
+            } => format!(
+                "collective_straggler dev={dev} factor_x10={factor_x10} from={from} to={to}"
+            ),
+            FaultSpec::NicDegrade {
+                server,
+                factor_x10,
+                from,
+                to,
+            } => format!("nic_degrade server={server} factor_x10={factor_x10} from={from} to={to}"),
+        };
+        let _ = writeln!(out, "fault = {line}");
+    }
+    for l in &sc.lifecycle {
+        let line = match *l {
+            LifecycleSpec::Spot { dev, at, notice } => {
+                format!("spot dev={dev} at={at} notice={notice}")
+            }
+            LifecycleSpec::Restore { dev, at } => format!("restore dev={dev} at={at}"),
+            LifecycleSpec::Arrival { dev, at } => format!("arrival dev={dev} at={at}"),
+            LifecycleSpec::HostArrival { gpus, at } => format!("host_arrival gpus={gpus} at={at}"),
+        };
+        let _ = writeln!(out, "lifecycle = {line}");
+    }
+    for j in &sc.jobs {
+        let _ = writeln!(
+            out,
+            "job = arrival={} iters={} gpus={} min={} prio={}",
+            j.arrival, j.iters, j.gpus, j.min_gpus, j.priority
+        );
+    }
+    out
+}
+
+/// Key–value field accessor for one serialized entry line.
+fn field(words: &[&str], key: &str) -> Result<u64, String> {
+    words
+        .iter()
+        .find_map(|w| w.strip_prefix(key)?.strip_prefix('='))
+        .ok_or_else(|| format!("missing field `{key}` in `{}`", words.join(" ")))?
+        .parse::<u64>()
+        .map_err(|e| format!("bad `{key}`: {e}"))
+}
+
+/// Parses the replay text format back into a [`Scenario`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse(text: &str) -> Result<Scenario, String> {
+    let mut seed = None;
+    let mut iters = None;
+    let mut batch = None;
+    let mut conv_prefix = 0u8;
+    let mut layers = Vec::new();
+    let mut topo = None;
+    let mut planner = PlannerChoice::Portfolio;
+    let mut faults = Vec::new();
+    let mut lifecycle = Vec::new();
+    let mut jobs = Vec::new();
+
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("line {}: expected `key = value`", no + 1))?;
+        let err = |e: String| format!("line {}: {e}", no + 1);
+        match key {
+            "seed" => seed = Some(value.parse::<u64>().map_err(|e| err(e.to_string()))?),
+            "iters" => iters = Some(value.parse::<u64>().map_err(|e| err(e.to_string()))?),
+            "batch" => batch = Some(value.parse::<u64>().map_err(|e| err(e.to_string()))?),
+            "conv_prefix" => {
+                conv_prefix = value.parse::<u8>().map_err(|e| err(e.to_string()))?;
+            }
+            "layers" => {
+                for tok in value.split_whitespace() {
+                    let layer = if let Some(w) = tok.strip_prefix("dense:") {
+                        LayerSpec::Dense {
+                            width: w.parse().map_err(|_| err(format!("bad layer `{tok}`")))?,
+                        }
+                    } else if let Some(spec) = tok.strip_prefix("fan:") {
+                        let (w, b) = spec
+                            .split_once('x')
+                            .ok_or_else(|| err(format!("bad fan `{tok}`")))?;
+                        LayerSpec::Fan {
+                            width: w.parse().map_err(|_| err(format!("bad fan `{tok}`")))?,
+                            branches: b.parse().map_err(|_| err(format!("bad fan `{tok}`")))?,
+                        }
+                    } else if tok == "block" {
+                        LayerSpec::Block
+                    } else if tok == "norm" {
+                        LayerSpec::Norm
+                    } else {
+                        return Err(err(format!("unknown layer `{tok}`")));
+                    };
+                    layers.push(layer);
+                }
+            }
+            "topo" => {
+                let mut words = value.split_whitespace();
+                let shape = words.next().ok_or_else(|| err("empty topo".into()))?;
+                let (s, g) = shape
+                    .split_once('x')
+                    .ok_or_else(|| err(format!("bad topo `{shape}`")))?;
+                let links = match words.next().unwrap_or("nvlink") {
+                    "nvlink" => LinkProfile::Nvlink,
+                    "pcie" => LinkProfile::Pcie,
+                    "rdma" => LinkProfile::Rdma,
+                    other => return Err(err(format!("unknown link profile `{other}`"))),
+                };
+                topo = Some(TopoSpec {
+                    servers: s.parse().map_err(|_| err(format!("bad topo `{shape}`")))?,
+                    gpus: g.parse().map_err(|_| err(format!("bad topo `{shape}`")))?,
+                    links,
+                });
+            }
+            "planner" => {
+                planner = match value {
+                    "flat" => PlannerChoice::Flat,
+                    "portfolio" => PlannerChoice::Portfolio,
+                    "hierarchical" => PlannerChoice::Hierarchical,
+                    other => return Err(err(format!("unknown planner `{other}`"))),
+                };
+            }
+            "fault" => {
+                let words: Vec<&str> = value.split_whitespace().collect();
+                let kind = *words.first().ok_or_else(|| err("empty fault".into()))?;
+                let w = &words[1..];
+                let f = |k: &str| field(w, k);
+                let spec = match kind {
+                    "straggler" => FaultSpec::Straggler {
+                        dev: f("dev")? as u16,
+                        factor_x10: f("factor_x10")? as u32,
+                        from: f("from")?,
+                        to: f("to")?,
+                    },
+                    "link_degrade" => FaultSpec::LinkDegrade {
+                        src: f("src")? as u16,
+                        dst: f("dst")? as u16,
+                        factor_x10: f("factor_x10")? as u32,
+                        from: f("from")?,
+                        to: f("to")?,
+                    },
+                    "transient" => FaultSpec::Transient {
+                        dev: f("dev")? as u16,
+                        prob_pct: f("prob_pct")? as u8,
+                        from: f("from")?,
+                        to: f("to")?,
+                    },
+                    "profile_fail" => FaultSpec::ProfileFail {
+                        dev: f("dev")? as u16,
+                        attempts: f("attempts")? as u32,
+                    },
+                    "crash" => FaultSpec::Crash {
+                        dev: f("dev")? as u16,
+                        at: f("at")?,
+                    },
+                    "mem_pressure" => FaultSpec::MemPressure {
+                        dev: f("dev")? as u16,
+                        reserve_mib: f("reserve_mib")?,
+                        from: f("from")?,
+                        to: f("to")?,
+                    },
+                    "link_flap" => FaultSpec::LinkFlap {
+                        src: f("src")? as u16,
+                        dst: f("dst")? as u16,
+                        prob_pct: f("prob_pct")? as u8,
+                        from: f("from")?,
+                        to: f("to")?,
+                    },
+                    "partition" => FaultSpec::Partition {
+                        server: f("server")? as u16,
+                        at: f("at")?,
+                    },
+                    "collective_straggler" => FaultSpec::CollectiveStraggler {
+                        dev: f("dev")? as u16,
+                        factor_x10: f("factor_x10")? as u32,
+                        from: f("from")?,
+                        to: f("to")?,
+                    },
+                    "nic_degrade" => FaultSpec::NicDegrade {
+                        server: f("server")? as u16,
+                        factor_x10: f("factor_x10")? as u32,
+                        from: f("from")?,
+                        to: f("to")?,
+                    },
+                    other => return Err(err(format!("unknown fault `{other}`"))),
+                };
+                faults.push(spec);
+            }
+            "lifecycle" => {
+                let words: Vec<&str> = value.split_whitespace().collect();
+                let kind = *words.first().ok_or_else(|| err("empty lifecycle".into()))?;
+                let w = &words[1..];
+                let f = |k: &str| field(w, k);
+                let spec = match kind {
+                    "spot" => LifecycleSpec::Spot {
+                        dev: f("dev")? as u16,
+                        at: f("at")?,
+                        notice: f("notice")?,
+                    },
+                    "restore" => LifecycleSpec::Restore {
+                        dev: f("dev")? as u16,
+                        at: f("at")?,
+                    },
+                    "arrival" => LifecycleSpec::Arrival {
+                        dev: f("dev")? as u16,
+                        at: f("at")?,
+                    },
+                    "host_arrival" => LifecycleSpec::HostArrival {
+                        gpus: f("gpus")? as u16,
+                        at: f("at")?,
+                    },
+                    other => return Err(err(format!("unknown lifecycle `{other}`"))),
+                };
+                lifecycle.push(spec);
+            }
+            "job" => {
+                let words: Vec<&str> = value.split_whitespace().collect();
+                let f = |k: &str| field(&words, k);
+                jobs.push(FuzzJob {
+                    arrival: f("arrival")?,
+                    iters: f("iters")?,
+                    gpus: f("gpus")? as usize,
+                    min_gpus: f("min")? as usize,
+                    priority: f("prio")? as u8,
+                });
+            }
+            other => return Err(format!("line {}: unknown key `{other}`", no + 1)),
+        }
+    }
+
+    Ok(Scenario {
+        seed: seed.ok_or("missing `seed`")?,
+        iters: iters.ok_or("missing `iters`")?,
+        graph: GraphSpec {
+            batch: batch.ok_or("missing `batch`")?,
+            conv_prefix,
+            layers,
+        },
+        topo: topo.ok_or("missing `topo`")?,
+        faults,
+        lifecycle,
+        planner,
+        jobs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly_over_many_generated_scenarios() {
+        for i in 0..48 {
+            let sc = Scenario::generate(7, i);
+            let text = to_text(&sc);
+            let back = parse(&text).unwrap_or_else(|e| panic!("scenario {i}: {e}\n{text}"));
+            assert_eq!(sc, back, "scenario {i} did not round-trip:\n{text}");
+            // and the text itself is a fixpoint
+            assert_eq!(text, to_text(&back));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("nonsense").is_err());
+        assert!(parse("seed = 1\niters = 2\nbatch = 4\ntopo = 1x1 warp\n").is_err());
+        assert!(parse("seed = 1\nfault = meteor dev=0\n").is_err());
+    }
+}

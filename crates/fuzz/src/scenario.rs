@@ -1,0 +1,839 @@
+//! The fuzzer's scenario model: one value per axis of the scenario space
+//! (graph shape, topology, fault/lifecycle schedule, planner choice, fleet
+//! workload), each axis independently generatable from a [`SeedStream`]
+//! and independently shrinkable by the minimizer.
+//!
+//! Everything is plain integers so the replay codec ([`crate::replay`])
+//! round-trips scenarios exactly: fault factors are stored ×10, flap
+//! probabilities as percentages.
+
+use fastt_cluster::{Device, DeviceId, Topology, TopologyBuilder};
+use fastt_graph::{build_training_graph, Graph};
+use fastt_models::LayerStack;
+use fastt_sim::seed::{domains, SeedStream};
+use fastt_sim::{Fault, FaultKind, FaultSchedule, LifecycleEvent, LifecycleKind};
+
+/// One unit of the layer grammar. The grammar spans the shapes the paper's
+/// planners are sensitive to: plain chains (`Dense`), width fan-outs that
+/// re-join (`Fan`), residual stacked blocks (`Block`), and normalization
+/// layers that break splittability (`Norm`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerSpec {
+    /// A fully-connected layer of the given width.
+    Dense {
+        /// Output features.
+        width: u64,
+    },
+    /// `branches` parallel fully-connected layers concatenated back
+    /// together (inception-style width).
+    Fan {
+        /// Per-branch output features.
+        width: u64,
+        /// Parallel branches (≥ 2).
+        branches: u64,
+    },
+    /// A residual block: two width-preserving dense layers with a ReLU
+    /// between, added back onto the input.
+    Block,
+    /// Layer normalization (not splittable — exercises the planners'
+    /// non-splittable paths).
+    Norm,
+}
+
+/// Seed-derived graph shape: an optional convolutional stem on an 8×8×3
+/// image, then a run of grammar layers on the flattened features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Mini-batch size.
+    pub batch: u64,
+    /// Convolutional stem layers (0–2) before the flatten.
+    pub conv_prefix: u8,
+    /// Grammar layers after the (possibly empty) stem.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl GraphSpec {
+    /// Builds the forward graph the spec describes.
+    pub fn forward(&self) -> Graph {
+        let mut s = if self.conv_prefix > 0 {
+            let mut s = LayerStack::new("in", [self.batch, 8, 8, 3]);
+            for i in 0..self.conv_prefix {
+                s.conv(&format!("stem{i}"), 4 << i, 3, 1);
+                s.relu(&format!("stem{i}_relu"));
+            }
+            s.flatten();
+            s
+        } else {
+            LayerStack::new("in", [self.batch, 16])
+        };
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                LayerSpec::Dense { width } => {
+                    s.fc(&format!("l{i}_fc"), *width);
+                }
+                LayerSpec::Fan { width, branches } => {
+                    let fork = s.mark();
+                    let mut arms = Vec::new();
+                    for b in 0..*branches {
+                        s.goto(&fork);
+                        s.fc(&format!("l{i}_b{b}"), *width);
+                        arms.push(s.mark());
+                    }
+                    let (first, rest) = arms.split_first().expect("branches >= 2");
+                    s.goto(first);
+                    s.concat(&format!("l{i}_join"), rest);
+                }
+                LayerSpec::Block => {
+                    let w = s.shape().dim(s.shape().rank() - 1);
+                    let skip = s.mark();
+                    s.fc(&format!("l{i}_fc_a"), w);
+                    s.relu(&format!("l{i}_relu"));
+                    s.fc(&format!("l{i}_fc_b"), w);
+                    s.add_residual(&format!("l{i}_res"), &skip);
+                }
+                LayerSpec::Norm => {
+                    s.layer_norm(&format!("l{i}_ln"));
+                }
+            }
+        }
+        s.finish_with_loss("loss")
+    }
+
+    /// Builds the per-iteration training graph (forward + backward +
+    /// optimizer), the graph every scenario actually plans and runs.
+    pub fn training(&self) -> Graph {
+        build_training_graph(&self.forward()).expect("grammar produces valid DAGs")
+    }
+
+    /// Number of ops in the forward graph — the "graph ops" budget the
+    /// minimizer reports (the training graph is a fixed multiple of it).
+    pub fn forward_op_count(&self) -> usize {
+        self.forward().op_count()
+    }
+}
+
+/// Link wiring profile for generated topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkProfile {
+    /// NVLink intra-server, 25 GbE inter-server (the default
+    /// `Topology::multi_server` wiring).
+    Nvlink,
+    /// PCIe everywhere intra-server (older hosts), 25 GbE inter-server.
+    Pcie,
+    /// NVLink intra-server with 100 G RDMA between servers.
+    Rdma,
+}
+
+impl LinkProfile {
+    /// Stable lowercase label for the replay codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkProfile::Nvlink => "nvlink",
+            LinkProfile::Pcie => "pcie",
+            LinkProfile::Rdma => "rdma",
+        }
+    }
+}
+
+/// Seed-derived topology shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// Server count (≥ 1).
+    pub servers: u16,
+    /// GPUs per server (≥ 1).
+    pub gpus: u16,
+    /// Link classes.
+    pub links: LinkProfile,
+}
+
+impl TopoSpec {
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> u16 {
+        self.servers * self.gpus
+    }
+
+    /// Builds the topology. Matches `Topology::multi_server`'s GPU-first
+    /// id layout (GPU ids `0..servers*gpus`, hosts after) so device ids
+    /// drawn by the fault axis line up.
+    pub fn build(&self) -> Topology {
+        if matches!(self.links, LinkProfile::Nvlink) {
+            return Topology::multi_server(self.servers, self.gpus);
+        }
+        use fastt_cluster::Link;
+        let mut b = TopologyBuilder::new();
+        for srv in 0..self.servers {
+            for g in 0..self.gpus {
+                b.add_device(Device::v100(format!("srv{srv}/gpu{g}")), srv);
+            }
+        }
+        for srv in 0..self.servers {
+            b.add_device(Device::host(format!("srv{srv}/cpu")), srv);
+        }
+        match self.links {
+            LinkProfile::Pcie => {
+                b.connect_intra_server(Link::pcie());
+                b.connect_inter_server(Link::ethernet_25g());
+            }
+            LinkProfile::Rdma => {
+                b.connect_intra_server(Link::nvlink());
+                b.connect_inter_server(Link::rdma_100g());
+            }
+            LinkProfile::Nvlink => unreachable!(),
+        }
+        b.connect_host_pcie(Link::pcie());
+        b.build()
+    }
+}
+
+/// One fault, in exactly-serializable integer form (`*_x10` fields carry
+/// one decimal place; `prob_pct` is a percentage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// [`FaultKind::Straggler`] over `[from, to)`.
+    Straggler {
+        /// Slowed device.
+        dev: u16,
+        /// Slowdown ×10 (35 = 3.5×).
+        factor_x10: u32,
+        /// Window start iteration (inclusive).
+        from: u64,
+        /// Window end iteration (exclusive).
+        to: u64,
+    },
+    /// [`FaultKind::LinkDegrade`] over `[from, to)`.
+    LinkDegrade {
+        /// Source device.
+        src: u16,
+        /// Destination device.
+        dst: u16,
+        /// Transfer-time factor ×10.
+        factor_x10: u32,
+        /// Window start.
+        from: u64,
+        /// Window end.
+        to: u64,
+    },
+    /// [`FaultKind::TransientOp`] over `[from, to)`.
+    Transient {
+        /// Failing device.
+        dev: u16,
+        /// Failure probability as a percentage.
+        prob_pct: u8,
+        /// Window start.
+        from: u64,
+        /// Window end.
+        to: u64,
+    },
+    /// [`FaultKind::ProfileFailure`] from iteration 0 (the PR 2 live-lock
+    /// regression class).
+    ProfileFail {
+        /// Failing device.
+        dev: u16,
+        /// Consecutive failing attempts.
+        attempts: u32,
+    },
+    /// [`FaultKind::Crash`] at `at`, permanent.
+    Crash {
+        /// Crashing device.
+        dev: u16,
+        /// Crash iteration.
+        at: u64,
+    },
+    /// [`FaultKind::MemPressure`] over `[from, to)`.
+    MemPressure {
+        /// Pressured device.
+        dev: u16,
+        /// Reserved bytes in MiB.
+        reserve_mib: u64,
+        /// Window start.
+        from: u64,
+        /// Window end.
+        to: u64,
+    },
+    /// [`FaultKind::LinkFlap`] over `[from, to)`.
+    LinkFlap {
+        /// Source device.
+        src: u16,
+        /// Destination device.
+        dst: u16,
+        /// Per-iteration flap probability as a percentage.
+        prob_pct: u8,
+        /// Window start.
+        from: u64,
+        /// Window end.
+        to: u64,
+    },
+    /// [`FaultKind::HostPartition`] from `at`, permanent.
+    Partition {
+        /// Partitioned server.
+        server: u16,
+        /// Partition iteration.
+        at: u64,
+    },
+    /// [`FaultKind::CollectiveStraggler`] over `[from, to)`.
+    CollectiveStraggler {
+        /// Straggling participant.
+        dev: u16,
+        /// Collective slowdown ×10.
+        factor_x10: u32,
+        /// Window start.
+        from: u64,
+        /// Window end.
+        to: u64,
+    },
+    /// [`FaultKind::NicDegrade`] over `[from, to)`.
+    NicDegrade {
+        /// Degraded server.
+        server: u16,
+        /// NIC factor ×10.
+        factor_x10: u32,
+        /// Window start.
+        from: u64,
+        /// Window end.
+        to: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Lowers the spec to a [`Fault`].
+    pub fn to_fault(&self) -> Fault {
+        let d = |v: u16| DeviceId(v);
+        match *self {
+            FaultSpec::Straggler {
+                dev,
+                factor_x10,
+                from,
+                to,
+            } => Fault::windowed(
+                FaultKind::Straggler {
+                    device: d(dev),
+                    slowdown: factor_x10 as f64 / 10.0,
+                },
+                from,
+                to,
+            ),
+            FaultSpec::LinkDegrade {
+                src,
+                dst,
+                factor_x10,
+                from,
+                to,
+            } => Fault::windowed(
+                FaultKind::LinkDegrade {
+                    src: d(src),
+                    dst: d(dst),
+                    factor: factor_x10 as f64 / 10.0,
+                },
+                from,
+                to,
+            ),
+            FaultSpec::Transient {
+                dev,
+                prob_pct,
+                from,
+                to,
+            } => Fault::windowed(
+                FaultKind::TransientOp {
+                    device: d(dev),
+                    prob: prob_pct as f64 / 100.0,
+                },
+                from,
+                to,
+            ),
+            FaultSpec::ProfileFail { dev, attempts } => Fault::from(
+                FaultKind::ProfileFailure {
+                    device: d(dev),
+                    fail_attempts: attempts,
+                },
+                0,
+            ),
+            FaultSpec::Crash { dev, at } => Fault::from(FaultKind::Crash { device: d(dev) }, at),
+            FaultSpec::MemPressure {
+                dev,
+                reserve_mib,
+                from,
+                to,
+            } => Fault::windowed(
+                FaultKind::MemPressure {
+                    device: d(dev),
+                    reserve_bytes: reserve_mib << 20,
+                },
+                from,
+                to,
+            ),
+            FaultSpec::LinkFlap {
+                src,
+                dst,
+                prob_pct,
+                from,
+                to,
+            } => Fault::windowed(
+                FaultKind::LinkFlap {
+                    src: d(src),
+                    dst: d(dst),
+                    prob: prob_pct as f64 / 100.0,
+                },
+                from,
+                to,
+            ),
+            FaultSpec::Partition { server, at } => {
+                Fault::from(FaultKind::HostPartition { server }, at)
+            }
+            FaultSpec::CollectiveStraggler {
+                dev,
+                factor_x10,
+                from,
+                to,
+            } => Fault::windowed(
+                FaultKind::CollectiveStraggler {
+                    device: d(dev),
+                    slowdown: factor_x10 as f64 / 10.0,
+                },
+                from,
+                to,
+            ),
+            FaultSpec::NicDegrade {
+                server,
+                factor_x10,
+                from,
+                to,
+            } => Fault::windowed(
+                FaultKind::NicDegrade {
+                    server,
+                    factor: factor_x10 as f64 / 10.0,
+                },
+                from,
+                to,
+            ),
+        }
+    }
+
+    /// Whether every device/server reference fits the topology shape.
+    pub fn in_range(&self, topo: &TopoSpec) -> bool {
+        let g = topo.total_gpus();
+        let s = topo.servers;
+        match *self {
+            FaultSpec::Straggler { dev, .. }
+            | FaultSpec::Transient { dev, .. }
+            | FaultSpec::ProfileFail { dev, .. }
+            | FaultSpec::Crash { dev, .. }
+            | FaultSpec::MemPressure { dev, .. }
+            | FaultSpec::CollectiveStraggler { dev, .. } => dev < g,
+            FaultSpec::LinkDegrade { src, dst, .. } | FaultSpec::LinkFlap { src, dst, .. } => {
+                src < g && dst < g && src != dst
+            }
+            FaultSpec::Partition { server, .. } | FaultSpec::NicDegrade { server, .. } => {
+                server < s
+            }
+        }
+    }
+}
+
+/// One lifecycle event in exactly-serializable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LifecycleSpec {
+    /// [`LifecycleKind::SpotRevocation`] at `at` with `notice` iterations
+    /// of warning.
+    Spot {
+        /// Revoked device.
+        dev: u16,
+        /// Revocation notice iteration.
+        at: u64,
+        /// Notice window length.
+        notice: u64,
+    },
+    /// [`LifecycleKind::DeviceRestore`] at `at`.
+    Restore {
+        /// Restored device.
+        dev: u16,
+        /// Restore iteration.
+        at: u64,
+    },
+    /// [`LifecycleKind::DeviceArrival`] at `at` (re-admission of an
+    /// existing id).
+    Arrival {
+        /// Arriving device.
+        dev: u16,
+        /// Arrival iteration.
+        at: u64,
+    },
+    /// [`LifecycleKind::HostArrival`] at `at`: a whole hot-added server.
+    HostArrival {
+        /// GPUs on the new server.
+        gpus: u16,
+        /// Arrival iteration.
+        at: u64,
+    },
+}
+
+impl LifecycleSpec {
+    /// Lowers the spec to a [`LifecycleEvent`].
+    pub fn to_event(&self) -> LifecycleEvent {
+        match *self {
+            LifecycleSpec::Spot { dev, at, notice } => LifecycleEvent::at(
+                LifecycleKind::SpotRevocation {
+                    device: DeviceId(dev),
+                    notice_iters: notice,
+                },
+                at,
+            ),
+            LifecycleSpec::Restore { dev, at } => LifecycleEvent::at(
+                LifecycleKind::DeviceRestore {
+                    device: DeviceId(dev),
+                },
+                at,
+            ),
+            LifecycleSpec::Arrival { dev, at } => LifecycleEvent::at(
+                LifecycleKind::DeviceArrival {
+                    device: DeviceId(dev),
+                },
+                at,
+            ),
+            LifecycleSpec::HostArrival { gpus, at } => {
+                LifecycleEvent::at(LifecycleKind::HostArrival { gpus }, at)
+            }
+        }
+    }
+
+    /// Whether every device reference fits the topology shape.
+    pub fn in_range(&self, topo: &TopoSpec) -> bool {
+        match *self {
+            LifecycleSpec::Spot { dev, .. }
+            | LifecycleSpec::Restore { dev, .. }
+            | LifecycleSpec::Arrival { dev, .. } => dev < topo.total_gpus(),
+            LifecycleSpec::HostArrival { gpus, .. } => gpus >= 1,
+        }
+    }
+}
+
+/// Which planner path the scenario exercises for the plan-level
+/// invariants (placement validity, comm-plan lowering, cache identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerChoice {
+    /// Flat DPOS only.
+    Flat,
+    /// The portfolio slate: DPOS, the data-parallel start strategy, and
+    /// the hierarchical planner, each checked independently.
+    Portfolio,
+    /// Hierarchical (decompose → quotient DPOS → refine) only.
+    Hierarchical,
+}
+
+impl PlannerChoice {
+    /// Stable lowercase label for the replay codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlannerChoice::Flat => "flat",
+            PlannerChoice::Portfolio => "portfolio",
+            PlannerChoice::Hierarchical => "hierarchical",
+        }
+    }
+}
+
+/// One fleet job riding the scenario's shared cluster. All jobs train the
+/// scenario's graph (deliberately: identical model + shape admissions are
+/// the shared-plan-cache twin path the PR 8 equivariance bug hid in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzJob {
+    /// Scheduler tick the job arrives at.
+    pub arrival: u64,
+    /// Iterations the job runs.
+    pub iters: u64,
+    /// GPUs requested.
+    pub gpus: usize,
+    /// Preemption floor.
+    pub min_gpus: usize,
+    /// Priority (higher wins).
+    pub priority: u8,
+}
+
+/// A full fuzz scenario: one point in the cross-product of every axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Root seed: drives the session's jitter stream and all derived
+    /// sub-streams.
+    pub seed: u64,
+    /// Iterations the single-session run executes.
+    pub iters: u64,
+    /// Graph-shape axis.
+    pub graph: GraphSpec,
+    /// Topology axis.
+    pub topo: TopoSpec,
+    /// Fault-schedule axis.
+    pub faults: Vec<FaultSpec>,
+    /// Lifecycle (churn) axis.
+    pub lifecycle: Vec<LifecycleSpec>,
+    /// Planner-choice axis.
+    pub planner: PlannerChoice,
+    /// Fleet-workload axis (empty = single-session scenario).
+    pub jobs: Vec<FuzzJob>,
+}
+
+impl Scenario {
+    /// Lowers the fault + lifecycle axes to a [`FaultSchedule`].
+    pub fn fault_schedule(&self) -> FaultSchedule {
+        let mut s = FaultSchedule::none();
+        for f in &self.faults {
+            s = s.with(f.to_fault());
+        }
+        for l in &self.lifecycle {
+            s = s.with_lifecycle(l.to_event());
+        }
+        s
+    }
+
+    /// Drops any fault/lifecycle/job entry that no longer fits the
+    /// topology or iteration budget — called by the minimizer after every
+    /// axis reduction so shrunk scenarios stay well-formed.
+    pub fn sanitize(&mut self) {
+        let topo = self.topo.clone();
+        self.faults.retain(|f| f.in_range(&topo));
+        self.lifecycle.retain(|l| l.in_range(&topo));
+        let total = topo.total_gpus() as usize;
+        if total < 4 {
+            // the fleet scheduler needs at least 4 GPUs of headroom
+            self.jobs.clear();
+        }
+        for j in &mut self.jobs {
+            j.gpus = j.gpus.clamp(1, total);
+            j.min_gpus = j.min_gpus.clamp(1, j.gpus);
+        }
+    }
+
+    /// Deterministically generates scenario `index` of the sweep rooted
+    /// at `root_seed`. Every axis draws from its own collision-free
+    /// sub-stream ([`SeedStream::split`]), so axes can be varied or
+    /// shrunk independently without perturbing each other.
+    pub fn generate(root_seed: u64, index: u64) -> Scenario {
+        let root = SeedStream::domain(root_seed, domains::FUZZ).split(index);
+        let (gs, ts, fs, ls, ps, js) = (
+            root.split(1),
+            root.split(2),
+            root.split(3),
+            root.split(4),
+            root.split(5),
+            root.split(6),
+        );
+
+        // --- topology axis ---
+        let servers = 1 + ts.pick(0, 3) as u16; // 1..=3
+        let gpus = 1 + ts.pick(1, 4) as u16; // 1..=4
+        let links = match ts.pick(2, 3) {
+            0 => LinkProfile::Nvlink,
+            1 => LinkProfile::Pcie,
+            _ => LinkProfile::Rdma,
+        };
+        let topo = TopoSpec {
+            servers,
+            gpus,
+            links,
+        };
+        let total = topo.total_gpus();
+
+        // --- graph axis ---
+        let conv_prefix = gs.pick(0, 3) as u8; // 0..=2
+        let n_layers = 1 + gs.pick(1, 5) as usize; // 1..=5
+        let layers = (0..n_layers)
+            .map(|i| {
+                let s = gs.split(10 + i as u64);
+                match s.pick(0, 6) {
+                    0 | 1 => LayerSpec::Dense {
+                        width: 8 << s.pick(1, 4), // 8..=64
+                    },
+                    2 => LayerSpec::Fan {
+                        width: 8 << s.pick(1, 3),
+                        branches: 2 + s.pick(2, 2), // 2..=3
+                    },
+                    3 | 4 => LayerSpec::Block,
+                    _ => LayerSpec::Norm,
+                }
+            })
+            .collect();
+        let graph = GraphSpec {
+            batch: 2 << gs.pick(2, 3), // 2, 4, 8
+            conv_prefix,
+            layers,
+        };
+
+        let iters = 12 + root.pick(7, 17); // 12..=28
+
+        // --- fault axis ---
+        let n_faults = fs.pick(0, 4); // 0..=3
+        let mut faults = Vec::new();
+        for i in 0..n_faults {
+            let s = fs.split(20 + i);
+            let dev = s.pick(0, total as u64) as u16;
+            let from = s.pick(1, iters / 2);
+            let to = from + 1 + s.pick(2, iters / 3);
+            let spec = match s.pick(3, 10) {
+                0 => FaultSpec::Straggler {
+                    dev,
+                    factor_x10: 20 + s.pick(4, 40) as u32,
+                    from,
+                    to,
+                },
+                1 if total >= 2 => {
+                    let dst = (dev + 1 + s.pick(4, total as u64 - 1) as u16) % total;
+                    FaultSpec::LinkDegrade {
+                        src: dev,
+                        dst,
+                        factor_x10: 20 + s.pick(5, 60) as u32,
+                        from,
+                        to,
+                    }
+                }
+                2 => FaultSpec::Transient {
+                    dev,
+                    prob_pct: 30 + s.pick(4, 60) as u8,
+                    from,
+                    to,
+                },
+                3 => FaultSpec::ProfileFail {
+                    dev,
+                    attempts: 1 + s.pick(4, 6) as u32,
+                },
+                4 if total >= 2 => FaultSpec::Crash {
+                    dev,
+                    at: iters / 3 + s.pick(4, iters / 3),
+                },
+                5 => FaultSpec::MemPressure {
+                    dev,
+                    reserve_mib: 256 << s.pick(4, 5),
+                    from,
+                    to,
+                },
+                6 if total >= 2 => {
+                    let dst = (dev + 1 + s.pick(4, total as u64 - 1) as u16) % total;
+                    FaultSpec::LinkFlap {
+                        src: dev,
+                        dst,
+                        prob_pct: 10 + s.pick(5, 40) as u8,
+                        from,
+                        to,
+                    }
+                }
+                7 if servers >= 2 => FaultSpec::Partition {
+                    server: s.pick(4, servers as u64) as u16,
+                    at: iters / 2 + s.pick(5, iters / 4),
+                },
+                8 => FaultSpec::CollectiveStraggler {
+                    dev,
+                    factor_x10: 30 + s.pick(4, 40) as u32,
+                    from,
+                    to,
+                },
+                _ => FaultSpec::NicDegrade {
+                    server: s.pick(4, servers as u64) as u16,
+                    factor_x10: 40 + s.pick(5, 80) as u32,
+                    from,
+                    to,
+                },
+            };
+            faults.push(spec);
+        }
+
+        // --- lifecycle axis ---
+        let n_life = ls.pick(0, 3); // 0..=2
+        let mut lifecycle = Vec::new();
+        for i in 0..n_life {
+            let s = ls.split(30 + i);
+            let dev = s.pick(0, total as u64) as u16;
+            let at = 2 + s.pick(1, iters / 2);
+            let spec = match s.pick(2, 4) {
+                0 if total >= 2 => LifecycleSpec::Spot {
+                    dev,
+                    at,
+                    notice: 2 + s.pick(3, 3),
+                },
+                1 => LifecycleSpec::Restore { dev, at: at + 4 },
+                2 => LifecycleSpec::HostArrival {
+                    gpus: 1 + s.pick(3, 2) as u16,
+                    at,
+                },
+                _ => LifecycleSpec::Arrival { dev, at: at + 3 },
+            };
+            lifecycle.push(spec);
+        }
+
+        // --- planner axis ---
+        let planner = match ps.pick(0, 3) {
+            0 => PlannerChoice::Flat,
+            1 => PlannerChoice::Portfolio,
+            _ => PlannerChoice::Hierarchical,
+        };
+
+        // --- fleet axis: only on clusters with scheduler headroom, and
+        // only for a third of scenarios (fleet runs are the costliest) ---
+        let mut jobs: Vec<FuzzJob> = Vec::new();
+        if total >= 4 && js.pick(0, 3) == 0 {
+            let n_jobs = 2 + js.pick(1, 3); // 2..=4, always includes a twin pair
+            for i in 0..n_jobs {
+                let s = js.split(40 + i);
+                let twin_of_first = i == 1; // job 1 mirrors job 0: the cache-twin path
+                let gpus = if twin_of_first {
+                    jobs[0].gpus
+                } else {
+                    1 + s.pick(0, (total as u64 / 2).max(1)) as usize
+                };
+                jobs.push(FuzzJob {
+                    arrival: i + s.pick(1, 3),
+                    iters: 4 + s.pick(2, 6),
+                    gpus,
+                    min_gpus: 1,
+                    priority: 1 + s.pick(3, 4) as u8,
+                });
+            }
+        }
+
+        let mut sc = Scenario {
+            seed: root.subseed(8),
+            iters,
+            graph,
+            topo,
+            faults,
+            lifecycle,
+            planner,
+            jobs,
+        };
+        sc.sanitize();
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_index_sensitive() {
+        let a = Scenario::generate(0, 3);
+        let b = Scenario::generate(0, 3);
+        assert_eq!(a, b);
+        let c = Scenario::generate(0, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_graphs_are_valid_dags() {
+        for i in 0..24 {
+            let sc = Scenario::generate(1, i);
+            let g = sc.graph.training();
+            assert!(g.op_count() > 0, "scenario {i} built an empty graph");
+            assert!(
+                sc.topo.build().validate().is_ok(),
+                "scenario {i} built an invalid topology"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitize_drops_out_of_range_references() {
+        let mut sc = Scenario::generate(0, 0);
+        sc.faults.push(FaultSpec::Crash { dev: 250, at: 1 });
+        sc.lifecycle
+            .push(LifecycleSpec::Restore { dev: 251, at: 1 });
+        sc.sanitize();
+        assert!(sc.faults.iter().all(|f| f.in_range(&sc.topo)));
+        assert!(sc.lifecycle.iter().all(|l| l.in_range(&sc.topo)));
+    }
+}

@@ -85,13 +85,7 @@ impl Default for SimConfig {
     }
 }
 
-/// splitmix64: cheap deterministic hash for the jitter stream.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E3779B97F4A7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
-}
+use crate::seed::splitmix64;
 
 /// Uniform in [-1, 1] derived from (seed, op, iteration).
 fn jitter_unit(seed: u64, op: OpId, iteration: u64) -> f64 {

@@ -21,15 +21,8 @@
 //! while faults live for seconds-to-forever, so the iteration is the
 //! natural granularity.
 
+use crate::seed::{domains, splitmix64, SeedStream};
 use fastt_cluster::DeviceId;
-
-/// splitmix64 — the same cheap deterministic hash the jitter stream uses.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E3779B97F4A7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-    x ^ (x >> 31)
-}
 
 /// What kind of infrastructure fault is injected.
 #[derive(Debug, Clone, PartialEq)]
@@ -362,13 +355,8 @@ impl FaultSchedule {
     /// smoke tests and the `report` binary's fault scenarios.
     pub fn seeded(seed: u64, gpus: u16, iters: u64, with_crash: bool) -> Self {
         assert!(gpus > 0 && iters > 0, "need devices and iterations");
-        let pick = |salt: u64, modulo: u64| -> u64 {
-            if modulo == 0 {
-                0
-            } else {
-                splitmix64(seed ^ splitmix64(salt)) % modulo
-            }
-        };
+        let stream = SeedStream::domain(seed, domains::DEVICE_CHAOS);
+        let pick = |salt: u64, modulo: u64| stream.pick(salt, modulo);
         let dev = |salt: u64| DeviceId(pick(salt, gpus as u64) as u16);
         let span = (iters / 4).max(1);
         // A self-loop "link" would be a silent no-op (the engine only
@@ -435,13 +423,8 @@ impl FaultSchedule {
             gpus > 0 && servers > 0 && iters > 0,
             "need devices, servers and iterations"
         );
-        let pick = |salt: u64, modulo: u64| -> u64 {
-            if modulo == 0 {
-                0
-            } else {
-                splitmix64(seed ^ 0x4E7_F417 ^ splitmix64(salt)) % modulo
-            }
-        };
+        let stream = SeedStream::domain(seed, domains::NETWORK_CHAOS);
+        let pick = |salt: u64, modulo: u64| stream.pick(salt, modulo);
         let dev = |salt: u64| DeviceId(pick(salt, gpus as u64) as u16);
         let span = (iters / 4).max(1);
         let flap_src = dev(1);
@@ -508,13 +491,8 @@ impl FaultSchedule {
             gpus >= 2 && servers > 0 && iters >= 24,
             "churn needs >= 2 devices and >= 24 iterations to oscillate"
         );
-        let pick = |salt: u64, modulo: u64| -> u64 {
-            if modulo == 0 {
-                0
-            } else {
-                splitmix64(seed ^ 0xC1_5C1E ^ splitmix64(salt)) % modulo
-            }
-        };
+        let stream = SeedStream::domain(seed, domains::ELASTIC_CHURN);
+        let pick = |salt: u64, modulo: u64| stream.pick(salt, modulo);
         let dev_a = DeviceId(pick(1, gpus as u64) as u16);
         let mut dev_b = DeviceId(pick(2, gpus as u64) as u16);
         if dev_b == dev_a {

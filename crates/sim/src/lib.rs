@@ -52,6 +52,7 @@ pub mod faults;
 mod hardware;
 mod placement;
 mod queue;
+pub mod seed;
 mod trace;
 
 pub use comm::{CollectiveStep, CommPlan, OpComm, P2pSend};
@@ -61,4 +62,5 @@ pub use faults::{Fault, FaultKind, FaultSchedule, LifecycleEvent, LifecycleKind}
 pub use hardware::{is_transient, HardwarePerf, LAUNCH_OVERHEAD, OPTIMIZER_RESIDENT_FACTOR};
 pub use placement::Placement;
 pub use queue::ExecPolicy;
+pub use seed::SeedStream;
 pub use trace::{CollectiveRecord, OpRecord, RunTrace, TransferRecord};
